@@ -1,0 +1,119 @@
+// Ablations for the parallel primitives the pipeline is built from:
+//  * single-pass decoupled-lookback scan (Merrill & Garland, the paper's
+//    §2 building block) vs the classic two-pass reduce-then-scan;
+//  * radix-sort digit width (partitioning passes vs per-pass cost);
+//  * the composite-operator scan over state-transition vectors.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "dfa/dfa.h"
+#include "dfa/state_vector.h"
+#include "parallel/radix_sort.h"
+#include "parallel/scan.h"
+#include "parallel/thread_pool.h"
+
+namespace {
+
+using namespace parparaw;  // NOLINT
+
+ThreadPool* Pool() {
+  static ThreadPool& pool = *new ThreadPool();
+  return &pool;
+}
+
+void BM_ScanDecoupledLookback(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<int64_t> in(n, 1), out(n);
+  for (auto _ : state) {
+    ScanDecoupledLookback(Pool(), in.data(), out.data(), n,
+                          [](int64_t a, int64_t b) { return a + b; },
+                          int64_t{0});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(int64_t));
+}
+BENCHMARK(BM_ScanDecoupledLookback)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_ScanTwoPass(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<int64_t> in(n, 1), out(n);
+  for (auto _ : state) {
+    ScanTwoPass(Pool(), in.data(), out.data(), n,
+                [](int64_t a, int64_t b) { return a + b; }, int64_t{0});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(int64_t));
+}
+BENCHMARK(BM_ScanTwoPass)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_CompositeScanStateVectors(benchmark::State& state) {
+  // The context-resolution scan itself: 6-state vectors under ∘.
+  const int64_t n = state.range(0);
+  std::mt19937 rng(2);
+  std::vector<StateVector> in(n, StateVector::Identity(6));
+  for (auto& v : in) {
+    for (int i = 0; i < 6; ++i) v.Set(i, static_cast<uint8_t>(rng() % 6));
+  }
+  std::vector<StateVector> out(n, StateVector::Identity(6));
+  for (auto _ : state) {
+    ExclusiveScan(Pool(), in.data(), out.data(), n,
+                  [](const StateVector& a, const StateVector& b) {
+                    return Compose(a, b);
+                  },
+                  StateVector::Identity(6));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CompositeScanStateVectors)->Arg(1 << 14)->Arg(1 << 18);
+
+// The paper's "constant factor" (§3.1): multi-DFA simulation runs |S|
+// instances per byte. This ablation sweeps the state count of a synthetic
+// ring DFA to quantify the per-state cost of the context step's hot loop.
+void BM_MultiDfaStateCount(benchmark::State& state) {
+  const int num_states = static_cast<int>(state.range(0));
+  DfaBuilder builder;
+  for (int s = 0; s < num_states; ++s) {
+    builder.AddState("s" + std::to_string(s), true);
+  }
+  const int g = builder.AddSymbol('x');
+  for (int s = 0; s < num_states; ++s) {
+    builder.SetTransition(s, g, (s + 1) % num_states, kSymbolData);
+    builder.SetDefaultTransition(s, (s + 2) % num_states, kSymbolData);
+  }
+  const Dfa dfa = *builder.Build();
+  std::vector<uint8_t> input(64 * 1024);
+  std::mt19937 rng(1);
+  for (auto& b : input) b = (rng() % 4 == 0) ? 'x' : 'y';
+  for (auto _ : state) {
+    const StateVector v = dfa.TransitionVector(input.data(), input.size());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_MultiDfaStateCount)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(16);
+
+void BM_RadixSortBitsPerPass(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int64_t n = 1 << 20;
+  std::mt19937_64 rng(4);
+  std::vector<uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<uint32_t>(rng() % 17);  // column tags
+  RadixSortOptions options;
+  options.bits_per_pass = bits;
+  options.significant_bits = 5;
+  std::vector<uint32_t> perm;
+  for (auto _ : state) {
+    StableRadixSortPermutation(Pool(), keys, &perm, options);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixSortBitsPerPass)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

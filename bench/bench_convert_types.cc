@@ -1,0 +1,147 @@
+// Type-conversion throughput per column type — the step that dominates the
+// NYC-taxi workload (Fig. 9b attributes ~1/3 of total time to convert).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "convert/inference.h"
+#include "convert/numeric.h"
+#include "convert/temporal.h"
+
+namespace {
+
+using namespace parparaw;  // NOLINT
+
+std::vector<std::string> MakeFields(const char* kind, int n) {
+  std::mt19937_64 rng(13);
+  std::vector<std::string> fields(n);
+  char buf[64];
+  for (auto& f : fields) {
+    if (!std::strcmp(kind, "int")) {
+      f = std::to_string(static_cast<int64_t>(rng() % 1000000) - 500000);
+    } else if (!std::strcmp(kind, "float")) {
+      std::snprintf(buf, sizeof(buf), "%.2f",
+                    static_cast<double>(rng() % 100000) / 100.0);
+      f = buf;
+    } else if (!std::strcmp(kind, "decimal")) {
+      std::snprintf(buf, sizeof(buf), "%llu.%02llu",
+                    static_cast<unsigned long long>(rng() % 1000),
+                    static_cast<unsigned long long>(rng() % 100));
+      f = buf;
+    } else if (!std::strcmp(kind, "date")) {
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                    2000 + static_cast<int>(rng() % 25),
+                    1 + static_cast<int>(rng() % 12),
+                    1 + static_cast<int>(rng() % 28));
+      f = buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                    2000 + static_cast<int>(rng() % 25),
+                    1 + static_cast<int>(rng() % 12),
+                    1 + static_cast<int>(rng() % 28),
+                    static_cast<int>(rng() % 24),
+                    static_cast<int>(rng() % 60),
+                    static_cast<int>(rng() % 60));
+      f = buf;
+    }
+  }
+  return fields;
+}
+
+int64_t TotalBytes(const std::vector<std::string>& fields) {
+  int64_t total = 0;
+  for (const auto& f : fields) total += static_cast<int64_t>(f.size());
+  return total;
+}
+
+void BM_ParseInt64(benchmark::State& state) {
+  const auto fields = MakeFields("int", 10000);
+  for (auto _ : state) {
+    int64_t v, sum = 0;
+    for (const auto& f : fields) {
+      if (ParseInt64(f, &v)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * TotalBytes(fields));
+}
+BENCHMARK(BM_ParseInt64);
+
+void BM_ParseFloat64(benchmark::State& state) {
+  const auto fields = MakeFields("float", 10000);
+  for (auto _ : state) {
+    double v, sum = 0;
+    for (const auto& f : fields) {
+      if (ParseFloat64(f, &v)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * TotalBytes(fields));
+}
+BENCHMARK(BM_ParseFloat64);
+
+void BM_ParseDecimal64(benchmark::State& state) {
+  const auto fields = MakeFields("decimal", 10000);
+  for (auto _ : state) {
+    int64_t v, sum = 0;
+    for (const auto& f : fields) {
+      if (ParseDecimal64(f, 2, &v)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * TotalBytes(fields));
+}
+BENCHMARK(BM_ParseDecimal64);
+
+void BM_ParseDate32(benchmark::State& state) {
+  const auto fields = MakeFields("date", 10000);
+  for (auto _ : state) {
+    int32_t v;
+    int64_t sum = 0;
+    for (const auto& f : fields) {
+      if (ParseDate32(f, &v)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * TotalBytes(fields));
+}
+BENCHMARK(BM_ParseDate32);
+
+void BM_ParseTimestamp(benchmark::State& state) {
+  const auto fields = MakeFields("timestamp", 10000);
+  for (auto _ : state) {
+    int64_t v, sum = 0;
+    for (const auto& f : fields) {
+      if (ParseTimestampMicros(f, &v)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * TotalBytes(fields));
+}
+BENCHMARK(BM_ParseTimestamp);
+
+void BM_ClassifyField(benchmark::State& state) {
+  // The per-field classification of §4.3 type inference.
+  auto fields = MakeFields("int", 3000);
+  auto floats = MakeFields("float", 3000);
+  auto dates = MakeFields("date", 3000);
+  fields.insert(fields.end(), floats.begin(), floats.end());
+  fields.insert(fields.end(), dates.begin(), dates.end());
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (const auto& f : fields) {
+      sum += static_cast<int>(ClassifyField(f));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * TotalBytes(fields));
+}
+BENCHMARK(BM_ClassifyField);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Microbenchmark for Fig. 8's multi-fragment in-register array: dynamic
+// indexed get/set on the bit-packed representation versus a plain array
+// (which on a GPU would spill to slow local memory when indexed
+// dynamically — on the CPU the plain array is the upper bound, and the
+// bench quantifies MFIRA's packing overhead).
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <random>
+
+#include "mfira/mfira.h"
+
+namespace {
+
+using parparaw::Mfira;
+
+constexpr int kAccesses = 4096;
+
+std::array<int, kAccesses> MakeIndices(int modulo) {
+  std::array<int, kAccesses> idx;
+  std::mt19937 rng(5);
+  for (auto& i : idx) i = static_cast<int>(rng() % modulo);
+  return idx;
+}
+
+void BM_MfiraGet(benchmark::State& state) {
+  Mfira<10, 5> array;
+  for (int i = 0; i < 10; ++i) array.Set(i, static_cast<uint32_t>(i * 3));
+  const auto idx = MakeIndices(10);
+  for (auto _ : state) {
+    uint32_t sum = 0;
+    for (int i : idx) sum += array.Get(i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kAccesses);
+}
+BENCHMARK(BM_MfiraGet);
+
+void BM_MfiraSet(benchmark::State& state) {
+  Mfira<10, 5> array;
+  const auto idx = MakeIndices(10);
+  for (auto _ : state) {
+    for (int i : idx) array.Set(i, static_cast<uint32_t>(i));
+    benchmark::DoNotOptimize(array);
+  }
+  state.SetItemsProcessed(state.iterations() * kAccesses);
+}
+BENCHMARK(BM_MfiraSet);
+
+void BM_PlainArrayGet(benchmark::State& state) {
+  std::array<uint8_t, 10> array{};
+  for (int i = 0; i < 10; ++i) array[i] = static_cast<uint8_t>(i * 3);
+  const auto idx = MakeIndices(10);
+  for (auto _ : state) {
+    uint32_t sum = 0;
+    for (int i : idx) sum += array[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kAccesses);
+}
+BENCHMARK(BM_PlainArrayGet);
+
+void BM_PlainArraySet(benchmark::State& state) {
+  std::array<uint8_t, 10> array{};
+  const auto idx = MakeIndices(10);
+  for (auto _ : state) {
+    for (int i : idx) array[i] = static_cast<uint8_t>(i);
+    benchmark::DoNotOptimize(array);
+  }
+  state.SetItemsProcessed(state.iterations() * kAccesses);
+}
+BENCHMARK(BM_PlainArraySet);
+
+// The 16-state/4-bit shape backing the state-transition vectors.
+void BM_MfiraStateVectorShape(benchmark::State& state) {
+  Mfira<16, 4> array;
+  const auto idx = MakeIndices(16);
+  for (auto _ : state) {
+    for (int i : idx) array.Set(i, array.Get(15 - i));
+    benchmark::DoNotOptimize(array);
+  }
+  state.SetItemsProcessed(state.iterations() * kAccesses);
+}
+BENCHMARK(BM_MfiraStateVectorShape);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Microbenchmark for Table 1's transition-table organisation: one packed
+// row per symbol group ("coalesced access to all state transitions of a
+// read symbol") lets a thread advance all of its DFA instances from a
+// single fetched row — the hot loop of the context step. Compared against
+// a conventional [state][symbol] matrix walk.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "dfa/formats.h"
+
+namespace {
+
+using namespace parparaw;  // NOLINT
+
+std::string MakeCsv(size_t n) {
+  std::mt19937_64 rng(3);
+  std::string s;
+  s.reserve(n);
+  while (s.size() < n) {
+    s += "word" + std::to_string(rng() % 1000);
+    s += (rng() % 8 == 0) ? '\n' : ',';
+  }
+  return s;
+}
+
+// Multi-instance stepping through the packed row (the ParPaRaw way).
+void BM_PackedRowMultiDfa(benchmark::State& state) {
+  const Format format = *Rfc4180Format();
+  const Dfa& dfa = format.dfa;
+  const std::string input = MakeCsv(64 * 1024);
+  for (auto _ : state) {
+    StateVector v = StateVector::Identity(dfa.num_states());
+    for (char c : input) dfa.Step(&v, static_cast<uint8_t>(c));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_PackedRowMultiDfa);
+
+// The same simulation against a [state][group] matrix: one dependent load
+// per instance instead of one row fetch per symbol.
+void BM_MatrixMultiDfa(benchmark::State& state) {
+  const Format format = *Rfc4180Format();
+  const Dfa& dfa = format.dfa;
+  // Expand to a dense matrix.
+  std::vector<uint8_t> matrix(dfa.num_states() * dfa.num_symbol_groups());
+  for (int s = 0; s < dfa.num_states(); ++s) {
+    for (int g = 0; g < dfa.num_symbol_groups(); ++g) {
+      matrix[s * dfa.num_symbol_groups() + g] =
+          dfa.NextState(s, g);
+    }
+  }
+  const std::string input = MakeCsv(64 * 1024);
+  for (auto _ : state) {
+    uint8_t states[parparaw::kMaxDfaStates];
+    for (int i = 0; i < dfa.num_states(); ++i) states[i] = i;
+    for (char c : input) {
+      const int g = dfa.SymbolGroup(static_cast<uint8_t>(c));
+      for (int i = 0; i < dfa.num_states(); ++i) {
+        states[i] = matrix[states[i] * dfa.num_symbol_groups() + g];
+      }
+    }
+    benchmark::DoNotOptimize(states);
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_MatrixMultiDfa);
+
+// Single-instance run (what the bitmap/tag passes execute per byte).
+void BM_SingleDfaRun(benchmark::State& state) {
+  const Format format = *Rfc4180Format();
+  const Dfa& dfa = format.dfa;
+  const std::string input = MakeCsv(64 * 1024);
+  for (auto _ : state) {
+    const uint8_t end = dfa.Run(
+        dfa.start_state(), reinterpret_cast<const uint8_t*>(input.data()),
+        input.size());
+    benchmark::DoNotOptimize(end);
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_SingleDfaRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+#ifndef PARPARAW_BENCH_BENCH_UTIL_H_
+#define PARPARAW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/options.h"
+#include "workload/generators.h"
+
+namespace parparaw::bench {
+
+/// Dataset size for the figure benches, overridable with
+/// PARPARAW_BENCH_MB (the paper uses 512 MB slices; the default here is
+/// sized for a small CI machine — shapes, not absolute numbers, are the
+/// reproduction target, see EXPERIMENTS.md).
+inline size_t BenchBytes(size_t default_mb) {
+  const char* env = std::getenv("PARPARAW_BENCH_MB");
+  if (env != nullptr) {
+    const long mb = std::strtol(env, nullptr, 10);
+    if (mb > 0) return static_cast<size_t>(mb) << 20;
+  }
+  return default_mb << 20;
+}
+
+inline double Gbps(size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / seconds / (1 << 30) : 0;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n===== %s =====\n", title);
+}
+
+}  // namespace parparaw::bench
+
+#endif  // PARPARAW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,120 @@
+#include "baseline/instant_loading.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "baseline/row_buffer.h"
+#include "parallel/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+Result<ParseOutput> InstantLoadingParser::Parse(
+    std::string_view input, const InstantLoadingOptions& options) {
+  ParseOptions resolved = options.base;
+  if (resolved.format.dfa.num_states() == 0) {
+    PARPARAW_ASSIGN_OR_RETURN(resolved.format, Rfc4180Format());
+  }
+  ThreadPool* pool =
+      resolved.pool != nullptr ? resolved.pool : ThreadPool::Default();
+  int workers = options.num_workers > 0 ? options.num_workers
+                                        : pool->num_threads();
+  workers = std::max(1, workers);
+
+  int64_t skip_rows = resolved.skip_rows;
+  while (skip_rows > 0 && !input.empty()) {
+    const size_t pos =
+        input.find(static_cast<char>(resolved.format.record_delimiter));
+    if (pos == std::string_view::npos) {
+      input = std::string_view();
+      break;
+    }
+    input.remove_prefix(pos + 1);
+    --skip_rows;
+  }
+
+  const auto* data = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t size = input.size();
+  const char record_delim =
+      static_cast<char>(resolved.format.record_delimiter);
+
+  ParseOutput output;
+  output.work.input_bytes = static_cast<int64_t>(size);
+
+  // --- Chunk-boundary resolution. ---
+  Stopwatch split_watch;
+  std::vector<size_t> split(workers + 1, size);
+  split[0] = 0;
+  std::vector<size_t> targets(workers);
+  for (int w = 0; w < workers; ++w) {
+    targets[w] = size * static_cast<size_t>(w) / workers;
+  }
+  if (options.safe_mode) {
+    // Sequential context pass: track the DFA so chunks split only at true
+    // record delimiters (quoted newlines are skipped). This is the serial
+    // work share that bounds the approach's scalability.
+    const Dfa& dfa = resolved.format.dfa;
+    int state = dfa.start_state();
+    int next_target = 1;
+    for (size_t i = 0; i < size && next_target < workers; ++i) {
+      const int group = dfa.SymbolGroup(data[i]);
+      const uint8_t flags = dfa.Flags(state, group);
+      state = dfa.NextState(state, group);
+      if (flags & kSymbolRecordDelimiter) {
+        while (next_target < workers && targets[next_target] <= i) {
+          split[next_target] = i + 1;
+          ++next_target;
+        }
+      }
+    }
+  } else {
+    // Unsafe mode: the first raw newline at/after the target — wrong when
+    // a newline may be quoted.
+    for (int w = 1; w < workers; ++w) {
+      const void* hit = std::memchr(data + targets[w], record_delim,
+                                    size - targets[w]);
+      split[w] = hit != nullptr
+                     ? static_cast<size_t>(
+                           static_cast<const uint8_t*>(hit) - data) +
+                           1
+                     : size;
+    }
+    std::sort(split.begin(), split.end());
+  }
+  output.timings.scan_ms = split_watch.ElapsedMillis();
+
+  // --- Parallel per-chunk parsing of complete records. ---
+  Stopwatch parse_watch;
+  std::vector<RecordBuffer> buffers(workers);
+  std::vector<ScanResult> scans(workers);
+  ParallelForEach(pool, 0, workers, [&](int64_t w) {
+    const size_t begin = split[w];
+    const size_t end = split[w + 1];
+    if (begin >= end) return;
+    const bool is_last = (end == size);
+    const bool emit_trailing = is_last && !resolved.exclude_trailing_record;
+    scans[w] = AppendParsedRange(resolved.format, data, begin, end,
+                                 emit_trailing, &buffers[w]);
+  });
+  RecordBuffer merged = std::move(buffers[0]);
+  for (int w = 1; w < workers; ++w) merged.Append(buffers[w]);
+  if (resolved.validate) {
+    for (int w = 0; w < workers; ++w) {
+      if (split[w] < split[w + 1] && scans[w].first_invalid >= 0) {
+        return Status::ParseError(
+            "invalid symbol at byte offset " +
+            std::to_string(static_cast<int64_t>(split[w]) +
+                           scans[w].first_invalid));
+      }
+    }
+  }
+  output.timings.parse_ms = parse_watch.ElapsedMillis();
+
+  Stopwatch convert_watch;
+  PARPARAW_ASSIGN_OR_RETURN(
+      output.table, BuildTableFromRecords(merged, resolved, &output));
+  output.timings.convert_ms = convert_watch.ElapsedMillis();
+  return output;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,108 @@
+#include "baseline/quote_count.h"
+
+#include <algorithm>
+
+#include "baseline/row_buffer.h"
+#include "core/css_index.h"
+#include "parallel/scan.h"
+#include "parallel/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+Result<ParseOutput> QuoteCountParser::Parse(std::string_view input,
+                                            const ParseOptions& options) {
+  ParseOptions resolved = options;
+  if (resolved.format.dfa.num_states() == 0) {
+    PARPARAW_ASSIGN_OR_RETURN(resolved.format, Rfc4180Format());
+  }
+  ThreadPool* pool =
+      resolved.pool != nullptr ? resolved.pool : ThreadPool::Default();
+
+  int64_t skip_rows = resolved.skip_rows;
+  while (skip_rows > 0 && !input.empty()) {
+    const size_t pos =
+        input.find(static_cast<char>(resolved.format.record_delimiter));
+    if (pos == std::string_view::npos) {
+      input = std::string_view();
+      break;
+    }
+    input.remove_prefix(pos + 1);
+    --skip_rows;
+  }
+
+  const auto* data = reinterpret_cast<const uint8_t*>(input.data());
+  const int64_t size = static_cast<int64_t>(input.size());
+  const uint8_t quote = '"';
+  const uint8_t record_delim = resolved.format.record_delimiter;
+
+  ParseOutput output;
+  output.work.input_bytes = size;
+
+  Stopwatch parse_watch;
+  // Phase 1: per-chunk quote counts -> parity at each chunk start.
+  const int64_t chunk = 64 * 1024;
+  const int64_t num_chunks = size > 0 ? (size + chunk - 1) / chunk : 0;
+  std::vector<int64_t> quote_counts(num_chunks, 0);
+  ParallelForEach(pool, 0, num_chunks, [&](int64_t c) {
+    const int64_t b = c * chunk;
+    const int64_t e = std::min(b + chunk, size);
+    int64_t count = 0;
+    for (int64_t i = b; i < e; ++i) count += data[i] == quote;
+    quote_counts[c] = count;
+  });
+  std::vector<int64_t> prefix(num_chunks, 0);
+  ExclusivePrefixSum(pool, quote_counts.data(), prefix.data(), num_chunks);
+
+  // Phase 2: newlines at even parity are record boundaries.
+  std::vector<std::vector<int64_t>> chunk_boundaries(num_chunks);
+  ParallelForEach(pool, 0, num_chunks, [&](int64_t c) {
+    const int64_t b = c * chunk;
+    const int64_t e = std::min(b + chunk, size);
+    bool in_quotes = (prefix[c] & 1) != 0;
+    for (int64_t i = b; i < e; ++i) {
+      if (data[i] == quote) {
+        in_quotes = !in_quotes;
+      } else if (data[i] == record_delim && !in_quotes) {
+        chunk_boundaries[c].push_back(i);
+      }
+    }
+  });
+  std::vector<int64_t> boundaries;
+  for (const auto& v : chunk_boundaries) {
+    boundaries.insert(boundaries.end(), v.begin(), v.end());
+  }
+
+  // Field-split every record concurrently (grouped per worker), starting
+  // each record's DFA from the start state.
+  const int64_t num_bounded = static_cast<int64_t>(boundaries.size());
+  const bool trailing =
+      (num_bounded == 0 ? size > 0
+                        : boundaries.back() + 1 < size) &&
+      !resolved.exclude_trailing_record;
+  const int64_t num_records = num_bounded + (trailing ? 1 : 0);
+  const int workers = std::max(1, pool->num_threads());
+  std::vector<RecordBuffer> buffers(workers);
+  ParallelForEach(pool, 0, workers, [&](int64_t w) {
+    const int64_t rec_begin = num_records * w / workers;
+    const int64_t rec_end = num_records * (w + 1) / workers;
+    for (int64_t r = rec_begin; r < rec_end; ++r) {
+      const int64_t begin = r == 0 ? 0 : boundaries[r - 1] + 1;
+      const int64_t end = r < num_bounded ? boundaries[r] + 1 : size;
+      AppendParsedRange(resolved.format, data, static_cast<size_t>(begin),
+                        static_cast<size_t>(end), /*emit_trailing=*/true,
+                        &buffers[w]);
+    }
+  });
+  RecordBuffer merged = std::move(buffers[0]);
+  for (int w = 1; w < workers; ++w) merged.Append(buffers[w]);
+  output.timings.parse_ms = parse_watch.ElapsedMillis();
+
+  Stopwatch convert_watch;
+  PARPARAW_ASSIGN_OR_RETURN(
+      output.table, BuildTableFromRecords(merged, resolved, &output));
+  output.timings.convert_ms = convert_watch.ElapsedMillis();
+  return output;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,32 @@
+#ifndef PARPARAW_BASELINE_QUOTE_COUNT_H_
+#define PARPARAW_BASELINE_QUOTE_COUNT_H_
+
+#include <string_view>
+
+#include "core/options.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief Speculative quote-parity parser — the format-specific exploit the
+/// paper describes in §1/§2 (and Mison's bitmap trick adapts to JSON).
+///
+/// Phase 1 counts double-quotes per chunk in parallel; an exclusive prefix
+/// sum yields every chunk's quote parity. Phase 2 marks newlines at even
+/// parity as record boundaries, again in parallel, and records are then
+/// field-split concurrently.
+///
+/// This is fast and correct for plain RFC 4180 inputs (the "" escape
+/// toggles parity twice), but it breaks as soon as the format gets more
+/// expressive — e.g. a quote inside a line comment flips the parity and
+/// corrupts every subsequent boundary — which is exactly the
+/// applicability-vs-speed trade-off ParPaRaw's DFA simulation avoids.
+class QuoteCountParser {
+ public:
+  static Result<ParseOutput> Parse(std::string_view input,
+                                   const ParseOptions& options);
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_BASELINE_QUOTE_COUNT_H_

@@ -1,0 +1,88 @@
+#ifndef PARPARAW_BASELINE_ROW_BUFFER_H_
+#define PARPARAW_BASELINE_ROW_BUFFER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "columnar/table.h"
+#include "core/options.h"
+#include "dfa/formats.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief Row-oriented record storage shared by the baseline parsers.
+///
+/// Field bytes (already unescaped) are appended to one contiguous buffer;
+/// `field_ends` and `record_ends` delimit fields and records. This keeps
+/// the baselines allocation-light and lets per-thread buffers be merged by
+/// concatenation.
+class RecordBuffer {
+ public:
+  void AppendFieldByte(uint8_t byte) { bytes_.push_back(byte); }
+  void AppendFieldBytes(std::string_view sv) {
+    bytes_.insert(bytes_.end(), sv.begin(), sv.end());
+  }
+  void EndField() { field_ends_.push_back(static_cast<int64_t>(bytes_.size())); }
+  void EndRecord() {
+    record_ends_.push_back(static_cast<int64_t>(field_ends_.size()));
+  }
+
+  int64_t num_records() const {
+    return static_cast<int64_t>(record_ends_.size());
+  }
+  /// Number of fields of record r.
+  int64_t FieldCount(int64_t r) const {
+    return record_ends_[r] - (r == 0 ? 0 : record_ends_[r - 1]);
+  }
+  /// Value of field f (global field index).
+  std::string_view FieldValue(int64_t f) const {
+    const int64_t begin = f == 0 ? 0 : field_ends_[f - 1];
+    const int64_t end = field_ends_[f];
+    return std::string_view(reinterpret_cast<const char*>(bytes_.data()) + begin,
+                            static_cast<size_t>(end - begin));
+  }
+  /// Global index of record r's first field.
+  int64_t FirstField(int64_t r) const {
+    return r == 0 ? 0 : record_ends_[r - 1];
+  }
+
+  /// Appends all of `other`'s records after this buffer's (order-preserving
+  /// merge of per-thread buffers).
+  void Append(const RecordBuffer& other);
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<int64_t> field_ends_;
+  std::vector<int64_t> record_ends_;
+};
+
+/// Result of a DFA-driven sequential scan over a byte range.
+struct ScanResult {
+  /// Final DFA state after the range.
+  int final_state = 0;
+  /// Offset of the first invalid transition relative to the range start,
+  /// or -1.
+  int64_t first_invalid = -1;
+};
+
+/// Walks `data[begin, end)` with the format's DFA from its start state,
+/// appending field values and record boundaries to `out`. When
+/// `emit_trailing` is true and the range ends mid-record, the trailing
+/// record is terminated at the range end.
+ScanResult AppendParsedRange(const Format& format, const uint8_t* data,
+                             size_t begin, size_t end, bool emit_trailing,
+                             RecordBuffer* out);
+
+/// Converts buffered records into a columnar table with semantics
+/// identical to ParPaRaw's convert step (drop policies, skip sets,
+/// defaults, empty-vs-missing handling, reject flags, type inference) so
+/// baseline outputs are comparable bit-for-bit in tests.
+Result<Table> BuildTableFromRecords(const RecordBuffer& records,
+                                    const ParseOptions& options,
+                                    ParseOutput* output);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_BASELINE_ROW_BUFFER_H_

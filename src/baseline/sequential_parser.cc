@@ -1,0 +1,67 @@
+#include "baseline/sequential_parser.h"
+
+#include <string>
+
+#include "baseline/row_buffer.h"
+#include "text/unicode.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+Result<ParseOutput> SequentialParser::Parse(std::string_view input,
+                                            const ParseOptions& options) {
+  ParseOptions resolved = options;
+  if (resolved.format.dfa.num_states() == 0) {
+    PARPARAW_ASSIGN_OR_RETURN(resolved.format, Rfc4180Format());
+  }
+
+  std::string transcoded;
+  if (resolved.encoding == TextEncoding::kUtf16Le) {
+    PARPARAW_ASSIGN_OR_RETURN(
+        transcoded, TranscodeUtf16LeToUtf8(nullptr, input));
+    input = transcoded;
+    resolved.encoding = TextEncoding::kUtf8;
+  }
+
+  int64_t skip_rows = resolved.skip_rows;
+  while (skip_rows > 0 && !input.empty()) {
+    const size_t pos =
+        input.find(static_cast<char>(resolved.format.record_delimiter));
+    if (pos == std::string_view::npos) {
+      input = std::string_view();
+      break;
+    }
+    input.remove_prefix(pos + 1);
+    --skip_rows;
+  }
+
+  Stopwatch watch;
+  ParseOutput output;
+  output.work.input_bytes = static_cast<int64_t>(input.size());
+
+  RecordBuffer records;
+  const bool emit_trailing = !resolved.exclude_trailing_record;
+  const ScanResult scan = AppendParsedRange(
+      resolved.format, reinterpret_cast<const uint8_t*>(input.data()), 0,
+      input.size(), emit_trailing, &records);
+  if (resolved.validate) {
+    if (scan.first_invalid >= 0) {
+      return Status::ParseError("invalid symbol at byte offset " +
+                                std::to_string(scan.first_invalid));
+    }
+    if (!resolved.format.dfa.IsAccepting(scan.final_state)) {
+      return Status::ParseError(
+          "input ends in non-accepting state '" +
+          resolved.format.dfa.state_name(scan.final_state) + "'");
+    }
+  }
+  output.timings.parse_ms = watch.ElapsedMillis();
+
+  Stopwatch convert_watch;
+  PARPARAW_ASSIGN_OR_RETURN(
+      output.table, BuildTableFromRecords(records, resolved, &output));
+  output.timings.convert_ms = convert_watch.ElapsedMillis();
+  return output;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,27 @@
+#ifndef PARPARAW_BASELINE_SEQUENTIAL_PARSER_H_
+#define PARPARAW_BASELINE_SEQUENTIAL_PARSER_H_
+
+#include <string_view>
+
+#include "core/options.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief Reference single-threaded parser.
+///
+/// Walks the format's DFA over the whole input beginning to end — the
+/// classic sequential approach ParPaRaw contrasts itself with (§3.1) — and
+/// materialises the same columnar output with identical semantics (drop
+/// policies, defaults, rejects). It serves two purposes: the ground truth
+/// for ParPaRaw's property tests, and the "single-threaded CPU system"
+/// class in the Fig. 13 end-to-end comparison.
+class SequentialParser {
+ public:
+  static Result<ParseOutput> Parse(std::string_view input,
+                                   const ParseOptions& options);
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_BASELINE_SEQUENTIAL_PARSER_H_

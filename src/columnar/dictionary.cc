@@ -1,0 +1,45 @@
+#include "columnar/dictionary.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace parparaw {
+
+Result<DictionaryColumn> DictionaryEncode(const Column& column) {
+  if (column.type().id != TypeId::kString) {
+    return Status::TypeError("dictionary encoding requires a string column");
+  }
+  DictionaryColumn out;
+  out.codes.reserve(column.length());
+  std::unordered_map<std::string_view, int32_t> index;
+  // string_view keys point into the source column's contiguous buffer,
+  // which outlives this function.
+  for (int64_t r = 0; r < column.length(); ++r) {
+    if (column.IsNull(r)) {
+      out.codes.push_back(-1);
+      continue;
+    }
+    const std::string_view value = column.StringValue(r);
+    auto [it, inserted] =
+        index.try_emplace(value, static_cast<int32_t>(index.size()));
+    if (inserted) out.dictionary.AppendString(value);
+    out.codes.push_back(it->second);
+  }
+  if (column.length() == 0) out.dictionary.Allocate(0);
+  return out;
+}
+
+Column DictionaryColumn::Decode() const {
+  Column out(DataType::String());
+  for (int32_t code : codes) {
+    if (code < 0) {
+      out.AppendNull();
+    } else {
+      out.AppendString(dictionary.StringValue(code));
+    }
+  }
+  if (codes.empty()) out.Allocate(0);
+  return out;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,42 @@
+#ifndef PARPARAW_COLUMNAR_DICTIONARY_H_
+#define PARPARAW_COLUMNAR_DICTIONARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/column.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief Dictionary-encoded string column (Arrow dictionary type): the
+/// distinct values once, plus one int32 code per row (-1 encodes NULL).
+///
+/// Low-cardinality string columns (flags, categories, ids) shrink by
+/// orders of magnitude, and equality predicates reduce to integer
+/// comparisons — the standard columnar-DB post-ingest optimisation.
+struct DictionaryColumn {
+  /// Distinct values in order of first appearance.
+  Column dictionary{DataType::String()};
+  /// Per-row dictionary index; -1 for NULL.
+  std::vector<int32_t> codes;
+
+  int64_t num_rows() const { return static_cast<int64_t>(codes.size()); }
+  int64_t cardinality() const { return dictionary.length(); }
+
+  /// Expands back to a plain string column (inverse of DictionaryEncode).
+  Column Decode() const;
+
+  /// Total bytes of the encoded representation.
+  int64_t TotalBufferBytes() const {
+    return dictionary.TotalBufferBytes() +
+           static_cast<int64_t>(codes.size() * sizeof(int32_t));
+  }
+};
+
+/// Encodes a string column; fails with TypeError on other types.
+Result<DictionaryColumn> DictionaryEncode(const Column& column);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_COLUMNAR_DICTIONARY_H_

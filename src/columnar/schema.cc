@@ -1,0 +1,25 @@
+#include "columnar/schema.h"
+
+namespace parparaw {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += fields_[i].type.ToString();
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,51 @@
+#ifndef PARPARAW_COLUMNAR_SCHEMA_H_
+#define PARPARAW_COLUMNAR_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+
+namespace parparaw {
+
+/// \brief One column of a schema.
+struct Field {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+  /// Textual default used for empty fields when set (§4.3 "Default values
+  /// for empty strings"); when unset, empty fields become NULL (or the
+  /// empty string for string columns).
+  std::optional<std::string> default_value;
+
+  Field() = default;
+  Field(std::string name_in, DataType type_in, bool nullable_in = true)
+      : name(std::move(name_in)), type(type_in), nullable(nullable_in) {}
+};
+
+/// \brief An ordered collection of fields describing the parsed output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  Field* mutable_field(int i) { return &fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field field) { fields_.push_back(std::move(field)); }
+
+  /// Index of the field named `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_COLUMNAR_SCHEMA_H_

@@ -1,0 +1,199 @@
+#include "columnar/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/bit_util.h"
+
+namespace parparaw {
+
+namespace {
+
+// 64-bit mix (splitmix64 finaliser) for the distinct-count sketch.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashBytes(const void* data, size_t size) {
+  // FNV-1a, then mixed; adequate for a cardinality sketch.
+  uint64_t h = 1469598103934665603ull;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return Mix64(h);
+}
+
+// HyperLogLog with 2^8 registers.
+struct Hll {
+  static constexpr int kBits = 8;
+  static constexpr int kRegisters = 1 << kBits;
+  uint8_t registers[kRegisters] = {};
+
+  void Add(uint64_t hash) {
+    const uint32_t idx = static_cast<uint32_t>(hash >> (64 - kBits));
+    const uint64_t rest = hash << kBits;
+    const int rank =
+        rest == 0 ? (64 - kBits + 1)
+                  : (std::countl_zero(rest) + 1);
+    registers[idx] =
+        std::max(registers[idx], static_cast<uint8_t>(rank));
+  }
+
+  void Merge(const Hll& other) {
+    for (int i = 0; i < kRegisters; ++i) {
+      registers[i] = std::max(registers[i], other.registers[i]);
+    }
+  }
+
+  int64_t Estimate() const {
+    const double m = kRegisters;
+    double sum = 0;
+    int zeros = 0;
+    for (int i = 0; i < kRegisters; ++i) {
+      sum += std::ldexp(1.0, -registers[i]);
+      zeros += registers[i] == 0;
+    }
+    const double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double estimate = alpha * m * m / sum;
+    if (estimate <= 2.5 * m && zeros > 0) {
+      estimate = m * std::log(m / zeros);  // small-range correction
+    }
+    return static_cast<int64_t>(estimate + 0.5);
+  }
+};
+
+struct BlockState {
+  int64_t null_count = 0;
+  bool any = false;
+  double min = 0;
+  double max = 0;
+  std::string smin;
+  std::string smax;
+  int64_t string_bytes = 0;
+  Hll hll;
+};
+
+Result<double> SlotAsDouble(const Column& column, int64_t row) {
+  switch (column.type().id) {
+    case TypeId::kBool:
+      return static_cast<double>(column.Value<uint8_t>(row));
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return static_cast<double>(column.Value<int32_t>(row));
+    case TypeId::kInt64:
+    case TypeId::kDecimal64:
+    case TypeId::kTimestampMicros:
+      return static_cast<double>(column.Value<int64_t>(row));
+    case TypeId::kFloat64:
+      return column.Value<double>(row);
+    case TypeId::kString:
+      return Status::Internal("string slot in numeric path");
+  }
+  return Status::Internal("unknown type");
+}
+
+}  // namespace
+
+std::string ColumnStatistics::ToString() const {
+  char buf[160];
+  if (string_min.has_value()) {
+    std::snprintf(buf, sizeof(buf),
+                  "nulls=%lld distinct~%lld bytes=%lld min=\"%.16s\" "
+                  "max=\"%.16s\"",
+                  static_cast<long long>(null_count),
+                  static_cast<long long>(distinct_estimate),
+                  static_cast<long long>(string_bytes), string_min->c_str(),
+                  string_max->c_str());
+  } else if (numeric_min.has_value()) {
+    std::snprintf(buf, sizeof(buf), "nulls=%lld distinct~%lld min=%g max=%g",
+                  static_cast<long long>(null_count),
+                  static_cast<long long>(distinct_estimate), *numeric_min,
+                  *numeric_max);
+  } else {
+    std::snprintf(buf, sizeof(buf), "nulls=%lld (all NULL)",
+                  static_cast<long long>(null_count));
+  }
+  return buf;
+}
+
+Result<ColumnStatistics> ComputeColumnStatistics(const Column& column,
+                                                 ThreadPool* pool) {
+  const int64_t rows = column.length();
+  const bool is_string = column.type().id == TypeId::kString;
+  const int64_t kBlock = 8192;
+  const int64_t num_blocks = rows > 0 ? (rows + kBlock - 1) / kBlock : 0;
+  std::vector<BlockState> blocks(num_blocks);
+  Status worker_status = Status::OK();
+
+  ParallelForEach(pool, 0, num_blocks, [&](int64_t blk) {
+    BlockState& state = blocks[blk];
+    const int64_t b = blk * kBlock;
+    const int64_t e = std::min(b + kBlock, rows);
+    for (int64_t r = b; r < e; ++r) {
+      if (column.IsNull(r)) {
+        ++state.null_count;
+        continue;
+      }
+      if (is_string) {
+        const std::string_view v = column.StringValue(r);
+        state.string_bytes += static_cast<int64_t>(v.size());
+        if (!state.any || v < state.smin) state.smin = std::string(v);
+        if (!state.any || v > state.smax) state.smax = std::string(v);
+        state.hll.Add(HashBytes(v.data(), v.size()));
+        state.any = true;
+      } else {
+        auto value = SlotAsDouble(column, r);
+        if (!value.ok()) return;  // typed columns cannot fail here
+        const double v = *value;
+        state.min = state.any ? std::min(state.min, v) : v;
+        state.max = state.any ? std::max(state.max, v) : v;
+        state.hll.Add(HashBytes(&v, sizeof(v)));
+        state.any = true;
+      }
+    }
+  });
+  PARPARAW_RETURN_NOT_OK(worker_status);
+
+  ColumnStatistics out;
+  Hll merged;
+  bool any = false;
+  for (const BlockState& state : blocks) {
+    out.null_count += state.null_count;
+    out.string_bytes += state.string_bytes;
+    merged.Merge(state.hll);
+    if (!state.any) continue;
+    if (is_string) {
+      if (!any || state.smin < *out.string_min) out.string_min = state.smin;
+      if (!any || state.smax > *out.string_max) out.string_max = state.smax;
+    } else {
+      out.numeric_min =
+          any ? std::min(*out.numeric_min, state.min) : state.min;
+      out.numeric_max =
+          any ? std::max(*out.numeric_max, state.max) : state.max;
+    }
+    any = true;
+  }
+  out.distinct_estimate = any ? merged.Estimate() : 0;
+  return out;
+}
+
+Result<std::vector<ColumnStatistics>> ComputeTableStatistics(
+    const Table& table, ThreadPool* pool) {
+  std::vector<ColumnStatistics> out;
+  out.reserve(table.columns.size());
+  for (const Column& column : table.columns) {
+    PARPARAW_ASSIGN_OR_RETURN(ColumnStatistics stats,
+                              ComputeColumnStatistics(column, pool));
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace parparaw

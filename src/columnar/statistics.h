@@ -1,0 +1,44 @@
+#ifndef PARPARAW_COLUMNAR_STATISTICS_H_
+#define PARPARAW_COLUMNAR_STATISTICS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "parallel/thread_pool.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief Summary statistics of one column, computed with a parallel
+/// per-block pass plus a reduction — the post-ingest statistics a query
+/// engine builds right after in-situ parsing.
+struct ColumnStatistics {
+  int64_t null_count = 0;
+  /// Numeric min/max as double; string min/max as text. Unset for an
+  /// all-NULL column.
+  std::optional<double> numeric_min;
+  std::optional<double> numeric_max;
+  std::optional<std::string> string_min;
+  std::optional<std::string> string_max;
+  /// Total string bytes (string columns).
+  int64_t string_bytes = 0;
+  /// Estimated distinct count (HyperLogLog-style probabilistic counter
+  /// with 256 registers; within ~10 % for large cardinalities).
+  int64_t distinct_estimate = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes statistics for one column.
+Result<ColumnStatistics> ComputeColumnStatistics(const Column& column,
+                                                 ThreadPool* pool = nullptr);
+
+/// Computes statistics for every column of a table.
+Result<std::vector<ColumnStatistics>> ComputeTableStatistics(
+    const Table& table, ThreadPool* pool = nullptr);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_COLUMNAR_STATISTICS_H_

@@ -1,0 +1,54 @@
+#include "columnar/table.h"
+
+namespace parparaw {
+
+bool Table::Equals(const Table& other) const {
+  if (num_rows != other.num_rows) return false;
+  if (columns.size() != other.columns.size()) return false;
+  if (schema.num_fields() != other.schema.num_fields()) return false;
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (schema.field(i).name != other.schema.field(i).name) return false;
+    if (!(schema.field(i).type == other.schema.field(i).type)) return false;
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!columns[i].Equals(other.columns[i])) return false;
+  }
+  return true;
+}
+
+int64_t Table::TotalBufferBytes() const {
+  int64_t total = 0;
+  for (const Column& c : columns) total += c.TotalBufferBytes();
+  total += static_cast<int64_t>(rejected.size());
+  return total;
+}
+
+Table ConcatTables(const std::vector<Table>& tables) {
+  Table out;
+  bool first = true;
+  for (const Table& t : tables) {
+    if (first) {
+      out = t;
+      first = false;
+      continue;
+    }
+    out.num_rows += t.num_rows;
+    out.rejected.insert(out.rejected.end(), t.rejected.begin(),
+                        t.rejected.end());
+    for (size_t c = 0; c < out.columns.size(); ++c) {
+      out.columns[c].Concat(t.columns[c]);
+    }
+  }
+  return out;
+}
+
+std::string Table::RowToString(int64_t i) const {
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ",";
+    out += columns[c].ValueToString(i);
+  }
+  return out;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,87 @@
+#include "convert/inference.h"
+
+#include "convert/numeric.h"
+#include "convert/temporal.h"
+#include "util/string_util.h"
+
+namespace parparaw {
+
+InferredKind ClassifyField(std::string_view value) {
+  value = TrimWhitespace(value);
+  if (value.empty()) return InferredKind::kEmpty;
+  // Cheap dispatch on the first character before running full parsers.
+  const char c = value[0];
+  if (c == '-' || c == '+' || (c >= '0' && c <= '9')) {
+    int64_t i64;
+    if (ParseInt64(value, &i64)) return InferredKind::kInt64;
+    double f64;
+    if (ParseFloat64(value, &f64)) return InferredKind::kFloat64;
+    int32_t date;
+    if (ParseDate32(value, &date)) return InferredKind::kDate;
+    int64_t ts;
+    if (ParseTimestampMicros(value, &ts)) return InferredKind::kTimestamp;
+    return InferredKind::kString;
+  }
+  bool b;
+  if (ParseBool(value, &b)) return InferredKind::kBool;
+  return InferredKind::kString;
+}
+
+InferredKind Join(InferredKind a, InferredKind b) {
+  if (a == b) return a;
+  if (a == InferredKind::kEmpty) return b;
+  if (b == InferredKind::kEmpty) return a;
+  // Numeric chain: int64 ⊑ float64.
+  const auto numeric = [](InferredKind k) {
+    return k == InferredKind::kInt64 || k == InferredKind::kFloat64;
+  };
+  if (numeric(a) && numeric(b)) return InferredKind::kFloat64;
+  // Temporal chain: date ⊑ timestamp.
+  const auto temporal = [](InferredKind k) {
+    return k == InferredKind::kDate || k == InferredKind::kTimestamp;
+  };
+  if (temporal(a) && temporal(b)) return InferredKind::kTimestamp;
+  // Everything else joins to string.
+  return InferredKind::kString;
+}
+
+DataType KindToDataType(InferredKind kind) {
+  switch (kind) {
+    case InferredKind::kBool:
+      return DataType::Bool();
+    case InferredKind::kInt64:
+      return DataType::Int64();
+    case InferredKind::kFloat64:
+      return DataType::Float64();
+    case InferredKind::kDate:
+      return DataType::Date32();
+    case InferredKind::kTimestamp:
+      return DataType::TimestampMicros();
+    case InferredKind::kEmpty:
+    case InferredKind::kString:
+      return DataType::String();
+  }
+  return DataType::String();
+}
+
+const char* InferredKindToString(InferredKind kind) {
+  switch (kind) {
+    case InferredKind::kEmpty:
+      return "empty";
+    case InferredKind::kBool:
+      return "bool";
+    case InferredKind::kInt64:
+      return "int64";
+    case InferredKind::kFloat64:
+      return "float64";
+    case InferredKind::kDate:
+      return "date";
+    case InferredKind::kTimestamp:
+      return "timestamp";
+    case InferredKind::kString:
+      return "string";
+  }
+  return "?";
+}
+
+}  // namespace parparaw

@@ -1,0 +1,41 @@
+#ifndef PARPARAW_CONVERT_INFERENCE_H_
+#define PARPARAW_CONVERT_INFERENCE_H_
+
+#include <string_view>
+
+#include "columnar/types.h"
+
+namespace parparaw {
+
+/// \brief Lattice element for type inference (§4.3 "Type inference").
+///
+/// Each field value is classified independently (data-parallel), then a
+/// reduction with Join() over a column's classifications yields the minimal
+/// type able to back the whole column — exactly the paper's "minimum
+/// numerical type per field, then a parallel reduction".
+enum class InferredKind : uint8_t {
+  kEmpty = 0,  ///< Empty field; joins as the identity.
+  kBool,
+  kInt64,
+  kFloat64,
+  kDate,
+  kTimestamp,
+  kString,  ///< Top of the lattice.
+};
+
+/// Classifies a single field value.
+InferredKind ClassifyField(std::string_view value);
+
+/// The lattice join: the least kind able to represent both inputs.
+/// Associative and commutative with kEmpty as identity, so it is a valid
+/// parallel-reduction operator.
+InferredKind Join(InferredKind a, InferredKind b);
+
+/// Maps an inferred kind to the output column type (kEmpty -> string).
+DataType KindToDataType(InferredKind kind);
+
+const char* InferredKindToString(InferredKind kind);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CONVERT_INFERENCE_H_

@@ -1,0 +1,40 @@
+#ifndef PARPARAW_CONVERT_TEMPORAL_H_
+#define PARPARAW_CONVERT_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parparaw {
+
+/// Temporal converters for the Arrow date32 / timestamp[us] types.
+
+/// Parses "YYYY-MM-DD" into days since the UNIX epoch (proleptic
+/// Gregorian). Validates month/day ranges including leap years.
+bool ParseDate32(std::string_view s, int32_t* out);
+
+/// Parses "YYYY-MM-DD HH:MM:SS[.ffffff]" (or with a 'T' separator) into
+/// microseconds since the UNIX epoch, UTC.
+bool ParseTimestampMicros(std::string_view s, int64_t* out);
+
+/// Days since epoch for a validated (year, month, day); the Howard Hinnant
+/// days_from_civil algorithm.
+int64_t DaysFromCivil(int64_t year, unsigned month, unsigned day);
+
+/// True if `year` is a leap year (proleptic Gregorian).
+bool IsLeapYear(int64_t year);
+
+/// Inverse of DaysFromCivil (Howard Hinnant's civil_from_days).
+void CivilFromDays(int64_t days, int64_t* year, unsigned* month,
+                   unsigned* day);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate32(int32_t days);
+
+/// Formats microseconds-since-epoch as "YYYY-MM-DD HH:MM:SS[.ffffff]"
+/// (fraction omitted when zero).
+std::string FormatTimestampMicros(int64_t micros);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CONVERT_TEMPORAL_H_

@@ -1,0 +1,87 @@
+#include "core/bitmap_step.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "text/unicode.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+namespace {
+
+inline size_t AdjustBegin(const PipelineState& state, size_t pos) {
+  pos = std::min(pos, state.size);
+  if (state.options->encoding == TextEncoding::kUtf8) {
+    return AdjustChunkBeginUtf8(state.data, state.size, pos);
+  }
+  return pos;
+}
+
+}  // namespace
+
+Status BitmapStep::Run(PipelineState* state, StepTimings* timings) {
+  Stopwatch watch;
+  const Dfa& dfa = state->options->format.dfa;
+  const size_t chunk_size = state->options->chunk_size;
+  const int64_t num_chunks = state->num_chunks;
+  const int invalid = dfa.invalid_state();
+
+  state->symbol_flags.assign(state->size, 0);
+  state->record_counts.assign(num_chunks, 0);
+  state->column_offsets.assign(num_chunks, ColumnOffset{});
+  std::atomic<int64_t> first_invalid{-1};
+
+  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    const size_t begin = AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+    const size_t end =
+        AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+    int current = state->entry_states[c];
+    uint32_t records = 0;
+    uint32_t fields_since_record = 0;
+    bool saw_record_delim = false;
+    for (size_t i = begin; i < end; ++i) {
+      const int group = dfa.SymbolGroup(state->data[i]);
+      const uint8_t flags = dfa.Flags(current, group);
+      const int next = dfa.NextState(current, group);
+      state->symbol_flags[i] = flags;
+      if (flags & kSymbolRecordDelimiter) {
+        ++records;
+        fields_since_record = 0;
+        saw_record_delim = true;
+      } else if (flags & kSymbolFieldDelimiter) {
+        ++fields_since_record;
+      }
+      if (invalid >= 0 && next == invalid && current != invalid) {
+        // Record the earliest invalid transition across all chunks.
+        int64_t expected = first_invalid.load(std::memory_order_relaxed);
+        const int64_t offset = static_cast<int64_t>(i);
+        while ((expected == -1 || offset < expected) &&
+               !first_invalid.compare_exchange_weak(
+                   expected, offset, std::memory_order_relaxed)) {
+        }
+      }
+      current = next;
+    }
+    state->record_counts[c] = records;
+    state->column_offsets[c] = ColumnOffset{fields_since_record,
+                                            saw_record_delim};
+  });
+
+  state->first_invalid_offset = first_invalid.load();
+  timings->tag_ms += watch.ElapsedMillis();
+
+  if (state->options->validate && state->first_invalid_offset >= 0) {
+    return Status::ParseError(
+        "invalid symbol at byte offset " +
+        std::to_string(state->first_invalid_offset));
+  }
+  if (state->options->validate &&
+      !dfa.IsAccepting(state->final_state)) {
+    return Status::ParseError("input ends in non-accepting state '" +
+                              dfa.state_name(state->final_state) + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace parparaw

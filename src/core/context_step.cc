@@ -1,0 +1,72 @@
+#include "core/context_step.h"
+
+#include <algorithm>
+
+#include "parallel/scan.h"
+#include "text/unicode.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+namespace {
+
+// First symbol boundary at or after `pos` for the configured encoding.
+inline size_t AdjustBegin(const PipelineState& state, size_t pos) {
+  pos = std::min(pos, state.size);
+  if (state.options->encoding == TextEncoding::kUtf8) {
+    return AdjustChunkBeginUtf8(state.data, state.size, pos);
+  }
+  return pos;
+}
+
+}  // namespace
+
+Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
+  const Dfa& dfa = state->options->format.dfa;
+  const size_t chunk_size = state->options->chunk_size;
+  const int64_t num_chunks = state->num_chunks;
+
+  // Parse: one state-transition vector per chunk (Fig. 3).
+  Stopwatch parse_watch;
+  state->transition_vectors.assign(num_chunks,
+                                   StateVector::Identity(dfa.num_states()));
+  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    const size_t begin = AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+    const size_t end =
+        AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+    state->transition_vectors[c] =
+        dfa.TransitionVector(state->data + begin, end - begin);
+  });
+  timings->parse_ms += parse_watch.ElapsedMillis();
+
+  // Scan: exclusive prefix scan with the composite operator, seeded with
+  // the identity vector. Entry i of chunk c's scanned vector is the state
+  // the DFA is in at c's start, had the sequential DFA started in state i.
+  Stopwatch scan_watch;
+  std::vector<StateVector> scanned(num_chunks,
+                                   StateVector::Identity(dfa.num_states()));
+  ExclusiveScan(
+      state->pool, state->transition_vectors.data(), scanned.data(),
+      num_chunks,
+      [](const StateVector& a, const StateVector& b) { return Compose(a, b); },
+      StateVector::Identity(dfa.num_states()));
+
+  state->entry_states.resize(num_chunks);
+  const int start = dfa.start_state();
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    state->entry_states[c] = scanned[c].Get(start);
+  }
+  if (num_chunks > 0) {
+    const StateVector last =
+        Compose(scanned[num_chunks - 1], state->transition_vectors[num_chunks - 1]);
+    state->final_state = last.Get(start);
+  } else {
+    state->final_state = static_cast<uint8_t>(start);
+  }
+  state->has_trailing_record =
+      state->options->format.IsMidRecordState(state->final_state);
+  timings->scan_ms += scan_watch.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace parparaw

@@ -1,0 +1,27 @@
+#ifndef PARPARAW_CORE_CONVERT_STEP_H_
+#define PARPARAW_CORE_CONVERT_STEP_H_
+
+#include "core/pipeline_state.h"
+#include "util/status.h"
+
+namespace parparaw {
+
+/// \brief Step 7 (§3.3/§4.3): generate typed columnar field values.
+///
+/// Per column: build the CSS index, optionally infer the column type
+/// (parallel classify + lattice-join reduction), pre-initialise rows with
+/// the default value / NULL (§4.3), then convert fields in parallel.
+/// Conversion failures yield NULL and set the record's reject flag
+/// (Fig. 5). String materialisation uses the three collaboration levels of
+/// §3.3: short fields are copied thread-exclusively, medium ones with a
+/// segmented block-level loop, and fields above the device threshold are
+/// deferred and copied with a device-wide parallel loop.
+class ConvertStep {
+ public:
+  static Status Run(PipelineState* state, StepTimings* timings,
+                    WorkCounters* work, ParseOutput* output);
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CORE_CONVERT_STEP_H_

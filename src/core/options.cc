@@ -1,0 +1,39 @@
+#include "core/options.h"
+
+#include <cstdio>
+
+namespace parparaw {
+
+StepTimings& StepTimings::operator+=(const StepTimings& other) {
+  parse_ms += other.parse_ms;
+  scan_ms += other.scan_ms;
+  tag_ms += other.tag_ms;
+  partition_ms += other.partition_ms;
+  convert_ms += other.convert_ms;
+  return *this;
+}
+
+std::string StepTimings::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "parse=%.2fms scan=%.2fms tag=%.2fms partition=%.2fms "
+                "convert=%.2fms total=%.2fms",
+                parse_ms, scan_ms, tag_ms, partition_ms, convert_ms,
+                TotalMs());
+  return buf;
+}
+
+WorkCounters& WorkCounters::operator+=(const WorkCounters& other) {
+  input_bytes += other.input_bytes;
+  parse_bytes_read += other.parse_bytes_read;
+  dfa_transitions += other.dfa_transitions;
+  tag_bytes_written += other.tag_bytes_written;
+  sort_passes += other.sort_passes;
+  sort_bytes_moved += other.sort_bytes_moved;
+  scan_elements += other.scan_elements;
+  convert_bytes += other.convert_bytes;
+  output_bytes += other.output_bytes;
+  return *this;
+}
+
+}  // namespace parparaw

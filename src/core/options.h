@@ -1,0 +1,160 @@
+#ifndef PARPARAW_CORE_OPTIONS_H_
+#define PARPARAW_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/schema.h"
+#include "columnar/table.h"
+#include "dfa/formats.h"
+#include "parallel/thread_pool.h"
+#include "text/unicode.h"
+
+namespace parparaw {
+
+/// How per-symbol field boundaries are materialised in the concatenated
+/// symbol strings (§4.1, Fig. 6).
+enum class TaggingMode : uint8_t {
+  /// Robust default: every kept symbol carries a 4-byte record tag; handles
+  /// records with a varying number of field delimiters.
+  kRecordTags,
+  /// Delimiters are replaced by a unique terminator byte inside the CSS;
+  /// smallest memory footprint, requires the terminator to never occur in
+  /// field data and a consistent number of columns per record (or the
+  /// reject policy).
+  kInlineTerminated,
+  /// Field ends are marked in an auxiliary boolean vector; supports data
+  /// containing the terminator byte, same consistency requirement.
+  kVectorDelimited,
+};
+
+/// How records with an inconsistent number of columns are handled (§4.1,
+/// §4.3 "Inferring or validating number of columns").
+enum class ColumnCountPolicy : uint8_t {
+  /// Keep everything: short records yield NULLs, excess fields are ignored.
+  kRobust,
+  /// Drop records whose column count differs from the expected count
+  /// (schema size, or the inferred maximum when no schema is given).
+  kReject,
+  /// Fail parsing with a ParseError on the first inconsistent record.
+  kValidate,
+};
+
+/// Wall-clock breakdown of the pipeline steps, the buckets of Fig. 9/11:
+/// parse (multi-DFA simulation), scan (context + offset prefix scans), tag
+/// (bitmaps + symbol tagging/compaction), partition (radix sort by column),
+/// convert (CSS indexing + type conversion).
+struct StepTimings {
+  double parse_ms = 0;
+  double scan_ms = 0;
+  double tag_ms = 0;
+  double partition_ms = 0;
+  double convert_ms = 0;
+
+  double TotalMs() const {
+    return parse_ms + scan_ms + tag_ms + partition_ms + convert_ms;
+  }
+  StepTimings& operator+=(const StepTimings& other);
+  std::string ToString() const;
+};
+
+/// Abstract work counters accumulated by the pipeline, consumed by the
+/// analytical device model (see sim/device_model.h): bytes moved through
+/// memory per step and the number of scan/sort passes executed.
+struct WorkCounters {
+  int64_t input_bytes = 0;
+  int64_t parse_bytes_read = 0;
+  /// Multi-DFA transitions executed (input bytes x DFA states): the
+  /// "constant factor" of extra work §3.1 trades for scalability.
+  int64_t dfa_transitions = 0;
+  int64_t tag_bytes_written = 0;
+  int64_t sort_passes = 0;
+  int64_t sort_bytes_moved = 0;
+  int64_t scan_elements = 0;
+  int64_t convert_bytes = 0;
+  int64_t output_bytes = 0;
+
+  WorkCounters& operator+=(const WorkCounters& other);
+};
+
+/// \brief Everything configurable about a parse (§3, §4.1, §4.3).
+struct ParseOptions {
+  /// Parsing rules; defaults to RFC 4180 CSV when left empty (no states).
+  Format format;
+
+  /// Output schema. Empty schema: the number of columns is inferred and
+  /// every column is parsed as a string (or inferred, see infer_types).
+  Schema schema;
+
+  /// Bytes per chunk / per logical GPU thread. The paper's evaluation
+  /// settles on 31 bytes (Fig. 9).
+  size_t chunk_size = 31;
+
+  TaggingMode tagging_mode = TaggingMode::kRecordTags;
+
+  /// Terminator byte for TaggingMode::kInlineTerminated; the ASCII unit
+  /// separator by default (§4.1).
+  uint8_t terminator = 0x1F;
+
+  ColumnCountPolicy column_count_policy = ColumnCountPolicy::kRobust;
+
+  /// When true, invalid DFA transitions or a non-accepting end state fail
+  /// the parse with ParseError (§4.3 "Validating format").
+  bool validate = false;
+
+  /// When true and the schema is empty, column types are inferred (§4.3);
+  /// otherwise inferred columns are strings.
+  bool infer_types = false;
+
+  /// Leading physical rows to prune before parsing (headers, preambles).
+  /// Rows are raw lines, not records (§4.3 "Skipping rows").
+  int64_t skip_rows = 0;
+
+  /// Record indices (post row-skip) to ignore (§4.3 "Skipping records").
+  std::vector<int64_t> skip_records;
+
+  /// Column indices to ignore; their symbols are dropped after tagging and
+  /// they do not appear in the output table (§4.3 "Selecting columns").
+  std::vector<int> skip_columns;
+
+  /// Input encoding; kUtf16Le inputs are transcoded by a data-parallel
+  /// pre-pass (§4.2).
+  TextEncoding encoding = TextEncoding::kUtf8;
+
+  /// Field length thresholds selecting the collaboration level for value
+  /// generation (§3.3): fields longer than block_collaboration_threshold
+  /// use the block-level path; longer than device_collaboration_threshold
+  /// the device-level path.
+  size_t block_collaboration_threshold = 256;
+  size_t device_collaboration_threshold = 64 * 1024;
+
+  /// Worker pool; nullptr uses ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+
+  /// Streaming support (§4.4): when true, an unterminated trailing record
+  /// is not emitted; instead ParseOutput::remainder_offset reports where it
+  /// starts so the caller can prepend it to the next partition as the
+  /// carry-over.
+  bool exclude_trailing_record = false;
+};
+
+/// \brief Result of a parse: the columnar table plus instrumentation.
+struct ParseOutput {
+  Table table;
+  StepTimings timings;
+  WorkCounters work;
+  /// Observed min/max columns per record (before policy application).
+  uint32_t min_columns = 0;
+  uint32_t max_columns = 0;
+  /// Records dropped by kReject / skip_records.
+  int64_t records_dropped = 0;
+  /// With exclude_trailing_record: byte offset where the unterminated
+  /// trailing record starts (== input size when the input ends exactly on
+  /// a record boundary); -1 otherwise.
+  int64_t remainder_offset = -1;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CORE_OPTIONS_H_

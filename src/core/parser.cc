@@ -1,0 +1,132 @@
+#include "core/parser.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/bitmap_step.h"
+#include "core/context_step.h"
+#include "core/convert_step.h"
+#include "core/offset_step.h"
+#include "core/partition_step.h"
+#include "core/tag_step.h"
+#include "text/unicode.h"
+#include "util/bit_util.h"
+
+namespace parparaw {
+
+namespace {
+
+// Skips the first `skip_rows` physical lines (§4.3 "Skipping rows": rows
+// are raw lines, pruned by an initial pass before any context is built, so
+// they cannot interfere with the record/column assignment).
+std::string_view SkipLeadingRows(std::string_view input, int64_t skip_rows,
+                                 uint8_t row_delimiter) {
+  while (skip_rows > 0 && !input.empty()) {
+    const size_t pos = input.find(static_cast<char>(row_delimiter));
+    if (pos == std::string_view::npos) return std::string_view();
+    input.remove_prefix(pos + 1);
+    --skip_rows;
+  }
+  return input;
+}
+
+// An empty parse result carrying the schema's columns with zero rows.
+ParseOutput EmptyOutput(const ParseOptions& options) {
+  ParseOutput output;
+  for (int j = 0; j < options.schema.num_fields(); ++j) {
+    bool is_skipped = false;
+    for (int s : options.skip_columns) is_skipped |= (s == j);
+    if (is_skipped) continue;
+    output.table.schema.AddField(options.schema.field(j));
+    Column column(options.schema.field(j).type);
+    column.Allocate(0);
+    output.table.columns.push_back(std::move(column));
+  }
+  return output;
+}
+
+}  // namespace
+
+Result<ParseOutput> Parser::Parse(std::string_view input,
+                                  const ParseOptions& options) {
+  // Resolve defaults that the options struct cannot carry statically.
+  ParseOptions resolved = options;
+  if (resolved.format.dfa.num_states() == 0) {
+    PARPARAW_ASSIGN_OR_RETURN(resolved.format, Rfc4180Format());
+  }
+  if (resolved.pool == nullptr) resolved.pool = ThreadPool::Default();
+  if (resolved.chunk_size == 0) resolved.chunk_size = 31;
+
+  // UTF-16 input: data-parallel transcode pre-pass (§4.2), then parse the
+  // UTF-8 bytes.
+  std::string transcoded;
+  if (resolved.encoding == TextEncoding::kUtf16Le) {
+    PARPARAW_ASSIGN_OR_RETURN(
+        transcoded,
+        TranscodeUtf16LeToUtf8(resolved.pool, input));
+    input = transcoded;
+    resolved.encoding = TextEncoding::kUtf8;
+  }
+
+  if (resolved.skip_rows > 0) {
+    input = SkipLeadingRows(input, resolved.skip_rows,
+                            resolved.format.record_delimiter);
+  }
+  if (input.empty()) return EmptyOutput(resolved);
+
+  PipelineState state;
+  state.data = reinterpret_cast<const uint8_t*>(input.data());
+  state.size = input.size();
+  state.options = &resolved;
+  state.pool = resolved.pool;
+  state.num_chunks = static_cast<int64_t>(
+      bit_util::CeilDiv(input.size(), resolved.chunk_size));
+
+  ParseOutput output;
+  output.work.input_bytes = static_cast<int64_t>(input.size());
+  output.work.parse_bytes_read = static_cast<int64_t>(input.size());
+  output.work.dfa_transitions = static_cast<int64_t>(input.size()) *
+                                resolved.format.dfa.num_states();
+  output.work.scan_elements = state.num_chunks * 3;  // context + two offsets
+
+  PARPARAW_RETURN_NOT_OK(ContextStep::Run(&state, &output.timings));
+  PARPARAW_RETURN_NOT_OK(BitmapStep::Run(&state, &output.timings));
+
+  if (resolved.exclude_trailing_record) {
+    // Locate where the (possibly excluded) trailing record starts: one past
+    // the last true record delimiter.
+    if (!state.has_trailing_record) {
+      output.remainder_offset = static_cast<int64_t>(state.size);
+    } else {
+      output.remainder_offset = 0;
+      for (int64_t c = state.num_chunks - 1; c >= 0; --c) {
+        if (state.record_counts[c] == 0) continue;
+        const size_t begin = static_cast<size_t>(c) * resolved.chunk_size;
+        // UTF-8 chunk-boundary adjustment can shift a chunk's effective
+        // range by up to three bytes; include them in the backward scan.
+        const size_t end =
+            std::min(begin + resolved.chunk_size + 3, state.size);
+        for (size_t i = end; i > begin; --i) {
+          if (state.symbol_flags[i - 1] & kSymbolRecordDelimiter) {
+            output.remainder_offset = static_cast<int64_t>(i);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  PARPARAW_RETURN_NOT_OK(OffsetStep::Run(&state, &output.timings));
+  PARPARAW_RETURN_NOT_OK(TagStep::Run(&state, &output.timings));
+  output.work.tag_bytes_written =
+      static_cast<int64_t>(state.css.size()) *
+      (resolved.tagging_mode == TaggingMode::kRecordTags ? 9 : 5);
+  PARPARAW_RETURN_NOT_OK(
+      PartitionStep::Run(&state, &output.timings, &output.work));
+  PARPARAW_RETURN_NOT_OK(
+      ConvertStep::Run(&state, &output.timings, &output.work, &output));
+  return output;
+}
+
+}  // namespace parparaw

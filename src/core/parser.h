@@ -1,0 +1,39 @@
+#ifndef PARPARAW_CORE_PARSER_H_
+#define PARPARAW_CORE_PARSER_H_
+
+#include <string_view>
+
+#include "core/options.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief ParPaRaw's public entry point: massively parallel parsing of
+/// delimiter-separated raw data (§3).
+///
+/// The parse runs as a fixed sequence of data-parallel steps over
+/// equal-sized chunks of the input — context resolution via multi-DFA
+/// simulation and a composite-operator prefix scan, bitmap-index
+/// construction, record/column offset scans, symbol tagging and
+/// compaction, a stable radix-sort partition into per-column concatenated
+/// symbol strings, CSS indexing, and typed value generation — with no
+/// sequential pass over the input at any point.
+///
+/// Example:
+///   ParseOptions options;
+///   options.schema.AddField(Field("id", DataType::Int64()));
+///   options.schema.AddField(Field("name", DataType::String()));
+///   PARPARAW_ASSIGN_OR_RETURN(ParseOutput out,
+///                             Parser::Parse("1,Apples\n2,Pears\n", options));
+///   // out.table.columns[0].Value<int64_t>(1) == 2
+class Parser {
+ public:
+  /// Parses `input` according to `options`. The input must stay alive for
+  /// the duration of the call; the returned table owns its buffers.
+  static Result<ParseOutput> Parse(std::string_view input,
+                                   const ParseOptions& options);
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CORE_PARSER_H_

@@ -1,0 +1,65 @@
+#include "core/partition_step.h"
+
+#include "parallel/radix_sort.h"
+#include "util/bit_util.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+Status PartitionStep::Run(PipelineState* state, StepTimings* timings,
+                          WorkCounters* work) {
+  Stopwatch watch;
+  const int64_t n = static_cast<int64_t>(state->css.size());
+  if (n == 0 || state->num_partitions == 0) {
+    state->column_histogram.assign(state->num_partitions, 0);
+    state->column_css_offsets.assign(state->num_partitions + 1, 0);
+    timings->partition_ms += watch.ElapsedMillis();
+    return Status::OK();
+  }
+
+  RadixSortOptions sort_options;
+  StableRadixSortWithHistogram(state->pool, &state->col_tags,
+                               &state->permutation, state->num_partitions,
+                               &state->column_histogram, sort_options);
+
+  // Move the symbols and their side arrays along with the sort key (§3.3:
+  // "the symbols and the record-tags are moved along with the associated
+  // sort-key").
+  std::vector<uint8_t> sorted_css;
+  ApplyPermutation(state->pool, state->permutation, state->css, &sorted_css);
+  state->css = std::move(sorted_css);
+  int64_t bytes_moved = n * (1 + 4);  // symbol + key per pass output
+  if (!state->rec_tags.empty()) {
+    std::vector<uint32_t> sorted_tags;
+    ApplyPermutation(state->pool, state->permutation, state->rec_tags,
+                     &sorted_tags);
+    state->rec_tags = std::move(sorted_tags);
+    bytes_moved += n * 4;
+  }
+  if (!state->field_end.empty()) {
+    std::vector<uint8_t> sorted_end;
+    ApplyPermutation(state->pool, state->permutation, state->field_end,
+                     &sorted_end);
+    state->field_end = std::move(sorted_end);
+    bytes_moved += n;
+  }
+
+  // The histogram's exclusive prefix sum locates every column's CSS.
+  state->column_css_offsets.assign(state->num_partitions + 1, 0);
+  for (uint32_t p = 0; p < state->num_partitions; ++p) {
+    state->column_css_offsets[p + 1] =
+        state->column_css_offsets[p] +
+        static_cast<int64_t>(state->column_histogram[p]);
+  }
+
+  const int sort_passes =
+      state->num_partitions > 1
+          ? (bit_util::Log2Floor(state->num_partitions - 1) + 8) / 8
+          : 1;
+  work->sort_passes += sort_passes;
+  work->sort_bytes_moved += bytes_moved * sort_passes;
+  timings->partition_ms += watch.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace parparaw

@@ -1,0 +1,26 @@
+#ifndef PARPARAW_CORE_PARTITION_STEP_H_
+#define PARPARAW_CORE_PARTITION_STEP_H_
+
+#include "core/pipeline_state.h"
+#include "util/status.h"
+
+namespace parparaw {
+
+/// \brief Step 5 (§3.3): partition symbols by column.
+///
+/// A stable LSD radix sort over the column tags moves every kept symbol —
+/// together with its record tag / field-end marker — into its column's
+/// concatenated symbol string (CSS). The sort's histogram doubles as the
+/// per-column CSS offsets. Fills: permutation, column_histogram,
+/// column_css_offsets, and reorders css / rec_tags / field_end in place.
+class PartitionStep {
+ public:
+  /// Runs the step; accounted to timings->partition_ms. Work counters
+  /// record the number of partitioning passes and bytes moved.
+  static Status Run(PipelineState* state, StepTimings* timings,
+                    WorkCounters* work);
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CORE_PARTITION_STEP_H_

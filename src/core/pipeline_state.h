@@ -1,0 +1,112 @@
+#ifndef PARPARAW_CORE_PIPELINE_STATE_H_
+#define PARPARAW_CORE_PIPELINE_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "dfa/state_vector.h"
+
+namespace parparaw {
+
+/// Per-chunk column-offset contribution (§3.2, Fig. 4). `absolute` is true
+/// when the chunk contains at least one record delimiter, in which case
+/// `value` counts the field delimiters after the last record delimiter;
+/// otherwise `value` is the chunk's total field-delimiter count, relative
+/// to the preceding chunk's offset.
+struct ColumnOffset {
+  uint32_t value = 0;
+  bool absolute = false;
+};
+
+/// The paper's associative column-offset operator ⊕:
+///   a ⊕ b = b                     if b is absolute
+///   a ⊕ b = {a.value + b.value, a.absolute}   if b is relative
+/// Identity: {0, relative}.
+inline ColumnOffset CombineColumnOffsets(const ColumnOffset& a,
+                                         const ColumnOffset& b) {
+  if (b.absolute) return b;
+  return ColumnOffset{a.value + b.value, a.absolute};
+}
+
+/// Per-input-byte symbol classification produced by the bitmap step — the
+/// paper's three bitmap indexes (§3.1), stored byte-per-symbol so parallel
+/// chunk writers never share a word. Bit values match SymbolFlags.
+using SymbolFlagsArray = std::vector<uint8_t>;
+
+/// \brief All intermediate state threaded through the pipeline steps.
+///
+/// Each step consumes fields produced by earlier steps and fills its own;
+/// the facade (core/parser.h) owns one instance per parse. The struct is
+/// exposed so tests and benchmarks can run and inspect steps in isolation.
+struct PipelineState {
+  // --- immutable inputs ---
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  const ParseOptions* options = nullptr;
+  ThreadPool* pool = nullptr;
+  int64_t num_chunks = 0;
+
+  // --- context step (§3.1) ---
+  /// Per-chunk state-transition vectors (the "parse" bucket of Fig. 9).
+  std::vector<StateVector> transition_vectors;
+  /// Per-chunk DFA entry state after the composite-operator scan.
+  std::vector<uint8_t> entry_states;
+  /// DFA state after the whole input.
+  uint8_t final_state = 0;
+  /// True when the input ends inside an unterminated record.
+  bool has_trailing_record = false;
+
+  // --- bitmap step (§3.1/§3.2) ---
+  SymbolFlagsArray symbol_flags;
+  /// Per-chunk number of record delimiters.
+  std::vector<uint32_t> record_counts;
+  /// Per-chunk column-offset contribution.
+  std::vector<ColumnOffset> column_offsets;
+  /// Global byte offset of the first invalid transition, or -1.
+  int64_t first_invalid_offset = -1;
+
+  // --- offset step (§3.2) ---
+  /// Record index at each chunk's start (exclusive prefix sum).
+  std::vector<int64_t> record_offsets;
+  /// Column index at each chunk's start (exclusive ⊕-scan).
+  std::vector<uint32_t> entry_columns;
+  /// Total records, including a trailing unterminated one.
+  int64_t num_records = 0;
+
+  // --- count pass (tag step, §4.3) ---
+  /// Per-record column count (field delimiters + 1).
+  std::vector<uint32_t> record_column_counts;
+  /// Per-record drop flag (reject policy or skip_records).
+  std::vector<uint8_t> record_dropped;
+  /// Output row of each kept record (exclusive prefix sum of keeps).
+  std::vector<int64_t> out_row_of_record;
+  int64_t num_out_rows = 0;
+  uint32_t min_columns = 0;
+  uint32_t max_columns = 0;
+  /// Partitions for the radix sort: max observed column index + 1.
+  uint32_t num_partitions = 0;
+
+  // --- tag step outputs (§3.2/§4.1) ---
+  /// Concatenated kept symbols (field data; plus one terminator slot per
+  /// field in the inline/vector modes).
+  std::vector<uint8_t> css;
+  /// Column tag per kept symbol.
+  std::vector<uint32_t> col_tags;
+  /// Record tag (output row) per kept symbol; filled in kRecordTags mode.
+  std::vector<uint32_t> rec_tags;
+  /// Field-end marker per kept symbol; filled in kVectorDelimited mode.
+  std::vector<uint8_t> field_end;
+
+  // --- partition step (§3.3) ---
+  /// Stable order after sorting by column tag.
+  std::vector<uint32_t> permutation;
+  /// Symbols per column (the sort's histogram, reused for CSS offsets).
+  std::vector<uint64_t> column_histogram;
+  /// Exclusive prefix sum of the histogram: each column's CSS offset.
+  std::vector<int64_t> column_css_offsets;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CORE_PIPELINE_STATE_H_

@@ -1,0 +1,270 @@
+#include "core/tag_step.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/scan.h"
+#include "text/unicode.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+namespace {
+
+inline size_t AdjustBegin(const PipelineState& state, size_t pos) {
+  pos = std::min(pos, state.size);
+  if (state.options->encoding == TextEncoding::kUtf8) {
+    return AdjustChunkBeginUtf8(state.data, state.size, pos);
+  }
+  return pos;
+}
+
+// Dense lookup for skipped columns (columns above the largest skipped index
+// are never skipped).
+std::vector<uint8_t> BuildSkipColumnLookup(const ParseOptions& options) {
+  std::vector<uint8_t> lookup;
+  for (int col : options.skip_columns) {
+    if (col < 0) continue;
+    if (static_cast<size_t>(col) >= lookup.size()) lookup.resize(col + 1, 0);
+    lookup[col] = 1;
+  }
+  return lookup;
+}
+
+inline bool IsSkippedColumn(const std::vector<uint8_t>& lookup, uint32_t col) {
+  return col < lookup.size() && lookup[col];
+}
+
+// Walks chunk `c` over the bitmap indexes and invokes
+// `emit(symbol, col, rec, is_field_end)` for every kept CSS slot: field
+// data always; one terminator slot per field end in the inline/vector
+// modes. Drop flags and skipped columns are applied here so the sizing and
+// write passes stay in exact agreement.
+template <typename Emit>
+void ForEachEmission(const PipelineState& state,
+                     const std::vector<uint8_t>& skip_lookup, int64_t c,
+                     Emit&& emit) {
+  const ParseOptions& options = *state.options;
+  const bool slot_per_field =
+      options.tagging_mode != TaggingMode::kRecordTags;
+  const size_t chunk_size = options.chunk_size;
+  const size_t begin = AdjustBegin(state, static_cast<size_t>(c) * chunk_size);
+  const size_t end =
+      AdjustBegin(state, static_cast<size_t>(c + 1) * chunk_size);
+  uint32_t col = state.entry_columns[c];
+  int64_t rec = state.record_offsets[c];
+  // Symbols past the last record delimiter belong to a trailing record
+  // only when the input ends in a mid-record state; otherwise (e.g. the
+  // input trails off in the invalid state) they belong to no record at all
+  // and are discarded, matching the sequential semantics.
+  const auto dropped = [&](int64_t r) {
+    if (r >= state.num_records) return true;
+    return !state.record_dropped.empty() && state.record_dropped[r] != 0;
+  };
+  for (size_t i = begin; i < end; ++i) {
+    const uint8_t flags = state.symbol_flags[i];
+    if (flags & kSymbolRecordDelimiter) {
+      if (slot_per_field && !dropped(rec) && !IsSkippedColumn(skip_lookup, col)) {
+        emit(state.data[i], col, rec, true);
+      }
+      ++rec;
+      col = 0;
+    } else if (flags & kSymbolFieldDelimiter) {
+      if (slot_per_field && !dropped(rec) && !IsSkippedColumn(skip_lookup, col)) {
+        emit(state.data[i], col, rec, true);
+      }
+      ++col;
+    } else if (flags & kSymbolControl) {
+      // Quotes, escapes, comment bytes: not part of any field's value.
+    } else {
+      if (!dropped(rec) && !IsSkippedColumn(skip_lookup, col)) {
+        emit(state.data[i], col, rec, false);
+      }
+    }
+  }
+  // The last chunk terminates a trailing unterminated record (§3: the
+  // record and its final field end at end-of-input).
+  if (slot_per_field && c == state.num_chunks - 1 &&
+      state.has_trailing_record && !dropped(rec) &&
+      !IsSkippedColumn(skip_lookup, col)) {
+    emit(options.format.record_delimiter, col, rec, true);
+  }
+}
+
+}  // namespace
+
+Status TagStep::Run(PipelineState* state, StepTimings* timings) {
+  Stopwatch watch;
+  const ParseOptions& options = *state->options;
+  const int64_t num_chunks = state->num_chunks;
+  const int64_t num_records = state->num_records;
+  const std::vector<uint8_t> skip_lookup = BuildSkipColumnLookup(options);
+
+  // --- 1. Count pass: per-record column counts + max column index. ---
+  state->record_column_counts.assign(num_records, 0);
+  std::vector<uint32_t> chunk_max_col(num_chunks, 0);
+  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    const size_t chunk_size = options.chunk_size;
+    const size_t begin =
+        AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+    const size_t end =
+        AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+    uint32_t col = state->entry_columns[c];
+    int64_t rec = state->record_offsets[c];
+    uint32_t max_col = col;
+    for (size_t i = begin; i < end; ++i) {
+      const uint8_t flags = state->symbol_flags[i];
+      if (flags & kSymbolRecordDelimiter) {
+        state->record_column_counts[rec] = col + 1;
+        max_col = std::max(max_col, col);
+        ++rec;
+        col = 0;
+      } else if (flags & kSymbolFieldDelimiter) {
+        ++col;
+        max_col = std::max(max_col, col);
+      }
+    }
+    if (c == num_chunks - 1 && state->has_trailing_record) {
+      state->record_column_counts[rec] = col + 1;
+      max_col = std::max(max_col, col);
+    }
+    chunk_max_col[c] = max_col;
+  });
+  uint32_t max_col_index = 0;
+  for (uint32_t m : chunk_max_col) max_col_index = std::max(max_col_index, m);
+
+  // --- 2. Drop resolution (§4.3 skip records / column-count policy). ---
+  state->record_dropped.assign(num_records, 0);
+  int64_t dropped_count = 0;
+  if (options.exclude_trailing_record && state->has_trailing_record &&
+      num_records > 0) {
+    // Streaming carry-over (§4.4): the unterminated trailing record belongs
+    // to the next partition.
+    state->record_dropped[num_records - 1] = 1;
+    ++dropped_count;
+  }
+  for (int64_t idx : options.skip_records) {
+    if (idx >= 0 && idx < num_records && !state->record_dropped[idx]) {
+      state->record_dropped[idx] = 1;
+      ++dropped_count;
+    }
+  }
+  if (options.column_count_policy != ColumnCountPolicy::kRobust &&
+      num_records > 0) {
+    uint32_t expected = options.schema.num_fields() > 0
+                            ? static_cast<uint32_t>(options.schema.num_fields())
+                            : 0;
+    if (expected == 0) {
+      // No schema: expect the maximum observed count among non-skipped
+      // records (the inferred number of columns, §4.3).
+      for (int64_t r = 0; r < num_records; ++r) {
+        if (!state->record_dropped[r]) {
+          expected = std::max(expected, state->record_column_counts[r]);
+        }
+      }
+    }
+    for (int64_t r = 0; r < num_records; ++r) {
+      if (state->record_dropped[r]) continue;
+      if (state->record_column_counts[r] != expected) {
+        if (options.column_count_policy == ColumnCountPolicy::kValidate) {
+          return Status::ParseError(
+              "record " + std::to_string(r) + " has " +
+              std::to_string(state->record_column_counts[r]) +
+              " columns, expected " + std::to_string(expected));
+        }
+        state->record_dropped[r] = 1;
+        ++dropped_count;
+      }
+    }
+  }
+
+  // Kept-record -> output-row mapping and min/max over kept records.
+  state->out_row_of_record.assign(num_records, 0);
+  int64_t out_row = 0;
+  uint32_t min_cols = 0;
+  uint32_t max_cols = 0;
+  bool any_kept = false;
+  for (int64_t r = 0; r < num_records; ++r) {
+    state->out_row_of_record[r] = out_row;
+    if (!state->record_dropped[r]) {
+      ++out_row;
+      const uint32_t count = state->record_column_counts[r];
+      min_cols = any_kept ? std::min(min_cols, count) : count;
+      max_cols = any_kept ? std::max(max_cols, count) : count;
+      any_kept = true;
+    }
+  }
+  state->num_out_rows = out_row;
+  state->min_columns = min_cols;
+  state->max_columns = max_cols;
+  (void)dropped_count;
+
+  // --- 3. Sizing pass + exclusive prefix sum. ---
+  std::vector<int64_t> chunk_emit(num_chunks, 0);
+  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    int64_t count = 0;
+    ForEachEmission(*state, skip_lookup, c,
+                    [&](uint8_t, uint32_t, int64_t, bool) { ++count; });
+    chunk_emit[c] = count;
+  });
+  timings->tag_ms += watch.ElapsedMillis();
+
+  Stopwatch scan_watch;
+  std::vector<int64_t> chunk_write_offsets(num_chunks, 0);
+  const int64_t total_slots = ExclusivePrefixSum(
+      state->pool, chunk_emit.data(), chunk_write_offsets.data(), num_chunks);
+  timings->scan_ms += scan_watch.ElapsedMillis();
+
+  // --- 4. Write pass. ---
+  watch.Restart();
+  const TaggingMode mode = options.tagging_mode;
+  state->css.assign(total_slots, 0);
+  state->col_tags.assign(total_slots, 0);
+  if (mode == TaggingMode::kRecordTags) {
+    state->rec_tags.assign(total_slots, 0);
+  } else {
+    state->rec_tags.clear();
+  }
+  if (mode == TaggingMode::kVectorDelimited) {
+    state->field_end.assign(total_slots, 0);
+  } else {
+    state->field_end.clear();
+  }
+  std::atomic<bool> terminator_collision{false};
+  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    int64_t out = chunk_write_offsets[c];
+    ForEachEmission(
+        *state, skip_lookup, c,
+        [&](uint8_t symbol, uint32_t col, int64_t rec, bool is_field_end) {
+          uint8_t stored = symbol;
+          if (mode == TaggingMode::kInlineTerminated) {
+            if (is_field_end) {
+              stored = options.terminator;
+            } else if (symbol == options.terminator) {
+              terminator_collision.store(true, std::memory_order_relaxed);
+            }
+          }
+          state->css[out] = stored;
+          state->col_tags[out] = col;
+          if (mode == TaggingMode::kRecordTags) {
+            state->rec_tags[out] =
+                static_cast<uint32_t>(state->out_row_of_record[rec]);
+          } else if (mode == TaggingMode::kVectorDelimited) {
+            state->field_end[out] = is_field_end ? 1 : 0;
+          }
+          ++out;
+        });
+  });
+  if (terminator_collision.load()) {
+    return Status::ParseError(
+        "terminator byte occurs in field data; use the vector-delimited or "
+        "record-tag mode");
+  }
+
+  state->num_partitions =
+      total_slots > 0 ? max_col_index + 1 : 0;
+  timings->tag_ms += watch.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace parparaw

@@ -1,0 +1,41 @@
+#ifndef PARPARAW_CORE_TAG_STEP_H_
+#define PARPARAW_CORE_TAG_STEP_H_
+
+#include "core/pipeline_state.h"
+#include "util/status.h"
+
+namespace parparaw {
+
+/// \brief Step 4 (§3.2/§4.1/§4.3): tag symbols with their column and
+/// record, and compact them for partitioning.
+///
+/// Sub-passes, all chunk-parallel over the bitmap indexes (the DFA is never
+/// re-run):
+///  1. *Count pass*: derives every record's column count (field delimiters
+///     + 1), feeding column-count inference/validation and the reject
+///     policy (§4.3); also finds the maximum column index (partition
+///     count).
+///  2. *Drop resolution*: merges skip_records and the column-count policy
+///     into per-record drop flags; an exclusive prefix sum maps kept
+///     records to output rows.
+///  3. *Sizing pass + scan*: per-chunk kept-symbol counts and their
+///     exclusive prefix sum give every chunk's write offset.
+///  4. *Write pass*: emits the kept symbols with their column tags and,
+///     depending on the tagging mode (Fig. 6), record tags
+///     (kRecordTags), terminator bytes replacing delimiters
+///     (kInlineTerminated), or an auxiliary field-end vector
+///     (kVectorDelimited).
+///
+/// Fills: record_column_counts, record_dropped, out_row_of_record,
+/// num_out_rows, min/max_columns, num_partitions, css, col_tags, rec_tags,
+/// field_end.
+class TagStep {
+ public:
+  /// Runs the step; the work is accounted to timings->tag_ms (the prefix
+  /// sums to scan_ms).
+  static Status Run(PipelineState* state, StepTimings* timings);
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CORE_TAG_STEP_H_

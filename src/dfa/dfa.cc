@@ -1,0 +1,91 @@
+#include "dfa/dfa.h"
+
+#include <utility>
+
+namespace parparaw {
+
+int DfaBuilder::AddState(std::string name, bool accepting) {
+  state_names_.push_back(std::move(name));
+  accepting_.push_back(accepting);
+  for (auto& group : transitions_) group.emplace_back();
+  default_transitions_.emplace_back();
+  return static_cast<int>(state_names_.size()) - 1;
+}
+
+int DfaBuilder::AddSymbol(uint8_t symbol) {
+  symbols_.push_back(symbol);
+  group_of_symbol_.push_back(num_groups_);
+  transitions_.emplace_back(state_names_.size());
+  return num_groups_++;
+}
+
+void DfaBuilder::AddSymbolToGroup(uint8_t symbol, int group) {
+  symbols_.push_back(symbol);
+  group_of_symbol_.push_back(group);
+}
+
+void DfaBuilder::SetTransition(int from_state, int group, int to_state,
+                               uint8_t flags) {
+  transitions_[group][from_state] = Transition{to_state, flags};
+}
+
+void DfaBuilder::SetDefaultTransition(int from_state, int to_state,
+                                      uint8_t flags) {
+  default_transitions_[from_state] = Transition{to_state, flags};
+}
+
+Result<Dfa> DfaBuilder::Build() const {
+  const int num_states = static_cast<int>(state_names_.size());
+  if (num_states == 0) {
+    return Status::Invalid("DFA requires at least one state");
+  }
+  if (num_states > kMaxDfaStates) {
+    return Status::Invalid("DFA supports at most 16 states");
+  }
+  if (start_state_ < 0 || start_state_ >= num_states) {
+    return Status::Invalid("start state out of range");
+  }
+  if (symbols_.size() > 16) {
+    return Status::Invalid("DFA supports at most 16 distinct symbols");
+  }
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    for (size_t j = i + 1; j < symbols_.size(); ++j) {
+      if (symbols_[i] == symbols_[j]) {
+        return Status::Invalid("duplicate symbol in DFA definition");
+      }
+    }
+  }
+
+  Dfa dfa;
+  dfa.num_states_ = num_states;
+  dfa.start_state_ = start_state_;
+  dfa.invalid_state_ = invalid_state_;
+  dfa.num_groups_ = num_groups_ + 1;  // + catch-all
+  dfa.state_names_ = state_names_;
+  dfa.state_names_.shrink_to_fit();
+  dfa.accepting_ = accepting_;
+  dfa.matcher_ = SwarMatcher(symbols_);
+  // matcher index -> group; the matcher's catch-all maps to the catch-all
+  // group.
+  dfa.group_of_symbol_ = group_of_symbol_;
+  dfa.group_of_symbol_.push_back(num_groups_);
+
+  dfa.rows_.assign(dfa.num_groups_, 0);
+  dfa.flags_.assign(dfa.num_groups_ * kMaxDfaStates, 0);
+  for (int g = 0; g < dfa.num_groups_; ++g) {
+    for (int s = 0; s < num_states; ++s) {
+      const Transition& t = (g == num_groups_) ? default_transitions_[s]
+                                               : transitions_[g][s];
+      if (t.to_state < 0 || t.to_state >= num_states) {
+        return Status::Invalid("missing transition for state '" +
+                               state_names_[s] + "', symbol group " +
+                               std::to_string(g));
+      }
+      dfa.rows_[g] |= static_cast<Dfa::Row>(t.to_state) << (s * 4);
+      dfa.flags_[g * kMaxDfaStates + s] = t.flags;
+    }
+  }
+  return dfa;
+}
+
+}  // namespace parparaw

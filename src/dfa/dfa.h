@@ -1,0 +1,189 @@
+#ifndef PARPARAW_DFA_DFA_H_
+#define PARPARAW_DFA_DFA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfa/state_vector.h"
+#include "mfira/swar.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace parparaw {
+
+/// Per-transition symbol classification, driving the three bitmap indexes
+/// of §3.1 (record-delimiter, field-delimiter, control) and value
+/// extraction. A symbol with no flags set is part of the field's value.
+enum SymbolFlags : uint8_t {
+  kSymbolData = 0,
+  /// The symbol delimits a record (also implies control).
+  kSymbolRecordDelimiter = 1 << 0,
+  /// The symbol delimits a field (also implies control).
+  kSymbolFieldDelimiter = 1 << 1,
+  /// The symbol is a control symbol (quote, escape, comment marker, ...)
+  /// and not part of the field's value.
+  kSymbolControl = 1 << 2,
+};
+
+/// \brief A deterministic finite automaton describing a delimiter-separated
+/// format's parsing rules (§3.1, Fig. 2, Table 1).
+///
+/// The transition table is organised with one row per *symbol group*
+/// (distinct symbols with identical transition behaviour are collapsed,
+/// Table 1) and one 4-bit slot per state within a row, so that a thread can
+/// fetch the whole row for a read symbol at once and transition all its DFA
+/// instances with bit-field extracts. Symbols are mapped to groups by the
+/// branchless SWAR matcher (Table 2). Instances are immutable after Build().
+class Dfa {
+ public:
+  /// Row type: 16 states x 4 bits, the "coalesced" row of Table 1.
+  using Row = uint64_t;
+
+  /// An empty DFA (num_states() == 0); callers treat it as "use the RFC
+  /// 4180 default". Populated instances come from DfaBuilder::Build().
+  Dfa() = default;
+
+  int num_states() const { return num_states_; }
+  int start_state() const { return start_state_; }
+  /// Number of symbol groups including the trailing catch-all group.
+  int num_symbol_groups() const { return num_groups_; }
+  /// The designated trap state for invalid inputs, or -1 when the format
+  /// defines none.
+  int invalid_state() const { return invalid_state_; }
+
+  const std::string& state_name(int state) const {
+    return state_names_[state];
+  }
+
+  /// Maps a raw input symbol to its symbol-group index (branchless SWAR).
+  int SymbolGroup(uint8_t symbol) const {
+    return group_of_symbol_[matcher_.Match(symbol)];
+  }
+
+  /// The packed transition row for a symbol group.
+  Row row(int group) const { return rows_[group]; }
+
+  /// Next state for (state, group); a single shift+mask on the packed row.
+  uint8_t NextState(int state, int group) const {
+    return static_cast<uint8_t>((rows_[group] >> (state * 4)) & 0xF);
+  }
+
+  /// Convenience: next state for a raw symbol.
+  uint8_t NextStateForSymbol(int state, uint8_t symbol) const {
+    return NextState(state, SymbolGroup(symbol));
+  }
+
+  /// Classification flags for consuming `group` while in `state`.
+  uint8_t Flags(int state, int group) const {
+    return flags_[group * kMaxDfaStates + state];
+  }
+
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  /// Runs every DFA instance of a state-transition vector one step.
+  void Step(StateVector* vector, uint8_t symbol) const {
+    const Row row_bits = rows_[SymbolGroup(symbol)];
+    for (int i = 0; i < vector->size(); ++i) {
+      vector->Set(i, static_cast<uint8_t>((row_bits >> (vector->Get(i) * 4)) &
+                                          0xF));
+    }
+  }
+
+  /// Simulates one DFA instance over `data`, returning the end state.
+  uint8_t Run(int state, const uint8_t* data, size_t size) const {
+    uint8_t s = static_cast<uint8_t>(state);
+    for (size_t i = 0; i < size; ++i) {
+      s = NextStateForSymbol(s, data[i]);
+    }
+    return s;
+  }
+
+  /// Computes the state-transition vector of a chunk: entry i is the end
+  /// state of the instance that started in state i (§3.1, Fig. 3).
+  StateVector TransitionVector(const uint8_t* data, size_t size) const {
+    StateVector v = StateVector::Identity(num_states_);
+    for (size_t i = 0; i < size; ++i) Step(&v, data[i]);
+    return v;
+  }
+
+ private:
+  friend class DfaBuilder;
+
+  int num_states_ = 0;
+  int start_state_ = 0;
+  int invalid_state_ = -1;
+  int num_groups_ = 0;
+  std::vector<std::string> state_names_;
+  std::vector<bool> accepting_;
+  SwarMatcher matcher_;
+  /// matcher index (symbol position or catch-all) -> symbol group.
+  std::vector<int> group_of_symbol_;
+  std::vector<Row> rows_;
+  std::vector<uint8_t> flags_;
+};
+
+/// \brief Incremental builder for Dfa instances.
+///
+/// Usage:
+///   DfaBuilder b;
+///   int fld = b.AddState("FLD", /*accepting=*/true);
+///   ...
+///   int g_nl = b.AddSymbol('\n');
+///   b.SetTransition(eor, g_nl, eor, kSymbolRecordDelimiter | kSymbolControl);
+///   b.SetDefaultTransition(eor, fld, kSymbolData);   // catch-all group
+///   PARPARAW_ASSIGN_OR_RETURN(Dfa dfa, b.Build());
+class DfaBuilder {
+ public:
+  DfaBuilder() = default;
+
+  /// Adds a state; returns its index. At most kMaxDfaStates states.
+  int AddState(std::string name, bool accepting);
+
+  /// Marks the start state (default: state 0).
+  void SetStartState(int state) { start_state_ = state; }
+
+  /// Marks the trap state entered on invalid input, used by format
+  /// validation (§4.3).
+  void SetInvalidState(int state) { invalid_state_ = state; }
+
+  /// Registers a symbol with its own symbol group; returns the group index.
+  /// Symbols registered via AddSymbolToGroup share an existing group.
+  int AddSymbol(uint8_t symbol);
+
+  /// Registers an additional symbol for an existing group (Table 1 collapses
+  /// symbols with identical transitions into one group).
+  void AddSymbolToGroup(uint8_t symbol, int group);
+
+  /// Transition for (from_state, group) with its symbol classification.
+  void SetTransition(int from_state, int group, int to_state, uint8_t flags);
+
+  /// Transition for the catch-all group ("*" row of Table 1).
+  void SetDefaultTransition(int from_state, int to_state, uint8_t flags);
+
+  /// Validates completeness and produces the immutable Dfa.
+  Result<Dfa> Build() const;
+
+ private:
+  struct Transition {
+    int to_state = -1;
+    uint8_t flags = 0;
+  };
+
+  std::vector<std::string> state_names_;
+  std::vector<bool> accepting_;
+  std::vector<uint8_t> symbols_;          // matcher order
+  std::vector<int> group_of_symbol_;      // per symbol
+  int num_groups_ = 0;
+  int start_state_ = 0;
+  int invalid_state_ = -1;
+  // transitions_[group][state]; the catch-all group is stored last at
+  // index num_groups_ when building.
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<Transition> default_transitions_;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_DFA_DFA_H_

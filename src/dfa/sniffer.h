@@ -1,0 +1,38 @@
+#ifndef PARPARAW_DFA_SNIFFER_H_
+#define PARPARAW_DFA_SNIFFER_H_
+
+#include <string_view>
+
+#include "dfa/formats.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// Outcome of format sniffing.
+struct SniffResult {
+  DsvOptions options;
+  /// Records observed per sampled candidate parse.
+  uint32_t num_columns = 0;
+  /// True when the first row looks like a header (all-string row over a
+  /// body that parses to non-string types).
+  bool has_header = false;
+  /// Confidence in [0, 1]: column-count consistency of the winning
+  /// delimiter over the sample.
+  double confidence = 0;
+};
+
+/// \brief Dialect detection from a raw sample (the convenience CSV readers
+/// like pandas/cuDF provide).
+///
+/// Tries the common delimiters (',', '\t', ';', '|', ' ') with and without
+/// quote support over the first rows of `sample`, scores each candidate by
+/// how consistent the per-record column counts are (and how many columns
+/// it yields), and checks whether the first row is a header by comparing
+/// inferred types of row 0 against the rest. Carriage-return tolerance is
+/// switched on when CRLF line ends dominate.
+Result<SniffResult> SniffDsvFormat(std::string_view sample,
+                                   int max_rows = 64);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_DFA_SNIFFER_H_

@@ -1,0 +1,89 @@
+#include "io/csv_writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "convert/temporal.h"
+
+namespace parparaw {
+
+namespace {
+
+bool NeedsQuoting(std::string_view value, const CsvWriteOptions& options) {
+  if (value.empty()) return false;
+  if (value.front() == ' ' || value.back() == ' ') return true;
+  for (char c : value) {
+    if (c == static_cast<char>(options.field_delimiter) ||
+        c == static_cast<char>(options.record_delimiter) ||
+        c == static_cast<char>(options.quote)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendField(std::string_view value, const CsvWriteOptions& options,
+                 std::string* out) {
+  if (!options.quote_all && !NeedsQuoting(value, options)) {
+    out->append(value);
+    return;
+  }
+  const char quote = static_cast<char>(options.quote);
+  out->push_back(quote);
+  for (char c : value) {
+    if (c == quote) out->push_back(quote);  // RFC 4180 "" escape
+    out->push_back(c);
+  }
+  out->push_back(quote);
+}
+
+// Renders a value slot in a form that parses back to the identical value.
+std::string RenderValue(const Column& column, int64_t row) {
+  char buf[64];
+  switch (column.type().id) {
+    case TypeId::kFloat64:
+      // 17 significant digits guarantee exact double round-trips.
+      std::snprintf(buf, sizeof(buf), "%.17g", column.Value<double>(row));
+      return buf;
+    case TypeId::kDate32:
+      return FormatDate32(column.Value<int32_t>(row));
+    case TypeId::kTimestampMicros:
+      return FormatTimestampMicros(column.Value<int64_t>(row));
+    default:
+      return column.ValueToString(row);
+  }
+}
+
+}  // namespace
+
+Result<std::string> WriteCsv(const Table& table,
+                             const CsvWriteOptions& options) {
+  if (options.field_delimiter == options.record_delimiter) {
+    return Status::Invalid("field and record delimiter must differ");
+  }
+  std::string out;
+  if (options.header) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(static_cast<char>(options.field_delimiter));
+      AppendField(table.schema.field(c).name, options, &out);
+    }
+    out.push_back(static_cast<char>(options.record_delimiter));
+  }
+  for (int64_t row = 0; row < table.num_rows; ++row) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(static_cast<char>(options.field_delimiter));
+      const Column& column = table.columns[c];
+      if (column.IsNull(row)) {
+        AppendField(options.null_literal, options, &out);
+      } else if (column.type().id == TypeId::kString) {
+        AppendField(column.StringValue(row), options, &out);
+      } else {
+        AppendField(RenderValue(column, row), options, &out);
+      }
+    }
+    out.push_back(static_cast<char>(options.record_delimiter));
+  }
+  return out;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,36 @@
+#ifndef PARPARAW_IO_CSV_WRITER_H_
+#define PARPARAW_IO_CSV_WRITER_H_
+
+#include <string>
+
+#include "columnar/table.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// Options controlling textual (re-)serialisation of a table.
+struct CsvWriteOptions {
+  uint8_t field_delimiter = ',';
+  uint8_t record_delimiter = '\n';
+  uint8_t quote = '"';
+  /// Quote every field, like the yelp dataset, instead of only fields that
+  /// need it (contain a delimiter, a quote, or leading/trailing space).
+  bool quote_all = false;
+  /// Text emitted for NULL slots; must not require quoting. The empty
+  /// string round-trips through a parse with matching defaults/nullables.
+  std::string null_literal;
+  /// Emit a header row with the column names.
+  bool header = false;
+};
+
+/// \brief Serialises a columnar table back to delimiter-separated text.
+///
+/// The inverse of the parser for supported types; used by the round-trip
+/// property tests (parse(write(T)) == T) and the CLI examples. Values are
+/// RFC 4180-quoted when they contain structural characters.
+Result<std::string> WriteCsv(const Table& table,
+                             const CsvWriteOptions& options = {});
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_IO_CSV_WRITER_H_

@@ -1,0 +1,85 @@
+#include "io/file.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace parparaw {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& prefix) {
+  return prefix + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot open '" + path + "'"));
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::IoError(ErrnoMessage("error reading '" + path + "'"));
+  }
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot create '" + path + "'"));
+  }
+  const size_t written =
+      contents.empty()
+          ? 0
+          : std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool failed = written != contents.size() || std::fclose(file) != 0;
+  if (failed) {
+    return Status::IoError(ErrnoMessage("error writing '" + path + "'"));
+  }
+  return Status::OK();
+}
+
+FileChunkReader::~FileChunkReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileChunkReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot open '" + path + "'"));
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IoError(ErrnoMessage("cannot seek '" + path + "'"));
+  }
+  file_size_ = std::ftell(file_);
+  std::rewind(file_);
+  return Status::OK();
+}
+
+Status FileChunkReader::ReadNext(size_t max_bytes, std::string* out,
+                                 bool* eof) {
+  if (file_ == nullptr) return Status::Invalid("reader not open");
+  out->resize(max_bytes);
+  const size_t n = std::fread(out->data(), 1, max_bytes, file_);
+  if (n < max_bytes && std::ferror(file_) != 0) {
+    return Status::IoError("read error");
+  }
+  out->resize(n);
+  *eof = std::feof(file_) != 0 || n == 0;
+  return Status::OK();
+}
+
+}  // namespace parparaw

@@ -1,0 +1,59 @@
+#ifndef PARPARAW_JSON_JSON_LINES_H_
+#define PARPARAW_JSON_JSON_LINES_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/options.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief JSON-lines support built on the generic DFA framework.
+///
+/// The paper contrasts ParPaRaw's FSM simulation with JSON parsers that
+/// must abandon the FSM to vectorise (Mison, simdjson, §2/§6). This module
+/// demonstrates the flip side: because ParPaRaw only needs a DFA, pointing
+/// it at newline-delimited JSON is a format definition, not a new
+/// algorithm. The DFA tracks string/escape context so quoted newlines and
+/// escaped quotes inside JSON strings never split records; each record's
+/// raw text then passes through a shallow top-level field extractor.
+
+/// The JSONL format DFA: one record per top-level newline; strings with
+/// backslash escapes are opaque; every record byte is field data (records
+/// are single-column raw JSON).
+Result<Format> JsonLinesFormat();
+
+/// Extracts the raw scalar value of top-level key `key` from a JSON
+/// object: strings are unescaped, numbers/bools are returned verbatim,
+/// `null` and missing keys yield nullopt. Nested objects/arrays are
+/// skipped structurally. Malformed input yields an error.
+Result<std::optional<std::string>> ExtractJsonField(std::string_view object,
+                                                    std::string_view key);
+
+/// Field request for ParseJsonLines: a top-level key plus the output type.
+struct JsonField {
+  std::string key;
+  DataType type = DataType::String();
+
+  JsonField() = default;
+  JsonField(std::string key_in, DataType type_in)
+      : key(std::move(key_in)), type(type_in) {}
+};
+
+/// \brief Parses newline-delimited JSON into typed columns.
+///
+/// Records are identified by the massively parallel ParPaRaw pipeline
+/// (JsonLinesFormat DFA); each record's requested top-level fields are
+/// then extracted and converted in parallel. Missing keys and JSON nulls
+/// become NULL; conversion failures set the record's reject flag.
+Result<ParseOutput> ParseJsonLines(std::string_view input,
+                                   const std::vector<JsonField>& fields,
+                                   ThreadPool* pool = nullptr,
+                                   size_t chunk_size = 31);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_JSON_JSON_LINES_H_

@@ -1,0 +1,146 @@
+#include "loader/bulk_loader.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/parser.h"
+#include "io/file.h"
+#include "stream/streaming_parser.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace parparaw {
+
+namespace {
+
+// Extracts and unquotes the first raw line's pieces as column names.
+std::vector<std::string> HeaderNames(std::string_view input,
+                                     const DsvOptions& dialect) {
+  const size_t eol = input.find(static_cast<char>(dialect.record_delimiter));
+  std::string_view header =
+      eol == std::string_view::npos ? input : input.substr(0, eol);
+  if (!header.empty() && header.back() == '\r') header.remove_suffix(1);
+  std::vector<std::string> names;
+  for (std::string_view piece :
+       SplitString(header, static_cast<char>(dialect.field_delimiter))) {
+    piece = TrimWhitespace(piece);
+    if (piece.size() >= 2 && dialect.quote != 0 &&
+        piece.front() == static_cast<char>(dialect.quote) &&
+        piece.back() == static_cast<char>(dialect.quote)) {
+      piece = piece.substr(1, piece.size() - 2);
+    }
+    names.emplace_back(piece);
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string LoadResult::ReportToString() const {
+  std::string out;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "loaded %lld rows (%lld rejected) from %s in %.1f ms "
+                "(%.3f GB/s)\n",
+                static_cast<long long>(rows_loaded),
+                static_cast<long long>(rows_rejected),
+                FormatBytes(input_bytes).c_str(), seconds * 1e3,
+                seconds > 0 ? static_cast<double>(input_bytes) / seconds /
+                                  (1 << 30)
+                            : 0.0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "pipeline: %s\n",
+                timings.ToString().c_str());
+  out += buf;
+  for (size_t c = 0; c < statistics.size(); ++c) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %-14s %s\n",
+                  table.schema.field(static_cast<int>(c)).name.c_str(),
+                  table.schema.field(static_cast<int>(c))
+                      .type.ToString()
+                      .c_str(),
+                  statistics[c].ToString().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+Result<LoadResult> BulkLoader::LoadBuffer(std::string_view input,
+                                          const LoadOptions& options) {
+  Stopwatch watch;
+  LoadResult result;
+  result.input_bytes = static_cast<int64_t>(input.size());
+
+  // Resolve the dialect.
+  Format format = options.format;
+  bool sniffed_header = false;
+  if (format.dfa.num_states() == 0) {
+    if (input.empty()) {
+      PARPARAW_ASSIGN_OR_RETURN(format, Rfc4180Format());
+    } else {
+      PARPARAW_ASSIGN_OR_RETURN(
+          result.dialect,
+          SniffDsvFormat(input.substr(
+              0, std::min<size_t>(input.size(), 64 * 1024))));
+      PARPARAW_ASSIGN_OR_RETURN(format, DsvFormat(result.dialect.options));
+      sniffed_header = result.dialect.has_header;
+    }
+  }
+  const bool header =
+      options.header >= 0 ? options.header != 0 : sniffed_header;
+
+  std::vector<std::string> names;
+  if (header && !input.empty()) {
+    names = HeaderNames(input, result.dialect.options);
+  }
+
+  // Type resolution: explicit schema wins; otherwise parse a sample with
+  // inference to fix the column types, then stream with that schema so all
+  // partitions agree.
+  ParseOptions base;
+  base.format = format;
+  base.pool = options.pool;
+  base.skip_rows = header ? 1 : 0;
+  if (options.schema.num_fields() > 0) {
+    base.schema = options.schema;
+  } else {
+    ParseOptions sample_options = base;
+    sample_options.infer_types = true;
+    const std::string_view sample =
+        input.substr(0, std::min<size_t>(input.size(), 256 * 1024));
+    PARPARAW_ASSIGN_OR_RETURN(ParseOutput probe,
+                              Parser::Parse(sample, sample_options));
+    base.schema = probe.table.schema;
+    for (int c = 0; c < base.schema.num_fields(); ++c) {
+      if (c < static_cast<int>(names.size()) && !names[c].empty()) {
+        base.schema.mutable_field(c)->name = names[c];
+      }
+    }
+  }
+
+  // Streaming parse.
+  StreamingOptions streaming;
+  streaming.base = base;
+  streaming.partition_size = options.partition_size;
+  PARPARAW_ASSIGN_OR_RETURN(StreamingResult streamed,
+                            StreamingParser::Parse(input, streaming));
+  result.table = std::move(streamed.table);
+  result.timings = streamed.timings;
+  result.rows_loaded = result.table.num_rows;
+  result.rows_rejected = result.table.NumRejected();
+
+  if (options.collect_statistics) {
+    PARPARAW_ASSIGN_OR_RETURN(
+        result.statistics,
+        ComputeTableStatistics(result.table, options.pool));
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<LoadResult> BulkLoader::LoadFile(const std::string& path,
+                                        const LoadOptions& options) {
+  PARPARAW_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return LoadBuffer(contents, options);
+}
+
+}  // namespace parparaw

@@ -1,0 +1,62 @@
+#ifndef PARPARAW_LOADER_BULK_LOADER_H_
+#define PARPARAW_LOADER_BULK_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/statistics.h"
+#include "core/options.h"
+#include "dfa/sniffer.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// Configuration of a bulk load.
+struct LoadOptions {
+  /// Explicit schema; empty = sniff the dialect and infer column types.
+  Schema schema;
+  /// Explicit format; unset (0 states) = sniff from the file head.
+  Format format;
+  /// Header handling: -1 = auto (from the sniffer), 0 = no header,
+  /// 1 = first row is a header (its names become the column names).
+  int header = -1;
+  /// Partition size for the streaming parse.
+  size_t partition_size = 64 * 1024 * 1024;
+  /// Compute per-column statistics after the load.
+  bool collect_statistics = true;
+  ThreadPool* pool = nullptr;
+};
+
+/// Result of a bulk load: the table plus everything an ingest pipeline
+/// reports.
+struct LoadResult {
+  Table table;
+  SniffResult dialect;
+  std::vector<ColumnStatistics> statistics;
+  int64_t input_bytes = 0;
+  int64_t rows_loaded = 0;
+  int64_t rows_rejected = 0;
+  double seconds = 0;
+  StepTimings timings;
+
+  std::string ReportToString() const;
+};
+
+/// \brief Bulk loading — the data-ingestion use case of the paper's
+/// introduction, end to end: dialect sniffing, header/name resolution,
+/// type inference, massively parallel streaming parse with bounded
+/// partition memory, reject accounting, and post-load column statistics.
+class BulkLoader {
+ public:
+  /// Loads a delimiter-separated file from disk.
+  static Result<LoadResult> LoadFile(const std::string& path,
+                                     const LoadOptions& options = {});
+
+  /// Loads from an in-memory buffer.
+  static Result<LoadResult> LoadBuffer(std::string_view input,
+                                       const LoadOptions& options = {});
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_LOADER_BULK_LOADER_H_

@@ -1,0 +1,108 @@
+#ifndef PARPARAW_MFIRA_MFIRA_H_
+#define PARPARAW_MFIRA_MFIRA_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bit_util.h"
+
+namespace parparaw {
+
+/// \brief Multi-fragment in-register array (MFIRA), §4.5 / Fig. 8.
+///
+/// GPUs cannot dynamically index the register file, but individual bits of a
+/// register can be addressed with the BFI/BFE intrinsics. MFIRA therefore
+/// decomposes each logical item of `BitsPerItem` bits into fragments of
+/// `kFragmentBits` bits (a power of two, so bit offsets are computed with a
+/// shift instead of a multiply) and spreads the fragments of item `i` across
+/// `kNumFragments` 32-bit words, each at bit offset `i << log2(kFragmentBits)`.
+///
+/// On the CPU the words live in ordinary members; the access pattern — and
+/// the parameter derivation from Fig. 8 — is reproduced exactly:
+///   avail bits per fragment  a = floor(32 / NumItems)
+///   bits per fragment        k = 2^floor(log2 a)
+///   fragments per item       ceil(BitsPerItem / k)
+///
+/// The data structure backs the state-transition vectors, symbol matching
+/// tables, and (small) transition tables of the DFA simulation.
+template <int NumItems, int BitsPerItem>
+class Mfira {
+  static_assert(NumItems >= 1 && NumItems <= 32,
+                "MFIRA items must fit a 32-bit register row");
+  static_assert(BitsPerItem >= 1 && BitsPerItem <= 32, "item width");
+
+ public:
+  /// Derivation of the physical layout, matching Fig. 8.
+  static constexpr int kAvailBitsPerFragment = 32 / NumItems;
+  static_assert(kAvailBitsPerFragment >= 1,
+                "too many items for one register row");
+  static constexpr int ComputeFragmentBits() {
+    int k = 1;
+    while (k * 2 <= kAvailBitsPerFragment) k *= 2;
+    return k;
+  }
+  static constexpr int kFragmentBits = ComputeFragmentBits();
+  static constexpr int kNumFragments =
+      (BitsPerItem + kFragmentBits - 1) / kFragmentBits;
+  static constexpr int kLog2FragmentBits = []() {
+    int log = 0;
+    int k = kFragmentBits;
+    while (k > 1) {
+      k >>= 1;
+      ++log;
+    }
+    return log;
+  }();
+
+  constexpr Mfira() : registers_{} {}
+
+  static constexpr int size() { return NumItems; }
+  static constexpr int bits_per_item() { return BitsPerItem; }
+
+  /// Reads item `i`, reassembling it from its fragments (BFE per fragment).
+  uint32_t Get(int i) const {
+    // Bit offset computed with a shift, never a multiply (§4.5).
+    const uint32_t pos = static_cast<uint32_t>(i) << kLog2FragmentBits;
+    uint32_t value = 0;
+    for (int f = 0; f < kNumFragments; ++f) {
+      const uint32_t fragment =
+          bit_util::BitFieldExtract(registers_[f], pos, kFragmentBits);
+      value |= fragment << (f * kFragmentBits);
+    }
+    // Mask away bits beyond the logical item width (the top fragment may
+    // carry padding).
+    if constexpr (BitsPerItem < 32) {
+      value &= (1u << BitsPerItem) - 1u;
+    }
+    return value;
+  }
+
+  /// Writes item `i`, distributing its fragments (BFI per fragment).
+  void Set(int i, uint32_t value) {
+    const uint32_t pos = static_cast<uint32_t>(i) << kLog2FragmentBits;
+    for (int f = 0; f < kNumFragments; ++f) {
+      const uint32_t fragment = value >> (f * kFragmentBits);
+      registers_[f] =
+          bit_util::BitFieldInsert(registers_[f], fragment, pos, kFragmentBits);
+    }
+  }
+
+  /// Raw register words (for tests mirroring Fig. 8's physical view).
+  const std::array<uint32_t, kNumFragments>& registers() const {
+    return registers_;
+  }
+
+  bool operator==(const Mfira& other) const {
+    for (int i = 0; i < NumItems; ++i) {
+      if (Get(i) != other.Get(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<uint32_t, kNumFragments> registers_;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_MFIRA_MFIRA_H_

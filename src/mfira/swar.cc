@@ -1,0 +1,56 @@
+#include "mfira/swar.h"
+
+#include <algorithm>
+
+#include "util/bit_util.h"
+
+namespace parparaw {
+
+SwarMatcher::SwarMatcher(const std::vector<uint8_t>& symbols)
+    : num_symbols_(static_cast<int>(symbols.size())) {
+  // Pack symbols into the bytes of consecutive LU-registers; byte j of
+  // register r holds symbols[4 * r + j] (Table 2's lookup row).
+  const size_t num_registers = (symbols.size() + 3) / 4;
+  lu_.assign(num_registers, 0);
+  for (size_t r = 0; r < num_registers; ++r) {
+    for (size_t j = 0; j < 4; ++j) {
+      const size_t i = 4 * r + j;
+      // Padding bytes replicate symbols[0]: a padding match then always
+      // loses the min against the true match at index 0, so padding can
+      // never produce a wrong index (relevant when 0x00 is a real symbol).
+      const uint8_t byte = i < symbols.size() ? symbols[i] : symbols[0];
+      lu_[r] |= static_cast<uint32_t>(byte) << (j * 8);
+    }
+  }
+}
+
+int SwarMatcher::Match(uint8_t symbol) const {
+  // Broadcast the read symbol into every byte of the s-register.
+  const uint32_t s = 0x01010101u * symbol;
+  // No-match sentinel: bfind(0) == 0xFFFFFFFF, >> 3 == 0x1FFFFFFF.
+  uint32_t idx = 0x1FFFFFFFu;
+  for (size_t r = 0; r < lu_.size(); ++r) {
+    const uint32_t c = lu_[r] ^ s;
+    const uint32_t swar = SwarHasZeroByte(c);
+    // Find-first-set (the paper uses bfind, i.e. find-MSB; we use the LSB
+    // variant so that the padding replicas of symbols[0] in a partially
+    // filled register can never shadow the true lowest match). Position is
+    // 0xFFFFFFFF if no byte matched, exactly like bfind on zero.
+    const uint32_t ffs =
+        swar == 0 ? 0xFFFFFFFFu
+                  : static_cast<uint32_t>(bit_util::FindLsb(swar));
+    const uint32_t reg_idx = ffs >> 3;
+    // Registers beyond the first offset their byte index by 4 * r; the
+    // no-match value stays far above any real index.
+    const uint32_t global_idx =
+        reg_idx == 0x1FFFFFFFu ? reg_idx
+                               : reg_idx + static_cast<uint32_t>(4 * r);
+    idx = std::min(idx, global_idx);
+  }
+  // Map the no-match sentinel (and any padding-byte match, which sits past
+  // num_symbols_) to the catch-all index with a min, exactly as the paper
+  // does (a min is 1-2 cycles and keeps the path branchless).
+  return static_cast<int>(std::min(idx, static_cast<uint32_t>(num_symbols_)));
+}
+
+}  // namespace parparaw

@@ -1,0 +1,118 @@
+#include "parallel/radix_sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bit_util.h"
+
+namespace parparaw {
+
+namespace {
+
+// One stable partitioning pass over `digit(key)` implementing the paper's
+// three sub-steps: per-tile histogram, exclusive prefix sum, stable scatter.
+// Reads keys through `src_perm` and writes the refined order to `dst_perm`.
+void PartitionPass(ThreadPool* pool, const std::vector<uint32_t>& keys,
+                   const std::vector<uint32_t>& src_perm,
+                   std::vector<uint32_t>* dst_perm, int shift, int bits) {
+  const int64_t n = static_cast<int64_t>(keys.size());
+  const uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1u);
+  const int num_buckets = 1 << bits;
+  const int num_workers = pool ? pool->num_threads() : 1;
+  const int64_t num_tiles = std::max<int64_t>(1, std::min<int64_t>(num_workers, n / 1024 + 1));
+  const int64_t tile = (n + num_tiles - 1) / num_tiles;
+
+  // (1) Per-tile histogram.
+  std::vector<std::vector<int64_t>> tile_hist(
+      num_tiles, std::vector<int64_t>(num_buckets, 0));
+  ParallelForEach(pool, 0, num_tiles, [&](int64_t t) {
+    const int64_t b = t * tile;
+    const int64_t e = std::min<int64_t>(b + tile, n);
+    std::vector<int64_t>& hist = tile_hist[t];
+    for (int64_t i = b; i < e; ++i) {
+      const uint32_t digit = (keys[src_perm[i]] >> shift) & mask;
+      ++hist[digit];
+    }
+  });
+
+  // (2) Exclusive prefix sum, bucket-major then tile-major, so that equal
+  // digits preserve input order across tiles (stability).
+  std::vector<std::vector<int64_t>> tile_offset(
+      num_tiles, std::vector<int64_t>(num_buckets, 0));
+  int64_t running = 0;
+  for (int bucket = 0; bucket < num_buckets; ++bucket) {
+    for (int64_t t = 0; t < num_tiles; ++t) {
+      tile_offset[t][bucket] = running;
+      running += tile_hist[t][bucket];
+    }
+  }
+
+  // (3) Stable scatter.
+  dst_perm->resize(n);
+  uint32_t* dst = dst_perm->data();
+  ParallelForEach(pool, 0, num_tiles, [&](int64_t t) {
+    const int64_t b = t * tile;
+    const int64_t e = std::min<int64_t>(b + tile, n);
+    std::vector<int64_t> cursor = tile_offset[t];
+    for (int64_t i = b; i < e; ++i) {
+      const uint32_t digit = (keys[src_perm[i]] >> shift) & mask;
+      dst[cursor[digit]++] = src_perm[i];
+    }
+  });
+}
+
+int SignificantBits(const std::vector<uint32_t>& keys,
+                    const RadixSortOptions& options) {
+  if (options.significant_bits > 0) return options.significant_bits;
+  uint32_t max_key = 0;
+  for (uint32_t k : keys) max_key = std::max(max_key, k);
+  if (max_key == 0) return 1;
+  return bit_util::Log2Floor(max_key) + 1;
+}
+
+}  // namespace
+
+void StableRadixSortPermutation(ThreadPool* pool,
+                                const std::vector<uint32_t>& keys,
+                                std::vector<uint32_t>* permutation,
+                                const RadixSortOptions& options) {
+  const int64_t n = static_cast<int64_t>(keys.size());
+  permutation->resize(n);
+  std::iota(permutation->begin(), permutation->end(), 0u);
+  if (n <= 1) return;
+  const int total_bits = SignificantBits(keys, options);
+  const int bits = std::clamp(options.bits_per_pass, 1, 16);
+  std::vector<uint32_t> scratch(n);
+  std::vector<uint32_t>* src = permutation;
+  std::vector<uint32_t>* dst = &scratch;
+  for (int shift = 0; shift < total_bits; shift += bits) {
+    const int pass_bits = std::min(bits, total_bits - shift);
+    PartitionPass(pool, keys, *src, dst, shift, pass_bits);
+    std::swap(src, dst);
+  }
+  if (src != permutation) *permutation = std::move(*src);
+}
+
+void StableRadixSortWithHistogram(ThreadPool* pool,
+                                  std::vector<uint32_t>* keys,
+                                  std::vector<uint32_t>* permutation,
+                                  uint32_t num_partitions,
+                                  std::vector<uint64_t>* histogram,
+                                  const RadixSortOptions& options) {
+  RadixSortOptions opts = options;
+  if (opts.significant_bits == 0 && num_partitions > 1) {
+    opts.significant_bits = bit_util::Log2Floor(num_partitions - 1) + 1;
+  }
+  StableRadixSortPermutation(pool, *keys, permutation, opts);
+  // Histogram over the (already validated) key domain.
+  histogram->assign(num_partitions, 0);
+  for (uint32_t k : *keys) {
+    if (k < num_partitions) ++(*histogram)[k];
+  }
+  // Reorder the keys themselves.
+  std::vector<uint32_t> sorted;
+  ApplyPermutation(pool, *permutation, *keys, &sorted);
+  *keys = std::move(sorted);
+}
+
+}  // namespace parparaw

@@ -1,0 +1,60 @@
+#ifndef PARPARAW_PARALLEL_RLE_H_
+#define PARPARAW_PARALLEL_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace parparaw {
+
+/// \brief Run-length encodes `in`: fills `values` with the distinct runs'
+/// values and `lengths` with their lengths, in order.
+///
+/// §3.3 applies this to the column-partitioned record-tags: each run is one
+/// field, its value the field's record and its length the field's symbol
+/// count, from which the CSS index is derived by an exclusive prefix sum.
+template <typename T>
+void RunLengthEncode(ThreadPool* pool, const std::vector<T>& in,
+                     std::vector<T>* values, std::vector<int64_t>* lengths) {
+  values->clear();
+  lengths->clear();
+  const int64_t n = static_cast<int64_t>(in.size());
+  if (n == 0) return;
+
+  // Parallel step: mark run heads (in[i] != in[i-1]).
+  std::vector<uint8_t> head(n);
+  const T* data = in.data();
+  uint8_t* head_data = head.data();
+  ParallelFor(pool, 0, n, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      head_data[i] = (i == 0 || data[i] != data[i - 1]) ? 1 : 0;
+    }
+  });
+  // Collect runs (sequential gather; output is much smaller than input).
+  int64_t run_start = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    if (i == n || head_data[i]) {
+      values->push_back(data[run_start]);
+      lengths->push_back(i - run_start);
+      run_start = i;
+    }
+  }
+}
+
+/// \brief Stream compaction: copies in[i] for which flags[i] != 0 to `out`,
+/// preserving order.
+template <typename T>
+void StreamCompact(ThreadPool* pool, const std::vector<T>& in,
+                   const std::vector<uint8_t>& flags, std::vector<T>* out) {
+  (void)pool;
+  out->clear();
+  out->reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (flags[i]) out->push_back(in[i]);
+  }
+}
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_PARALLEL_RLE_H_

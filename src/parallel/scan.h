@@ -1,0 +1,237 @@
+#ifndef PARPARAW_PARALLEL_SCAN_H_
+#define PARPARAW_PARALLEL_SCAN_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace parparaw {
+
+/// Parallel prefix-scan primitives.
+///
+/// The prefix scan is the fundamental building block of ParPaRaw (§2/§3): it
+/// resolves each chunk's DFA entry state (composite operator over
+/// state-transition vectors), the record offsets (prefix sum of per-chunk
+/// record counts), the column offsets (relative/absolute offset operator),
+/// and the CSS index (prefix sum of field lengths). All scans here accept an
+/// arbitrary associative — not necessarily commutative — binary operator.
+///
+/// Two implementations are provided:
+///  * ScanTwoPass: classic blocked reduce-then-scan (three phases, reads the
+///    input twice).
+///  * ScanDecoupledLookback: single-pass chained scan with decoupled
+///    look-back after Merrill & Garland [28], the algorithm the paper's GPU
+///    implementation uses. Each tile publishes its local aggregate, then
+///    resolves its exclusive prefix by inspecting predecessor descriptors
+///    (aggregate-available / prefix-available), so the input is read once.
+///
+/// Both are in-place capable (`out` may alias `in`) and stable with respect
+/// to operator associativity only.
+
+namespace internal {
+
+/// Sequential inclusive scan over [begin, end), seeded with `carry_in` if
+/// `has_carry`. Returns the final running value.
+template <typename T, typename Op>
+T SequentialInclusiveScan(const T* in, T* out, int64_t n, Op op, T carry_in,
+                          bool has_carry) {
+  T running = carry_in;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!has_carry && i == 0) {
+      running = in[0];
+    } else {
+      running = op(running, in[i]);
+    }
+    out[i] = running;
+  }
+  return running;
+}
+
+}  // namespace internal
+
+/// Tile status for the decoupled-lookback scan descriptor.
+enum class TileStatus : int { kInvalid = 0, kAggregate = 1, kPrefix = 2 };
+
+/// \brief Inclusive scan, two-pass (reduce then scan) blocked algorithm.
+///
+/// `op` must be associative. `identity` is the operator's identity element.
+/// `out` may alias `in`. `n == 0` is a no-op.
+template <typename T, typename Op>
+void ScanTwoPass(ThreadPool* pool, const T* in, T* out, int64_t n, Op op,
+                 T identity) {
+  if (n <= 0) return;
+  const int num_workers = pool ? pool->num_threads() : 1;
+  const int64_t kMinTile = 1024;
+  int64_t num_tiles = std::min<int64_t>(num_workers * 4, (n + kMinTile - 1) / kMinTile);
+  if (num_tiles <= 1 || num_workers <= 1) {
+    internal::SequentialInclusiveScan(in, out, n, op, identity, false);
+    return;
+  }
+  const int64_t tile = (n + num_tiles - 1) / num_tiles;
+  num_tiles = (n + tile - 1) / tile;
+  std::vector<T> aggregates(num_tiles, identity);
+  // Phase 1: per-tile reduction.
+  ParallelForEach(pool, 0, num_tiles, [&](int64_t t) {
+    const int64_t b = t * tile;
+    const int64_t e = std::min<int64_t>(b + tile, n);
+    T agg = in[b];
+    for (int64_t i = b + 1; i < e; ++i) agg = op(agg, in[i]);
+    aggregates[t] = agg;
+  });
+  // Phase 2: exclusive scan of the tile aggregates (sequential; num_tiles is
+  // small).
+  std::vector<T> tile_prefix(num_tiles, identity);
+  T running = identity;
+  for (int64_t t = 0; t < num_tiles; ++t) {
+    tile_prefix[t] = running;
+    running = (t == 0) ? aggregates[0] : op(running, aggregates[t]);
+  }
+  // Phase 3: per-tile inclusive scan seeded with the tile's exclusive
+  // prefix.
+  ParallelForEach(pool, 0, num_tiles, [&](int64_t t) {
+    const int64_t b = t * tile;
+    const int64_t e = std::min<int64_t>(b + tile, n);
+    internal::SequentialInclusiveScan(in + b, out + b, e - b, op,
+                                      tile_prefix[t], t != 0);
+  });
+}
+
+/// \brief Inclusive scan, single-pass with decoupled look-back
+/// (Merrill & Garland). Semantics identical to ScanTwoPass.
+template <typename T, typename Op>
+void ScanDecoupledLookback(ThreadPool* pool, const T* in, T* out, int64_t n,
+                           Op op, T identity) {
+  if (n <= 0) return;
+  const int num_workers = pool ? pool->num_threads() : 1;
+  const int64_t kMinTile = 1024;
+  int64_t num_tiles = std::min<int64_t>(num_workers * 4, (n + kMinTile - 1) / kMinTile);
+  if (num_tiles <= 1 || num_workers <= 1) {
+    internal::SequentialInclusiveScan(in, out, n, op, identity, false);
+    return;
+  }
+  const int64_t tile = (n + num_tiles - 1) / num_tiles;
+  num_tiles = (n + tile - 1) / tile;
+
+  struct TileDescriptor {
+    std::atomic<int> status{static_cast<int>(TileStatus::kInvalid)};
+    T aggregate;
+    T inclusive_prefix;
+  };
+  std::vector<TileDescriptor> descriptors(num_tiles);
+
+  ParallelForEach(pool, 0, num_tiles, [&](int64_t t) {
+    const int64_t b = t * tile;
+    const int64_t e = std::min<int64_t>(b + tile, n);
+    TileDescriptor& desc = descriptors[t];
+    // Local inclusive scan into the output (single pass over the input).
+    internal::SequentialInclusiveScan(in + b, out + b, e - b, op, identity,
+                                      false);
+    desc.aggregate = out[e - 1];
+    if (t == 0) {
+      desc.inclusive_prefix = desc.aggregate;
+      desc.status.store(static_cast<int>(TileStatus::kPrefix),
+                        std::memory_order_release);
+      return;
+    }
+    desc.status.store(static_cast<int>(TileStatus::kAggregate),
+                      std::memory_order_release);
+    // Decoupled look-back: walk predecessors, accumulating aggregates until
+    // a tile with a resolved inclusive prefix is found.
+    T exclusive = identity;
+    bool have_exclusive = false;
+    for (int64_t p = t - 1; p >= 0; --p) {
+      TileDescriptor& pred = descriptors[p];
+      int status;
+      while ((status = pred.status.load(std::memory_order_acquire)) ==
+             static_cast<int>(TileStatus::kInvalid)) {
+        std::this_thread::yield();
+      }
+      if (status == static_cast<int>(TileStatus::kPrefix)) {
+        exclusive = have_exclusive ? op(pred.inclusive_prefix, exclusive)
+                                   : pred.inclusive_prefix;
+        have_exclusive = true;
+        break;
+      }
+      exclusive =
+          have_exclusive ? op(pred.aggregate, exclusive) : pred.aggregate;
+      have_exclusive = true;
+    }
+    // Fix up the local scan with the resolved exclusive prefix and publish
+    // this tile's inclusive prefix.
+    for (int64_t i = b; i < e; ++i) out[i] = op(exclusive, out[i]);
+    desc.inclusive_prefix = out[e - 1];
+    desc.status.store(static_cast<int>(TileStatus::kPrefix),
+                      std::memory_order_release);
+  });
+}
+
+/// \brief Inclusive scan with the default (single-pass) algorithm.
+template <typename T, typename Op>
+void InclusiveScan(ThreadPool* pool, const T* in, T* out, int64_t n, Op op,
+                   T identity) {
+  ScanDecoupledLookback(pool, in, out, n, op, identity);
+}
+
+/// \brief Exclusive scan: out[i] = op(in[0], ..., in[i-1]), out[0] =
+/// identity. `out` must not alias `in` unless T is trivially copyable (a
+/// temporary holds the shifted value either way; aliasing is supported).
+template <typename T, typename Op>
+void ExclusiveScan(ThreadPool* pool, const T* in, T* out, int64_t n, Op op,
+                   T identity) {
+  if (n <= 0) return;
+  // Inclusive scan into a temporary, then shift right by one.
+  std::vector<T> inclusive(n, identity);
+  InclusiveScan(pool, in, inclusive.data(), n, op, identity);
+  out[0] = identity;
+  for (int64_t i = 1; i < n; ++i) out[i] = std::move(inclusive[i - 1]);
+}
+
+/// \brief Exclusive prefix sum convenience wrapper. Returns the grand total.
+template <typename T>
+T ExclusivePrefixSum(ThreadPool* pool, const T* in, T* out, int64_t n) {
+  if (n <= 0) return T{};
+  T last_in = in[n - 1];  // Read before scanning: out may alias in.
+  ExclusiveScan(pool, in, out, n, [](T a, T b) { return a + b; }, T{});
+  return out[n - 1] + last_in;
+}
+
+/// \brief Parallel reduction with an associative operator. Returns identity
+/// for an empty input.
+template <typename T, typename Op>
+T Reduce(ThreadPool* pool, const T* in, int64_t n, Op op, T identity) {
+  if (n <= 0) return identity;
+  const int num_workers = pool ? pool->num_threads() : 1;
+  if (num_workers <= 1 || n < 4096) {
+    T acc = in[0];
+    for (int64_t i = 1; i < n; ++i) acc = op(acc, in[i]);
+    return acc;
+  }
+  const int64_t num_tiles = num_workers;
+  const int64_t tile = (n + num_tiles - 1) / num_tiles;
+  std::vector<T> partial(num_tiles, identity);
+  ParallelForEach(pool, 0, num_tiles, [&](int64_t t) {
+    const int64_t b = t * tile;
+    const int64_t e = std::min<int64_t>(b + tile, n);
+    if (b >= e) return;
+    T acc = in[b];
+    for (int64_t i = b + 1; i < e; ++i) acc = op(acc, in[i]);
+    partial[t] = acc;
+  });
+  T acc = identity;
+  bool first = true;
+  for (int64_t t = 0; t < num_tiles; ++t) {
+    const int64_t b = t * tile;
+    if (b >= n) break;
+    acc = first ? partial[t] : op(acc, partial[t]);
+    first = false;
+  }
+  return acc;
+}
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_PARALLEL_SCAN_H_

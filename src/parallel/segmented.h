@@ -1,0 +1,76 @@
+#ifndef PARPARAW_PARALLEL_SEGMENTED_H_
+#define PARPARAW_PARALLEL_SEGMENTED_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace parparaw {
+
+/// Segmented variants of the scan/reduce primitives: the CSS is exactly a
+/// segmented layout (one segment per column, Fig. 5), and the GPU
+/// implementation of CSS-index generation and type inference uses
+/// segmented operations so all columns are processed by a single launch
+/// instead of per-column kernels (the §5.1 small-input bottleneck).
+///
+/// `segment_offsets` holds s+1 monotone offsets into the value array; the
+/// k-th segment is [offsets[k], offsets[k+1]).
+
+/// Per-segment exclusive scan (each segment restarts at `identity`).
+template <typename T, typename Op>
+void SegmentedExclusiveScan(ThreadPool* pool, const std::vector<T>& in,
+                            const std::vector<int64_t>& segment_offsets,
+                            Op op, T identity, std::vector<T>* out) {
+  out->assign(in.size(), identity);
+  const int64_t num_segments =
+      static_cast<int64_t>(segment_offsets.size()) - 1;
+  ParallelForEach(pool, 0, num_segments, [&](int64_t s) {
+    T running = identity;
+    for (int64_t i = segment_offsets[s]; i < segment_offsets[s + 1]; ++i) {
+      (*out)[i] = running;
+      running = op(running, in[i]);
+    }
+  });
+}
+
+/// Per-segment reduction; empty segments yield `identity`.
+template <typename T, typename Op>
+void SegmentedReduce(ThreadPool* pool, const std::vector<T>& in,
+                     const std::vector<int64_t>& segment_offsets, Op op,
+                     T identity, std::vector<T>* out) {
+  const int64_t num_segments =
+      static_cast<int64_t>(segment_offsets.size()) - 1;
+  out->assign(num_segments, identity);
+  ParallelForEach(pool, 0, num_segments, [&](int64_t s) {
+    const int64_t begin = segment_offsets[s];
+    const int64_t end = segment_offsets[s + 1];
+    if (begin >= end) return;
+    T acc = in[begin];
+    for (int64_t i = begin + 1; i < end; ++i) acc = op(acc, in[i]);
+    (*out)[s] = acc;
+  });
+}
+
+/// Per-segment run-length head flags (1 where a value differs from its
+/// predecessor within the segment or starts a segment) — the building
+/// block of the segmented CSS-index generation.
+template <typename T>
+void SegmentedRunHeads(ThreadPool* pool, const std::vector<T>& in,
+                       const std::vector<int64_t>& segment_offsets,
+                       std::vector<uint8_t>* heads) {
+  heads->assign(in.size(), 0);
+  const int64_t num_segments =
+      static_cast<int64_t>(segment_offsets.size()) - 1;
+  ParallelForEach(pool, 0, num_segments, [&](int64_t s) {
+    for (int64_t i = segment_offsets[s]; i < segment_offsets[s + 1]; ++i) {
+      (*heads)[i] =
+          (i == segment_offsets[s] || in[i] != in[i - 1]) ? 1 : 0;
+    }
+  });
+}
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_PARALLEL_SEGMENTED_H_

@@ -1,0 +1,111 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace parparaw {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutdown_ with an empty queue: exit.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool& pool = *new ThreadPool();
+  return &pool;
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  const int64_t count = end - begin;
+  const int num_workers =
+      pool == nullptr ? 1
+                      : std::min<int64_t>(pool->num_threads(), count);
+  if (num_workers <= 1) {
+    body(begin, end);
+    return;
+  }
+  // One contiguous slice per worker; remainder spread over the first slices.
+  const int64_t base = count / num_workers;
+  const int64_t extra = count % num_workers;
+  std::atomic<int> remaining{num_workers};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int64_t slice_begin = begin;
+  for (int w = 0; w < num_workers; ++w) {
+    const int64_t slice_size = base + (w < extra ? 1 : 0);
+    const int64_t slice_end = slice_begin + slice_size;
+    pool->Submit([&, slice_begin, slice_end] {
+      body(slice_begin, slice_end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+    slice_begin = slice_end;
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+void ParallelForEach(ThreadPool* pool, int64_t begin, int64_t end,
+                     const std::function<void(int64_t)>& body) {
+  ParallelFor(pool, begin, end, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) body(i);
+  });
+}
+
+}  // namespace parparaw

@@ -1,0 +1,71 @@
+#ifndef PARPARAW_PARALLEL_THREAD_POOL_H_
+#define PARPARAW_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parparaw {
+
+/// \brief Fixed-size worker pool backing the CPU data-parallel substrate.
+///
+/// On the GPU, ParPaRaw launches one lightweight thread per input chunk; here
+/// the same per-chunk kernels are executed by pool workers over chunk ranges
+/// (see ParallelFor). The pool is the only place the library creates threads.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. `num_threads == 0` uses
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished executing.
+  void WaitIdle();
+
+  /// Process-wide default pool, created on first use and intentionally never
+  /// destroyed (Google style: function-local static reference).
+  static ThreadPool* Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Runs `body(range_begin, range_end)` over a partition of
+/// [begin, end) across the pool's workers and blocks until done.
+///
+/// The partition is static and contiguous (one slice per worker, like a GPU
+/// grid where each "thread" owns a contiguous run of chunks). `body` must be
+/// safe to invoke concurrently on disjoint ranges. A null `pool` or a
+/// single-worker pool degrades to a sequential loop.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+/// \brief Like ParallelFor but invokes `body(i)` per index. Convenience for
+/// per-chunk kernels.
+void ParallelForEach(ThreadPool* pool, int64_t begin, int64_t end,
+                     const std::function<void(int64_t)>& body);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_PARALLEL_THREAD_POOL_H_

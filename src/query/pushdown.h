@@ -1,0 +1,45 @@
+#ifndef PARPARAW_QUERY_PUSHDOWN_H_
+#define PARPARAW_QUERY_PUSHDOWN_H_
+
+#include <string_view>
+
+#include "core/options.h"
+#include "query/predicate.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// Diagnostics of a pushdown parse.
+struct PushdownStats {
+  int64_t records_scanned = 0;
+  int64_t records_selected = 0;
+
+  double Selectivity() const {
+    return records_scanned > 0
+               ? static_cast<double>(records_selected) / records_scanned
+               : 0.0;
+  }
+};
+
+/// \brief Selection pushdown into the parser (§4.3 "Skipping records and
+/// selecting columns" turned into a WHERE clause).
+///
+/// Phase 1 parses *only* the predicate column (every other column's
+/// symbols are dropped right after tagging, so their conversion cost is
+/// never paid) and evaluates the predicate. Phase 2 re-parses with the
+/// non-matching records in the skip set, materialising full rows only for
+/// matches. For selective predicates this avoids converting the bulk of
+/// the data — the same economics as the raw prefilter, but exact and
+/// format-agnostic (quoted fields, comments, any DFA).
+///
+/// Requirements: a schema, the robust column-count policy, and empty
+/// skip_records/skip_columns in `options` (they would change record
+/// numbering between the phases).
+Result<ParseOutput> ParseWithPushdown(std::string_view input,
+                                      const ParseOptions& options,
+                                      const Predicate& predicate,
+                                      PushdownStats* stats = nullptr);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_QUERY_PUSHDOWN_H_

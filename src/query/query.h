@@ -1,0 +1,61 @@
+#ifndef PARPARAW_QUERY_QUERY_H_
+#define PARPARAW_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace parparaw {
+
+/// Aggregate functions over a (numeric) column; kCount works on any
+/// column and counts non-NULL rows, kCountAll counts all selected rows.
+enum class AggKind : uint8_t {
+  kCountAll,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kMean,
+};
+
+/// One aggregate expression. `column` is ignored for kCountAll.
+struct Aggregate {
+  AggKind kind = AggKind::kCountAll;
+  int column = 0;
+
+  Aggregate() = default;
+  Aggregate(AggKind kind_in, int column_in = 0)
+      : kind(kind_in), column(column_in) {}
+};
+
+/// \brief A small in-situ query: WHERE filter, then either a projection
+/// (SELECT cols) or aggregates with an optional GROUP BY.
+///
+/// This is the "in-situ querying of raw data" use case the paper motivates
+/// (§1): parse raw bytes straight into columns and answer the query
+/// without a load phase.
+struct QuerySpec {
+  Filter filter;
+  /// Columns to keep (projection); empty keeps all. Ignored when
+  /// aggregates are present.
+  std::vector<int> projection;
+  /// Aggregates; when non-empty the result is one row (or one per group).
+  std::vector<Aggregate> aggregates;
+  /// GROUP BY column (int64-family or string); unset = global aggregates.
+  std::optional<int> group_by;
+};
+
+/// Materialises the rows selected by `selection` (0/1 per row).
+Result<Table> GatherRows(const Table& table,
+                         const std::vector<uint8_t>& selection,
+                         ThreadPool* pool = nullptr);
+
+/// Runs `spec` against a parsed table.
+Result<Table> RunQuery(const Table& table, const QuerySpec& spec,
+                       ThreadPool* pool = nullptr);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_QUERY_QUERY_H_

@@ -1,0 +1,75 @@
+#include "query/raw_filter.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "parallel/scan.h"
+
+namespace parparaw {
+
+Result<std::string> RawFilterLines(std::string_view input,
+                                   std::string_view needle,
+                                   RawFilterStats* stats, ThreadPool* pool,
+                                   uint8_t record_delimiter) {
+  if (needle.empty()) {
+    return Status::Invalid("raw filter needle must be non-empty");
+  }
+  RawFilterStats local;
+  local.input_bytes = static_cast<int64_t>(input.size());
+
+  // Split into raw lines (cheap memchr walk). A trailing piece without a
+  // delimiter is treated as a line.
+  std::vector<std::pair<size_t, size_t>> lines;  // [begin, end) incl. delim
+  size_t begin = 0;
+  while (begin < input.size()) {
+    const void* hit = std::memchr(input.data() + begin, record_delimiter,
+                                  input.size() - begin);
+    const size_t end =
+        hit == nullptr
+            ? input.size()
+            : static_cast<size_t>(static_cast<const char*>(hit) -
+                                  input.data()) +
+                  1;
+    lines.emplace_back(begin, end);
+    begin = end;
+  }
+  local.input_lines = static_cast<int64_t>(lines.size());
+
+  // Parallel match pass.
+  const int64_t n = static_cast<int64_t>(lines.size());
+  std::vector<uint8_t> keep(n, 0);
+  ParallelFor(pool, 0, n, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const std::string_view line =
+          input.substr(lines[i].first, lines[i].second - lines[i].first);
+      keep[i] = line.find(needle) != std::string_view::npos ? 1 : 0;
+    }
+  });
+
+  // Sizes + exclusive prefix sum, then a parallel compaction write — the
+  // same two-pass pattern as the tag step.
+  std::vector<int64_t> sizes(n, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    sizes[i] = keep[i] ? static_cast<int64_t>(lines[i].second -
+                                              lines[i].first)
+                       : 0;
+  }
+  std::vector<int64_t> offsets(n, 0);
+  const int64_t total =
+      ExclusivePrefixSum(pool, sizes.data(), offsets.data(), n);
+  std::string out(static_cast<size_t>(total), '\0');
+  ParallelFor(pool, 0, n, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      if (!keep[i]) continue;
+      std::memcpy(out.data() + offsets[i], input.data() + lines[i].first,
+                  lines[i].second - lines[i].first);
+    }
+  });
+
+  local.kept_bytes = total;
+  for (int64_t i = 0; i < n; ++i) local.kept_lines += keep[i];
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,46 @@
+#ifndef PARPARAW_QUERY_RAW_FILTER_H_
+#define PARPARAW_QUERY_RAW_FILTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// Statistics of a raw prefilter pass.
+struct RawFilterStats {
+  int64_t input_bytes = 0;
+  int64_t kept_bytes = 0;
+  int64_t input_lines = 0;
+  int64_t kept_lines = 0;
+
+  double Selectivity() const {
+    return input_bytes > 0
+               ? static_cast<double>(kept_bytes) / input_bytes
+               : 0.0;
+  }
+};
+
+/// \brief Sparser-style raw filtering ("Filter Before You Parse", §2):
+/// discard raw lines that cannot possibly satisfy a substring predicate
+/// *before* running the full parser, then let the exact predicate re-check
+/// the survivors after parsing (false positives are fine, false negatives
+/// are not).
+///
+/// Contract: applicable to formats whose record delimiter never occurs
+/// inside a record (e.g. the NYC-taxi-style data; NOT quoted yelp text) —
+/// the same restriction the raw-filtering literature carries. Lines are
+/// raw `record_delimiter`-separated spans. Matching is a plain substring
+/// search over each line, parallelised over line blocks.
+Result<std::string> RawFilterLines(std::string_view input,
+                                   std::string_view needle,
+                                   RawFilterStats* stats = nullptr,
+                                   ThreadPool* pool = nullptr,
+                                   uint8_t record_delimiter = '\n');
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_QUERY_RAW_FILTER_H_

@@ -1,0 +1,286 @@
+#include "query/sql.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace parparaw {
+
+namespace {
+
+// --- tokenizer ---
+
+enum class TokenKind {
+  kWord,      // identifier or keyword
+  kNumber,    // bare numeric/temporal literal chunk
+  kString,    // 'quoted literal'
+  kSymbol,    // punctuation / operator
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token token = current_;
+    Advance();
+    return token;
+  }
+
+  bool TakeKeyword(std::string_view keyword) {
+    if (current_.kind == TokenKind::kWord &&
+        EqualsIgnoreCase(current_.text, keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool TakeSymbol(std::string_view symbol) {
+    if (current_.kind == TokenKind::kSymbol && current_.text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) {
+      current_ = {TokenKind::kEnd, ""};
+      return;
+    }
+    const char c = input_[pos_];
+    if (c == '\'') {
+      ++pos_;
+      std::string text;
+      while (pos_ < input_.size() && input_[pos_] != '\'') {
+        text.push_back(input_[pos_++]);
+      }
+      if (pos_ < input_.size()) ++pos_;  // closing quote
+      current_ = {TokenKind::kString, std::move(text)};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        text.push_back(input_[pos_++]);
+      }
+      current_ = {TokenKind::kWord, std::move(text)};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      // Bare literal: digits plus the characters of numbers, dates, and
+      // timestamps (2020-01-01 10:00:00 — the time part needs a space, so
+      // quote timestamps).
+      std::string text;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.' || input_[pos_] == '-' ||
+              input_[pos_] == '+' || input_[pos_] == 'e' ||
+              input_[pos_] == 'E' || input_[pos_] == ':')) {
+        text.push_back(input_[pos_++]);
+      }
+      current_ = {TokenKind::kNumber, std::move(text)};
+      return;
+    }
+    // Multi-char operators first.
+    for (std::string_view op : {"<=", ">=", "!=", "<>"}) {
+      if (input_.substr(pos_, 2) == op) {
+        pos_ += 2;
+        current_ = {TokenKind::kSymbol, std::string(op)};
+        return;
+      }
+    }
+    current_ = {TokenKind::kSymbol, std::string(1, c)};
+    ++pos_;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+// --- parser helpers ---
+
+Result<int> ResolveColumn(const std::string& name, const Schema& schema) {
+  const int index = schema.FieldIndex(name);
+  if (index < 0) {
+    return Status::Invalid("unknown column '" + name + "'");
+  }
+  return index;
+}
+
+Result<AggKind> AggKindFromName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "count")) return AggKind::kCount;
+  if (EqualsIgnoreCase(name, "sum")) return AggKind::kSum;
+  if (EqualsIgnoreCase(name, "min")) return AggKind::kMin;
+  if (EqualsIgnoreCase(name, "max")) return AggKind::kMax;
+  if (EqualsIgnoreCase(name, "mean") || EqualsIgnoreCase(name, "avg")) {
+    return AggKind::kMean;
+  }
+  return Status::Invalid("unknown aggregate '" + name + "'");
+}
+
+Result<CompareOp> OpFromSymbol(const std::string& symbol) {
+  if (symbol == "=") return CompareOp::kEq;
+  if (symbol == "!=" || symbol == "<>") return CompareOp::kNe;
+  if (symbol == "<") return CompareOp::kLt;
+  if (symbol == "<=") return CompareOp::kLe;
+  if (symbol == ">") return CompareOp::kGt;
+  if (symbol == ">=") return CompareOp::kGe;
+  return Status::Invalid("unknown operator '" + symbol + "'");
+}
+
+Status ParseCondition(Lexer* lexer, const Schema& schema, Filter* filter) {
+  Token column_token = lexer->Take();
+  if (column_token.kind != TokenKind::kWord) {
+    return Status::Invalid("expected a column name in WHERE");
+  }
+  PARPARAW_ASSIGN_OR_RETURN(int column,
+                            ResolveColumn(column_token.text, schema));
+  if (lexer->TakeKeyword("IS")) {
+    const bool negated = lexer->TakeKeyword("NOT");
+    if (!lexer->TakeKeyword("NULL")) {
+      return Status::Invalid("expected NULL after IS");
+    }
+    filter->conjuncts.emplace_back(
+        column, negated ? CompareOp::kIsNotNull : CompareOp::kIsNull);
+    return Status::OK();
+  }
+  CompareOp op;
+  if (lexer->TakeKeyword("CONTAINS")) {
+    op = CompareOp::kContains;
+  } else if (lexer->TakeKeyword("STARTSWITH")) {
+    op = CompareOp::kStartsWith;
+  } else {
+    Token op_token = lexer->Take();
+    if (op_token.kind != TokenKind::kSymbol) {
+      return Status::Invalid("expected an operator after '" +
+                             column_token.text + "'");
+    }
+    PARPARAW_ASSIGN_OR_RETURN(op, OpFromSymbol(op_token.text));
+  }
+  Token literal = lexer->Take();
+  if (literal.kind != TokenKind::kString &&
+      literal.kind != TokenKind::kNumber &&
+      literal.kind != TokenKind::kWord) {
+    return Status::Invalid("expected a literal");
+  }
+  filter->conjuncts.emplace_back(column, op, literal.text);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QuerySpec> ParseSql(std::string_view sql, const Schema& schema) {
+  Lexer lexer(sql);
+  QuerySpec spec;
+  if (!lexer.TakeKeyword("SELECT")) {
+    return Status::Invalid("query must start with SELECT");
+  }
+
+  // Select list: '*', columns, or aggregates.
+  bool star = false;
+  if (lexer.TakeSymbol("*")) {
+    star = true;
+  } else {
+    while (true) {
+      Token token = lexer.Take();
+      if (token.kind != TokenKind::kWord) {
+        return Status::Invalid("expected a column or aggregate in SELECT");
+      }
+      if (lexer.TakeSymbol("(")) {
+        // Aggregate call.
+        if (EqualsIgnoreCase(token.text, "count") && lexer.TakeSymbol("*")) {
+          if (!lexer.TakeSymbol(")")) {
+            return Status::Invalid("expected ')'");
+          }
+          spec.aggregates.emplace_back(AggKind::kCountAll);
+        } else {
+          PARPARAW_ASSIGN_OR_RETURN(AggKind kind,
+                                    AggKindFromName(token.text));
+          Token arg = lexer.Take();
+          if (arg.kind != TokenKind::kWord) {
+            return Status::Invalid("expected a column in " + token.text);
+          }
+          PARPARAW_ASSIGN_OR_RETURN(int column,
+                                    ResolveColumn(arg.text, schema));
+          if (!lexer.TakeSymbol(")")) {
+            return Status::Invalid("expected ')'");
+          }
+          spec.aggregates.emplace_back(kind, column);
+        }
+      } else {
+        PARPARAW_ASSIGN_OR_RETURN(int column,
+                                  ResolveColumn(token.text, schema));
+        spec.projection.push_back(column);
+      }
+      if (!lexer.TakeSymbol(",")) break;
+    }
+  }
+  if (!spec.aggregates.empty() && !spec.projection.empty()) {
+    return Status::Invalid(
+        "mixing plain columns and aggregates requires GROUP BY semantics "
+        "this dialect does not support; select either columns or "
+        "aggregates");
+  }
+  if (star) spec.projection.clear();
+
+  if (!lexer.TakeKeyword("FROM")) {
+    return Status::Invalid("expected FROM");
+  }
+  if (lexer.Take().kind != TokenKind::kWord) {
+    return Status::Invalid("expected a table name after FROM");
+  }
+
+  if (lexer.TakeKeyword("WHERE")) {
+    do {
+      PARPARAW_RETURN_NOT_OK(ParseCondition(&lexer, schema, &spec.filter));
+    } while (lexer.TakeKeyword("AND"));
+  }
+
+  if (lexer.TakeKeyword("GROUP")) {
+    if (!lexer.TakeKeyword("BY")) return Status::Invalid("expected BY");
+    Token column = lexer.Take();
+    if (column.kind != TokenKind::kWord) {
+      return Status::Invalid("expected a column after GROUP BY");
+    }
+    PARPARAW_ASSIGN_OR_RETURN(int index,
+                              ResolveColumn(column.text, schema));
+    spec.group_by = index;
+    if (spec.aggregates.empty()) {
+      return Status::Invalid("GROUP BY requires aggregates in SELECT");
+    }
+  }
+
+  if (lexer.Peek().kind != TokenKind::kEnd) {
+    return Status::Invalid("unexpected trailing input: '" +
+                           lexer.Peek().text + "'");
+  }
+  return spec;
+}
+
+Result<Table> ExecuteSql(std::string_view sql, const Table& table,
+                         ThreadPool* pool) {
+  PARPARAW_ASSIGN_OR_RETURN(QuerySpec spec, ParseSql(sql, table.schema));
+  return RunQuery(table, spec, pool);
+}
+
+}  // namespace parparaw

@@ -1,0 +1,38 @@
+#ifndef PARPARAW_QUERY_SQL_H_
+#define PARPARAW_QUERY_SQL_H_
+
+#include <string>
+#include <string_view>
+
+#include "columnar/table.h"
+#include "query/query.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// \brief A miniature SQL dialect over parsed tables, for the interactive
+/// examples and quick exploration:
+///
+///   SELECT <cols | aggs> FROM t [WHERE <conjunction>] [GROUP BY <col>]
+///
+///   cols  := name (',' name)*        -- projection
+///   aggs  := agg (',' agg)*          -- count(*), count(c), sum(c),
+///                                       min(c), max(c), mean(c)/avg(c)
+///   cond  := name op literal | name IS [NOT] NULL |
+///            name CONTAINS 'text' | name STARTSWITH 'text'
+///   op    := = | != | <> | < | <= | > | >=
+///   conjunction := cond (AND cond)*
+///
+/// Literals may be single-quoted ('New York') or bare (42, 1.5,
+/// 2020-01-01). The table name after FROM is syntactic only — the query
+/// always runs against the supplied table. Keywords are case-insensitive;
+/// column names are matched exactly.
+Result<QuerySpec> ParseSql(std::string_view sql, const Schema& schema);
+
+/// Convenience: parse and run in one step.
+Result<Table> ExecuteSql(std::string_view sql, const Table& table,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_QUERY_SQL_H_

@@ -1,0 +1,173 @@
+#include "sim/gpu_sim.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace parparaw {
+
+std::string GpuKernelResult::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s blocks=%-8lld blk/SM=%-2d waves=%-6lld "
+                "compute=%.3fms mem=%.3fms total=%.3fms",
+                name.c_str(), static_cast<long long>(num_blocks),
+                blocks_per_sm, static_cast<long long>(num_waves),
+                compute_seconds * 1e3, memory_seconds * 1e3,
+                total_seconds * 1e3);
+  return buf;
+}
+
+GpuKernelResult GpuSimulator::SimulateKernel(
+    const GpuKernelSpec& kernel) const {
+  GpuKernelResult result;
+  result.name = kernel.name;
+  if (kernel.num_threads <= 0) {
+    result.total_seconds = spec_.kernel_launch_overhead_us * 1e-6;
+    result.blocks_per_sm = kMaxBlocksPerSm;
+    return result;
+  }
+  const int tpb = std::max(1, kernel.threads_per_block);
+  result.num_blocks = (kernel.num_threads + tpb - 1) / tpb;
+
+  // Occupancy: resident blocks per SM limited by the hardware cap and by
+  // shared memory.
+  int blocks_per_sm = kMaxBlocksPerSm;
+  if (kernel.shared_memory_per_block > 0) {
+    blocks_per_sm = std::min(
+        blocks_per_sm, kSharedMemoryPerSm / kernel.shared_memory_per_block);
+    blocks_per_sm = std::max(blocks_per_sm, 1);
+  }
+  result.blocks_per_sm = blocks_per_sm;
+
+  const int64_t concurrent_blocks =
+      static_cast<int64_t>(blocks_per_sm) * spec_.num_sms;
+  result.num_waves =
+      (result.num_blocks + concurrent_blocks - 1) / concurrent_blocks;
+
+  // Per-wave compute: the wave's threads spread over all cores.
+  const int cores_per_sm = std::max(1, spec_.cores / std::max(1, spec_.num_sms));
+  const double wave_threads =
+      static_cast<double>(std::min<int64_t>(concurrent_blocks,
+                                            result.num_blocks)) *
+      tpb;
+  const double core_throughput =
+      static_cast<double>(cores_per_sm) * spec_.num_sms * spec_.clock_ghz *
+      1e9;  // scalar ops/s at 1 cycle each
+  const double wave_compute_seconds =
+      wave_threads * kernel.cycles_per_thread / core_throughput;
+
+  // Per-wave memory: the wave's traffic over the shared bandwidth.
+  const double wave_bytes =
+      wave_threads * (kernel.bytes_read_per_thread +
+                      kernel.bytes_written_per_thread);
+  const double wave_memory_seconds =
+      wave_bytes /
+      (spec_.memory_bandwidth_gbps * 1e9 * spec_.memory_efficiency);
+
+  const double wave_seconds =
+      std::max(wave_compute_seconds, wave_memory_seconds);
+  result.compute_seconds = wave_compute_seconds * result.num_waves;
+  result.memory_seconds = wave_memory_seconds * result.num_waves;
+  result.total_seconds = wave_seconds * result.num_waves +
+                         spec_.kernel_launch_overhead_us * 1e-6;
+  return result;
+}
+
+StepTimings GpuSimulator::SimulatePipeline(
+    const WorkCounters& work, size_t chunk_size, int num_states,
+    int num_columns, std::vector<GpuKernelResult>* kernels) const {
+  StepTimings timings;
+  if (kernels != nullptr) kernels->clear();
+  const int64_t num_chunks =
+      chunk_size > 0 ? (work.input_bytes + chunk_size - 1) /
+                           static_cast<int64_t>(chunk_size)
+                     : 0;
+  auto run = [&](const GpuKernelSpec& spec, double* bucket) {
+    const GpuKernelResult result = SimulateKernel(spec);
+    *bucket += result.total_seconds * 1e3;
+    if (kernels != nullptr) kernels->push_back(result);
+  };
+
+  // Context step: one thread per chunk; each reads its chunk once and
+  // advances |S| DFA instances per byte; writes a state vector. Shared
+  // memory stages the chunk bytes (§5.1's bank-conflict arena).
+  GpuKernelSpec parse;
+  parse.name = "multi-dfa";
+  parse.num_threads = num_chunks;
+  parse.threads_per_block = 128;
+  parse.bytes_read_per_thread = static_cast<int64_t>(chunk_size);
+  parse.bytes_written_per_thread = 8;  // packed state vector
+  parse.cycles_per_thread = static_cast<double>(chunk_size) * num_states *
+                            2.0;  // table lookup + MFIRA update
+  parse.shared_memory_per_block =
+      static_cast<int>(chunk_size) * parse.threads_per_block;
+  run(parse, &timings.parse_ms);
+
+  // Context scan over state vectors (single-pass decoupled look-back).
+  GpuKernelSpec scan;
+  scan.name = "context-scan";
+  scan.num_threads = num_chunks;
+  scan.threads_per_block = 256;
+  scan.bytes_read_per_thread = 16;
+  scan.bytes_written_per_thread = 16;
+  scan.cycles_per_thread = 16;
+  run(scan, &timings.scan_ms);
+
+  // Offsets scans (records + columns).
+  GpuKernelSpec offsets = scan;
+  offsets.name = "offset-scans";
+  offsets.cycles_per_thread = 8;
+  run(offsets, &timings.scan_ms);
+
+  // Bitmap + tag passes: re-read the input, write flags and the tagged
+  // symbol stream.
+  GpuKernelSpec tag;
+  tag.name = "bitmap+tag";
+  tag.num_threads = num_chunks;
+  tag.threads_per_block = 128;
+  tag.bytes_read_per_thread = 2 * static_cast<int64_t>(chunk_size);
+  tag.bytes_written_per_thread =
+      num_chunks > 0 ? work.tag_bytes_written / num_chunks : 0;
+  tag.cycles_per_thread = static_cast<double>(chunk_size) * 4.0;
+  tag.shared_memory_per_block = static_cast<int>(chunk_size) * 128;
+  run(tag, &timings.tag_ms);
+
+  // Partition: radix-sort passes; one thread per 16 symbols per pass.
+  const int64_t symbols =
+      work.sort_passes > 0 ? work.sort_bytes_moved /
+                                 std::max<int64_t>(1, work.sort_passes * 5)
+                           : 0;
+  for (int64_t pass = 0; pass < work.sort_passes; ++pass) {
+    GpuKernelSpec sort;
+    sort.name = "radix-pass-" + std::to_string(pass);
+    sort.num_threads = (symbols + 15) / 16;
+    sort.threads_per_block = 256;
+    sort.bytes_read_per_thread = 16 * 5;
+    sort.bytes_written_per_thread = 16 * 5;
+    sort.cycles_per_thread = 16 * 3.0;
+    sort.shared_memory_per_block = 256 * 4 * 2;  // per-block histogram
+    run(sort, &timings.partition_ms);
+  }
+
+  // Convert: three kernels per column (§5.1: "multiple kernel invocations
+  // per column, required for the CSS-index generation as well as the type
+  // conversion itself").
+  const int64_t convert_threads =
+      std::max<int64_t>(1, work.convert_bytes / 8);
+  for (int c = 0; c < std::max(1, num_columns); ++c) {
+    for (int k = 0; k < 3; ++k) {
+      GpuKernelSpec convert;
+      convert.name = "convert-c" + std::to_string(c);
+      convert.num_threads =
+          convert_threads / std::max(1, num_columns) / 3 + 1;
+      convert.threads_per_block = 128;
+      convert.bytes_read_per_thread = 8;
+      convert.bytes_written_per_thread = 8;
+      convert.cycles_per_thread = 8 * 4.0;
+      run(convert, &timings.convert_ms);
+    }
+  }
+  return timings;
+}
+
+}  // namespace parparaw

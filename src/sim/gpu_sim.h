@@ -1,0 +1,79 @@
+#ifndef PARPARAW_SIM_GPU_SIM_H_
+#define PARPARAW_SIM_GPU_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "sim/device_model.h"
+
+namespace parparaw {
+
+/// \brief One kernel launch in the simulated execution.
+///
+/// Threads are uniform: each reads/writes a fixed number of bytes and
+/// spends a fixed number of arithmetic cycles. Blocks bundle
+/// `threads_per_block` threads and may reserve shared memory, which limits
+/// how many blocks an SM can host concurrently (occupancy).
+struct GpuKernelSpec {
+  std::string name;
+  int64_t num_threads = 0;
+  int threads_per_block = 128;
+  int64_t bytes_read_per_thread = 0;
+  int64_t bytes_written_per_thread = 0;
+  double cycles_per_thread = 0;
+  int shared_memory_per_block = 0;  // bytes
+};
+
+/// Result of simulating one kernel.
+struct GpuKernelResult {
+  std::string name;
+  int64_t num_blocks = 0;
+  int blocks_per_sm = 0;  // concurrent blocks an SM can host
+  int64_t num_waves = 0;  // rounds of concurrent block execution
+  double compute_seconds = 0;
+  double memory_seconds = 0;
+  double total_seconds = 0;  // incl. launch overhead
+
+  std::string ToString() const;
+};
+
+/// \brief Discrete wave-level GPU kernel simulator.
+///
+/// A finer-grained substitute for the roofline DeviceModel: kernels
+/// execute in *waves* of concurrently resident thread blocks. Per wave the
+/// runtime is max(compute, memory) — compute from the SM's cores and
+/// clock, memory from the device bandwidth shared by the wave — so
+/// occupancy effects (shared-memory pressure reducing resident blocks, the
+/// §5.1 "shared-memory bank conflicts and bad occupancy" spikes) become
+/// visible, unlike in a pure roofline.
+class GpuSimulator {
+ public:
+  GpuSimulator() = default;
+  explicit GpuSimulator(DeviceSpec spec) : spec_(spec) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Shared memory available per SM (Pascal: 96 KB).
+  static constexpr int kSharedMemoryPerSm = 96 * 1024;
+  /// Hardware cap on resident blocks per SM.
+  static constexpr int kMaxBlocksPerSm = 32;
+
+  /// Simulates one kernel launch.
+  GpuKernelResult SimulateKernel(const GpuKernelSpec& kernel) const;
+
+  /// Builds the kernel sequence of a ParPaRaw parse from its work counters
+  /// and configuration, simulates every kernel, and buckets the times like
+  /// StepTimings. `kernels` (optional) receives the per-kernel results.
+  StepTimings SimulatePipeline(const WorkCounters& work, size_t chunk_size,
+                               int num_states, int num_columns,
+                               std::vector<GpuKernelResult>* kernels =
+                                   nullptr) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_SIM_GPU_SIM_H_

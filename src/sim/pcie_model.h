@@ -1,0 +1,33 @@
+#ifndef PARPARAW_SIM_PCIE_MODEL_H_
+#define PARPARAW_SIM_PCIE_MODEL_H_
+
+#include <cstdint>
+
+namespace parparaw {
+
+/// \brief Analytical model of a full-duplex PCIe 3.0 x16 link (§4.4).
+///
+/// Host-to-device and device-to-host directions are independent channels
+/// that sustain their peak bandwidth simultaneously — the property the
+/// streaming pipeline exploits to hide transfer latency.
+struct PcieModel {
+  double h2d_bandwidth_gbps = 12.0;
+  double d2h_bandwidth_gbps = 12.0;
+  /// Fixed per-transfer setup cost (DMA descriptor + doorbell).
+  double latency_us = 10.0;
+
+  /// Seconds to move `bytes` host-to-device.
+  double H2dSeconds(int64_t bytes) const {
+    return latency_us * 1e-6 +
+           static_cast<double>(bytes) / (h2d_bandwidth_gbps * 1e9);
+  }
+  /// Seconds to move `bytes` device-to-host.
+  double D2hSeconds(int64_t bytes) const {
+    return latency_us * 1e-6 +
+           static_cast<double>(bytes) / (d2h_bandwidth_gbps * 1e9);
+  }
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_SIM_PCIE_MODEL_H_

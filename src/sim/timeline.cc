@@ -1,0 +1,128 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace parparaw {
+
+StreamingTimeline StreamingTimeline::Schedule(
+    const std::vector<PartitionStages>& stages) {
+  StreamingTimeline timeline;
+  const int n = static_cast<int>(stages.size());
+  timeline.transfers.resize(n);
+  timeline.parses.resize(n);
+  timeline.returns.resize(n);
+
+  double h2d_free = 0;
+  double gpu_free = 0;
+  double d2h_free = 0;
+  // When each double-buffer half's input/data allocation becomes reusable.
+  double input_free[2] = {0, 0};
+  double data_free[2] = {0, 0};
+  // When the carry-over for partition p (copied out of p-1's input buffer
+  // right after parse(p-1)) is ready.
+  double carry_ready = 0;
+
+  for (int p = 0; p < n; ++p) {
+    const int b = p % 2;
+    // transfer(p): channel + this half's input buffer.
+    const double t_start = std::max(h2d_free, input_free[b]);
+    const double t_end = t_start + stages[p].h2d_seconds;
+    h2d_free = t_end;
+    timeline.transfers[p] = {p, t_start, t_end};
+
+    // parse(p): GPU + transferred input + carry-over + this half's data
+    // buffer (still draining to the host from p-2).
+    const double p_start =
+        std::max({gpu_free, t_end, carry_ready, data_free[b]});
+    const double p_end = p_start + stages[p].parse_seconds;
+    gpu_free = p_end;
+    timeline.parses[p] = {p, p_start, p_end};
+
+    // After parse(p), the carry-over for p+1 is copied out of this half's
+    // input buffer; only then may transfer(p+2) overwrite it.
+    const double copy_end = p_end + stages[p].carry_copy_seconds;
+    carry_ready = copy_end;
+    input_free[b] = copy_end;
+
+    // return(p): channel + parsed data.
+    const double r_start = std::max(d2h_free, p_end);
+    const double r_end = r_start + stages[p].d2h_seconds;
+    d2h_free = r_end;
+    data_free[b] = r_end;
+    timeline.returns[p] = {p, r_start, r_end};
+
+    timeline.makespan = std::max(timeline.makespan, r_end);
+  }
+  return timeline;
+}
+
+StreamingTimeline StreamingTimeline::ScheduleMultiDevice(
+    const std::vector<PartitionStages>& stages, int num_devices) {
+  StreamingTimeline timeline;
+  const int n = static_cast<int>(stages.size());
+  if (num_devices < 1) num_devices = 1;
+  timeline.transfers.resize(n);
+  timeline.parses.resize(n);
+  timeline.returns.resize(n);
+
+  struct DeviceState {
+    double h2d_free = 0;
+    double gpu_free = 0;
+    double d2h_free = 0;
+    double input_free[2] = {0, 0};
+    double data_free[2] = {0, 0};
+  };
+  std::vector<DeviceState> devices(num_devices);
+  // Carry-over readiness chains partitions globally, across devices.
+  double carry_ready = 0;
+
+  for (int p = 0; p < n; ++p) {
+    DeviceState& dev = devices[p % num_devices];
+    const int b = (p / num_devices) % 2;
+
+    const double t_start = std::max(dev.h2d_free, dev.input_free[b]);
+    const double t_end = t_start + stages[p].h2d_seconds;
+    dev.h2d_free = t_end;
+    timeline.transfers[p] = {p, t_start, t_end};
+
+    const double p_start =
+        std::max({dev.gpu_free, t_end, carry_ready, dev.data_free[b]});
+    const double p_end = p_start + stages[p].parse_seconds;
+    dev.gpu_free = p_end;
+    timeline.parses[p] = {p, p_start, p_end};
+
+    const double copy_end = p_end + stages[p].carry_copy_seconds;
+    carry_ready = copy_end;
+    dev.input_free[b] = copy_end;
+
+    const double r_start = std::max(dev.d2h_free, p_end);
+    const double r_end = r_start + stages[p].d2h_seconds;
+    dev.d2h_free = r_end;
+    dev.data_free[b] = r_end;
+    timeline.returns[p] = {p, r_start, r_end};
+
+    timeline.makespan = std::max(timeline.makespan, r_end);
+  }
+  return timeline;
+}
+
+std::string StreamingTimeline::ToString() const {
+  std::string out;
+  char buf[128];
+  auto append = [&](const char* name, const std::vector<StageInterval>& v) {
+    for (const StageInterval& s : v) {
+      std::snprintf(buf, sizeof(buf), "  %-8s p%-3d [%8.3f ms, %8.3f ms)\n",
+                    name, s.partition, s.start * 1e3, s.end * 1e3);
+      out += buf;
+    }
+  };
+  append("transfer", transfers);
+  append("parse", parses);
+  append("return", returns);
+  std::snprintf(buf, sizeof(buf), "  makespan %8.3f ms\n", makespan * 1e3);
+  out += buf;
+  return out;
+}
+
+}  // namespace parparaw

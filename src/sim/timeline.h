@@ -1,0 +1,62 @@
+#ifndef PARPARAW_SIM_TIMELINE_H_
+#define PARPARAW_SIM_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+namespace parparaw {
+
+/// Per-partition stage durations fed to the streaming timeline (seconds).
+struct PartitionStages {
+  double h2d_seconds = 0;    ///< transfer: host -> GPU input buffer
+  double parse_seconds = 0;  ///< parse: GPU pipeline over carry-over + input
+  double d2h_seconds = 0;    ///< return: GPU data buffer -> host
+  double carry_copy_seconds = 0;  ///< copy c/o: trailing record to the
+                                  ///< opposing buffer
+};
+
+/// Scheduled interval of one stage.
+struct StageInterval {
+  int partition = 0;
+  double start = 0;
+  double end = 0;
+};
+
+/// \brief Event-driven schedule of the double-buffered streaming pipeline
+/// (Fig. 7).
+///
+/// Resources: the H2D channel, the GPU, and the D2H channel, plus the two
+/// double-buffer halves. Dependencies reproduced from the figure:
+///  * transfer(p) needs the H2D channel and buffer (p mod 2)'s input
+///    allocation, which is busy until parse(p-2) *and* the carry-over copy
+///    reading from it (issued after parse(p-2)) have finished;
+///  * parse(p) needs the GPU, transfer(p), the carry-over copy of p, and
+///    buffer (p mod 2)'s data allocation (busy until return(p-2));
+///  * return(p) needs the D2H channel and parse(p).
+struct StreamingTimeline {
+  std::vector<StageInterval> transfers;
+  std::vector<StageInterval> parses;
+  std::vector<StageInterval> returns;
+  double makespan = 0;
+
+  /// Computes the schedule for the given per-partition stage durations.
+  static StreamingTimeline Schedule(const std::vector<PartitionStages>& stages);
+
+  /// \brief Multi-device schedule: partitions are distributed round-robin
+  /// over `num_devices` GPUs, each with its own interconnect channels and
+  /// double buffer (the §1 outlook of package-level multi-GPU modules).
+  ///
+  /// Carry-over couples consecutive partitions: parse(p) cannot start
+  /// before parse(p-1)'s carry-over copy has finished, even across
+  /// devices — the cross-device dependency that bounds multi-GPU scaling
+  /// for this workload.
+  static StreamingTimeline ScheduleMultiDevice(
+      const std::vector<PartitionStages>& stages, int num_devices);
+
+  /// Multi-line ASCII rendering (for examples and EXPERIMENTS.md).
+  std::string ToString() const;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_SIM_TIMELINE_H_

@@ -1,0 +1,151 @@
+#include "stream/streaming_parser.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "io/file.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+namespace {
+
+// Shared per-partition machinery for the in-memory and file-backed entry
+// points: feeds carry-over + partition bytes to the parser, collects the
+// partition table, and derives the Fig. 7 stage durations.
+class PartitionSession {
+ public:
+  explicit PartitionSession(const StreamingOptions& options)
+      : options_(options), device_(options.device) {
+    num_states_ = options.base.format.dfa.num_states() > 0
+                      ? options.base.format.dfa.num_states()
+                      : 6;  // RFC 4180 default
+  }
+
+  Status ProcessPartition(std::string_view partition, bool is_last) {
+    std::string buffer;
+    buffer.reserve(carry_.size() + partition.size());
+    buffer.append(carry_);
+    buffer.append(partition);
+
+    ParseOptions partition_options = options_.base;
+    partition_options.exclude_trailing_record = !is_last;
+    PARPARAW_ASSIGN_OR_RETURN(ParseOutput out,
+                              Parser::Parse(buffer, partition_options));
+    if (!is_last) {
+      if (out.remainder_offset < 0 ||
+          out.remainder_offset > static_cast<int64_t>(buffer.size())) {
+        return Status::Internal("streaming remainder out of range");
+      }
+      // A record larger than a partition simply keeps accumulating into
+      // the carry-over until its delimiter arrives (the skewed-input case
+      // of Fig. 11).
+      carry_ = buffer.substr(static_cast<size_t>(out.remainder_offset));
+    } else {
+      carry_.clear();
+    }
+
+    PartitionStages stage;
+    stage.h2d_seconds =
+        options_.pcie.H2dSeconds(static_cast<int64_t>(partition.size()));
+    stage.d2h_seconds =
+        options_.pcie.D2hSeconds(out.table.TotalBufferBytes());
+    stage.carry_copy_seconds =
+        device_.MemorySeconds(2 * static_cast<int64_t>(carry_.size()));
+    if (options_.model_parse_stage) {
+      stage.parse_seconds =
+          device_
+              .ModelPipeline(out.work, out.table.num_columns(), num_states_)
+              .TotalMs() /
+          1e3;
+    } else {
+      stage.parse_seconds = out.timings.TotalMs() / 1e3;
+    }
+    stages_.push_back(stage);
+
+    result_.timings += out.timings;
+    result_.work += out.work;
+    tables_.push_back(std::move(out.table));
+    ++result_.num_partitions;
+    return Status::OK();
+  }
+
+  Result<StreamingResult> Finish(double wall_seconds) {
+    result_.wall_seconds = wall_seconds;
+    for (size_t i = 1; i < tables_.size(); ++i) {
+      if (tables_[i].schema.num_fields() != tables_[0].schema.num_fields()) {
+        return Status::ParseError(
+            "partitions observed different column counts; provide a schema "
+            "for streaming parses");
+      }
+    }
+    result_.table = ConcatTables(tables_);
+    result_.timeline = StreamingTimeline::Schedule(stages_);
+    result_.modeled_end_to_end_seconds = result_.timeline.makespan;
+    for (const PartitionStages& s : stages_) {
+      result_.modeled_serial_seconds += s.h2d_seconds + s.parse_seconds +
+                                        s.d2h_seconds +
+                                        s.carry_copy_seconds;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  const StreamingOptions& options_;
+  DeviceModel device_;
+  int num_states_;
+  std::string carry_;
+  std::vector<Table> tables_;
+  std::vector<PartitionStages> stages_;
+  StreamingResult result_;
+};
+
+}  // namespace
+
+Result<StreamingResult> StreamingParser::Parse(
+    std::string_view input, const StreamingOptions& options) {
+  if (options.partition_size == 0) {
+    return Status::Invalid("partition size must be positive");
+  }
+  PartitionSession session(options);
+  Stopwatch wall;
+  if (input.empty()) return session.Finish(0.0);
+  size_t pos = 0;
+  do {
+    const size_t take = std::min(options.partition_size, input.size() - pos);
+    const bool is_last = (pos + take == input.size());
+    PARPARAW_RETURN_NOT_OK(
+        session.ProcessPartition(input.substr(pos, take), is_last));
+    pos += take;
+    if (is_last) break;
+  } while (true);
+  return session.Finish(wall.ElapsedSeconds());
+}
+
+Result<StreamingResult> StreamingParser::ParseFile(
+    const std::string& path, const StreamingOptions& options) {
+  if (options.partition_size == 0) {
+    return Status::Invalid("partition size must be positive");
+  }
+  FileChunkReader reader;
+  PARPARAW_RETURN_NOT_OK(reader.Open(path));
+  PartitionSession session(options);
+  Stopwatch wall;
+  if (reader.file_size() == 0) return session.Finish(0.0);
+  int64_t consumed = 0;
+  std::string partition;
+  while (true) {
+    bool eof = false;
+    PARPARAW_RETURN_NOT_OK(
+        reader.ReadNext(options.partition_size, &partition, &eof));
+    consumed += static_cast<int64_t>(partition.size());
+    const bool is_last = eof || consumed >= reader.file_size();
+    PARPARAW_RETURN_NOT_OK(session.ProcessPartition(partition, is_last));
+    if (is_last) break;
+  }
+  return session.Finish(wall.ElapsedSeconds());
+}
+
+}  // namespace parparaw

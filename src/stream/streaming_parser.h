@@ -1,0 +1,69 @@
+#ifndef PARPARAW_STREAM_STREAMING_PARSER_H_
+#define PARPARAW_STREAM_STREAMING_PARSER_H_
+
+#include <string_view>
+
+#include "core/options.h"
+#include "sim/device_model.h"
+#include "sim/pcie_model.h"
+#include "sim/timeline.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// Configuration of the end-to-end streaming parse (§4.4).
+struct StreamingOptions {
+  /// Per-partition parse configuration. A schema is recommended (without
+  /// one, every partition must observe the same column count).
+  ParseOptions base;
+  /// Bytes per partition; Fig. 12 sweeps 4 MB - 512 MB.
+  size_t partition_size = 64 * 1024 * 1024;
+  /// Interconnect model used for the transfer/return stages.
+  PcieModel pcie;
+  /// Device model used for the modelled parse-stage durations.
+  DeviceSpec device;
+  /// When true (default), the timeline's parse stages use the analytical
+  /// device model; when false they use the measured CPU wall time of each
+  /// partition's parse (useful for CPU-substrate-relative comparisons).
+  bool model_parse_stage = true;
+};
+
+/// Result of a streaming parse.
+struct StreamingResult {
+  Table table;
+  /// The modelled Fig. 7 schedule: overlapped transfer/parse/return.
+  StreamingTimeline timeline;
+  /// Modelled end-to-end seconds (the timeline's makespan).
+  double modeled_end_to_end_seconds = 0;
+  /// Sum of the modelled stage times without any overlap (what a
+  /// transfer-then-parse-then-return execution would cost).
+  double modeled_serial_seconds = 0;
+  /// Actual CPU wall time spent parsing all partitions.
+  double wall_seconds = 0;
+  int num_partitions = 0;
+  StepTimings timings;
+  WorkCounters work;
+};
+
+/// \brief End-to-end streaming parser (§4.4, Fig. 7).
+///
+/// Splits the input into fixed-size partitions. Each partition is parsed
+/// with the trailing incomplete record excluded; those remainder bytes are
+/// prepended to the next partition as the carry-over, exactly like the
+/// double-buffered GPU pipeline. Transfers are modelled with the PCIe
+/// model and the overlapped schedule is computed by StreamingTimeline.
+class StreamingParser {
+ public:
+  static Result<StreamingResult> Parse(std::string_view input,
+                                       const StreamingOptions& options);
+
+  /// Streams a file from disk partition by partition with bounded memory:
+  /// at any time only one partition plus its carry-over is resident (the
+  /// parsed columnar output still accumulates in memory).
+  static Result<StreamingResult> ParseFile(const std::string& path,
+                                           const StreamingOptions& options);
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_STREAM_STREAMING_PARSER_H_

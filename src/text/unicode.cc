@@ -1,0 +1,148 @@
+#include "text/unicode.h"
+
+#include <cstring>
+#include <vector>
+
+#include "parallel/scan.h"
+#include "util/bit_util.h"
+
+namespace parparaw {
+
+int Utf8SequenceLength(uint8_t lead) {
+  if ((lead & 0x80) == 0x00) return 1;
+  if ((lead & 0xE0) == 0xC0) return 2;
+  if ((lead & 0xF0) == 0xE0) return 3;
+  if ((lead & 0xF8) == 0xF0) return 4;
+  return 0;
+}
+
+size_t AdjustChunkBeginUtf8(const uint8_t* data, size_t size, size_t pos) {
+  // At most three continuation bytes can precede a lead byte.
+  size_t p = pos;
+  while (p < size && p < pos + 3 && IsUtf8ContinuationByte(data[p])) ++p;
+  return p;
+}
+
+namespace {
+
+inline uint16_t ReadUnitLe(const uint8_t* data, size_t byte_pos) {
+  return static_cast<uint16_t>(data[byte_pos] |
+                               (static_cast<uint16_t>(data[byte_pos + 1])
+                                << 8));
+}
+
+}  // namespace
+
+size_t AdjustChunkBeginUtf16Le(const uint8_t* data, size_t size, size_t pos) {
+  size_t p = pos + (pos & 1);  // align to a unit boundary
+  if (p + 1 < size && IsUtf16LowSurrogate(ReadUnitLe(data, p))) {
+    p += 2;  // trailing half of a surrogate pair owned by the previous chunk
+  }
+  return p;
+}
+
+int EncodeUtf8(uint32_t cp, uint8_t* out) {
+  if (cp < 0x80) {
+    out[0] = static_cast<uint8_t>(cp);
+    return 1;
+  }
+  if (cp < 0x800) {
+    out[0] = static_cast<uint8_t>(0xC0 | (cp >> 6));
+    out[1] = static_cast<uint8_t>(0x80 | (cp & 0x3F));
+    return 2;
+  }
+  if (cp < 0x10000) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) return 0;  // surrogate range
+    out[0] = static_cast<uint8_t>(0xE0 | (cp >> 12));
+    out[1] = static_cast<uint8_t>(0x80 | ((cp >> 6) & 0x3F));
+    out[2] = static_cast<uint8_t>(0x80 | (cp & 0x3F));
+    return 3;
+  }
+  if (cp <= 0x10FFFF) {
+    out[0] = static_cast<uint8_t>(0xF0 | (cp >> 18));
+    out[1] = static_cast<uint8_t>(0x80 | ((cp >> 12) & 0x3F));
+    out[2] = static_cast<uint8_t>(0x80 | ((cp >> 6) & 0x3F));
+    out[3] = static_cast<uint8_t>(0x80 | (cp & 0x3F));
+    return 4;
+  }
+  return 0;
+}
+
+Result<std::string> TranscodeUtf16LeToUtf8(ThreadPool* pool,
+                                           std::string_view utf16_bytes,
+                                           size_t chunk_size) {
+  if (utf16_bytes.size() % 2 != 0) {
+    return Status::Invalid("UTF-16 input must have an even byte length");
+  }
+  const auto* data = reinterpret_cast<const uint8_t*>(utf16_bytes.data());
+  const size_t size = utf16_bytes.size();
+  if (size == 0) return std::string();
+  chunk_size += chunk_size & 1;  // keep chunk boundaries unit-aligned
+  const int64_t num_chunks =
+      static_cast<int64_t>(bit_util::CeilDiv(size, chunk_size));
+
+  // Pass 1: per-chunk UTF-8 output size, honouring the §4.2 boundary rule
+  // (a chunk owns the code points *starting* inside it).
+  std::vector<int64_t> out_sizes(num_chunks, 0);
+  std::vector<uint8_t> errors(num_chunks, 0);
+  auto process_chunk = [&](int64_t c, uint8_t* out, int64_t* out_bytes) {
+    const size_t raw_begin = static_cast<size_t>(c) * chunk_size;
+    const size_t raw_end = std::min(raw_begin + chunk_size, size);
+    size_t p = AdjustChunkBeginUtf16Le(data, size, raw_begin);
+    int64_t written = 0;
+    while (p < raw_end) {
+      const uint16_t unit = ReadUnitLe(data, p);
+      uint32_t cp;
+      if (IsUtf16HighSurrogate(unit)) {
+        if (p + 3 >= size || !IsUtf16LowSurrogate(ReadUnitLe(data, p + 2))) {
+          errors[c] = 1;
+          return;
+        }
+        const uint16_t low = ReadUnitLe(data, p + 2);
+        cp = 0x10000 + ((static_cast<uint32_t>(unit) - 0xD800) << 10) +
+             (low - 0xDC00);
+        p += 4;  // may read past raw_end; the next chunk skips the low half
+      } else if (IsUtf16LowSurrogate(unit)) {
+        errors[c] = 1;  // unpaired low surrogate at a code-point start
+        return;
+      } else {
+        cp = unit;
+        p += 2;
+      }
+      uint8_t buf[4];
+      const int n = EncodeUtf8(cp, buf);
+      if (n == 0) {
+        errors[c] = 1;
+        return;
+      }
+      if (out != nullptr) std::memcpy(out + written, buf, n);
+      written += n;
+    }
+    *out_bytes = written;
+  };
+
+  ParallelForEach(pool, 0, num_chunks, [&](int64_t c) {
+    process_chunk(c, nullptr, &out_sizes[c]);
+  });
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    if (errors[c]) {
+      return Status::ParseError("invalid UTF-16 surrogate sequence");
+    }
+  }
+
+  // Exclusive prefix sum gives each chunk's output offset.
+  std::vector<int64_t> offsets(num_chunks, 0);
+  const int64_t total =
+      ExclusivePrefixSum(pool, out_sizes.data(), offsets.data(), num_chunks);
+
+  // Pass 2: parallel write.
+  std::string out(static_cast<size_t>(total), '\0');
+  ParallelForEach(pool, 0, num_chunks, [&](int64_t c) {
+    int64_t written = 0;
+    process_chunk(c, reinterpret_cast<uint8_t*>(out.data()) + offsets[c],
+                  &written);
+  });
+  return out;
+}
+
+}  // namespace parparaw

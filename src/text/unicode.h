@@ -1,0 +1,76 @@
+#ifndef PARPARAW_TEXT_UNICODE_H_
+#define PARPARAW_TEXT_UNICODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "parallel/thread_pool.h"
+#include "util/result.h"
+
+namespace parparaw {
+
+/// Input text encodings (§4.2 "Variable-Length Symbols").
+///
+/// The parser's chunked passes are byte-oriented, which is exact for ASCII
+/// and for UTF-8 with ASCII control symbols: UTF-8 continuation bytes all
+/// carry the 0b10xxxxxx prefix, can never collide with ASCII delimiters,
+/// and act as plain field data in every DFA state, so a chunk boundary in
+/// the middle of a code point is harmless to the DFA while the CSS keeps
+/// every byte. UTF-16 input is transcoded to UTF-8 by a data-parallel
+/// pre-pass that applies the paper's chunk-boundary rule (skip a leading
+/// low surrogate, the thread owning the leading unit reads across the
+/// boundary).
+enum class TextEncoding : uint8_t {
+  kAscii,
+  kUtf8,
+  kUtf16Le,
+};
+
+/// True for UTF-8 continuation bytes (binary prefix 0b10xxxxxx).
+inline bool IsUtf8ContinuationByte(uint8_t byte) {
+  return (byte & 0xC0) == 0x80;
+}
+
+/// Length in bytes of the UTF-8 sequence introduced by `lead` (1-4), or 0
+/// for a continuation/invalid lead byte.
+int Utf8SequenceLength(uint8_t lead);
+
+/// First code-point start at or after `pos` (§4.2: "threads simply ignore a
+/// chunk's first few bytes with that binary prefix"). Clamped to `size`.
+size_t AdjustChunkBeginUtf8(const uint8_t* data, size_t size, size_t pos);
+
+/// True for a UTF-16 low surrogate code unit (0xDC00-0xDFFF).
+inline bool IsUtf16LowSurrogate(uint16_t unit) {
+  return unit >= 0xDC00 && unit <= 0xDFFF;
+}
+
+/// True for a UTF-16 high surrogate code unit (0xD800-0xDBFF).
+inline bool IsUtf16HighSurrogate(uint16_t unit) {
+  return unit >= 0xD800 && unit <= 0xDBFF;
+}
+
+/// First code-point start (in bytes, always even) at or after byte `pos` in
+/// little-endian UTF-16 (§4.2: "a thread ignores a chunk's first two bytes
+/// if their value is in the range of 0xDC00 to 0xDFFF").
+size_t AdjustChunkBeginUtf16Le(const uint8_t* data, size_t size, size_t pos);
+
+/// Encodes `code_point` as UTF-8 into `out` (up to 4 bytes); returns the
+/// number of bytes written, 0 for invalid code points.
+int EncodeUtf8(uint32_t code_point, uint8_t* out);
+
+/// \brief Data-parallel UTF-16LE to UTF-8 transcoder.
+///
+/// Splits the input into chunks, adjusts each chunk's start with
+/// AdjustChunkBeginUtf16Le, sizes the output with a per-chunk count pass
+/// plus an exclusive prefix sum, then writes in parallel — the same
+/// two-pass compaction pattern as the parser's tag step. Unpaired
+/// surrogates are an error.
+Result<std::string> TranscodeUtf16LeToUtf8(ThreadPool* pool,
+                                           std::string_view utf16_bytes,
+                                           size_t chunk_size = 4096);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_TEXT_UNICODE_H_

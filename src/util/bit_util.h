@@ -1,0 +1,131 @@
+#ifndef PARPARAW_UTIL_BIT_UTIL_H_
+#define PARPARAW_UTIL_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace parparaw::bit_util {
+
+/// Number of set bits in a 64-bit word (the GPU `popc` intrinsic).
+inline int PopCount(uint64_t v) { return std::popcount(v); }
+
+/// Position of the most-significant set bit, or -1 when v == 0.
+/// Equivalent to the PTX `bfind` intrinsic used by the paper's SWAR matcher.
+inline int FindMsb(uint32_t v) {
+  if (v == 0) return -1;
+  return 31 - std::countl_zero(v);
+}
+
+/// Position of the least-significant set bit, or -1 when v == 0 (the PTX
+/// ffs/brev+bfind idiom).
+inline int FindLsb(uint32_t v) {
+  if (v == 0) return -1;
+  return std::countr_zero(v);
+}
+
+/// Bit-field extract: returns `len` bits of `word` starting at bit `pos`
+/// (the PTX BFE intrinsic). pos + len must be <= 32; len in [0, 32].
+inline uint32_t BitFieldExtract(uint32_t word, uint32_t pos, uint32_t len) {
+  if (len == 0) return 0;
+  if (len >= 32) return word >> pos;
+  return (word >> pos) & ((1u << len) - 1u);
+}
+
+/// Bit-field insert: returns `word` with `len` bits starting at `pos`
+/// replaced by the low bits of `bits` (the PTX BFI intrinsic).
+inline uint32_t BitFieldInsert(uint32_t word, uint32_t bits, uint32_t pos,
+                               uint32_t len) {
+  if (len == 0) return word;
+  uint32_t mask = (len >= 32) ? ~0u : ((1u << len) - 1u);
+  mask <<= pos;
+  return (word & ~mask) | ((bits << pos) & mask);
+}
+
+/// True iff v is a power of two (v != 0).
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t v) { return std::bit_ceil(v); }
+
+/// Largest power of two <= v (v >= 1).
+inline uint64_t PrevPowerOfTwo(uint64_t v) { return std::bit_floor(v); }
+
+/// floor(log2(v)) for v >= 1.
+inline int Log2Floor(uint64_t v) { return 63 - std::countl_zero(v); }
+
+/// Rounds v up to the next multiple of `multiple` (multiple >= 1).
+inline size_t RoundUp(size_t v, size_t multiple) {
+  return ((v + multiple - 1) / multiple) * multiple;
+}
+
+/// Ceiling division for non-negative integers.
+inline size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+/// \brief A compact bitmap with word-level access, used for the paper's
+/// three per-symbol bitmap indexes (record delimiter / field delimiter /
+/// control symbol) and for column validity.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits)
+      : num_bits_(num_bits), words_(CeilDiv(num_bits, 64), 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign(CeilDiv(num_bits, 64), 0);
+  }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void SetTo(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Number of set bits in [0, size).
+  size_t CountSet() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += PopCount(w);
+    return n;
+  }
+
+  /// Number of set bits in the half-open bit range [begin, end).
+  size_t CountSetInRange(size_t begin, size_t end) const;
+
+  /// Index of the last set bit in [begin, end), or -1 if none.
+  int64_t FindLastSetInRange(size_t begin, size_t end) const;
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+inline size_t Bitmap::CountSetInRange(size_t begin, size_t end) const {
+  size_t n = 0;
+  for (size_t i = begin; i < end; ++i) n += Get(i);
+  return n;
+}
+
+inline int64_t Bitmap::FindLastSetInRange(size_t begin, size_t end) const {
+  for (size_t i = end; i > begin; --i) {
+    if (Get(i - 1)) return static_cast<int64_t>(i - 1);
+  }
+  return -1;
+}
+
+}  // namespace parparaw::bit_util
+
+#endif  // PARPARAW_UTIL_BIT_UTIL_H_

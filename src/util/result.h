@@ -1,0 +1,83 @@
+#ifndef PARPARAW_UTIL_RESULT_H_
+#define PARPARAW_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace parparaw {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// The counterpart to Status for value-returning fallible operations,
+/// mirroring arrow::Result. An engaged Result is guaranteed to hold either a
+/// value or a non-OK status; constructing one from an OK status is a
+/// programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    assert(!std::get<Status>(storage_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  /// Accessors; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::get<T>(std::move(storage_));
+    return alternative;
+  }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace parparaw
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. Usage: PARPARAW_ASSIGN_OR_RETURN(auto x, MakeX());
+#define PARPARAW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define PARPARAW_CONCAT_INNER(x, y) x##y
+#define PARPARAW_CONCAT(x, y) PARPARAW_CONCAT_INNER(x, y)
+
+#define PARPARAW_ASSIGN_OR_RETURN(lhs, expr) \
+  PARPARAW_ASSIGN_OR_RETURN_IMPL(            \
+      PARPARAW_CONCAT(_parparaw_result_, __LINE__), lhs, expr)
+
+#endif  // PARPARAW_UTIL_RESULT_H_

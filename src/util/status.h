@@ -1,0 +1,90 @@
+#ifndef PARPARAW_UTIL_STATUS_H_
+#define PARPARAW_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace parparaw {
+
+/// \brief Machine-readable category of an error.
+///
+/// Mirrors the Status idiom used by Arrow and RocksDB: the library never
+/// throws; every fallible operation returns a Status (or a Result<T>, see
+/// result.h) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kTypeError,
+  kOutOfRange,
+  kNotImplemented,
+  kIoError,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (no allocation); error construction
+/// allocates only for the message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "<code name>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace parparaw
+
+/// Propagates a non-OK Status to the caller.
+#define PARPARAW_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::parparaw::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#endif  // PARPARAW_UTIL_STATUS_H_

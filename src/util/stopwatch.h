@@ -1,0 +1,39 @@
+#ifndef PARPARAW_UTIL_STOPWATCH_H_
+#define PARPARAW_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace parparaw {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses and
+/// the per-step breakdown instrumentation (Fig. 9/11).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_UTIL_STOPWATCH_H_

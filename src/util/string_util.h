@@ -1,0 +1,28 @@
+#ifndef PARPARAW_UTIL_STRING_UTIL_H_
+#define PARPARAW_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parparaw {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Formats a byte count as a human-readable string ("4.8 GB", "512 MB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a throughput in GB/s with two decimals.
+std::string FormatThroughput(uint64_t bytes, double seconds);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_UTIL_STRING_UTIL_H_

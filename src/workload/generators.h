@@ -1,0 +1,77 @@
+#ifndef PARPARAW_WORKLOAD_GENERATORS_H_
+#define PARPARAW_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/schema.h"
+
+namespace parparaw {
+
+/// Deterministic synthetic dataset generators standing in for the paper's
+/// evaluation datasets (see DESIGN.md §2 for the substitution rationale).
+/// All generators are seeded and reproducible.
+
+/// \brief yelp-reviews-like CSV (§5): 9 columns, every field enclosed in
+/// double-quotes, long text reviews containing commas, newlines, and
+/// escaped ("") quotes; ~720 bytes per record on average. Columns:
+/// review_id, user_id, business_id, stars(int), useful(int), funny(int),
+/// cool(int), text(string), date(timestamp).
+std::string GenerateYelpLike(uint64_t seed, size_t target_bytes);
+
+/// Schema matching GenerateYelpLike's columns.
+Schema YelpSchema();
+
+/// \brief NYC-taxi-trips-like CSV (§5): 17 numeric/temporal columns,
+/// ~88 bytes per record and ~5.2 bytes per field, unquoted — the emphasis
+/// is on data type conversion.
+std::string GenerateTaxiLike(uint64_t seed, size_t target_bytes);
+
+/// Schema matching GenerateTaxiLike's columns.
+Schema TaxiSchema();
+
+/// \brief Skew variant (Fig. 11 right): the base dataset with one single
+/// record whose text field is `giant_field_bytes` long inserted in the
+/// middle. `yelp_like` selects which base generator is used.
+std::string GenerateSkewed(uint64_t seed, size_t target_bytes,
+                           size_t giant_field_bytes, bool yelp_like);
+
+/// Options for the randomised CSV generator driving the property tests.
+struct RandomCsvOptions {
+  int num_records = 100;
+  int num_columns = 5;
+  /// Probability that a field is double-quoted.
+  double quote_probability = 0.3;
+  /// Probability that a quoted field embeds a delimiter or newline.
+  double embedded_delimiter_probability = 0.3;
+  /// Probability that a quoted field embeds an escaped quote ("").
+  double escaped_quote_probability = 0.2;
+  /// Probability that a record has a deviating column count (ragged).
+  double ragged_probability = 0.0;
+  /// Probability that a field is empty.
+  double empty_probability = 0.1;
+  int max_field_length = 24;
+  /// End the input with a record delimiter (false exercises the trailing-
+  /// record path).
+  bool trailing_newline = true;
+};
+
+/// Adversarial RFC 4180 CSV for property tests: quoted fields with
+/// embedded delimiters/newlines/escapes, empty fields, ragged records.
+std::string GenerateRandomCsv(uint64_t seed, const RandomCsvOptions& options);
+
+/// Log-file-like input for the Extended Log Format DFA: space-delimited
+/// fields, '#' directive lines, quoted strings.
+std::string GenerateLogLike(uint64_t seed, size_t target_bytes);
+
+/// TPC-H lineitem-like pipe-separated data (16 columns: integers,
+/// decimals, flags, dates, free text) — the classic bulk-loading workload
+/// for DSV formats beyond comma-separated CSV.
+std::string GenerateLineitemLike(uint64_t seed, size_t target_bytes);
+
+/// Schema matching GenerateLineitemLike's columns.
+Schema LineitemSchema();
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_WORKLOAD_GENERATORS_H_

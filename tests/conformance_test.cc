@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/sequential_parser.h"
+#include "core/parser.h"
+
+namespace parparaw {
+namespace {
+
+/// Table-driven RFC 4180 conformance catalogue: every case records the
+/// input and the expected rows/fields (NULL spelled as "\x01NULL" since
+/// CSV itself cannot express it). Each case runs through ParPaRaw at three
+/// chunk sizes and through the sequential reference.
+
+constexpr const char* kNull = "\x01NULL";
+
+struct ConformanceCase {
+  const char* name;
+  const char* input;
+  std::vector<std::vector<std::string>> rows;
+};
+
+const std::vector<ConformanceCase>& Cases() {
+  static const std::vector<ConformanceCase>& cases =
+      *new std::vector<ConformanceCase>{
+          {"simple", "a,b\nc,d\n", {{"a", "b"}, {"c", "d"}}},
+          {"no_trailing_newline", "a,b\nc,d", {{"a", "b"}, {"c", "d"}}},
+          {"quoted_plain", "\"a\",\"b\"\n", {{"a", "b"}}},
+          {"quoted_comma", "\"a,b\",c\n", {{"a,b", "c"}}},
+          {"quoted_newline", "\"a\nb\",c\n", {{"a\nb", "c"}}},
+          {"escaped_quote", "\"a\"\"b\"\n", {{"a\"b"}}},
+          {"only_escaped_quote", "\"\"\"\"\n", {{"\""}}},
+          {"empty_quoted", "\"\",x\n", {{"", "x"}}},
+          // Present-but-empty string fields are valid "" (NULL marks
+          // *missing* fields of short records).
+          {"empty_fields", ",,\n", {{"", "", ""}}},
+          {"empty_line_is_empty_record", "a\n\nb\n", {{"a"}, {""}, {"b"}}},
+          {"single_field", "solo\n", {{"solo"}}},
+          {"single_field_no_newline", "solo", {{"solo"}}},
+          {"trailing_comma", "a,\n", {{"a", ""}}},
+          {"leading_comma", ",a\n", {{"", "a"}}},
+          {"quote_then_delims", "\"x\",\"y\"\n\"z\",w\n",
+           {{"x", "y"}, {"z", "w"}}},
+          {"quoted_trailing_record", "a,\"end", {{"a", "end"}}},
+          {"crlf_not_special_by_default", "a\r\n",
+           {{"a\r"}}},  // use DsvOptions.ignore_carriage_return for CRLF
+          {"unicode_data", "héllo,wörld\n", {{"héllo", "wörld"}}},
+          {"long_field",
+           "short,aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\n",
+           {{"short",
+             "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}}},
+          {"many_records", "1\n2\n3\n4\n5\n6\n7\n8\n",
+           {{"1"}, {"2"}, {"3"}, {"4"}, {"5"}, {"6"}, {"7"}, {"8"}}},
+          {"spaces_preserved", " a , b \n", {{" a ", " b "}}},
+          {"quoted_field_with_spaces_outside_kept",
+           "\"a\",  x\n", {{"a", "  x"}}},
+      };
+  return cases;
+}
+
+void CheckTable(const ConformanceCase& test, const Table& table,
+                const std::string& context) {
+  ASSERT_EQ(table.num_rows, static_cast<int64_t>(test.rows.size()))
+      << test.name << " " << context;
+  size_t max_cols = 0;
+  for (const auto& row : test.rows) max_cols = std::max(max_cols, row.size());
+  ASSERT_EQ(table.num_columns(), static_cast<int>(max_cols))
+      << test.name << " " << context;
+  for (size_t r = 0; r < test.rows.size(); ++r) {
+    for (size_t c = 0; c < max_cols; ++c) {
+      const Column& column = table.columns[c];
+      const std::string expected =
+          c < test.rows[r].size() ? test.rows[r][c] : kNull;
+      if (expected == kNull) {
+        EXPECT_TRUE(column.IsNull(r))
+            << test.name << " " << context << " row " << r << " col " << c;
+      } else {
+        ASSERT_FALSE(column.IsNull(r))
+            << test.name << " " << context << " row " << r << " col " << c;
+        EXPECT_EQ(column.StringValue(r), expected)
+            << test.name << " " << context << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(ConformanceTest, Rfc4180Catalogue) {
+  for (const ConformanceCase& test : Cases()) {
+    for (size_t chunk : {2u, 31u, 4096u}) {
+      ParseOptions options;
+      options.chunk_size = chunk;
+      auto result = Parser::Parse(test.input, options);
+      ASSERT_TRUE(result.ok())
+          << test.name << ": " << result.status().ToString();
+      CheckTable(test, result->table,
+                 "parparaw chunk=" + std::to_string(chunk));
+    }
+    auto sequential = SequentialParser::Parse(test.input, ParseOptions());
+    ASSERT_TRUE(sequential.ok()) << test.name;
+    CheckTable(test, sequential->table, "sequential");
+  }
+}
+
+TEST(ConformanceTest, AllTaggingModesAgreeOnCatalogue) {
+  for (const ConformanceCase& test : Cases()) {
+    ParseOptions tagged;
+    auto reference = Parser::Parse(test.input, tagged);
+    ASSERT_TRUE(reference.ok()) << test.name;
+    for (TaggingMode mode : {TaggingMode::kInlineTerminated,
+                             TaggingMode::kVectorDelimited}) {
+      // Inline/vector require consistent column counts; skip ragged cases.
+      if (reference->min_columns != reference->max_columns) continue;
+      ParseOptions options;
+      options.tagging_mode = mode;
+      auto result = Parser::Parse(test.input, options);
+      ASSERT_TRUE(result.ok()) << test.name;
+      EXPECT_TRUE(result->table.Equals(reference->table)) << test.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace parparaw {
+namespace {
+
+using rfc4180::kEnc;
+using rfc4180::kEor;
+using rfc4180::kFld;
+
+class ContextStepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ContextStepTest, EntryStatesMatchSequentialSimulation) {
+  // Figure 1/3's scenario: a quoted field containing delimiters spans
+  // several chunks; every chunk must still learn its true entry state.
+  const std::string input =
+      "1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", "
+      "black\"\n7,x,\"y\"\n";
+  ParseOptions options;
+  options.chunk_size = GetParam();
+  auto harness = StepHarness::Make(input, options);
+  ASSERT_NE(harness, nullptr);
+  ASSERT_TRUE(harness->RunContext().ok());
+
+  const Dfa& dfa = harness->options.format.dfa;
+  const auto* data = reinterpret_cast<const uint8_t*>(input.data());
+  for (int64_t c = 0; c < harness->state.num_chunks; ++c) {
+    const size_t begin = static_cast<size_t>(c) * GetParam();
+    const uint8_t expected = dfa.Run(dfa.start_state(), data, begin);
+    EXPECT_EQ(harness->state.entry_states[c], expected) << "chunk " << c;
+  }
+  EXPECT_EQ(harness->state.final_state,
+            dfa.Run(dfa.start_state(), data, input.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ContextStepTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 31, 64, 4096));
+
+TEST(ContextStepTest, TrailingRecordDetection) {
+  ParseOptions options;
+  options.chunk_size = 4;
+  {
+    auto h = StepHarness::Make("a,b\nc,d\n", options);
+    ASSERT_TRUE(h->RunContext().ok());
+    EXPECT_FALSE(h->state.has_trailing_record);
+    EXPECT_EQ(h->state.final_state, kEor);
+  }
+  {
+    auto h = StepHarness::Make("a,b\nc,d", options);
+    ASSERT_TRUE(h->RunContext().ok());
+    EXPECT_TRUE(h->state.has_trailing_record);
+    EXPECT_EQ(h->state.final_state, kFld);
+  }
+  {
+    // Unterminated quote: mid-record too (best-effort emission).
+    auto h = StepHarness::Make("a,\"open", options);
+    ASSERT_TRUE(h->RunContext().ok());
+    EXPECT_TRUE(h->state.has_trailing_record);
+    EXPECT_EQ(h->state.final_state, kEnc);
+  }
+}
+
+TEST(ContextStepTest, QuotedNewlineDoesNotLookLikeRecordBoundary) {
+  // The motivating example: thread starting inside the quoted region must
+  // learn it is in ENC state.
+  const std::string input = "\"colors:\nred,green\"\nshelf,x\n";
+  ParseOptions options;
+  options.chunk_size = 8;  // boundary falls inside the quoted region
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunContext().ok());
+  EXPECT_EQ(h->state.entry_states[1], kEnc);
+}
+
+TEST(ContextStepTest, SingleChunkStartsAtStartState) {
+  ParseOptions options;
+  options.chunk_size = 1 << 20;
+  auto h = StepHarness::Make("a,b\n", options);
+  ASSERT_TRUE(h->RunContext().ok());
+  ASSERT_EQ(h->state.num_chunks, 1);
+  EXPECT_EQ(h->state.entry_states[0], kEor);
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_parser.h"
+#include "core/parser.h"
+#include "dfa/formats.h"
+#include "sim/timeline.h"
+
+namespace parparaw {
+namespace {
+
+TEST(CrlfTest, CrlfRecordsParseCleanly) {
+  DsvOptions dsv;
+  dsv.ignore_carriage_return = true;
+  auto format = DsvFormat(dsv);
+  ASSERT_TRUE(format.ok()) << format.status().ToString();
+  ParseOptions options;
+  options.format = *format;
+  auto result = Parser::Parse("a,b\r\nc,d\r\n", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows, 2);
+  EXPECT_EQ(result->table.columns[1].StringValue(0), "b");  // no \r tail
+  EXPECT_EQ(result->table.columns[0].StringValue(1), "c");
+}
+
+TEST(CrlfTest, CarriageReturnInsideQuotesIsData) {
+  DsvOptions dsv;
+  dsv.ignore_carriage_return = true;
+  auto format = DsvFormat(dsv);
+  ASSERT_TRUE(format.ok());
+  ParseOptions options;
+  options.format = *format;
+  auto result = Parser::Parse("\"a\rb\",c\r\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.columns[0].StringValue(0), "a\rb");
+}
+
+TEST(CrlfTest, WithoutOptionCrIsData) {
+  auto result = Parser::Parse("a,b\r\nc,d\r\n", ParseOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.columns[1].StringValue(0), "b\r");
+}
+
+TEST(CrlfTest, InvalidCombinations) {
+  DsvOptions dsv;
+  dsv.ignore_carriage_return = true;
+  dsv.record_delimiter = '\r';
+  EXPECT_FALSE(DsvFormat(dsv).ok());
+}
+
+TEST(EscapeTest, BackslashEscapesInsideQuotes) {
+  DsvOptions dsv;
+  dsv.escape = '\\';
+  auto format = DsvFormat(dsv);
+  ASSERT_TRUE(format.ok()) << format.status().ToString();
+  ParseOptions options;
+  options.format = *format;
+  // \" -> literal quote, \\ -> literal backslash, \n (escaped newline
+  // char) -> literal newline byte.
+  auto result = Parser::Parse("\"a\\\"b\",\"c\\\\d\",\"e\\,f\"\n", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows, 1);
+  EXPECT_EQ(result->table.columns[0].StringValue(0), "a\"b");
+  EXPECT_EQ(result->table.columns[1].StringValue(0), "c\\d");
+  EXPECT_EQ(result->table.columns[2].StringValue(0), "e,f");
+}
+
+TEST(EscapeTest, EscapedDelimitersStayData) {
+  DsvOptions dsv;
+  dsv.escape = '\\';
+  auto format = DsvFormat(dsv);
+  ASSERT_TRUE(format.ok());
+  ParseOptions options;
+  options.format = *format;
+  auto result = Parser::Parse("\"x\\\ny\",z\n", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows, 1);
+  EXPECT_EQ(result->table.columns[0].StringValue(0), "x\ny");
+}
+
+TEST(EscapeTest, OutsideQuotesBackslashIsData) {
+  DsvOptions dsv;
+  dsv.escape = '\\';
+  auto format = DsvFormat(dsv);
+  ASSERT_TRUE(format.ok());
+  ParseOptions options;
+  options.format = *format;
+  auto result = Parser::Parse("a\\b,c\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.columns[0].StringValue(0), "a\\b");
+}
+
+TEST(EscapeTest, CollidingEscapeRejected) {
+  DsvOptions dsv;
+  dsv.escape = '"';
+  EXPECT_FALSE(DsvFormat(dsv).ok());
+  dsv.escape = ',';
+  EXPECT_FALSE(DsvFormat(dsv).ok());
+}
+
+TEST(EscapeTest, ParityWithSequentialAcrossChunkSizes) {
+  DsvOptions dsv;
+  dsv.escape = '\\';
+  dsv.ignore_carriage_return = true;
+  dsv.comment = '#';
+  auto format = DsvFormat(dsv);
+  ASSERT_TRUE(format.ok());
+  const std::string input =
+      "# header \\ comment \"\r\n"
+      "\"a\\\"x\",1\r\n"
+      "plain,\"multi\\\nline\"\r\n"
+      "\"esc\\\\\",2\r\n";
+  for (size_t chunk : {1u, 2u, 3u, 7u, 31u}) {
+    ParseOptions options;
+    options.format = *format;
+    options.chunk_size = chunk;
+    auto expected = SequentialParser::Parse(input, options);
+    ASSERT_TRUE(expected.ok());
+    auto got = Parser::Parse(input, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->table.Equals(expected->table)) << "chunk " << chunk;
+    EXPECT_EQ(got->table.num_rows, 3);
+  }
+}
+
+TEST(MultiDeviceTimelineTest, TransferBoundWorkScalesWithDevices) {
+  // When transfers dominate, K devices provide K independent links.
+  std::vector<PartitionStages> stages(8);
+  for (auto& s : stages) {
+    s.h2d_seconds = 2.0;
+    s.parse_seconds = 0.1;
+    s.d2h_seconds = 0.1;
+  }
+  const double one = StreamingTimeline::ScheduleMultiDevice(stages, 1).makespan;
+  const double two = StreamingTimeline::ScheduleMultiDevice(stages, 2).makespan;
+  const double four = StreamingTimeline::ScheduleMultiDevice(stages, 4).makespan;
+  EXPECT_LT(two, one * 0.65);
+  EXPECT_LT(four, two * 0.75);
+}
+
+TEST(MultiDeviceTimelineTest, CarryOverChainsParses) {
+  // Parse-bound work does NOT scale: the carry-over couples parse(p) to
+  // parse(p-1) across devices (the Fig. 7 dependency taken literally).
+  std::vector<PartitionStages> stages(8);
+  for (auto& s : stages) {
+    s.h2d_seconds = 0.05;
+    s.parse_seconds = 1.0;
+    s.d2h_seconds = 0.05;
+  }
+  const double one = StreamingTimeline::ScheduleMultiDevice(stages, 1).makespan;
+  const double four = StreamingTimeline::ScheduleMultiDevice(stages, 4).makespan;
+  EXPECT_NEAR(one, four, 0.2);
+}
+
+TEST(MultiDeviceTimelineTest, SingleDeviceMatchesSchedule) {
+  std::vector<PartitionStages> stages(5);
+  for (auto& s : stages) {
+    s.h2d_seconds = 0.3;
+    s.parse_seconds = 0.7;
+    s.d2h_seconds = 0.2;
+    s.carry_copy_seconds = 0.01;
+  }
+  const double a = StreamingTimeline::Schedule(stages).makespan;
+  const double b = StreamingTimeline::ScheduleMultiDevice(stages, 1).makespan;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace parparaw

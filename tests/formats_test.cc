@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "dfa/formats.h"
+
+namespace parparaw {
+namespace {
+
+using rfc4180::kEnc;
+using rfc4180::kEof;
+using rfc4180::kEor;
+using rfc4180::kEsc;
+using rfc4180::kFld;
+using rfc4180::kInv;
+
+class Rfc4180Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto format = Rfc4180Format();
+    ASSERT_TRUE(format.ok()) << format.status().ToString();
+    format_ = *std::move(format);
+  }
+  Format format_;
+};
+
+TEST_F(Rfc4180Test, HasSixStatesAndFourGroups) {
+  EXPECT_EQ(format_.dfa.num_states(), 6);
+  EXPECT_EQ(format_.dfa.num_symbol_groups(), 4);  // \n, ", , and catch-all
+  EXPECT_EQ(format_.dfa.start_state(), kEor);
+  EXPECT_EQ(format_.dfa.invalid_state(), kInv);
+}
+
+TEST_F(Rfc4180Test, Table1TransitionsExactly) {
+  const Dfa& dfa = format_.dfa;
+  // Table 1, row '\n': EOR ENC EOR EOR EOR INV.
+  const int expected_nl[6] = {kEor, kEnc, kEor, kEor, kEor, kInv};
+  // Row '"': ENC ESC INV ENC ENC INV.
+  const int expected_quote[6] = {kEnc, kEsc, kInv, kEnc, kEnc, kInv};
+  // Row ',': EOF ENC EOF EOF EOF INV.
+  const int expected_comma[6] = {kEof, kEnc, kEof, kEof, kEof, kInv};
+  // Row '*': FLD ENC FLD FLD INV INV.
+  const int expected_star[6] = {kFld, kEnc, kFld, kFld, kInv, kInv};
+  for (int s = 0; s < 6; ++s) {
+    EXPECT_EQ(dfa.NextStateForSymbol(s, '\n'), expected_nl[s]) << s;
+    EXPECT_EQ(dfa.NextStateForSymbol(s, '"'), expected_quote[s]) << s;
+    EXPECT_EQ(dfa.NextStateForSymbol(s, ','), expected_comma[s]) << s;
+    EXPECT_EQ(dfa.NextStateForSymbol(s, 'z'), expected_star[s]) << s;
+  }
+}
+
+TEST_F(Rfc4180Test, SymbolClassification) {
+  const Dfa& dfa = format_.dfa;
+  // Newline in a field context delimits a record.
+  EXPECT_TRUE(dfa.Flags(kFld, dfa.SymbolGroup('\n')) &
+              kSymbolRecordDelimiter);
+  // Newline inside quotes is data.
+  EXPECT_EQ(dfa.Flags(kEnc, dfa.SymbolGroup('\n')), kSymbolData);
+  // Comma in a field delimits a field.
+  EXPECT_TRUE(dfa.Flags(kFld, dfa.SymbolGroup(',')) & kSymbolFieldDelimiter);
+  // Comma inside quotes is data.
+  EXPECT_EQ(dfa.Flags(kEnc, dfa.SymbolGroup(',')), kSymbolData);
+  // Opening quote is a control symbol.
+  EXPECT_TRUE(dfa.Flags(kEor, dfa.SymbolGroup('"')) & kSymbolControl);
+  // The second quote of a "" escape is data (a literal quote).
+  EXPECT_EQ(dfa.Flags(kEsc, dfa.SymbolGroup('"')), kSymbolData);
+  // Plain characters are data.
+  EXPECT_EQ(dfa.Flags(kFld, dfa.SymbolGroup('x')), kSymbolData);
+}
+
+TEST_F(Rfc4180Test, AcceptanceAndMidRecordMask) {
+  const Dfa& dfa = format_.dfa;
+  EXPECT_TRUE(dfa.IsAccepting(kEor));
+  EXPECT_TRUE(dfa.IsAccepting(kFld));
+  EXPECT_TRUE(dfa.IsAccepting(kEof));
+  EXPECT_TRUE(dfa.IsAccepting(kEsc));
+  EXPECT_FALSE(dfa.IsAccepting(kEnc));  // unterminated quote
+  EXPECT_FALSE(dfa.IsAccepting(kInv));
+  EXPECT_FALSE(format_.IsMidRecordState(kEor));
+  EXPECT_TRUE(format_.IsMidRecordState(kFld));
+  EXPECT_TRUE(format_.IsMidRecordState(kEof));
+  EXPECT_TRUE(format_.IsMidRecordState(kEsc));
+  EXPECT_TRUE(format_.IsMidRecordState(kEnc));
+}
+
+TEST_F(Rfc4180Test, Figure2Walkthrough) {
+  // "1941,199.99,"Bookcase"\n" should cycle FLD/EOF and quote states.
+  const Dfa& dfa = format_.dfa;
+  const std::string input = "1941,199.99,\"Bookcase\"\n";
+  const uint8_t end = dfa.Run(dfa.start_state(),
+                              reinterpret_cast<const uint8_t*>(input.data()),
+                              input.size());
+  EXPECT_EQ(end, kEor);
+}
+
+TEST_F(Rfc4180Test, InvalidTransitions) {
+  const Dfa& dfa = format_.dfa;
+  // A quote inside an unquoted field is invalid.
+  const std::string bad1 = "ab\"c";
+  EXPECT_EQ(dfa.Run(kEor, reinterpret_cast<const uint8_t*>(bad1.data()),
+                    bad1.size()),
+            kInv);
+  // Garbage after a closing quote is invalid.
+  const std::string bad2 = "\"ab\"x";
+  EXPECT_EQ(dfa.Run(kEor, reinterpret_cast<const uint8_t*>(bad2.data()),
+                    bad2.size()),
+            kInv);
+}
+
+TEST(DsvFormatTest, RejectsEqualDelimiters) {
+  DsvOptions options;
+  options.field_delimiter = '\n';
+  options.record_delimiter = '\n';
+  EXPECT_FALSE(DsvFormat(options).ok());
+}
+
+TEST(DsvFormatTest, TsvWithoutQuotes) {
+  DsvOptions options;
+  options.field_delimiter = '\t';
+  options.quote = 0;
+  auto format = DsvFormat(options);
+  ASSERT_TRUE(format.ok());
+  const Dfa& dfa = format->dfa;
+  // A double quote is ordinary data without quoting support.
+  const std::string input = "a\"b\tc";
+  const uint8_t end = dfa.Run(dfa.start_state(),
+                              reinterpret_cast<const uint8_t*>(input.data()),
+                              input.size());
+  EXPECT_TRUE(dfa.IsAccepting(end));
+  EXPECT_TRUE(dfa.Flags(dfa.start_state(), dfa.SymbolGroup('\t')) &
+              kSymbolFieldDelimiter);
+}
+
+TEST(DsvFormatTest, CommentLinesAreControlOnly) {
+  DsvOptions options;
+  options.comment = '#';
+  auto format = DsvFormat(options);
+  ASSERT_TRUE(format.ok());
+  const Dfa& dfa = format->dfa;
+  // '#' at record start enters the comment state.
+  int state = dfa.start_state();
+  const std::string line = "#a,b\"x\n";
+  for (char c : line) {
+    const int group = dfa.SymbolGroup(static_cast<uint8_t>(c));
+    const uint8_t flags = dfa.Flags(state, group);
+    // Nothing inside a comment is a record or field delimiter.
+    EXPECT_EQ(flags & (kSymbolRecordDelimiter | kSymbolFieldDelimiter), 0)
+        << "at '" << c << "'";
+    state = dfa.NextState(state, group);
+  }
+  EXPECT_EQ(state, dfa.start_state());  // back at record start
+}
+
+TEST(DsvFormatTest, CommentMarkerInsideFieldIsData) {
+  DsvOptions options;
+  options.comment = '#';
+  auto format = DsvFormat(options);
+  ASSERT_TRUE(format.ok());
+  const Dfa& dfa = format->dfa;
+  // 'a#b' : the '#' after field data is data, and the newline ends the
+  // record normally.
+  int state = dfa.start_state();
+  uint8_t flags_hash = 0;
+  for (char c : std::string("a#b")) {
+    const int group = dfa.SymbolGroup(static_cast<uint8_t>(c));
+    if (c == '#') flags_hash = dfa.Flags(state, group);
+    state = dfa.NextState(state, group);
+  }
+  EXPECT_EQ(flags_hash, kSymbolData);
+  EXPECT_TRUE(dfa.Flags(state, dfa.SymbolGroup('\n')) &
+              kSymbolRecordDelimiter);
+}
+
+TEST(DsvFormatTest, SkipEmptyLines) {
+  DsvOptions options;
+  options.skip_empty_lines = true;
+  auto format = DsvFormat(options);
+  ASSERT_TRUE(format.ok());
+  const Dfa& dfa = format->dfa;
+  // A newline at record start is control-only (no empty record).
+  EXPECT_EQ(dfa.Flags(dfa.start_state(), dfa.SymbolGroup('\n')),
+            kSymbolControl);
+}
+
+TEST(DsvFormatTest, LenientQuotes) {
+  DsvOptions options;
+  options.strict_quotes = false;
+  auto format = DsvFormat(options);
+  ASSERT_TRUE(format.ok());
+  const Dfa& dfa = format->dfa;
+  const std::string input = "a\"b";
+  const uint8_t end = dfa.Run(dfa.start_state(),
+                              reinterpret_cast<const uint8_t*>(input.data()),
+                              input.size());
+  EXPECT_TRUE(dfa.IsAccepting(end));
+}
+
+TEST(ExtendedLogFormatTest, DirectivesAndQuotedStrings) {
+  auto format = ExtendedLogFormat();
+  ASSERT_TRUE(format.ok());
+  const Dfa& dfa = format->dfa;
+  EXPECT_EQ(format->field_delimiter, ' ');
+  // Walking a directive line ends back at record start with no record
+  // delimiter seen.
+  int state = dfa.start_state();
+  int record_delims = 0;
+  for (char c : std::string("#Fields: date time\n")) {
+    const int group = dfa.SymbolGroup(static_cast<uint8_t>(c));
+    if (dfa.Flags(state, group) & kSymbolRecordDelimiter) ++record_delims;
+    state = dfa.NextState(state, group);
+  }
+  EXPECT_EQ(record_delims, 0);
+  EXPECT_EQ(state, dfa.start_state());
+}
+
+}  // namespace
+}  // namespace parparaw

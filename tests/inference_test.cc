@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "convert/inference.h"
+
+namespace parparaw {
+namespace {
+
+TEST(ClassifyFieldTest, Classifications) {
+  EXPECT_EQ(ClassifyField(""), InferredKind::kEmpty);
+  EXPECT_EQ(ClassifyField("  "), InferredKind::kEmpty);
+  EXPECT_EQ(ClassifyField("42"), InferredKind::kInt64);
+  EXPECT_EQ(ClassifyField("-7"), InferredKind::kInt64);
+  EXPECT_EQ(ClassifyField("3.14"), InferredKind::kFloat64);
+  EXPECT_EQ(ClassifyField("1e6"), InferredKind::kFloat64);
+  EXPECT_EQ(ClassifyField("2020-05-01"), InferredKind::kDate);
+  EXPECT_EQ(ClassifyField("2020-05-01 10:30:00"), InferredKind::kTimestamp);
+  EXPECT_EQ(ClassifyField("true"), InferredKind::kBool);
+  EXPECT_EQ(ClassifyField("hello"), InferredKind::kString);
+  EXPECT_EQ(ClassifyField("12abc"), InferredKind::kString);
+}
+
+TEST(JoinTest, IdentityAndIdempotence) {
+  for (InferredKind k :
+       {InferredKind::kEmpty, InferredKind::kBool, InferredKind::kInt64,
+        InferredKind::kFloat64, InferredKind::kDate, InferredKind::kTimestamp,
+        InferredKind::kString}) {
+    EXPECT_EQ(Join(InferredKind::kEmpty, k), k);
+    EXPECT_EQ(Join(k, InferredKind::kEmpty), k);
+    EXPECT_EQ(Join(k, k), k);
+  }
+}
+
+TEST(JoinTest, NumericAndTemporalChains) {
+  EXPECT_EQ(Join(InferredKind::kInt64, InferredKind::kFloat64),
+            InferredKind::kFloat64);
+  EXPECT_EQ(Join(InferredKind::kFloat64, InferredKind::kInt64),
+            InferredKind::kFloat64);
+  EXPECT_EQ(Join(InferredKind::kDate, InferredKind::kTimestamp),
+            InferredKind::kTimestamp);
+  EXPECT_EQ(Join(InferredKind::kInt64, InferredKind::kDate),
+            InferredKind::kString);
+  EXPECT_EQ(Join(InferredKind::kBool, InferredKind::kInt64),
+            InferredKind::kString);
+  EXPECT_EQ(Join(InferredKind::kString, InferredKind::kInt64),
+            InferredKind::kString);
+}
+
+TEST(JoinTest, AssociativeAndCommutative) {
+  const InferredKind kinds[] = {
+      InferredKind::kEmpty, InferredKind::kBool,     InferredKind::kInt64,
+      InferredKind::kFloat64, InferredKind::kDate,   InferredKind::kTimestamp,
+      InferredKind::kString};
+  for (InferredKind a : kinds) {
+    for (InferredKind b : kinds) {
+      EXPECT_EQ(Join(a, b), Join(b, a));
+      for (InferredKind c : kinds) {
+        EXPECT_EQ(Join(Join(a, b), c), Join(a, Join(b, c)))
+            << InferredKindToString(a) << " " << InferredKindToString(b)
+            << " " << InferredKindToString(c);
+      }
+    }
+  }
+}
+
+TEST(KindToDataTypeTest, Mapping) {
+  EXPECT_TRUE(KindToDataType(InferredKind::kInt64) == DataType::Int64());
+  EXPECT_TRUE(KindToDataType(InferredKind::kFloat64) == DataType::Float64());
+  EXPECT_TRUE(KindToDataType(InferredKind::kDate) == DataType::Date32());
+  EXPECT_TRUE(KindToDataType(InferredKind::kTimestamp) ==
+              DataType::TimestampMicros());
+  EXPECT_TRUE(KindToDataType(InferredKind::kEmpty) == DataType::String());
+  EXPECT_TRUE(KindToDataType(InferredKind::kString) == DataType::String());
+  EXPECT_TRUE(KindToDataType(InferredKind::kBool) == DataType::Bool());
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "columnar/ipc.h"
+#include "core/parser.h"
+#include "workload/generators.h"
+
+namespace parparaw {
+namespace {
+
+Table MakeTable() {
+  Table table;
+  table.schema.AddField(Field("id", DataType::Int64(), /*nullable=*/false));
+  table.schema.AddField(Field("name", DataType::String()));
+  table.schema.AddField(Field("price", DataType::Decimal64(2)));
+  Column id(DataType::Int64());
+  id.AppendValue<int64_t>(10);
+  id.AppendValue<int64_t>(-20);
+  Column name(DataType::String());
+  name.AppendString("ten");
+  name.AppendNull();
+  Column price(DataType::Decimal64(2));
+  price.AppendValue<int64_t>(1999);
+  price.AppendNull();
+  table.columns = {std::move(id), std::move(name), std::move(price)};
+  table.num_rows = 2;
+  table.rejected = {0, 1};
+  return table;
+}
+
+TEST(IpcTest, RoundTripPreservesEverything) {
+  const Table original = MakeTable();
+  auto bytes = SerializeTable(original);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto restored = DeserializeTable(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->Equals(original));
+  EXPECT_EQ(restored->rejected, original.rejected);
+  EXPECT_EQ(restored->schema.field(0).nullable, false);
+  EXPECT_EQ(restored->schema.field(2).type.scale, 2);
+}
+
+TEST(IpcTest, EmptyTable) {
+  Table table;
+  table.schema.AddField(Field("a", DataType::String()));
+  Column a(DataType::String());
+  a.Allocate(0);
+  table.columns.push_back(std::move(a));
+  table.num_rows = 0;
+  auto bytes = SerializeTable(table);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeTable(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_rows, 0);
+  EXPECT_EQ(restored->num_columns(), 1);
+}
+
+TEST(IpcTest, ParsedTableRoundTrips) {
+  ParseOptions options;
+  options.schema = TaxiSchema();
+  const std::string csv = GenerateTaxiLike(17, 64 * 1024);
+  auto parsed = Parser::Parse(csv, options);
+  ASSERT_TRUE(parsed.ok());
+  auto bytes = SerializeTable(parsed->table);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeTable(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->Equals(parsed->table));
+}
+
+TEST(IpcTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeTable("").ok());
+  EXPECT_FALSE(DeserializeTable("NOPE").ok());
+  EXPECT_FALSE(DeserializeTable("PPRWxxxxxxxxxxxxxxx").ok());
+}
+
+TEST(IpcTest, RejectsTruncation) {
+  auto bytes = SerializeTable(MakeTable());
+  ASSERT_TRUE(bytes.ok());
+  // Every strict prefix must fail cleanly, never crash.
+  for (size_t len = 0; len < bytes->size(); len += 3) {
+    auto result = DeserializeTable(std::string_view(*bytes).substr(0, len));
+    EXPECT_FALSE(result.ok()) << "prefix " << len;
+  }
+}
+
+TEST(IpcTest, RejectsTrailingBytes) {
+  auto bytes = SerializeTable(MakeTable());
+  ASSERT_TRUE(bytes.ok());
+  *bytes += "extra";
+  EXPECT_FALSE(DeserializeTable(*bytes).ok());
+}
+
+TEST(IpcTest, RejectsCorruptOffsets) {
+  Table table;
+  table.schema.AddField(Field("s", DataType::String()));
+  Column s(DataType::String());
+  s.AppendString("ab");
+  s.AppendString("cd");
+  table.columns.push_back(std::move(s));
+  table.num_rows = 2;
+  table.rejected.assign(2, 0);
+  auto bytes = SerializeTable(table);
+  ASSERT_TRUE(bytes.ok());
+  // Flip a byte inside the offsets region (the last 4+2+8*3+... bytes are
+  // the string data "abcd"; offsets precede it). Corrupt a middle offset.
+  const size_t pos = bytes->size() - 4 /*"abcd"*/ - 2 * 8;
+  (*bytes)[pos] = static_cast<char>(0xEE);
+  auto result = DeserializeTable(*bytes);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace parparaw

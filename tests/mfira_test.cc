@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mfira/mfira.h"
+
+namespace parparaw {
+namespace {
+
+TEST(MfiraTest, Fig8ParameterDerivation) {
+  // The exact example of Fig. 8: 10 items of 5 bits each.
+  using Fig8 = Mfira<10, 5>;
+  EXPECT_EQ(Fig8::kAvailBitsPerFragment, 3);  // floor(32 / 10)
+  EXPECT_EQ(Fig8::kFragmentBits, 2);          // 2^floor(log2 3)
+  EXPECT_EQ(Fig8::kNumFragments, 3);          // ceil(5 / 2)
+}
+
+TEST(MfiraTest, Fig8RoundTrip) {
+  // The values from Fig. 8's logical view.
+  const uint32_t values[10] = {5, 7, 31, 20, 10, 0, 26, 3, 15, 16};
+  Mfira<10, 5> array;
+  for (int i = 0; i < 10; ++i) array.Set(i, values[i]);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(array.Get(i), values[i]) << i;
+}
+
+TEST(MfiraTest, SingleFragmentWhenItemFitsOneFragment) {
+  using Small = Mfira<8, 4>;  // 4 avail bits -> k = 4 -> 1 fragment
+  EXPECT_EQ(Small::kFragmentBits, 4);
+  EXPECT_EQ(Small::kNumFragments, 1);
+  Small array;
+  for (int i = 0; i < 8; ++i) array.Set(i, static_cast<uint32_t>(15 - i));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(array.Get(i), static_cast<uint32_t>(15 - i));
+}
+
+TEST(MfiraTest, OverwriteDoesNotDisturbNeighbours) {
+  Mfira<10, 5> array;
+  for (int i = 0; i < 10; ++i) array.Set(i, static_cast<uint32_t>(i));
+  array.Set(4, 31);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(array.Get(i), i == 4 ? 31u : static_cast<uint32_t>(i));
+  }
+  array.Set(4, 0);
+  EXPECT_EQ(array.Get(4), 0u);
+  EXPECT_EQ(array.Get(3), 3u);
+  EXPECT_EQ(array.Get(5), 5u);
+}
+
+TEST(MfiraTest, ValueMaskedToItemWidth) {
+  Mfira<4, 3> array;  // values 0-7
+  array.Set(2, 0xFFFFFFFF);
+  EXPECT_EQ(array.Get(2), 7u);
+  EXPECT_EQ(array.Get(1), 0u);
+  EXPECT_EQ(array.Get(3), 0u);
+}
+
+TEST(MfiraTest, StateVectorShape16x4) {
+  // The shape backing a 16-state state-transition vector.
+  using StateVec = Mfira<16, 4>;
+  EXPECT_EQ(StateVec::kFragmentBits, 2);
+  EXPECT_EQ(StateVec::kNumFragments, 2);
+  StateVec vec;
+  std::mt19937 rng(1);
+  uint32_t expected[16];
+  for (int i = 0; i < 16; ++i) {
+    expected[i] = rng() % 16;
+    vec.Set(i, expected[i]);
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(vec.Get(i), expected[i]);
+}
+
+TEST(MfiraTest, EqualityComparesLogicalContents) {
+  Mfira<10, 5> a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.Set(i, static_cast<uint32_t>(i * 3 % 32));
+    b.Set(i, static_cast<uint32_t>(i * 3 % 32));
+  }
+  EXPECT_TRUE(a == b);
+  b.Set(9, 1);
+  EXPECT_FALSE(a == b);
+}
+
+template <typename T>
+class MfiraRandomTest : public ::testing::Test {};
+
+struct Shape10x5 {
+  static constexpr int kItems = 10;
+  static constexpr int kBits = 5;
+};
+struct Shape32x1 {
+  static constexpr int kItems = 32;
+  static constexpr int kBits = 1;
+};
+struct Shape4x32 {
+  static constexpr int kItems = 4;
+  static constexpr int kBits = 32;
+};
+struct Shape16x8 {
+  static constexpr int kItems = 16;
+  static constexpr int kBits = 8;
+};
+struct Shape1x17 {
+  static constexpr int kItems = 1;
+  static constexpr int kBits = 17;
+};
+
+using Shapes =
+    ::testing::Types<Shape10x5, Shape32x1, Shape4x32, Shape16x8, Shape1x17>;
+TYPED_TEST_SUITE(MfiraRandomTest, Shapes);
+
+TYPED_TEST(MfiraRandomTest, RandomisedRoundTripAgainstReferenceArray) {
+  constexpr int kItems = TypeParam::kItems;
+  constexpr int kBits = TypeParam::kBits;
+  Mfira<kItems, kBits> array;
+  uint32_t reference[kItems] = {};
+  std::mt19937_64 rng(kItems * 131 + kBits);
+  const uint32_t mask =
+      kBits >= 32 ? 0xFFFFFFFFu : ((1u << kBits) - 1u);
+  for (int step = 0; step < 2000; ++step) {
+    const int i = static_cast<int>(rng() % kItems);
+    const uint32_t value = static_cast<uint32_t>(rng()) & mask;
+    array.Set(i, value);
+    reference[i] = value;
+    const int j = static_cast<int>(rng() % kItems);
+    ASSERT_EQ(array.Get(j), reference[j]) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace parparaw

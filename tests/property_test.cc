@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "baseline/sequential_parser.h"
+#include "core/parser.h"
+#include "workload/generators.h"
+
+namespace parparaw {
+namespace {
+
+// The central correctness property: for ANY input, ParPaRaw's massively
+// parallel pipeline must produce exactly the table the sequential
+// reference parser produces — regardless of chunk size, tagging mode, or
+// drop policy.
+
+struct PropertyCase {
+  uint64_t seed;
+  size_t chunk_size;
+  TaggingMode mode;
+  ColumnCountPolicy policy;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const char* mode = info.param.mode == TaggingMode::kRecordTags
+                         ? "tagged"
+                         : (info.param.mode == TaggingMode::kInlineTerminated
+                                ? "inline"
+                                : "delimited");
+  const char* policy =
+      info.param.policy == ColumnCountPolicy::kRobust ? "robust" : "reject";
+  return "seed" + std::to_string(info.param.seed) + "_chunk" +
+         std::to_string(info.param.chunk_size) + "_" + mode + "_" + policy;
+}
+
+class ParityTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ParityTest, MatchesSequentialReference) {
+  const PropertyCase& param = GetParam();
+  RandomCsvOptions gen;
+  gen.num_records = 120;
+  gen.num_columns = 4;
+  gen.ragged_probability =
+      param.policy == ColumnCountPolicy::kRobust ? 0.15 : 0.15;
+  gen.trailing_newline = (param.seed % 2) == 0;
+  const std::string input = GenerateRandomCsv(param.seed, gen);
+
+  ParseOptions options;
+  options.chunk_size = param.chunk_size;
+  options.tagging_mode = param.mode;
+  options.column_count_policy = param.policy;
+  // Inline/vector modes require consistent columns; with ragged input we
+  // use the reject policy for them (the documented contract).
+  if (param.mode != TaggingMode::kRecordTags) {
+    options.column_count_policy = ColumnCountPolicy::kReject;
+  }
+
+  auto expected = SequentialParser::Parse(input, options);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  auto got = Parser::Parse(input, options);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  ASSERT_EQ(got->table.num_rows, expected->table.num_rows);
+  EXPECT_TRUE(got->table.Equals(expected->table)) << "input:\n" << input;
+  EXPECT_EQ(got->records_dropped, expected->records_dropped);
+  EXPECT_EQ(got->min_columns, expected->min_columns);
+  EXPECT_EQ(got->max_columns, expected->max_columns);
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    for (size_t chunk : {1u, 3u, 7u, 31u, 256u}) {
+      cases.push_back({seed, chunk, TaggingMode::kRecordTags,
+                       ColumnCountPolicy::kRobust});
+    }
+    cases.push_back({seed, 31, TaggingMode::kInlineTerminated,
+                     ColumnCountPolicy::kReject});
+    cases.push_back({seed, 5, TaggingMode::kVectorDelimited,
+                     ColumnCountPolicy::kReject});
+    cases.push_back(
+        {seed, 13, TaggingMode::kRecordTags, ColumnCountPolicy::kReject});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomisedInputs, ParityTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+TEST(ParityTest, TypedSchemaRandomised) {
+  // Numeric/temporal conversion parity on schema-typed random data.
+  for (uint64_t seed = 100; seed < 108; ++seed) {
+    const std::string input = GenerateTaxiLike(seed, 16 * 1024);
+    ParseOptions options;
+    options.schema = TaxiSchema();
+    options.chunk_size = 17;
+    auto expected = SequentialParser::Parse(input, options);
+    ASSERT_TRUE(expected.ok());
+    auto got = Parser::Parse(input, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->table.Equals(expected->table)) << "seed " << seed;
+    EXPECT_EQ(got->table.NumRejected(), 0) << "seed " << seed;
+  }
+}
+
+TEST(ParityTest, YelpLikeQuotedData) {
+  for (uint64_t seed = 200; seed < 204; ++seed) {
+    const std::string input = GenerateYelpLike(seed, 32 * 1024);
+    ParseOptions options;
+    options.schema = YelpSchema();
+    options.chunk_size = 31;
+    auto expected = SequentialParser::Parse(input, options);
+    ASSERT_TRUE(expected.ok());
+    auto got = Parser::Parse(input, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->table.Equals(expected->table)) << "seed " << seed;
+  }
+}
+
+TEST(ParityTest, SkipSetsAndDefaults) {
+  RandomCsvOptions gen;
+  gen.num_records = 80;
+  gen.num_columns = 5;
+  const std::string input = GenerateRandomCsv(42, gen);
+  ParseOptions options;
+  for (int j = 0; j < 5; ++j) {
+    Field f("c" + std::to_string(j), DataType::String());
+    if (j == 2) f.default_value = "dflt";
+    options.schema.AddField(f);
+  }
+  options.skip_records = {0, 5, 9, 70};
+  options.skip_columns = {1, 4};
+  options.chunk_size = 9;
+  auto expected = SequentialParser::Parse(input, options);
+  ASSERT_TRUE(expected.ok());
+  auto got = Parser::Parse(input, options);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->table.Equals(expected->table));
+}
+
+TEST(ParityTest, InferenceParity) {
+  for (uint64_t seed = 300; seed < 304; ++seed) {
+    RandomCsvOptions gen;
+    gen.num_records = 60;
+    gen.num_columns = 3;
+    gen.quote_probability = 0.0;
+    gen.empty_probability = 0.2;
+    const std::string input = GenerateRandomCsv(seed, gen);
+    ParseOptions options;
+    options.infer_types = true;
+    options.chunk_size = 11;
+    auto expected = SequentialParser::Parse(input, options);
+    ASSERT_TRUE(expected.ok());
+    auto got = Parser::Parse(input, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->table.Equals(expected->table)) << "seed " << seed;
+  }
+}
+
+TEST(ParityTest, RandomBytesFuzzParity) {
+  // Even structurally invalid inputs must parse identically (both sides
+  // interpret symbols through the same DFA; only the parallelisation
+  // differs). Robust record-tag mode, no validation.
+  std::mt19937_64 rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string input;
+    const int len = 1 + static_cast<int>(rng() % 400);
+    // Bias toward structural characters to hit interesting transitions.
+    const char alphabet[] = {',', '"', '\n', 'a', 'b', '0', ' ', '\r'};
+    for (int i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng() % sizeof(alphabet)]);
+    }
+    ParseOptions options;
+    options.chunk_size = 1 + rng() % 40;
+    auto expected = SequentialParser::Parse(input, options);
+    ASSERT_TRUE(expected.ok());
+    auto got = Parser::Parse(input, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->table.Equals(expected->table))
+        << "trial " << trial << " chunk " << options.chunk_size;
+  }
+}
+
+TEST(ParityTest, ExtendedLogFormatParity) {
+  auto format = ExtendedLogFormat();
+  ASSERT_TRUE(format.ok());
+  for (uint64_t seed = 400; seed < 403; ++seed) {
+    const std::string input = GenerateLogLike(seed, 8 * 1024);
+    ParseOptions options;
+    options.format = *format;
+    options.chunk_size = 23;
+    auto expected = SequentialParser::Parse(input, options);
+    ASSERT_TRUE(expected.ok());
+    auto got = Parser::Parse(input, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->table.Equals(expected->table)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "query/predicate.h"
+#include "query/query.h"
+#include "query/raw_filter.h"
+
+namespace parparaw {
+namespace {
+
+Table MakeOrders() {
+  ParseOptions options;
+  options.schema.AddField(Field("id", DataType::Int64()));
+  options.schema.AddField(Field("customer", DataType::String()));
+  options.schema.AddField(Field("amount", DataType::Float64()));
+  options.schema.AddField(Field("day", DataType::Date32()));
+  auto result = Parser::Parse(
+      "1,alice,10.5,2023-01-01\n"
+      "2,bob,3.25,2023-01-02\n"
+      "3,alice,7.0,2023-01-02\n"
+      "4,carol,,2023-01-03\n"
+      "5,bob,12.0,2023-01-03\n",
+      options);
+  EXPECT_TRUE(result.ok());
+  return result->table;
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  const Table table = MakeOrders();
+  auto ge = EvaluatePredicate(table, {2, CompareOp::kGe, "7"});
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(*ge, (std::vector<uint8_t>{1, 0, 1, 0, 1}));
+  auto lt = EvaluatePredicate(table, {0, CompareOp::kLt, "3"});
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(*lt, (std::vector<uint8_t>{1, 1, 0, 0, 0}));
+  auto ne = EvaluatePredicate(table, {0, CompareOp::kNe, "2"});
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(*ne, (std::vector<uint8_t>{1, 0, 1, 1, 1}));
+}
+
+TEST(PredicateTest, DateLiteralBinding) {
+  const Table table = MakeOrders();
+  auto eq = EvaluatePredicate(table, {3, CompareOp::kEq, "2023-01-02"});
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, (std::vector<uint8_t>{0, 1, 1, 0, 0}));
+  // Malformed literal is a TypeError, not a crash.
+  auto bad = EvaluatePredicate(table, {3, CompareOp::kEq, "yesterday"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(PredicateTest, StringOperators) {
+  const Table table = MakeOrders();
+  auto eq = EvaluatePredicate(table, {1, CompareOp::kEq, "alice"});
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, (std::vector<uint8_t>{1, 0, 1, 0, 0}));
+  auto contains = EvaluatePredicate(table, {1, CompareOp::kContains, "aro"});
+  ASSERT_TRUE(contains.ok());
+  EXPECT_EQ(*contains, (std::vector<uint8_t>{0, 0, 0, 1, 0}));
+  auto prefix = EvaluatePredicate(table, {1, CompareOp::kStartsWith, "b"});
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(*prefix, (std::vector<uint8_t>{0, 1, 0, 0, 1}));
+  // contains on a numeric column is a type error.
+  EXPECT_FALSE(EvaluatePredicate(table, {0, CompareOp::kContains, "1"}).ok());
+}
+
+TEST(PredicateTest, NullHandling) {
+  const Table table = MakeOrders();
+  // Row 4's amount is NULL: it never matches value comparisons.
+  auto ge = EvaluatePredicate(table, {2, CompareOp::kGe, "0"});
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ((*ge)[3], 0);
+  auto is_null = EvaluatePredicate(table, {2, CompareOp::kIsNull});
+  ASSERT_TRUE(is_null.ok());
+  EXPECT_EQ(*is_null, (std::vector<uint8_t>{0, 0, 0, 1, 0}));
+  auto not_null = EvaluatePredicate(table, {2, CompareOp::kIsNotNull});
+  ASSERT_TRUE(not_null.ok());
+  EXPECT_EQ(*not_null, (std::vector<uint8_t>{1, 1, 1, 0, 1}));
+}
+
+TEST(PredicateTest, ConjunctionAndBounds) {
+  const Table table = MakeOrders();
+  Filter filter;
+  filter.conjuncts.push_back({1, CompareOp::kEq, "bob"});
+  filter.conjuncts.push_back({2, CompareOp::kGt, "5"});
+  auto selection = EvaluateFilter(table, filter);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(*selection, (std::vector<uint8_t>{0, 0, 0, 0, 1}));
+  EXPECT_FALSE(EvaluatePredicate(table, {9, CompareOp::kEq, "x"}).ok());
+}
+
+TEST(QueryTest, FilterAndProject) {
+  const Table table = MakeOrders();
+  QuerySpec spec;
+  spec.filter.conjuncts.push_back({2, CompareOp::kGe, "7"});
+  spec.projection = {1, 2};
+  auto result = RunQuery(table, spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows, 3);
+  EXPECT_EQ(result->num_columns(), 2);
+  EXPECT_EQ(result->columns[0].StringValue(0), "alice");
+  EXPECT_EQ(result->columns[0].StringValue(2), "bob");
+  EXPECT_DOUBLE_EQ(result->columns[1].Value<double>(2), 12.0);
+}
+
+TEST(QueryTest, GlobalAggregates) {
+  const Table table = MakeOrders();
+  QuerySpec spec;
+  spec.aggregates = {Aggregate(AggKind::kCountAll),
+                     Aggregate(AggKind::kCount, 2),
+                     Aggregate(AggKind::kSum, 2),
+                     Aggregate(AggKind::kMin, 2),
+                     Aggregate(AggKind::kMax, 2),
+                     Aggregate(AggKind::kMean, 2)};
+  auto result = RunQuery(table, spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows, 1);
+  EXPECT_EQ(result->columns[0].Value<int64_t>(0), 5);   // count(*)
+  EXPECT_EQ(result->columns[1].Value<int64_t>(0), 4);   // count(amount)
+  EXPECT_DOUBLE_EQ(result->columns[2].Value<double>(0), 32.75);
+  EXPECT_DOUBLE_EQ(result->columns[3].Value<double>(0), 3.25);
+  EXPECT_DOUBLE_EQ(result->columns[4].Value<double>(0), 12.0);
+  EXPECT_DOUBLE_EQ(result->columns[5].Value<double>(0), 32.75 / 4);
+  EXPECT_EQ(result->schema.field(0).name, "count(*)");
+  EXPECT_EQ(result->schema.field(2).name, "sum(amount)");
+}
+
+TEST(QueryTest, GroupByWithFilter) {
+  const Table table = MakeOrders();
+  QuerySpec spec;
+  spec.filter.conjuncts.push_back({2, CompareOp::kIsNotNull});
+  spec.group_by = 1;  // customer
+  spec.aggregates = {Aggregate(AggKind::kCountAll),
+                     Aggregate(AggKind::kSum, 2)};
+  auto result = RunQuery(table, spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows, 2);  // carol filtered out (NULL amount)
+  // std::map keys are sorted: alice, bob.
+  EXPECT_EQ(result->columns[0].StringValue(0), "alice");
+  EXPECT_EQ(result->columns[1].Value<int64_t>(0), 2);
+  EXPECT_DOUBLE_EQ(result->columns[2].Value<double>(0), 17.5);
+  EXPECT_EQ(result->columns[0].StringValue(1), "bob");
+  EXPECT_DOUBLE_EQ(result->columns[2].Value<double>(1), 15.25);
+}
+
+TEST(QueryTest, AggregateOverStringIsTypeError) {
+  const Table table = MakeOrders();
+  QuerySpec spec;
+  spec.aggregates = {Aggregate(AggKind::kSum, 1)};
+  EXPECT_FALSE(RunQuery(table, spec).ok());
+}
+
+TEST(QueryTest, EmptySelection) {
+  const Table table = MakeOrders();
+  QuerySpec spec;
+  spec.filter.conjuncts.push_back({0, CompareOp::kGt, "100"});
+  auto filtered = RunQuery(table, spec);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_rows, 0);
+  spec.aggregates = {Aggregate(AggKind::kCountAll)};
+  auto agg = RunQuery(table, spec);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->num_rows, 0);  // no groups at all
+}
+
+TEST(RawFilterTest, KeepsOnlyMatchingLines) {
+  RawFilterStats stats;
+  auto filtered = RawFilterLines(
+      "1,keep me\n2,drop\n3,also keep me\n4,nope\n", "keep", &stats);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(*filtered, "1,keep me\n3,also keep me\n");
+  EXPECT_EQ(stats.input_lines, 4);
+  EXPECT_EQ(stats.kept_lines, 2);
+  EXPECT_LT(stats.Selectivity(), 1.0);
+}
+
+TEST(RawFilterTest, NoTrailingNewlineAndEmpty) {
+  auto filtered = RawFilterLines("a match", "match", nullptr);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(*filtered, "a match");
+  auto none = RawFilterLines("x\ny\n", "match", nullptr);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_FALSE(RawFilterLines("x\n", "", nullptr).ok());
+}
+
+TEST(RawFilterTest, FalsePositivesResolvedByExactPredicate) {
+  // The prefilter keeps any line containing "42"; the exact predicate then
+  // keeps only amount == 42.
+  const std::string csv = "1,42\n2,142\n3,9\n4,42\n";
+  RawFilterStats stats;
+  auto filtered = RawFilterLines(csv, "42", &stats);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(stats.kept_lines, 3);  // includes the 142 false positive
+
+  ParseOptions options;
+  options.schema.AddField(Field("id", DataType::Int64()));
+  options.schema.AddField(Field("amount", DataType::Int64()));
+  auto parsed = Parser::Parse(*filtered, options);
+  ASSERT_TRUE(parsed.ok());
+  QuerySpec spec;
+  spec.filter.conjuncts.push_back({1, CompareOp::kEq, "42"});
+  auto result = RunQuery(parsed->table, spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows, 2);
+  EXPECT_EQ(result->columns[0].Value<int64_t>(0), 1);
+  EXPECT_EQ(result->columns[0].Value<int64_t>(1), 4);
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "dfa/sniffer.h"
+#include "parallel/segmented.h"
+#include "workload/generators.h"
+
+namespace parparaw {
+namespace {
+
+TEST(SnifferTest, DetectsCommaWithHeader) {
+  auto result = SniffDsvFormat(
+      "id,name,amount\n1,alice,10.5\n2,bob,3.25\n3,carol,7.0\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->options.field_delimiter, ',');
+  EXPECT_EQ(result->num_columns, 3u);
+  EXPECT_TRUE(result->has_header);
+  EXPECT_GT(result->confidence, 0.99);
+}
+
+TEST(SnifferTest, DetectsTsvWithoutHeader) {
+  auto result = SniffDsvFormat("1\taa\t2.5\n2\tbb\t3.5\n3\tcc\t4.5\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.field_delimiter, '\t');
+  EXPECT_EQ(result->num_columns, 3u);
+  EXPECT_FALSE(result->has_header);
+}
+
+TEST(SnifferTest, DetectsPipeSeparatedLineitem) {
+  const std::string sample = GenerateLineitemLike(2, 8 * 1024);
+  auto result = SniffDsvFormat(sample);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.field_delimiter, '|');
+  EXPECT_EQ(result->num_columns, 16u);
+  EXPECT_FALSE(result->has_header);
+  EXPECT_GT(result->confidence, 0.99);
+}
+
+TEST(SnifferTest, QuotedCommasDoNotConfuseColumnCount) {
+  const std::string sample = GenerateYelpLike(2, 16 * 1024);
+  auto result = SniffDsvFormat(sample);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.field_delimiter, ',');
+  EXPECT_EQ(result->options.quote, '"');
+  EXPECT_EQ(result->num_columns, 9u);
+}
+
+TEST(SnifferTest, CrlfDetection) {
+  auto result = SniffDsvFormat("a,b\r\nc,d\r\ne,f\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->options.ignore_carriage_return);
+  EXPECT_EQ(result->num_columns, 2u);
+  auto lf_only = SniffDsvFormat("a,b\nc,d\n");
+  ASSERT_TRUE(lf_only.ok());
+  EXPECT_FALSE(lf_only->options.ignore_carriage_return);
+}
+
+TEST(SnifferTest, SemicolonDialect) {
+  auto result = SniffDsvFormat("1;2,5;x\n3;4,5;y\n7;8,25;z\n");
+  ASSERT_TRUE(result.ok());
+  // Continental CSV: ';' delimits, ',' is the decimal mark.
+  EXPECT_EQ(result->options.field_delimiter, ';');
+  EXPECT_EQ(result->num_columns, 3u);
+}
+
+TEST(SnifferTest, EmptySampleFails) {
+  EXPECT_FALSE(SniffDsvFormat("").ok());
+}
+
+TEST(SegmentedTest, ExclusiveScanPerSegment) {
+  ThreadPool pool(4);
+  const std::vector<int64_t> in = {1, 2, 3, 4, 5, 6};
+  const std::vector<int64_t> offsets = {0, 2, 2, 6};
+  std::vector<int64_t> out;
+  SegmentedExclusiveScan(&pool, in, offsets,
+                         [](int64_t a, int64_t b) { return a + b; },
+                         int64_t{0}, &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{0, 1, 0, 3, 7, 12}));
+}
+
+TEST(SegmentedTest, ReducePerSegmentWithEmpty) {
+  ThreadPool pool(4);
+  const std::vector<int64_t> in = {5, 1, 7, 2};
+  const std::vector<int64_t> offsets = {0, 1, 1, 4};
+  std::vector<int64_t> out;
+  SegmentedReduce(&pool, in, offsets,
+                  [](int64_t a, int64_t b) { return std::max(a, b); },
+                  int64_t{-1}, &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{5, -1, 7}));
+}
+
+TEST(SegmentedTest, RunHeadsRestartAtSegmentBoundaries) {
+  ThreadPool pool(2);
+  const std::vector<uint32_t> in = {7, 7, 7, 7, 9, 9};
+  const std::vector<int64_t> offsets = {0, 2, 6};
+  std::vector<uint8_t> heads;
+  SegmentedRunHeads(&pool, in, offsets, &heads);
+  // Segment 0: [7,7] -> heads 1,0. Segment 1: [7,7,9,9] -> 1,0,1,0.
+  EXPECT_EQ(heads, (std::vector<uint8_t>{1, 0, 1, 0, 1, 0}));
+}
+
+TEST(SegmentedTest, MatchesUnsegmentedOnSingleSegment) {
+  ThreadPool pool(4);
+  std::vector<int64_t> in(1000);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<int64_t>(i % 7);
+  const std::vector<int64_t> offsets = {0,
+                                        static_cast<int64_t>(in.size())};
+  std::vector<int64_t> scanned;
+  SegmentedExclusiveScan(&pool, in, offsets,
+                         [](int64_t a, int64_t b) { return a + b; },
+                         int64_t{0}, &scanned);
+  int64_t running = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(scanned[i], running);
+    running += in[i];
+  }
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "query/sql.h"
+
+namespace parparaw {
+namespace {
+
+Table Orders() {
+  ParseOptions options;
+  options.schema.AddField(Field("id", DataType::Int64()));
+  options.schema.AddField(Field("customer", DataType::String()));
+  options.schema.AddField(Field("amount", DataType::Float64()));
+  options.schema.AddField(Field("day", DataType::Date32()));
+  auto result = Parser::Parse(
+      "1,alice,10.5,2023-01-01\n"
+      "2,bob,3.25,2023-01-02\n"
+      "3,alice,7.0,2023-01-02\n"
+      "4,carol,,2023-01-03\n"
+      "5,bob,12.0,2023-01-03\n",
+      options);
+  EXPECT_TRUE(result.ok());
+  return result->table;
+}
+
+TEST(SqlTest, SelectStar) {
+  const Table table = Orders();
+  auto result = ExecuteSql("SELECT * FROM orders", table);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows, 5);
+  EXPECT_EQ(result->num_columns(), 4);
+}
+
+TEST(SqlTest, ProjectionAndWhere) {
+  const Table table = Orders();
+  auto result = ExecuteSql(
+      "SELECT customer, amount FROM orders WHERE amount >= 7 AND id != 3",
+      table);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows, 2);
+  EXPECT_EQ(result->num_columns(), 2);
+  EXPECT_EQ(result->columns[0].StringValue(0), "alice");
+  EXPECT_EQ(result->columns[0].StringValue(1), "bob");
+}
+
+TEST(SqlTest, StringLiteralsAndOperators) {
+  const Table table = Orders();
+  auto eq = ExecuteSql("SELECT id FROM t WHERE customer = 'alice'", Orders());
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->num_rows, 2);
+  auto contains =
+      ExecuteSql("SELECT id FROM t WHERE customer CONTAINS 'aro'", table);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_EQ(contains->num_rows, 1);
+  auto prefix =
+      ExecuteSql("SELECT id FROM t WHERE customer STARTSWITH 'b'", table);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->num_rows, 2);
+}
+
+TEST(SqlTest, DateLiteralAndNullChecks) {
+  const Table table = Orders();
+  auto day = ExecuteSql("SELECT id FROM t WHERE day = 2023-01-02", table);
+  ASSERT_TRUE(day.ok()) << day.status().ToString();
+  EXPECT_EQ(day->num_rows, 2);
+  auto nulls = ExecuteSql("SELECT id FROM t WHERE amount IS NULL", table);
+  ASSERT_TRUE(nulls.ok());
+  ASSERT_EQ(nulls->num_rows, 1);
+  EXPECT_EQ(nulls->columns[0].Value<int64_t>(0), 4);
+  auto not_nulls =
+      ExecuteSql("SELECT id FROM t WHERE amount IS NOT NULL", table);
+  ASSERT_TRUE(not_nulls.ok());
+  EXPECT_EQ(not_nulls->num_rows, 4);
+}
+
+TEST(SqlTest, GlobalAggregates) {
+  const Table table = Orders();
+  auto result = ExecuteSql(
+      "SELECT count(*), count(amount), sum(amount), avg(amount) FROM t",
+      table);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows, 1);
+  EXPECT_EQ(result->columns[0].Value<int64_t>(0), 5);
+  EXPECT_EQ(result->columns[1].Value<int64_t>(0), 4);
+  EXPECT_DOUBLE_EQ(result->columns[2].Value<double>(0), 32.75);
+  EXPECT_DOUBLE_EQ(result->columns[3].Value<double>(0), 32.75 / 4);
+}
+
+TEST(SqlTest, GroupBy) {
+  const Table table = Orders();
+  auto result = ExecuteSql(
+      "SELECT count(*), max(amount) FROM t WHERE amount IS NOT NULL "
+      "GROUP BY customer",
+      table);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows, 2);
+  EXPECT_EQ(result->columns[0].StringValue(0), "alice");
+  EXPECT_EQ(result->columns[1].Value<int64_t>(0), 2);
+  EXPECT_DOUBLE_EQ(result->columns[2].Value<double>(1), 12.0);
+}
+
+TEST(SqlTest, CaseInsensitiveKeywords) {
+  const Table table = Orders();
+  auto result = ExecuteSql(
+      "select Sum(amount) from t where customer = 'bob' group by customer",
+      table);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows, 1);
+  EXPECT_DOUBLE_EQ(result->columns[1].Value<double>(0), 15.25);
+}
+
+TEST(SqlTest, Errors) {
+  const Table table = Orders();
+  EXPECT_FALSE(ExecuteSql("FROB x", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT nope FROM t", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT id FROM t WHERE", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT id FROM t WHERE id @@ 1", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT id FROM", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT id, sum(amount) FROM t", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT id FROM t GROUP BY customer", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT id FROM t EXTRA", table).ok());
+  EXPECT_FALSE(ExecuteSql("SELECT frobnicate(id) FROM t", table).ok());
+}
+
+}  // namespace
+}  // namespace parparaw

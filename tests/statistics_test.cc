@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "columnar/statistics.h"
+#include "core/parser.h"
+
+namespace parparaw {
+namespace {
+
+TEST(StatisticsTest, NumericMinMaxNulls) {
+  Column column(DataType::Int64());
+  column.AppendValue<int64_t>(5);
+  column.AppendNull();
+  column.AppendValue<int64_t>(-3);
+  column.AppendValue<int64_t>(100);
+  column.AppendNull();
+  auto stats = ComputeColumnStatistics(column);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->null_count, 2);
+  EXPECT_DOUBLE_EQ(*stats->numeric_min, -3);
+  EXPECT_DOUBLE_EQ(*stats->numeric_max, 100);
+  EXPECT_EQ(stats->distinct_estimate, 3);
+}
+
+TEST(StatisticsTest, StringMinMaxBytes) {
+  Column column(DataType::String());
+  column.AppendString("pear");
+  column.AppendString("apple");
+  column.AppendString("zebra");
+  column.AppendNull();
+  auto stats = ComputeColumnStatistics(column);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->null_count, 1);
+  EXPECT_EQ(*stats->string_min, "apple");
+  EXPECT_EQ(*stats->string_max, "zebra");
+  EXPECT_EQ(stats->string_bytes, 4 + 5 + 5);
+  EXPECT_EQ(stats->distinct_estimate, 3);
+  EXPECT_NE(stats->ToString().find("apple"), std::string::npos);
+}
+
+TEST(StatisticsTest, AllNullColumn) {
+  Column column(DataType::Float64());
+  column.AppendNull();
+  column.AppendNull();
+  auto stats = ComputeColumnStatistics(column);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->null_count, 2);
+  EXPECT_FALSE(stats->numeric_min.has_value());
+  EXPECT_EQ(stats->distinct_estimate, 0);
+  EXPECT_NE(stats->ToString().find("all NULL"), std::string::npos);
+}
+
+TEST(StatisticsTest, EmptyColumn) {
+  Column column(DataType::Int64());
+  column.Allocate(0);
+  auto stats = ComputeColumnStatistics(column);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->null_count, 0);
+  EXPECT_EQ(stats->distinct_estimate, 0);
+}
+
+TEST(StatisticsTest, DistinctEstimateAccuracy) {
+  // HLL with 256 registers: expect roughly +/- 10-15% at 50k distincts.
+  Column column(DataType::Int64());
+  std::mt19937_64 rng(1);
+  constexpr int64_t kDistinct = 50000;
+  for (int64_t i = 0; i < kDistinct; ++i) {
+    column.AppendValue<int64_t>(i);
+    if (i % 3 == 0) column.AppendValue<int64_t>(i);  // duplicates
+  }
+  ThreadPool pool(4);
+  auto stats = ComputeColumnStatistics(column, &pool);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->distinct_estimate, kDistinct * 0.8);
+  EXPECT_LT(stats->distinct_estimate, kDistinct * 1.2);
+}
+
+TEST(StatisticsTest, ParallelMatchesSequential) {
+  Column column(DataType::Float64());
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    if (i % 97 == 0) {
+      column.AppendNull();
+    } else {
+      column.AppendValue<double>(
+          static_cast<double>(rng() % 1000000) / 100.0);
+    }
+  }
+  ThreadPool pool(4);
+  auto parallel = ComputeColumnStatistics(column, &pool);
+  auto sequential = ComputeColumnStatistics(column, nullptr);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(parallel->null_count, sequential->null_count);
+  EXPECT_DOUBLE_EQ(*parallel->numeric_min, *sequential->numeric_min);
+  EXPECT_DOUBLE_EQ(*parallel->numeric_max, *sequential->numeric_max);
+  EXPECT_EQ(parallel->distinct_estimate, sequential->distinct_estimate);
+}
+
+TEST(StatisticsTest, TableStatistics) {
+  ParseOptions options;
+  options.schema.AddField(Field("id", DataType::Int64()));
+  options.schema.AddField(Field("name", DataType::String()));
+  auto parsed = Parser::Parse("1,a\n2,b\n3,\n", options);
+  ASSERT_TRUE(parsed.ok());
+  auto stats = ComputeTableStatistics(parsed->table);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 2u);
+  EXPECT_DOUBLE_EQ(*(*stats)[0].numeric_max, 3);
+  EXPECT_EQ(*(*stats)[1].string_min, "");
+}
+
+}  // namespace
+}  // namespace parparaw

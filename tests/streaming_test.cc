@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baseline/sequential_parser.h"
+#include "io/file.h"
+#include "stream/streaming_parser.h"
+#include "workload/generators.h"
+
+namespace parparaw {
+namespace {
+
+TEST(StreamingTest, SmallPartitionsMatchOneShotParse) {
+  const std::string input = GenerateYelpLike(3, 64 * 1024);
+  ParseOptions base;
+  base.schema = YelpSchema();
+  auto expected = SequentialParser::Parse(input, base);
+  ASSERT_TRUE(expected.ok());
+
+  for (size_t partition : {1024u, 4096u, 16384u, 1u << 20}) {
+    StreamingOptions options;
+    options.base = base;
+    options.partition_size = partition;
+    auto got = StreamingParser::Parse(input, options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->table.Equals(expected->table))
+        << "partition " << partition;
+    EXPECT_EQ(got->num_partitions,
+              static_cast<int>((input.size() + partition - 1) / partition));
+  }
+}
+
+TEST(StreamingTest, CarryOverSpansPartitionBoundary) {
+  // Records straddling every partition boundary (partition smaller than a
+  // record) must be reassembled via the carry-over.
+  std::string input;
+  for (int i = 0; i < 40; ++i) {
+    input += "row" + std::to_string(i) + ",\"payload with, commas and\n"
+             "a quoted newline number " + std::to_string(i) + "\"\n";
+  }
+  ParseOptions base;
+  base.schema.AddField(Field("id", DataType::String()));
+  base.schema.AddField(Field("text", DataType::String()));
+  auto expected = SequentialParser::Parse(input, base);
+  ASSERT_TRUE(expected.ok());
+
+  StreamingOptions options;
+  options.base = base;
+  options.partition_size = 17;  // far below one record
+  auto got = StreamingParser::Parse(input, options);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->table.Equals(expected->table));
+}
+
+TEST(StreamingTest, GiantRecordLargerThanPartition) {
+  const std::string input =
+      GenerateSkewed(9, 32 * 1024, /*giant_field_bytes=*/200 * 1024,
+                     /*yelp_like=*/true);
+  ParseOptions base;
+  base.schema = YelpSchema();
+  auto expected = SequentialParser::Parse(input, base);
+  ASSERT_TRUE(expected.ok());
+
+  StreamingOptions options;
+  options.base = base;
+  options.partition_size = 16 * 1024;  // the giant record spans many
+  auto got = StreamingParser::Parse(input, options);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->table.Equals(expected->table));
+}
+
+TEST(StreamingTest, ModeledOverlapBeatsSerialExecution) {
+  const std::string input = GenerateTaxiLike(4, 256 * 1024);
+  StreamingOptions options;
+  options.base.schema = TaxiSchema();
+  options.partition_size = 32 * 1024;
+  auto got = StreamingParser::Parse(input, options);
+  ASSERT_TRUE(got.ok());
+  ASSERT_GT(got->num_partitions, 2);
+  EXPECT_LT(got->modeled_end_to_end_seconds, got->modeled_serial_seconds);
+  EXPECT_GT(got->modeled_end_to_end_seconds, 0);
+}
+
+TEST(StreamingTest, SinglePartitionWhenInputFits) {
+  StreamingOptions options;
+  options.base.schema.AddField(Field("a", DataType::String()));
+  options.partition_size = 1 << 20;
+  auto got = StreamingParser::Parse("x\ny\n", options);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->num_partitions, 1);
+  EXPECT_EQ(got->table.num_rows, 2);
+}
+
+TEST(StreamingTest, InvalidPartitionSize) {
+  StreamingOptions options;
+  options.partition_size = 0;
+  EXPECT_FALSE(StreamingParser::Parse("a\n", options).ok());
+}
+
+TEST(StreamingTest, ParseFileMatchesInMemory) {
+  const std::string path = "/tmp/parparaw_stream_file.csv";
+  const std::string input = GenerateTaxiLike(12, 128 * 1024);
+  ASSERT_TRUE(WriteStringToFile(path, input).ok());
+
+  StreamingOptions options;
+  options.base.schema = TaxiSchema();
+  options.partition_size = 16 * 1024;
+  auto in_memory = StreamingParser::Parse(input, options);
+  ASSERT_TRUE(in_memory.ok());
+  auto from_file = StreamingParser::ParseFile(path, options);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  EXPECT_TRUE(from_file->table.Equals(in_memory->table));
+  EXPECT_EQ(from_file->num_partitions, in_memory->num_partitions);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingTest, ParseFileMissingAndEmpty) {
+  StreamingOptions options;
+  options.base.schema.AddField(Field("a", DataType::String()));
+  EXPECT_FALSE(
+      StreamingParser::ParseFile("/nonexistent/x.csv", options).ok());
+
+  const std::string path = "/tmp/parparaw_stream_empty.csv";
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto result = StreamingParser::ParseFile(path, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows, 0);
+  EXPECT_EQ(result->num_partitions, 0);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingTest, EmptyInput) {
+  StreamingOptions options;
+  options.base.schema.AddField(Field("a", DataType::String()));
+  auto got = StreamingParser::Parse("", options);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->table.num_rows, 0);
+  EXPECT_EQ(got->num_partitions, 0);
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "mfira/swar.h"
+
+namespace parparaw {
+namespace {
+
+TEST(SwarTest, MycroftHasZeroByte) {
+  EXPECT_NE(SwarHasZeroByte(0x11220033u), 0u);
+  EXPECT_EQ(SwarHasZeroByte(0x11223344u), 0u);
+  EXPECT_NE(SwarHasZeroByte(0x00000000u), 0u);
+  // The detected byte sets its most-significant bit (Table 2: H(x)).
+  EXPECT_EQ(SwarHasZeroByte(0x11003344u), 0x00800000u);
+}
+
+TEST(SwarTest, Table2Example) {
+  // Table 2's exact lookup: \t | , " \n (five symbols, two LU-registers).
+  SwarMatcher matcher({'\n', '"', ',', '|', '\t'});
+  // Reading ',' must match index 2 (byte 2 of register 0).
+  EXPECT_EQ(matcher.Match(','), 2);
+  EXPECT_EQ(matcher.Match('\n'), 0);
+  EXPECT_EQ(matcher.Match('"'), 1);
+  EXPECT_EQ(matcher.Match('|'), 3);
+  EXPECT_EQ(matcher.Match('\t'), 4);  // second register
+}
+
+TEST(SwarTest, NoMatchMapsToCatchAll) {
+  SwarMatcher matcher({'\n', '"', ','});
+  EXPECT_EQ(matcher.catch_all_index(), 3);
+  EXPECT_EQ(matcher.Match('x'), 3);
+  EXPECT_EQ(matcher.Match(0xFF), 3);
+  EXPECT_EQ(matcher.Match(0x00), 3);
+}
+
+TEST(SwarTest, EmptyMatcherAlwaysCatchAll) {
+  SwarMatcher matcher((std::vector<uint8_t>()));
+  EXPECT_EQ(matcher.catch_all_index(), 0);
+  for (int s = 0; s < 256; ++s) {
+    EXPECT_EQ(matcher.Match(static_cast<uint8_t>(s)), 0);
+  }
+}
+
+TEST(SwarTest, NulByteAsRegisteredSymbol) {
+  // 0x00 is a legitimate symbol (e.g. for binary-ish formats); padding
+  // bytes must not shadow or fake a match.
+  SwarMatcher matcher({'\n', 0x00});
+  EXPECT_EQ(matcher.Match(0x00), 1);
+  EXPECT_EQ(matcher.Match('\n'), 0);
+  EXPECT_EQ(matcher.Match('a'), 2);
+}
+
+TEST(SwarTest, ExhaustiveAgainstLinearSearch) {
+  const std::vector<uint8_t> symbols = {0x00, 0x0A, 0x22, 0x2C,
+                                        0x7C, 0x09, 0xFF, 0x80};
+  SwarMatcher matcher(symbols);
+  for (int s = 0; s < 256; ++s) {
+    int expected = static_cast<int>(symbols.size());
+    for (size_t i = 0; i < symbols.size(); ++i) {
+      if (symbols[i] == s) {
+        expected = static_cast<int>(i);
+        break;
+      }
+    }
+    EXPECT_EQ(matcher.Match(static_cast<uint8_t>(s)), expected) << "s=" << s;
+  }
+}
+
+TEST(SwarTest, SixteenSymbols) {
+  std::vector<uint8_t> symbols;
+  for (int i = 0; i < 16; ++i) symbols.push_back(static_cast<uint8_t>(i * 7 + 1));
+  SwarMatcher matcher(symbols);
+  EXPECT_EQ(matcher.lookup_registers().size(), 4u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(matcher.Match(symbols[i]), i);
+  }
+  EXPECT_EQ(matcher.Match(0), 16);
+}
+
+TEST(SwarTest, LookupRegisterLayoutMatchesTable2) {
+  // Byte j of register r holds symbols[4r + j] (the "lookup" row).
+  SwarMatcher matcher({'\n', '"', ',', '|', '\t'});
+  ASSERT_EQ(matcher.lookup_registers().size(), 2u);
+  const uint32_t reg0 = matcher.lookup_registers()[0];
+  EXPECT_EQ(reg0 & 0xFF, static_cast<uint32_t>('\n'));
+  EXPECT_EQ((reg0 >> 8) & 0xFF, static_cast<uint32_t>('"'));
+  EXPECT_EQ((reg0 >> 16) & 0xFF, static_cast<uint32_t>(','));
+  EXPECT_EQ((reg0 >> 24) & 0xFF, static_cast<uint32_t>('|'));
+  EXPECT_EQ(matcher.lookup_registers()[1] & 0xFF,
+            static_cast<uint32_t>('\t'));
+}
+
+}  // namespace
+}  // namespace parparaw

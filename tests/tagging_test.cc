@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.h"
+
+namespace parparaw {
+namespace {
+
+// Reconstructs (column, row) -> value from the tag step's outputs for the
+// record-tag mode.
+std::map<std::pair<uint32_t, uint32_t>, std::string> FieldsFromTags(
+    const PipelineState& state) {
+  std::map<std::pair<uint32_t, uint32_t>, std::string> fields;
+  for (size_t i = 0; i < state.css.size(); ++i) {
+    fields[{state.col_tags[i], state.rec_tags[i]}] +=
+        static_cast<char>(state.css[i]);
+  }
+  return fields;
+}
+
+TEST(TagStepTest, Figure4Example) {
+  // The running example of Figs. 3-5.
+  const std::string input =
+      "1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", "
+      "black\"\n";
+  ParseOptions options;
+  options.chunk_size = 10;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_NE(h, nullptr);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+
+  EXPECT_EQ(h->state.num_records, 2);
+  EXPECT_EQ(h->state.num_out_rows, 2);
+  EXPECT_EQ(h->state.num_partitions, 3u);
+  EXPECT_EQ(h->state.min_columns, 3u);
+  EXPECT_EQ(h->state.max_columns, 3u);
+
+  const auto fields = FieldsFromTags(h->state);
+  EXPECT_EQ(fields.at({0, 0}), "1941");
+  EXPECT_EQ(fields.at({1, 0}), "199.99");
+  EXPECT_EQ(fields.at({2, 0}), "Bookcase");
+  EXPECT_EQ(fields.at({0, 1}), "1938");
+  EXPECT_EQ(fields.at({1, 1}), "19.99");
+  // Escaped quotes unescape to single quotes; the quoted newline stays.
+  EXPECT_EQ(fields.at({2, 1}), "Frame\n\"Ribba\", black");
+}
+
+class TaggingChunkSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TaggingChunkSweep, TagsAreChunkSizeInvariant) {
+  const std::string input =
+      "a,\"b,\n\",c\n,,\nx,\"\"\"q\"\"\",z\ntrailing,1,2";
+  ParseOptions base;
+  base.chunk_size = 1 << 20;
+  auto reference = StepHarness::Make(input, base);
+  ASSERT_TRUE(reference->RunThroughTagging().ok());
+
+  ParseOptions options;
+  options.chunk_size = GetParam();
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+
+  EXPECT_EQ(h->state.num_out_rows, reference->state.num_out_rows);
+  EXPECT_EQ(h->state.css, reference->state.css);
+  EXPECT_EQ(h->state.col_tags, reference->state.col_tags);
+  EXPECT_EQ(h->state.rec_tags, reference->state.rec_tags);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, TaggingChunkSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 11, 31, 64));
+
+TEST(TagStepTest, InlineTerminatedModeFigure6) {
+  // Fig. 6's sample: 0,"Apples"\n1,\n2,"Pears"\n — column 1's CSS is
+  // Apples\x1F\x1FPears\x1F (empty field = bare terminator).
+  const std::string input = "0,\"Apples\"\n1,\n2,\"Pears\"\n";
+  ParseOptions options;
+  options.chunk_size = 5;
+  options.tagging_mode = TaggingMode::kInlineTerminated;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughPartition().ok());
+
+  const int64_t begin = h->state.column_css_offsets[1];
+  const int64_t end = h->state.column_css_offsets[2];
+  std::string css(h->state.css.begin() + begin, h->state.css.begin() + end);
+  EXPECT_EQ(css, "Apples\x1F\x1FPears\x1F");
+}
+
+TEST(TagStepTest, VectorDelimitedModeKeepsDelimiterBytes) {
+  const std::string input = "0,\"Apples\"\n1,\n2,\"Pears\"\n";
+  ParseOptions options;
+  options.chunk_size = 6;
+  options.tagging_mode = TaggingMode::kVectorDelimited;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughPartition().ok());
+
+  const int64_t begin = h->state.column_css_offsets[1];
+  const int64_t end = h->state.column_css_offsets[2];
+  std::string css(h->state.css.begin() + begin, h->state.css.begin() + end);
+  EXPECT_EQ(css, "Apples\n\nPears\n");
+  // Field-end marks sit exactly on the delimiter slots.
+  int marks = 0;
+  for (int64_t i = begin; i < end; ++i) {
+    if (h->state.field_end[i]) {
+      ++marks;
+      EXPECT_EQ(h->state.css[i], static_cast<uint8_t>('\n'));
+    }
+  }
+  EXPECT_EQ(marks, 3);
+}
+
+TEST(TagStepTest, InlineModeDetectsTerminatorCollision) {
+  std::string input = "a,b\n";
+  input[0] = 0x1F;  // the default terminator as field data
+  ParseOptions options;
+  options.tagging_mode = TaggingMode::kInlineTerminated;
+  auto h = StepHarness::Make(input, options);
+  const Status st = h->RunThroughTagging();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(TagStepTest, RaggedRecordsCountsAndPartitions) {
+  const std::string input = "1,Apples\n2\n3,Pears,extra\n";
+  ParseOptions options;
+  options.chunk_size = 4;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+  ASSERT_EQ(h->state.num_records, 3);
+  EXPECT_EQ(h->state.record_column_counts[0], 2u);
+  EXPECT_EQ(h->state.record_column_counts[1], 1u);
+  EXPECT_EQ(h->state.record_column_counts[2], 3u);
+  EXPECT_EQ(h->state.min_columns, 1u);
+  EXPECT_EQ(h->state.max_columns, 3u);
+  EXPECT_EQ(h->state.num_partitions, 3u);
+}
+
+TEST(TagStepTest, RejectPolicyDropsInconsistentRecords) {
+  const std::string input = "1,Apples\n2\n3,Pears\n";
+  ParseOptions options;
+  options.column_count_policy = ColumnCountPolicy::kReject;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+  EXPECT_EQ(h->state.num_out_rows, 2);
+  EXPECT_EQ(h->state.record_dropped[1], 1);
+  // Dropped records leave no tagged symbols.
+  const auto fields = FieldsFromTags(h->state);
+  EXPECT_EQ(fields.at({0, 0}), "1");
+  EXPECT_EQ(fields.at({0, 1}), "3");  // row remapped from record 2
+}
+
+TEST(TagStepTest, ValidatePolicyErrorsOnInconsistency) {
+  const std::string input = "1,Apples\n2\n";
+  ParseOptions options;
+  options.column_count_policy = ColumnCountPolicy::kValidate;
+  auto h = StepHarness::Make(input, options);
+  const Status st = h->RunThroughTagging();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("record 1"), std::string::npos)
+      << st.message();
+}
+
+TEST(TagStepTest, SkipRecordsDropsRequestedIndices) {
+  const std::string input = "r0,a\nr1,b\nr2,c\nr3,d\n";
+  ParseOptions options;
+  options.skip_records = {1, 3};
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+  EXPECT_EQ(h->state.num_out_rows, 2);
+  const auto fields = FieldsFromTags(h->state);
+  EXPECT_EQ(fields.at({0, 0}), "r0");
+  EXPECT_EQ(fields.at({0, 1}), "r2");
+}
+
+TEST(TagStepTest, SkipColumnsDropsSymbols) {
+  const std::string input = "a,bb,c\nd,ee,f\n";
+  ParseOptions options;
+  options.skip_columns = {1};
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+  const auto fields = FieldsFromTags(h->state);
+  EXPECT_EQ(fields.count({1, 0}), 0u);
+  EXPECT_EQ(fields.count({1, 1}), 0u);
+  EXPECT_EQ(fields.at({0, 0}), "a");
+  EXPECT_EQ(fields.at({2, 1}), "f");
+}
+
+TEST(TagStepTest, ExcludeTrailingRecordForStreaming) {
+  const std::string input = "a,b\npartial,rec";
+  ParseOptions options;
+  options.exclude_trailing_record = true;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+  EXPECT_EQ(h->state.num_records, 2);
+  EXPECT_EQ(h->state.num_out_rows, 1);
+  const auto fields = FieldsFromTags(h->state);
+  EXPECT_EQ(fields.count({0, 1}), 0u);
+}
+
+TEST(PartitionStepTest, SymbolsGroupedByColumnInRecordOrder) {
+  const std::string input = "a1,b1\na2,b2\na3,b3\n";
+  ParseOptions options;
+  options.chunk_size = 3;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughPartition().ok());
+
+  ASSERT_EQ(h->state.column_histogram.size(), 2u);
+  EXPECT_EQ(h->state.column_histogram[0], 6u);
+  EXPECT_EQ(h->state.column_histogram[1], 6u);
+  std::string col0(h->state.css.begin(), h->state.css.begin() + 6);
+  std::string col1(h->state.css.begin() + 6, h->state.css.end());
+  EXPECT_EQ(col0, "a1a2a3");
+  EXPECT_EQ(col1, "b1b2b3");
+  // Record tags stay aligned with their symbols.
+  EXPECT_EQ(h->state.rec_tags[0], 0u);
+  EXPECT_EQ(h->state.rec_tags[2], 1u);
+  EXPECT_EQ(h->state.rec_tags[4], 2u);
+}
+
+TEST(PartitionStepTest, EmptyInputProducesEmptyPartitions) {
+  ParseOptions options;
+  auto h = StepHarness::Make("\n", options);
+  ASSERT_TRUE(h->RunThroughPartition().ok());
+  // One empty record: no symbols at all, one partition from max col 0.
+  EXPECT_EQ(h->state.css.size(), 0u);
+}
+
+}  // namespace
+}  // namespace parparaw

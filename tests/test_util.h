@@ -1,0 +1,69 @@
+#ifndef PARPARAW_TESTS_TEST_UTIL_H_
+#define PARPARAW_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/bitmap_step.h"
+#include "core/context_step.h"
+#include "core/convert_step.h"
+#include "core/offset_step.h"
+#include "core/partition_step.h"
+#include "core/tag_step.h"
+#include "dfa/formats.h"
+#include "util/bit_util.h"
+
+namespace parparaw {
+
+/// Drives the pipeline steps one by one over `input`, so tests can inspect
+/// intermediate state. The fixture owns the input and options; `state`
+/// holds borrowed pointers into them.
+struct StepHarness {
+  std::string input;
+  ParseOptions options;
+  PipelineState state;
+  StepTimings timings;
+  WorkCounters work;
+
+  static std::unique_ptr<StepHarness> Make(std::string input_in,
+                                           ParseOptions options_in) {
+    auto h = std::make_unique<StepHarness>();
+    h->input = std::move(input_in);
+    h->options = std::move(options_in);
+    if (h->options.format.dfa.num_states() == 0) {
+      auto format = Rfc4180Format();
+      if (!format.ok()) return nullptr;
+      h->options.format = *std::move(format);
+    }
+    if (h->options.pool == nullptr) h->options.pool = ThreadPool::Default();
+    h->state.data = reinterpret_cast<const uint8_t*>(h->input.data());
+    h->state.size = h->input.size();
+    h->state.options = &h->options;
+    h->state.pool = h->options.pool;
+    h->state.num_chunks = static_cast<int64_t>(
+        bit_util::CeilDiv(h->input.size(), h->options.chunk_size));
+    return h;
+  }
+
+  Status RunContext() { return ContextStep::Run(&state, &timings); }
+  Status RunThroughBitmaps() {
+    PARPARAW_RETURN_NOT_OK(RunContext());
+    return BitmapStep::Run(&state, &timings);
+  }
+  Status RunThroughOffsets() {
+    PARPARAW_RETURN_NOT_OK(RunThroughBitmaps());
+    return OffsetStep::Run(&state, &timings);
+  }
+  Status RunThroughTagging() {
+    PARPARAW_RETURN_NOT_OK(RunThroughOffsets());
+    return TagStep::Run(&state, &timings);
+  }
+  Status RunThroughPartition() {
+    PARPARAW_RETURN_NOT_OK(RunThroughTagging());
+    return PartitionStep::Run(&state, &timings, &work);
+  }
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_TESTS_TEST_UTIL_H_

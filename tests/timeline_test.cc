@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/timeline.h"
+
+namespace parparaw {
+namespace {
+
+TEST(TimelineTest, SinglePartitionIsSerial) {
+  PartitionStages s;
+  s.h2d_seconds = 1.0;
+  s.parse_seconds = 2.0;
+  s.d2h_seconds = 0.5;
+  const StreamingTimeline t = StreamingTimeline::Schedule({s});
+  EXPECT_DOUBLE_EQ(t.makespan, 3.5);
+  EXPECT_DOUBLE_EQ(t.parses[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(t.returns[0].start, 3.0);
+}
+
+TEST(TimelineTest, StagesOverlapAcrossPartitions) {
+  // Four equal partitions: transfer(p+1) overlaps parse(p), return(p)
+  // overlaps parse(p+1) — the Fig. 7 pipeline.
+  std::vector<PartitionStages> stages(4);
+  for (auto& s : stages) {
+    s.h2d_seconds = 1.0;
+    s.parse_seconds = 1.0;
+    s.d2h_seconds = 1.0;
+  }
+  const StreamingTimeline t = StreamingTimeline::Schedule(stages);
+  // Serial would be 12; the pipeline needs first-transfer + 4 parses +
+  // last-return = 1 + 4 + 1 = 6.
+  EXPECT_DOUBLE_EQ(t.makespan, 6.0);
+  // transfer(1) runs while parse(0) runs.
+  EXPECT_LT(t.transfers[1].start, t.parses[0].end);
+  // return(0) runs while parse(1) runs.
+  EXPECT_LT(t.returns[0].start, t.parses[1].end);
+}
+
+TEST(TimelineTest, BottleneckStageDominates) {
+  // When parsing is much slower than transfers, makespan approaches
+  // sum(parse) + first transfer + last return.
+  std::vector<PartitionStages> stages(8);
+  for (auto& s : stages) {
+    s.h2d_seconds = 0.1;
+    s.parse_seconds = 2.0;
+    s.d2h_seconds = 0.1;
+  }
+  const StreamingTimeline t = StreamingTimeline::Schedule(stages);
+  EXPECT_NEAR(t.makespan, 0.1 + 8 * 2.0 + 0.1, 1e-9);
+}
+
+TEST(TimelineTest, TransferBoundMatchesChannelOccupancy) {
+  // When H2D is the bottleneck, the channel never idles after warmup.
+  std::vector<PartitionStages> stages(8);
+  for (auto& s : stages) {
+    s.h2d_seconds = 2.0;
+    s.parse_seconds = 0.2;
+    s.d2h_seconds = 0.2;
+  }
+  const StreamingTimeline t = StreamingTimeline::Schedule(stages);
+  EXPECT_NEAR(t.makespan, 8 * 2.0 + 0.2 + 0.2, 1e-9);
+}
+
+TEST(TimelineTest, CarryOverCopyDelaysBufferReuse) {
+  // The carry-over copy reads the input buffer, so transfer(p+2) may not
+  // start before it finishes (the Fig. 7 corruption hazard).
+  std::vector<PartitionStages> stages(3);
+  for (auto& s : stages) {
+    s.h2d_seconds = 1.0;
+    s.parse_seconds = 1.0;
+    s.d2h_seconds = 0.1;
+    s.carry_copy_seconds = 5.0;  // exaggerated
+  }
+  const StreamingTimeline t = StreamingTimeline::Schedule(stages);
+  // transfer(2) reuses buffer A, whose carry-over copy ends at
+  // parse(0).end + 5.
+  EXPECT_GE(t.transfers[2].start, t.parses[0].end + 5.0);
+}
+
+TEST(TimelineTest, ToStringListsAllStages) {
+  std::vector<PartitionStages> stages(2);
+  for (auto& s : stages) {
+    s.h2d_seconds = 0.1;
+    s.parse_seconds = 0.1;
+    s.d2h_seconds = 0.1;
+  }
+  const StreamingTimeline t = StreamingTimeline::Schedule(stages);
+  const std::string rendered = t.ToString();
+  EXPECT_NE(rendered.find("transfer"), std::string::npos);
+  EXPECT_NE(rendered.find("parse"), std::string::npos);
+  EXPECT_NE(rendered.find("return"), std::string::npos);
+  EXPECT_NE(rendered.find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parparaw

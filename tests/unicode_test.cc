@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parallel/thread_pool.h"
+#include "text/unicode.h"
+
+namespace parparaw {
+namespace {
+
+TEST(Utf8Test, ContinuationBytes) {
+  EXPECT_TRUE(IsUtf8ContinuationByte(0x80));
+  EXPECT_TRUE(IsUtf8ContinuationByte(0xBF));
+  EXPECT_FALSE(IsUtf8ContinuationByte(0x7F));
+  EXPECT_FALSE(IsUtf8ContinuationByte(0xC0));
+}
+
+TEST(Utf8Test, SequenceLengths) {
+  EXPECT_EQ(Utf8SequenceLength('a'), 1);
+  EXPECT_EQ(Utf8SequenceLength(0xC3), 2);
+  EXPECT_EQ(Utf8SequenceLength(0xE2), 3);
+  EXPECT_EQ(Utf8SequenceLength(0xF0), 4);
+  EXPECT_EQ(Utf8SequenceLength(0x80), 0);  // continuation byte
+}
+
+TEST(Utf8Test, ChunkBeginAdjustment) {
+  // "a € b": the euro sign is 3 bytes (E2 82 AC).
+  const std::string s = "a\xE2\x82\xACZ";
+  const auto* data = reinterpret_cast<const uint8_t*>(s.data());
+  EXPECT_EQ(AdjustChunkBeginUtf8(data, s.size(), 0), 0u);
+  EXPECT_EQ(AdjustChunkBeginUtf8(data, s.size(), 1), 1u);  // lead byte
+  EXPECT_EQ(AdjustChunkBeginUtf8(data, s.size(), 2), 4u);  // inside -> next
+  EXPECT_EQ(AdjustChunkBeginUtf8(data, s.size(), 3), 4u);
+  EXPECT_EQ(AdjustChunkBeginUtf8(data, s.size(), 4), 4u);
+  EXPECT_EQ(AdjustChunkBeginUtf8(data, s.size(), 5), 5u);  // clamp to size
+}
+
+TEST(Utf16Test, SurrogateDetection) {
+  EXPECT_TRUE(IsUtf16HighSurrogate(0xD800));
+  EXPECT_TRUE(IsUtf16HighSurrogate(0xDBFF));
+  EXPECT_FALSE(IsUtf16HighSurrogate(0xDC00));
+  EXPECT_TRUE(IsUtf16LowSurrogate(0xDC00));
+  EXPECT_TRUE(IsUtf16LowSurrogate(0xDFFF));
+  EXPECT_FALSE(IsUtf16LowSurrogate(0xD800));
+  EXPECT_FALSE(IsUtf16LowSurrogate(0x0041));
+}
+
+TEST(Utf16Test, ChunkBeginSkipsLowSurrogate) {
+  // U+1F600 (emoji) = D83D DE00 in UTF-16LE bytes: 3D D8 00 DE.
+  const uint8_t bytes[] = {0x3D, 0xD8, 0x00, 0xDE, 'a', 0x00};
+  EXPECT_EQ(AdjustChunkBeginUtf16Le(bytes, sizeof(bytes), 0), 0u);
+  // Position 2 is the low surrogate: skip to 4.
+  EXPECT_EQ(AdjustChunkBeginUtf16Le(bytes, sizeof(bytes), 2), 4u);
+  EXPECT_EQ(AdjustChunkBeginUtf16Le(bytes, sizeof(bytes), 4), 4u);
+  // Odd positions align up to the next unit first.
+  EXPECT_EQ(AdjustChunkBeginUtf16Le(bytes, sizeof(bytes), 1), 4u);
+}
+
+TEST(EncodeUtf8Test, AllWidths) {
+  uint8_t buf[4];
+  EXPECT_EQ(EncodeUtf8('A', buf), 1);
+  EXPECT_EQ(buf[0], 'A');
+  EXPECT_EQ(EncodeUtf8(0xE9, buf), 2);  // é
+  EXPECT_EQ(buf[0], 0xC3);
+  EXPECT_EQ(buf[1], 0xA9);
+  EXPECT_EQ(EncodeUtf8(0x20AC, buf), 3);  // €
+  EXPECT_EQ(buf[0], 0xE2);
+  EXPECT_EQ(EncodeUtf8(0x1F600, buf), 4);  // 😀
+  EXPECT_EQ(buf[0], 0xF0);
+  EXPECT_EQ(EncodeUtf8(0xD800, buf), 0);    // surrogate: invalid
+  EXPECT_EQ(EncodeUtf8(0x110000, buf), 0);  // out of range
+}
+
+std::string Utf16Le(std::initializer_list<uint16_t> units) {
+  std::string out;
+  for (uint16_t u : units) {
+    out.push_back(static_cast<char>(u & 0xFF));
+    out.push_back(static_cast<char>(u >> 8));
+  }
+  return out;
+}
+
+TEST(TranscodeTest, AsciiRoundTrip) {
+  ThreadPool pool(4);
+  auto result =
+      TranscodeUtf16LeToUtf8(&pool, Utf16Le({'h', 'i', ',', '1', '\n'}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, "hi,1\n");
+}
+
+TEST(TranscodeTest, BmpAndSupplementary) {
+  ThreadPool pool(2);
+  // "€" U+20AC and "😀" U+1F600 (D83D DE00).
+  auto result =
+      TranscodeUtf16LeToUtf8(&pool, Utf16Le({0x20AC, 0xD83D, 0xDE00}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(TranscodeTest, ChunkBoundaryInsideSurrogatePair) {
+  ThreadPool pool(4);
+  // Force tiny chunks so pairs straddle boundaries.
+  std::string input;
+  for (int i = 0; i < 100; ++i) {
+    input += Utf16Le({'a', 0xD83D, 0xDE00, 'b'});
+  }
+  auto small = TranscodeUtf16LeToUtf8(&pool, input, /*chunk_size=*/6);
+  auto big = TranscodeUtf16LeToUtf8(&pool, input, /*chunk_size=*/1 << 20);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*small, *big);
+}
+
+TEST(TranscodeTest, Errors) {
+  ThreadPool pool(2);
+  // Odd byte length.
+  EXPECT_FALSE(TranscodeUtf16LeToUtf8(&pool, "a").ok());
+  // Unpaired high surrogate at end.
+  EXPECT_FALSE(TranscodeUtf16LeToUtf8(&pool, Utf16Le({0xD83D})).ok());
+  // Unpaired low surrogate.
+  EXPECT_FALSE(TranscodeUtf16LeToUtf8(&pool, Utf16Le({'a', 0xDE00})).ok());
+  // High surrogate followed by non-surrogate.
+  EXPECT_FALSE(TranscodeUtf16LeToUtf8(&pool, Utf16Le({0xD83D, 'x'})).ok());
+}
+
+TEST(TranscodeTest, EmptyInput) {
+  ThreadPool pool(2);
+  auto result = TranscodeUtf16LeToUtf8(&pool, "");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "util/bit_util.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace parparaw {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad quote");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad quote");
+  EXPECT_EQ(st.ToString(), "Parse error: bad quote");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::Invalid("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::TypeError("").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PARPARAW_RETURN_NOT_OK(Status::Invalid("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().message(), "inner");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "nope");
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool fail) -> Result<int> {
+    if (fail) return Status::Invalid("boom");
+    return 7;
+  };
+  auto consume = [&](bool fail) -> Result<int> {
+    PARPARAW_ASSIGN_OR_RETURN(int v, produce(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*consume(false), 8);
+  EXPECT_FALSE(consume(true).ok());
+}
+
+TEST(BitUtilTest, PopCount) {
+  EXPECT_EQ(bit_util::PopCount(0), 0);
+  EXPECT_EQ(bit_util::PopCount(0xFF), 8);
+  EXPECT_EQ(bit_util::PopCount(~uint64_t{0}), 64);
+}
+
+TEST(BitUtilTest, FindMsb) {
+  EXPECT_EQ(bit_util::FindMsb(0), -1);
+  EXPECT_EQ(bit_util::FindMsb(1), 0);
+  EXPECT_EQ(bit_util::FindMsb(0x80000000u), 31);
+  EXPECT_EQ(bit_util::FindMsb(0x00008080u), 15);
+}
+
+TEST(BitUtilTest, BitFieldExtract) {
+  EXPECT_EQ(bit_util::BitFieldExtract(0b110110, 1, 3), 0b011u);
+  EXPECT_EQ(bit_util::BitFieldExtract(0xFFFFFFFF, 0, 32), 0xFFFFFFFFu);
+  EXPECT_EQ(bit_util::BitFieldExtract(0xFF, 4, 0), 0u);
+}
+
+TEST(BitUtilTest, BitFieldInsert) {
+  EXPECT_EQ(bit_util::BitFieldInsert(0, 0b101, 2, 3), 0b10100u);
+  EXPECT_EQ(bit_util::BitFieldInsert(0xFFFFFFFF, 0, 8, 8), 0xFFFF00FFu);
+  // Inserting more bits than len keeps only len bits.
+  EXPECT_EQ(bit_util::BitFieldInsert(0, 0xFF, 0, 4), 0xFu);
+}
+
+TEST(BitUtilTest, BfiBfeRoundTrip) {
+  uint32_t word = 0;
+  for (uint32_t pos = 0; pos <= 28; pos += 4) {
+    word = bit_util::BitFieldInsert(word, pos / 4 + 1, pos, 4);
+  }
+  for (uint32_t pos = 0; pos <= 28; pos += 4) {
+    EXPECT_EQ(bit_util::BitFieldExtract(word, pos, 4), pos / 4 + 1);
+  }
+}
+
+TEST(BitUtilTest, PowersOfTwo) {
+  EXPECT_TRUE(bit_util::IsPowerOfTwo(1));
+  EXPECT_TRUE(bit_util::IsPowerOfTwo(64));
+  EXPECT_FALSE(bit_util::IsPowerOfTwo(0));
+  EXPECT_FALSE(bit_util::IsPowerOfTwo(6));
+  EXPECT_EQ(bit_util::NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(bit_util::PrevPowerOfTwo(5), 4u);
+  EXPECT_EQ(bit_util::Log2Floor(1), 0);
+  EXPECT_EQ(bit_util::Log2Floor(9), 3);
+}
+
+TEST(BitmapTest, SetGetClear) {
+  bit_util::Bitmap bitmap(130);
+  EXPECT_EQ(bitmap.size(), 130u);
+  EXPECT_FALSE(bitmap.Get(0));
+  bitmap.Set(0);
+  bitmap.Set(64);
+  bitmap.Set(129);
+  EXPECT_TRUE(bitmap.Get(0));
+  EXPECT_TRUE(bitmap.Get(64));
+  EXPECT_TRUE(bitmap.Get(129));
+  EXPECT_EQ(bitmap.CountSet(), 3u);
+  bitmap.Clear(64);
+  EXPECT_FALSE(bitmap.Get(64));
+  EXPECT_EQ(bitmap.CountSet(), 2u);
+}
+
+TEST(BitmapTest, RangeQueries) {
+  bit_util::Bitmap bitmap(100);
+  bitmap.Set(10);
+  bitmap.Set(20);
+  bitmap.Set(30);
+  EXPECT_EQ(bitmap.CountSetInRange(0, 100), 3u);
+  EXPECT_EQ(bitmap.CountSetInRange(11, 30), 1u);
+  EXPECT_EQ(bitmap.FindLastSetInRange(0, 100), 30);
+  EXPECT_EQ(bitmap.FindLastSetInRange(0, 30), 20);
+  EXPECT_EQ(bitmap.FindLastSetInRange(0, 10), -1);
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2 * 1024 * 1024), "2.00 MB");
+  EXPECT_EQ(FormatBytes(uint64_t{5} << 30), "5.00 GB");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("TRUE", "true"));
+  EXPECT_FALSE(EqualsIgnoreCase("true", "tru"));
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_parser.h"
+#include "workload/generators.h"
+
+namespace parparaw {
+namespace {
+
+TEST(WorkloadTest, YelpLikeIsDeterministic) {
+  EXPECT_EQ(GenerateYelpLike(1, 8192), GenerateYelpLike(1, 8192));
+  EXPECT_NE(GenerateYelpLike(1, 8192), GenerateYelpLike(2, 8192));
+}
+
+TEST(WorkloadTest, YelpLikeMatchesPublishedShape) {
+  const std::string data = GenerateYelpLike(7, 256 * 1024);
+  EXPECT_GE(data.size(), 256u * 1024);
+  ParseOptions options;
+  options.schema = YelpSchema();
+  options.validate = true;  // RFC 4180 conformant
+  auto result = SequentialParser::Parse(data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& table = result->table;
+  ASSERT_EQ(table.num_columns(), 9);
+  EXPECT_EQ(table.NumRejected(), 0);
+  // Average record size in the paper's ballpark (721.4 B/record; accept a
+  // generous band for the synthetic stand-in).
+  const double avg = static_cast<double>(data.size()) / table.num_rows;
+  EXPECT_GT(avg, 250.0);
+  EXPECT_LT(avg, 2000.0);
+  // The text column must contain embedded delimiters somewhere.
+  bool has_comma = false;
+  bool has_newline = false;
+  bool has_quote = false;
+  for (int64_t r = 0; r < table.num_rows; ++r) {
+    const auto text = table.columns[7].StringValue(r);
+    has_comma |= text.find(',') != std::string_view::npos;
+    has_newline |= text.find('\n') != std::string_view::npos;
+    has_quote |= text.find('"') != std::string_view::npos;
+  }
+  EXPECT_TRUE(has_comma);
+  EXPECT_TRUE(has_newline);
+  EXPECT_TRUE(has_quote);
+  // stars is a valid 1-5 integer everywhere.
+  for (int64_t r = 0; r < table.num_rows; ++r) {
+    ASSERT_FALSE(table.columns[3].IsNull(r));
+    const int64_t stars = table.columns[3].Value<int64_t>(r);
+    ASSERT_GE(stars, 1);
+    ASSERT_LE(stars, 5);
+  }
+}
+
+TEST(WorkloadTest, TaxiLikeMatchesPublishedShape) {
+  const std::string data = GenerateTaxiLike(7, 128 * 1024);
+  ParseOptions options;
+  options.schema = TaxiSchema();
+  options.validate = true;
+  auto result = SequentialParser::Parse(data, options);
+  ASSERT_TRUE(result.ok());
+  const Table& table = result->table;
+  ASSERT_EQ(table.num_columns(), 17);
+  EXPECT_EQ(table.NumRejected(), 0);
+  // ~88.3 B/record, ~5.2 B/field in the paper.
+  const double avg = static_cast<double>(data.size()) / table.num_rows;
+  EXPECT_GT(avg, 60.0);
+  EXPECT_LT(avg, 140.0);
+  // Totals are consistent (fare + surcharges ≈ total) for row 0.
+  const double total = table.columns[16].Value<double>(0);
+  const double fare = table.columns[10].Value<double>(0);
+  EXPECT_GT(total, fare);
+}
+
+TEST(WorkloadTest, SkewedContainsGiantRecord) {
+  const std::string data =
+      GenerateSkewed(5, 64 * 1024, /*giant_field_bytes=*/100 * 1024,
+                     /*yelp_like=*/true);
+  ParseOptions options;
+  options.schema = YelpSchema();
+  auto result = SequentialParser::Parse(data, options);
+  ASSERT_TRUE(result.ok());
+  int64_t longest = 0;
+  for (int64_t r = 0; r < result->table.num_rows; ++r) {
+    longest = std::max<int64_t>(
+        longest,
+        static_cast<int64_t>(result->table.columns[7].StringValue(r).size()));
+  }
+  EXPECT_GE(longest, 90 * 1024);
+}
+
+TEST(WorkloadTest, SkewedTaxiKeepsSchema) {
+  const std::string data =
+      GenerateSkewed(5, 32 * 1024, /*giant_field_bytes=*/50 * 1024,
+                     /*yelp_like=*/false);
+  ParseOptions options;
+  options.schema = TaxiSchema();
+  options.column_count_policy = ColumnCountPolicy::kValidate;
+  auto result = SequentialParser::Parse(data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(WorkloadTest, RandomCsvRespectsTrailingNewlineOption) {
+  RandomCsvOptions gen;
+  gen.num_records = 10;
+  gen.trailing_newline = false;
+  const std::string without = GenerateRandomCsv(1, gen);
+  EXPECT_NE(without.back(), '\n');
+  gen.trailing_newline = true;
+  const std::string with = GenerateRandomCsv(1, gen);
+  EXPECT_EQ(with.back(), '\n');
+}
+
+TEST(WorkloadTest, RandomCsvValidRfc4180) {
+  RandomCsvOptions gen;
+  gen.num_records = 200;
+  ParseOptions options;
+  options.validate = true;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const std::string input = GenerateRandomCsv(seed, gen);
+    auto result = SequentialParser::Parse(input, options);
+    EXPECT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status().ToString();
+  }
+}
+
+TEST(WorkloadTest, LogLikeParsesUnderExtendedLogFormat) {
+  auto format = ExtendedLogFormat();
+  ASSERT_TRUE(format.ok());
+  const std::string data = GenerateLogLike(3, 16 * 1024);
+  ParseOptions options;
+  options.format = *format;
+  auto result = SequentialParser::Parse(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->table.num_rows, 50);
+  EXPECT_EQ(result->table.num_columns(), 6);
+}
+
+}  // namespace
+}  // namespace parparaw
