@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_primitives.dir/bench_ablation_primitives.cc.o"
+  "CMakeFiles/bench_ablation_primitives.dir/bench_ablation_primitives.cc.o.d"
+  "bench_ablation_primitives"
+  "bench_ablation_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

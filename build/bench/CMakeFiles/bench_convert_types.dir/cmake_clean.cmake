@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convert_types.dir/bench_convert_types.cc.o"
+  "CMakeFiles/bench_convert_types.dir/bench_convert_types.cc.o.d"
+  "bench_convert_types"
+  "bench_convert_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convert_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

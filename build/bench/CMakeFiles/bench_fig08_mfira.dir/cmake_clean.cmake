@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_mfira.dir/bench_fig08_mfira.cc.o"
+  "CMakeFiles/bench_fig08_mfira.dir/bench_fig08_mfira.cc.o.d"
+  "bench_fig08_mfira"
+  "bench_fig08_mfira.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_mfira.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

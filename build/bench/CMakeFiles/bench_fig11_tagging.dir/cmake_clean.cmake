@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tagging.dir/bench_fig11_tagging.cc.o"
+  "CMakeFiles/bench_fig11_tagging.dir/bench_fig11_tagging.cc.o.d"
+  "bench_fig11_tagging"
+  "bench_fig11_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpu_sim.dir/bench_gpu_sim.cc.o"
+  "CMakeFiles/bench_gpu_sim.dir/bench_gpu_sim.cc.o.d"
+  "bench_gpu_sim"
+  "bench_gpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

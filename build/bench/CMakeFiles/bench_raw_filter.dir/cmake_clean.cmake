@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raw_filter.dir/bench_raw_filter.cc.o"
+  "CMakeFiles/bench_raw_filter.dir/bench_raw_filter.cc.o.d"
+  "bench_raw_filter"
+  "bench_raw_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raw_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

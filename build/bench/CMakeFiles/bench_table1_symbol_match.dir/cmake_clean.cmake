@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_symbol_match.dir/bench_table1_symbol_match.cc.o"
+  "CMakeFiles/bench_table1_symbol_match.dir/bench_table1_symbol_match.cc.o.d"
+  "bench_table1_symbol_match"
+  "bench_table1_symbol_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_symbol_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_swar.dir/bench_table2_swar.cc.o"
+  "CMakeFiles/bench_table2_swar.dir/bench_table2_swar.cc.o.d"
+  "bench_table2_swar"
+  "bench_table2_swar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_swar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

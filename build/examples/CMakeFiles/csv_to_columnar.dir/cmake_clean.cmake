@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_to_columnar.dir/csv_to_columnar.cpp.o"
+  "CMakeFiles/csv_to_columnar.dir/csv_to_columnar.cpp.o.d"
+  "csv_to_columnar"
+  "csv_to_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_to_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in_situ_query.dir/in_situ_query.cpp.o"
+  "CMakeFiles/in_situ_query.dir/in_situ_query.cpp.o.d"
+  "in_situ_query"
+  "in_situ_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in_situ_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

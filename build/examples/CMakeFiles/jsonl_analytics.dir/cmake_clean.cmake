@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsonl_analytics.dir/jsonl_analytics.cpp.o"
+  "CMakeFiles/jsonl_analytics.dir/jsonl_analytics.cpp.o.d"
+  "jsonl_analytics"
+  "jsonl_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsonl_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

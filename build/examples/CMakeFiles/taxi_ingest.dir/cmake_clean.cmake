@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_ingest.dir/taxi_ingest.cpp.o"
+  "CMakeFiles/taxi_ingest.dir/taxi_ingest.cpp.o.d"
+  "taxi_ingest"
+  "taxi_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

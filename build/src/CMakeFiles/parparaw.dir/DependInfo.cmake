@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/instant_loading.cc" "src/CMakeFiles/parparaw.dir/baseline/instant_loading.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/baseline/instant_loading.cc.o.d"
+  "/root/repo/src/baseline/quote_count.cc" "src/CMakeFiles/parparaw.dir/baseline/quote_count.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/baseline/quote_count.cc.o.d"
+  "/root/repo/src/baseline/row_buffer.cc" "src/CMakeFiles/parparaw.dir/baseline/row_buffer.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/baseline/row_buffer.cc.o.d"
+  "/root/repo/src/baseline/sequential_parser.cc" "src/CMakeFiles/parparaw.dir/baseline/sequential_parser.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/baseline/sequential_parser.cc.o.d"
+  "/root/repo/src/columnar/column.cc" "src/CMakeFiles/parparaw.dir/columnar/column.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/columnar/column.cc.o.d"
+  "/root/repo/src/columnar/dictionary.cc" "src/CMakeFiles/parparaw.dir/columnar/dictionary.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/columnar/dictionary.cc.o.d"
+  "/root/repo/src/columnar/ipc.cc" "src/CMakeFiles/parparaw.dir/columnar/ipc.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/columnar/ipc.cc.o.d"
+  "/root/repo/src/columnar/schema.cc" "src/CMakeFiles/parparaw.dir/columnar/schema.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/columnar/schema.cc.o.d"
+  "/root/repo/src/columnar/statistics.cc" "src/CMakeFiles/parparaw.dir/columnar/statistics.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/columnar/statistics.cc.o.d"
+  "/root/repo/src/columnar/table.cc" "src/CMakeFiles/parparaw.dir/columnar/table.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/columnar/table.cc.o.d"
+  "/root/repo/src/columnar/types.cc" "src/CMakeFiles/parparaw.dir/columnar/types.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/columnar/types.cc.o.d"
+  "/root/repo/src/convert/inference.cc" "src/CMakeFiles/parparaw.dir/convert/inference.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/convert/inference.cc.o.d"
+  "/root/repo/src/convert/numeric.cc" "src/CMakeFiles/parparaw.dir/convert/numeric.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/convert/numeric.cc.o.d"
+  "/root/repo/src/convert/temporal.cc" "src/CMakeFiles/parparaw.dir/convert/temporal.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/convert/temporal.cc.o.d"
+  "/root/repo/src/core/bitmap_step.cc" "src/CMakeFiles/parparaw.dir/core/bitmap_step.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/bitmap_step.cc.o.d"
+  "/root/repo/src/core/context_step.cc" "src/CMakeFiles/parparaw.dir/core/context_step.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/context_step.cc.o.d"
+  "/root/repo/src/core/convert_step.cc" "src/CMakeFiles/parparaw.dir/core/convert_step.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/convert_step.cc.o.d"
+  "/root/repo/src/core/css_index.cc" "src/CMakeFiles/parparaw.dir/core/css_index.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/css_index.cc.o.d"
+  "/root/repo/src/core/offset_step.cc" "src/CMakeFiles/parparaw.dir/core/offset_step.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/offset_step.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/CMakeFiles/parparaw.dir/core/options.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/options.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/CMakeFiles/parparaw.dir/core/parser.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/parser.cc.o.d"
+  "/root/repo/src/core/partition_step.cc" "src/CMakeFiles/parparaw.dir/core/partition_step.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/partition_step.cc.o.d"
+  "/root/repo/src/core/tag_step.cc" "src/CMakeFiles/parparaw.dir/core/tag_step.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/core/tag_step.cc.o.d"
+  "/root/repo/src/dfa/dfa.cc" "src/CMakeFiles/parparaw.dir/dfa/dfa.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/dfa/dfa.cc.o.d"
+  "/root/repo/src/dfa/formats.cc" "src/CMakeFiles/parparaw.dir/dfa/formats.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/dfa/formats.cc.o.d"
+  "/root/repo/src/dfa/sniffer.cc" "src/CMakeFiles/parparaw.dir/dfa/sniffer.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/dfa/sniffer.cc.o.d"
+  "/root/repo/src/io/csv_writer.cc" "src/CMakeFiles/parparaw.dir/io/csv_writer.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/io/csv_writer.cc.o.d"
+  "/root/repo/src/io/file.cc" "src/CMakeFiles/parparaw.dir/io/file.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/io/file.cc.o.d"
+  "/root/repo/src/json/json_lines.cc" "src/CMakeFiles/parparaw.dir/json/json_lines.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/json/json_lines.cc.o.d"
+  "/root/repo/src/loader/bulk_loader.cc" "src/CMakeFiles/parparaw.dir/loader/bulk_loader.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/loader/bulk_loader.cc.o.d"
+  "/root/repo/src/mfira/swar.cc" "src/CMakeFiles/parparaw.dir/mfira/swar.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/mfira/swar.cc.o.d"
+  "/root/repo/src/parallel/radix_sort.cc" "src/CMakeFiles/parparaw.dir/parallel/radix_sort.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/parallel/radix_sort.cc.o.d"
+  "/root/repo/src/parallel/thread_pool.cc" "src/CMakeFiles/parparaw.dir/parallel/thread_pool.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/parallel/thread_pool.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/parparaw.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/pushdown.cc" "src/CMakeFiles/parparaw.dir/query/pushdown.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/query/pushdown.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/parparaw.dir/query/query.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/query/query.cc.o.d"
+  "/root/repo/src/query/raw_filter.cc" "src/CMakeFiles/parparaw.dir/query/raw_filter.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/query/raw_filter.cc.o.d"
+  "/root/repo/src/query/sql.cc" "src/CMakeFiles/parparaw.dir/query/sql.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/query/sql.cc.o.d"
+  "/root/repo/src/sim/device_model.cc" "src/CMakeFiles/parparaw.dir/sim/device_model.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/sim/device_model.cc.o.d"
+  "/root/repo/src/sim/gpu_sim.cc" "src/CMakeFiles/parparaw.dir/sim/gpu_sim.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/sim/gpu_sim.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/parparaw.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/sim/timeline.cc.o.d"
+  "/root/repo/src/stream/streaming_parser.cc" "src/CMakeFiles/parparaw.dir/stream/streaming_parser.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/stream/streaming_parser.cc.o.d"
+  "/root/repo/src/text/unicode.cc" "src/CMakeFiles/parparaw.dir/text/unicode.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/text/unicode.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/parparaw.dir/util/status.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/parparaw.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/parparaw.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/parparaw.dir/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/parparaw_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/capabilities_test.cc" "tests/CMakeFiles/parparaw_tests.dir/capabilities_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/capabilities_test.cc.o.d"
+  "/root/repo/tests/columnar_test.cc" "tests/CMakeFiles/parparaw_tests.dir/columnar_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/columnar_test.cc.o.d"
+  "/root/repo/tests/conformance_test.cc" "tests/CMakeFiles/parparaw_tests.dir/conformance_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/conformance_test.cc.o.d"
+  "/root/repo/tests/context_step_test.cc" "tests/CMakeFiles/parparaw_tests.dir/context_step_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/context_step_test.cc.o.d"
+  "/root/repo/tests/convert_test.cc" "tests/CMakeFiles/parparaw_tests.dir/convert_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/convert_test.cc.o.d"
+  "/root/repo/tests/device_model_test.cc" "tests/CMakeFiles/parparaw_tests.dir/device_model_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/device_model_test.cc.o.d"
+  "/root/repo/tests/dfa_test.cc" "tests/CMakeFiles/parparaw_tests.dir/dfa_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/dfa_test.cc.o.d"
+  "/root/repo/tests/format_extensions_test.cc" "tests/CMakeFiles/parparaw_tests.dir/format_extensions_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/format_extensions_test.cc.o.d"
+  "/root/repo/tests/formats_test.cc" "tests/CMakeFiles/parparaw_tests.dir/formats_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/formats_test.cc.o.d"
+  "/root/repo/tests/gpu_sim_test.cc" "tests/CMakeFiles/parparaw_tests.dir/gpu_sim_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/gpu_sim_test.cc.o.d"
+  "/root/repo/tests/hardening_test.cc" "tests/CMakeFiles/parparaw_tests.dir/hardening_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/hardening_test.cc.o.d"
+  "/root/repo/tests/inference_test.cc" "tests/CMakeFiles/parparaw_tests.dir/inference_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/inference_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/parparaw_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/ipc_test.cc" "tests/CMakeFiles/parparaw_tests.dir/ipc_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/ipc_test.cc.o.d"
+  "/root/repo/tests/json_test.cc" "tests/CMakeFiles/parparaw_tests.dir/json_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/json_test.cc.o.d"
+  "/root/repo/tests/loader_test.cc" "tests/CMakeFiles/parparaw_tests.dir/loader_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/loader_test.cc.o.d"
+  "/root/repo/tests/mfira_test.cc" "tests/CMakeFiles/parparaw_tests.dir/mfira_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/mfira_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/parparaw_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/offsets_test.cc" "tests/CMakeFiles/parparaw_tests.dir/offsets_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/offsets_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/parparaw_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/parparaw_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/parparaw_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/parparaw_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/pushdown_test.cc" "tests/CMakeFiles/parparaw_tests.dir/pushdown_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/pushdown_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/parparaw_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/roundtrip_test.cc" "tests/CMakeFiles/parparaw_tests.dir/roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/roundtrip_test.cc.o.d"
+  "/root/repo/tests/sniffer_test.cc" "tests/CMakeFiles/parparaw_tests.dir/sniffer_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/sniffer_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/parparaw_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/statistics_test.cc" "tests/CMakeFiles/parparaw_tests.dir/statistics_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/statistics_test.cc.o.d"
+  "/root/repo/tests/streaming_test.cc" "tests/CMakeFiles/parparaw_tests.dir/streaming_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/streaming_test.cc.o.d"
+  "/root/repo/tests/swar_test.cc" "tests/CMakeFiles/parparaw_tests.dir/swar_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/swar_test.cc.o.d"
+  "/root/repo/tests/tagging_test.cc" "tests/CMakeFiles/parparaw_tests.dir/tagging_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/tagging_test.cc.o.d"
+  "/root/repo/tests/timeline_test.cc" "tests/CMakeFiles/parparaw_tests.dir/timeline_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/timeline_test.cc.o.d"
+  "/root/repo/tests/unicode_test.cc" "tests/CMakeFiles/parparaw_tests.dir/unicode_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/unicode_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/parparaw_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/parparaw_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/parparaw_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parparaw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
