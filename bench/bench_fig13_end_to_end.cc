@@ -55,10 +55,15 @@ void RunDataset(const char* name, const std::string& data,
   }
 
   // ParPaRaw, end-to-end streaming: modelled GPU + PCIe timeline plus the
-  // CPU-substrate wall time for transparency.
+  // CPU-substrate wall time for transparency. The run feeds the metrics
+  // registry and tracer so the per-stage breakdown below comes from the
+  // observability subsystem, not ad-hoc stopwatches.
   {
     StreamingOptions options;
     options.base = base;
+    EnableObservability(&options.base);
+    obs::MetricsRegistry::Global().Reset();
+    obs::Tracer::Global().Clear();
     options.partition_size = 4 << 20;
     auto result = StreamingParser::Parse(data, options);
     if (result.ok()) {
@@ -68,7 +73,11 @@ void RunDataset(const char* name, const std::string& data,
       Row("ParPaRaw (CPU substrate)", result->wall_seconds,
           result->table.num_rows, result->table.Equals(expected->table),
           data.size());
+      std::printf("\nper-stage breakdown (CPU substrate, %d partitions):\n",
+                  result->num_partitions);
+      PrintStageBreakdown(&obs::MetricsRegistry::Global());
     }
+    MaybeDumpTrace();
   }
 
   // Instant Loading: unsafe mode is only *correct* for formats whose

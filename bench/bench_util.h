@@ -3,9 +3,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string>
 
 #include "core/options.h"
+#include "io/file.h"
+#include "obs/obs.h"
 #include "workload/generators.h"
 
 namespace parparaw::bench {
@@ -29,6 +32,66 @@ inline double Gbps(size_t bytes, double seconds) {
 
 inline void PrintHeader(const char* title) {
   std::printf("\n===== %s =====\n", title);
+}
+
+/// Switches the process-wide observability sinks on and returns them wired
+/// into `options` so a bench run feeds the registry/tracer.
+inline void EnableObservability(ParseOptions* options) {
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  obs::Tracer::Global().SetEnabled(true);
+  if (options != nullptr) {
+    options->metrics = &obs::MetricsRegistry::Global();
+    options->tracer = &obs::Tracer::Global();
+  }
+}
+
+/// Prints the paper's per-stage breakdown (the Fig. 13 stacked-bar data)
+/// from the registry's step histograms: total milliseconds, share of the
+/// instrumented pipeline time, and number of recorded samples per stage.
+inline void PrintStageBreakdown(obs::MetricsRegistry* registry) {
+  struct Stage {
+    const char* label;
+    const char* histogram;
+  };
+  static constexpr Stage kStages[] = {
+      {"context: parse (multi-DFA)", "step.context.parse_us"},
+      {"context: scan (composite op)", "step.context.scan_us"},
+      {"bitmaps (symbol classes)", "step.bitmap_us"},
+      {"offsets (record/column scans)", "step.offset_us"},
+      {"tagging: count/size", "step.tag.count_us"},
+      {"tagging: scan", "step.tag.scan_us"},
+      {"tagging: CSS write", "step.tag.write_us"},
+      {"partition (radix sort)", "step.partition_us"},
+      {"CSS indexing", "step.css_index_us"},
+      {"convert (value generation)", "step.convert_us"},
+  };
+  double total_ms = 0;
+  obs::HistogramSnapshot snaps[sizeof(kStages) / sizeof(kStages[0])];
+  for (size_t i = 0; i < std::size(kStages); ++i) {
+    snaps[i] = registry->GetHistogram(kStages[i].histogram)->Snapshot();
+    total_ms += static_cast<double>(snaps[i].sum) / 1e3;
+  }
+  std::printf("%-32s %12s %8s %8s\n", "stage", "total ms", "share",
+              "samples");
+  for (size_t i = 0; i < std::size(kStages); ++i) {
+    const double ms = static_cast<double>(snaps[i].sum) / 1e3;
+    std::printf("%-32s %12.2f %7.1f%% %8lld\n", kStages[i].label, ms,
+                total_ms > 0 ? 100.0 * ms / total_ms : 0.0,
+                static_cast<long long>(snaps[i].count));
+  }
+  std::printf("%-32s %12.2f\n", "instrumented pipeline total", total_ms);
+}
+
+/// When PARPARAW_TRACE_OUT is set, writes the global tracer's events there
+/// as chrome://tracing JSON.
+inline void MaybeDumpTrace() {
+  const char* path = std::getenv("PARPARAW_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  const std::string json = obs::Tracer::Global().ChromeTraceJson();
+  if (WriteStringToFile(path, json).ok()) {
+    std::fprintf(stderr, "trace written to %s (%zu events)\n", path,
+                 obs::Tracer::Global().Events().size());
+  }
 }
 
 }  // namespace parparaw::bench

@@ -3,14 +3,23 @@
 // promise in a single command.
 //
 //   ./build/examples/query_cli <file> "SELECT ... FROM t ..."
+//   ./build/examples/query_cli --trace-out=/tmp/trace.json <file> "<SQL>"
 //   ./build/examples/query_cli --demo
+//
+// With --trace-out the run records pipeline/query spans and writes them as
+// chrome://tracing JSON (open via chrome://tracing or ui.perfetto.dev);
+// a metrics summary is printed to stderr.
 
 #include <cstdio>
 #include <cstring>
 
+#include <string>
+#include <vector>
+
 #include "core/parser.h"
 #include "dfa/sniffer.h"
 #include "io/file.h"
+#include "obs/obs.h"
 #include "query/sql.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -20,7 +29,8 @@ namespace {
 
 using namespace parparaw;  // NOLINT
 
-int RunQueryOnFile(const std::string& path, const std::string& sql) {
+int RunQueryOnFile(const std::string& path, const std::string& sql,
+                   const std::string& trace_out) {
   Stopwatch total;
   auto raw = ReadFileToString(path);
   if (!raw.ok()) {
@@ -50,6 +60,12 @@ int RunQueryOnFile(const std::string& path, const std::string& sql) {
   if (!format.ok()) return 1;
   options.format = *format;
   options.infer_types = true;
+  if (!trace_out.empty()) {
+    obs::MetricsRegistry::Global().SetEnabled(true);
+    obs::Tracer::Global().SetEnabled(true);
+    options.metrics = &obs::MetricsRegistry::Global();
+    options.tracer = &obs::Tracer::Global();
+  }
   std::vector<std::string> names;
   if (sniffed->has_header) {
     options.skip_rows = 1;
@@ -108,13 +124,38 @@ int RunQueryOnFile(const std::string& path, const std::string& sql) {
                 static_cast<long long>(result->num_rows - limit));
   }
   std::fprintf(stderr, "total %.1f ms\n", total.ElapsedMillis());
+  if (!trace_out.empty()) {
+    const std::string json = obs::Tracer::Global().ChromeTraceJson();
+    auto written = WriteStringToFile(trace_out, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                 trace_out.c_str(),
+                 obs::Tracer::Global().Events().size());
+    std::fprintf(stderr, "%s", obs::MetricsRegistry::Global()
+                                   .SummaryText()
+                                   .c_str());
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
+  std::string trace_out;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kTraceFlag[] = "--trace-out=";
+    if (std::strncmp(argv[i], kTraceFlag, sizeof(kTraceFlag) - 1) == 0) {
+      trace_out = argv[i] + sizeof(kTraceFlag) - 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
     const std::string path = "/tmp/parparaw_query_demo.csv";
     std::string csv = "id,customer,amount,day\n";
     csv += "1,alice,10.5,2023-01-01\n2,bob,3.25,2023-01-02\n";
@@ -123,11 +164,14 @@ int main(int argc, char** argv) {
     return RunQueryOnFile(
         path,
         "SELECT count(*), sum(amount) FROM t WHERE amount > 5 "
-        "GROUP BY customer");
+        "GROUP BY customer",
+        trace_out);
   }
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <file> \"<SQL>\" | --demo\n", argv[0]);
+  if (args.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace-out=<file>] <file> \"<SQL>\" | --demo\n",
+                 argv[0]);
     return 2;
   }
-  return RunQueryOnFile(argv[1], argv[2]);
+  return RunQueryOnFile(args[0], args[1], trace_out);
 }

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Tier-1 hardening driver: builds and runs the test suite under ASan+UBSan,
+# then rebuilds under TSan and runs the concurrency-sensitive tests
+# (thread pool, observability, streaming). Usage:
+#
+#   scripts/check.sh            # asan+ubsan full suite, then tsan subset
+#   scripts/check.sh asan       # just the address+undefined pass
+#   scripts/check.sh tsan       # just the thread-sanitizer pass
+#
+# Build trees land in build-asan/ and build-tsan/ next to the normal
+# build/ so a sanitizer run never invalidates the regular build cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_asan() {
+  echo "=== ASan+UBSan: configure ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=address,undefined
+  echo "=== ASan+UBSan: build ==="
+  cmake --build build-asan -j "${JOBS}"
+  echo "=== ASan+UBSan: full test suite ==="
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+}
+
+run_tsan() {
+  echo "=== TSan: configure ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=thread
+  echo "=== TSan: build ==="
+  cmake --build build-tsan -j "${JOBS}"
+  # The concurrency surface: the worker pool, the lock-free metric shards
+  # and tracer, and the streaming pipeline that drives both.
+  echo "=== TSan: concurrency-sensitive tests ==="
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -R 'ThreadPool|ParallelFor|Metrics|Tracer|ObsIntegration|Streaming'
+}
+
+case "${MODE}" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)
+    run_asan
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== all sanitizer passes clean ==="

@@ -65,9 +65,11 @@ bool ParseFloat64(std::string_view s, double* out) {
   const int sign = ConsumeSign(&body);
   if (body.empty()) return false;
 
-  // Fast path: up to 18 total significant digits, small exponent. The
-  // accumulated integer fits an int64 exactly, so scaling by a power of ten
-  // is correctly rounded to within 1 ulp of strtod.
+  // Fast path (Clinger): when the mantissa fits in a double exactly
+  // (< 2^53) and the power of ten is itself exact (|e| <= 22), one
+  // multiply or divide of two exact values rounds once — the result is
+  // correctly rounded, bit-identical to strtod. Larger mantissas fall
+  // through to strtod; digits <= 18 only bounds uint64 accumulation.
   uint64_t mantissa = 0;
   int digits = 0;
   int frac_digits = 0;
@@ -109,7 +111,8 @@ bool ParseFloat64(std::string_view s, double* out) {
   if (i != body.size()) return false;  // trailing garbage
 
   const int total_exp = exponent - frac_digits;
-  if (digits <= 18 && total_exp >= -22 && total_exp <= 22 && !has_exp) {
+  if (digits <= 18 && mantissa < (uint64_t{1} << 53) && total_exp >= -22 &&
+      total_exp <= 22 && !has_exp) {
     static constexpr double kPow10[] = {
         1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,  1e8,  1e9,  1e10,
         1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21,

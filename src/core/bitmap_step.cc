@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/obs.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
 
@@ -21,6 +22,8 @@ inline size_t AdjustBegin(const PipelineState& state, size_t pos) {
 }  // namespace
 
 Status BitmapStep::Run(PipelineState* state, StepTimings* timings) {
+  obs::TraceSpan span(state->options->tracer, "step.bitmap", "pipeline",
+                      static_cast<int64_t>(state->size));
   Stopwatch watch;
   const Dfa& dfa = state->options->format.dfa;
   const size_t chunk_size = state->options->chunk_size;
@@ -69,7 +72,9 @@ Status BitmapStep::Run(PipelineState* state, StepTimings* timings) {
   });
 
   state->first_invalid_offset = first_invalid.load();
-  timings->tag_ms += watch.ElapsedMillis();
+  const double elapsed_ms = watch.ElapsedMillis();
+  timings->tag_ms += elapsed_ms;
+  obs::RecordMillis(state->options->metrics, "step.bitmap_us", elapsed_ms);
 
   if (state->options->validate && state->first_invalid_offset >= 0) {
     return Status::ParseError(

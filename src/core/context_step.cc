@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "parallel/scan.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
@@ -25,6 +26,8 @@ Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
   const Dfa& dfa = state->options->format.dfa;
   const size_t chunk_size = state->options->chunk_size;
   const int64_t num_chunks = state->num_chunks;
+  obs::TraceSpan span(state->options->tracer, "step.context", "pipeline",
+                      static_cast<int64_t>(state->size));
 
   // Parse: one state-transition vector per chunk (Fig. 3).
   Stopwatch parse_watch;
@@ -37,7 +40,10 @@ Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
     state->transition_vectors[c] =
         dfa.TransitionVector(state->data + begin, end - begin);
   });
-  timings->parse_ms += parse_watch.ElapsedMillis();
+  const double parse_ms = parse_watch.ElapsedMillis();
+  timings->parse_ms += parse_ms;
+  obs::RecordMillis(state->options->metrics, "step.context.parse_us",
+                    parse_ms);
 
   // Scan: exclusive prefix scan with the composite operator, seeded with
   // the identity vector. Entry i of chunk c's scanned vector is the state
@@ -65,7 +71,9 @@ Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
   }
   state->has_trailing_record =
       state->options->format.IsMidRecordState(state->final_state);
-  timings->scan_ms += scan_watch.ElapsedMillis();
+  const double scan_ms = scan_watch.ElapsedMillis();
+  timings->scan_ms += scan_ms;
+  obs::RecordMillis(state->options->metrics, "step.context.scan_us", scan_ms);
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include "convert/numeric.h"
 #include "convert/temporal.h"
 #include "core/css_index.h"
+#include "obs/obs.h"
 #include "parallel/scan.h"
 #include "util/stopwatch.h"
 
@@ -97,6 +98,8 @@ struct ColumnPlan {
 
 Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
                         WorkCounters* work, ParseOutput* output) {
+  obs::TraceSpan span(state->options->tracer, "step.convert", "pipeline",
+                      static_cast<int64_t>(state->css.size()));
   Stopwatch watch;
   const ParseOptions& options = *state->options;
   const int64_t rows = state->num_out_rows;
@@ -324,7 +327,9 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
   output->max_columns = state->max_columns;
   output->records_dropped = state->num_records - rows;
   work->output_bytes += table.TotalBufferBytes();
-  timings->convert_ms += watch.ElapsedMillis();
+  const double elapsed_ms = watch.ElapsedMillis();
+  timings->convert_ms += elapsed_ms;
+  obs::RecordMillis(state->options->metrics, "step.convert_us", elapsed_ms);
   return Status::OK();
 }
 

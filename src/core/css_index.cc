@@ -1,9 +1,14 @@
 #include "core/css_index.h"
 
+#include "obs/obs.h"
+#include "util/stopwatch.h"
+
 namespace parparaw {
 
 Status BuildCssIndex(const PipelineState& state, uint32_t column,
                      std::vector<FieldEntry>* fields) {
+  obs::TraceSpan span(state.options->tracer, "step.css_index", "pipeline");
+  Stopwatch watch;
   fields->clear();
   if (column >= state.num_partitions) return Status::OK();
   const int64_t begin = state.column_css_offsets[column];
@@ -30,6 +35,10 @@ Status BuildCssIndex(const PipelineState& state, uint32_t column,
           static_cast<int64_t>(state.rec_tags[begin + start]), begin + start,
           stop - start};
     }
+    obs::RecordMillis(state.options->metrics, "step.css_index_us",
+                      watch.ElapsedMillis());
+    obs::AddCount(state.options->metrics, "css_index.fields",
+                  static_cast<int64_t>(fields->size()));
     return Status::OK();
   }
 
@@ -60,6 +69,10 @@ Status BuildCssIndex(const PipelineState& state, uint32_t column,
     (*fields)[k] = FieldEntry{static_cast<int64_t>(k), begin + start,
                               ends[k] - start};
   }
+  obs::RecordMillis(state.options->metrics, "step.css_index_us",
+                    watch.ElapsedMillis());
+  obs::AddCount(state.options->metrics, "css_index.fields",
+                static_cast<int64_t>(fields->size()));
   return Status::OK();
 }
 

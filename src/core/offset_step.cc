@@ -1,11 +1,13 @@
 #include "core/offset_step.h"
 
+#include "obs/obs.h"
 #include "parallel/scan.h"
 #include "util/stopwatch.h"
 
 namespace parparaw {
 
 Status OffsetStep::Run(PipelineState* state, StepTimings* timings) {
+  obs::TraceSpan span(state->options->tracer, "step.offset", "pipeline");
   Stopwatch watch;
   const int64_t num_chunks = state->num_chunks;
 
@@ -27,7 +29,9 @@ Status OffsetStep::Run(PipelineState* state, StepTimings* timings) {
   for (int64_t c = 0; c < num_chunks; ++c) {
     state->entry_columns[c] = scanned[c].value;
   }
-  timings->scan_ms += watch.ElapsedMillis();
+  const double elapsed_ms = watch.ElapsedMillis();
+  timings->scan_ms += elapsed_ms;
+  obs::RecordMillis(state->options->metrics, "step.offset_us", elapsed_ms);
   return Status::OK();
 }
 

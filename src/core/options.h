@@ -13,6 +13,11 @@
 
 namespace parparaw {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// How per-symbol field boundaries are materialised in the concatenated
 /// symbol strings (§4.1, Fig. 6).
 enum class TaggingMode : uint8_t {
@@ -131,6 +136,15 @@ struct ParseOptions {
 
   /// Worker pool; nullptr uses ThreadPool::Default().
   ThreadPool* pool = nullptr;
+
+  /// Observability sinks (src/obs). Both default to null: with no sink the
+  /// pipeline's instrumentation reduces to one pointer test per step, so a
+  /// plain parse costs the same as before the subsystem existed. Point
+  /// them at obs::MetricsRegistry::Global() / obs::Tracer::Global() (or at
+  /// private instances) to collect per-step histograms, byte counters, and
+  /// chrome://tracing spans; see docs/observability.md for the taxonomy.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 
   /// Streaming support (§4.4): when true, an unterminated trailing record
   /// is not emitted; instead ParseOutput::remainder_offset reports where it

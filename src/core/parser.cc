@@ -9,8 +9,10 @@
 #include "core/offset_step.h"
 #include "core/partition_step.h"
 #include "core/tag_step.h"
+#include "obs/obs.h"
 #include "text/unicode.h"
 #include "util/bit_util.h"
+#include "util/stopwatch.h"
 
 namespace parparaw {
 
@@ -74,6 +76,10 @@ Result<ParseOutput> Parser::Parse(std::string_view input,
   }
   if (input.empty()) return EmptyOutput(resolved);
 
+  obs::TraceSpan parse_span(resolved.tracer, "parse", "pipeline",
+                            static_cast<int64_t>(input.size()));
+  Stopwatch parse_watch;
+
   PipelineState state;
   state.data = reinterpret_cast<const uint8_t*>(input.data());
   state.size = input.size();
@@ -126,6 +132,18 @@ Result<ParseOutput> Parser::Parse(std::string_view input,
       PartitionStep::Run(&state, &output.timings, &output.work));
   PARPARAW_RETURN_NOT_OK(
       ConvertStep::Run(&state, &output.timings, &output.work, &output));
+
+  if (resolved.metrics != nullptr && resolved.metrics->enabled()) {
+    obs::MetricsRegistry* m = resolved.metrics;
+    obs::AddCount(m, "parse.runs", 1);
+    obs::AddCount(m, "parse.bytes", output.work.input_bytes);
+    obs::AddCount(m, "parse.chunks", state.num_chunks);
+    obs::AddCount(m, "parse.records", state.num_records);
+    obs::AddCount(m, "parse.out_rows", output.table.num_rows);
+    obs::AddCount(m, "parse.css_symbols",
+                  static_cast<int64_t>(state.css.size()));
+    obs::RecordMillis(m, "parse.total_us", parse_watch.ElapsedMillis());
+  }
   return output;
 }
 

@@ -1,5 +1,6 @@
 #include "core/partition_step.h"
 
+#include "obs/obs.h"
 #include "parallel/radix_sort.h"
 #include "util/bit_util.h"
 #include "util/stopwatch.h"
@@ -8,12 +9,17 @@ namespace parparaw {
 
 Status PartitionStep::Run(PipelineState* state, StepTimings* timings,
                           WorkCounters* work) {
+  obs::TraceSpan span(state->options->tracer, "step.partition", "pipeline",
+                      static_cast<int64_t>(state->css.size()));
   Stopwatch watch;
   const int64_t n = static_cast<int64_t>(state->css.size());
   if (n == 0 || state->num_partitions == 0) {
     state->column_histogram.assign(state->num_partitions, 0);
     state->column_css_offsets.assign(state->num_partitions + 1, 0);
-    timings->partition_ms += watch.ElapsedMillis();
+    const double elapsed_ms = watch.ElapsedMillis();
+    timings->partition_ms += elapsed_ms;
+    obs::RecordMillis(state->options->metrics, "step.partition_us",
+                      elapsed_ms);
     return Status::OK();
   }
 
@@ -58,7 +64,11 @@ Status PartitionStep::Run(PipelineState* state, StepTimings* timings,
           : 1;
   work->sort_passes += sort_passes;
   work->sort_bytes_moved += bytes_moved * sort_passes;
-  timings->partition_ms += watch.ElapsedMillis();
+  const double elapsed_ms = watch.ElapsedMillis();
+  timings->partition_ms += elapsed_ms;
+  obs::RecordMillis(state->options->metrics, "step.partition_us", elapsed_ms);
+  obs::AddCount(state->options->metrics, "partition.sort_bytes_moved",
+                bytes_moved * sort_passes);
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/obs.h"
 #include "parallel/scan.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
@@ -94,6 +95,8 @@ void ForEachEmission(const PipelineState& state,
 }  // namespace
 
 Status TagStep::Run(PipelineState* state, StepTimings* timings) {
+  obs::TraceSpan span(state->options->tracer, "step.tag", "pipeline",
+                      static_cast<int64_t>(state->size));
   Stopwatch watch;
   const ParseOptions& options = *state->options;
   const int64_t num_chunks = state->num_chunks;
@@ -207,13 +210,23 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
                     [&](uint8_t, uint32_t, int64_t, bool) { ++count; });
     chunk_emit[c] = count;
   });
-  timings->tag_ms += watch.ElapsedMillis();
+  {
+    const double elapsed_ms = watch.ElapsedMillis();
+    timings->tag_ms += elapsed_ms;
+    obs::RecordMillis(state->options->metrics, "step.tag.count_us",
+                      elapsed_ms);
+  }
 
   Stopwatch scan_watch;
   std::vector<int64_t> chunk_write_offsets(num_chunks, 0);
   const int64_t total_slots = ExclusivePrefixSum(
       state->pool, chunk_emit.data(), chunk_write_offsets.data(), num_chunks);
-  timings->scan_ms += scan_watch.ElapsedMillis();
+  {
+    const double elapsed_ms = scan_watch.ElapsedMillis();
+    timings->scan_ms += elapsed_ms;
+    obs::RecordMillis(state->options->metrics, "step.tag.scan_us",
+                      elapsed_ms);
+  }
 
   // --- 4. Write pass. ---
   watch.Restart();
@@ -263,7 +276,10 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
 
   state->num_partitions =
       total_slots > 0 ? max_col_index + 1 : 0;
-  timings->tag_ms += watch.ElapsedMillis();
+  const double write_ms = watch.ElapsedMillis();
+  timings->tag_ms += write_ms;
+  obs::RecordMillis(state->options->metrics, "step.tag.write_us", write_ms);
+  span.set_bytes(static_cast<int64_t>(state->css.size()));
   return Status::OK();
 }
 

@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace parparaw {
 
+namespace {
+
+inline bool PoolObsEnabled() {
+  return obs::MetricsRegistry::Global().enabled();
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
+  // Instruments are shared by every pool in the process; creating them is
+  // cheap and valid even while the global registry is disabled.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  tasks_submitted_ = registry.GetCounter("pool.tasks_submitted");
+  tasks_executed_ = registry.GetCounter("pool.tasks_executed");
+  worker_waits_ = registry.GetCounter("pool.worker_waits");
+  queue_depth_ = registry.GetGauge("pool.queue_depth");
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 1;
@@ -29,6 +46,10 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    if (PoolObsEnabled()) {
+      tasks_submitted_->Increment();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   work_available_.notify_one();
 }
@@ -43,6 +64,9 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (!shutdown_ && queue_.empty() && PoolObsEnabled()) {
+        worker_waits_->Increment();
+      }
       work_available_.wait(lock,
                            [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
@@ -51,6 +75,10 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (PoolObsEnabled()) {
+        tasks_executed_->Increment();
+        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
       ++active_;
     }
     task();

@@ -11,6 +11,11 @@
 
 namespace parparaw {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 /// \brief Fixed-size worker pool backing the CPU data-parallel substrate.
 ///
 /// On the GPU, ParPaRaw launches one lightweight thread per input chunk; here
@@ -41,6 +46,16 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+
+  // Pool metrics, registered in obs::MetricsRegistry::Global() at
+  // construction ("pool.tasks_submitted" / "pool.tasks_executed" /
+  // "pool.worker_waits" counters, "pool.queue_depth" gauge). Recording is
+  // gated on the global registry's enabled flag, so an un-observed
+  // process pays one relaxed load per submit/execute.
+  obs::Counter* tasks_submitted_;
+  obs::Counter* tasks_executed_;
+  obs::Counter* worker_waits_;
+  obs::Gauge* queue_depth_;
 
   std::mutex mu_;
   std::condition_variable work_available_;

@@ -1,7 +1,9 @@
 #include "query/pushdown.h"
 
 #include "core/parser.h"
+#include "obs/obs.h"
 #include "query/query.h"
+#include "util/stopwatch.h"
 
 namespace parparaw {
 
@@ -24,6 +26,10 @@ Result<ParseOutput> ParseWithPushdown(std::string_view input,
     return Status::Invalid("pushdown requires the robust column policy");
   }
 
+  obs::TraceSpan span(options.tracer, "pushdown", "query",
+                      static_cast<int64_t>(input.size()));
+  Stopwatch probe_watch;
+
   // Phase 1: parse only the predicate column.
   ParseOptions phase1 = options;
   for (int j = 0; j < options.schema.num_fields(); ++j) {
@@ -38,6 +44,8 @@ Result<ParseOutput> ParseWithPushdown(std::string_view input,
   PARPARAW_ASSIGN_OR_RETURN(
       std::vector<uint8_t> selection,
       EvaluatePredicate(probe.table, remapped, options.pool));
+  obs::RecordMillis(options.metrics, "pushdown.probe_us",
+                    probe_watch.ElapsedMillis());
 
   // With the robust policy and no skip sets, probe rows == records, so
   // row indices are valid skip_records entries for phase 2.
@@ -54,7 +62,13 @@ Result<ParseOutput> ParseWithPushdown(std::string_view input,
     stats->records_scanned = probe.table.num_rows;
     stats->records_selected = selected;
   }
+  obs::AddCount(options.metrics, "pushdown.records_scanned",
+                probe.table.num_rows);
+  obs::AddCount(options.metrics, "pushdown.records_selected", selected);
+  Stopwatch materialise_watch;
   PARPARAW_ASSIGN_OR_RETURN(ParseOutput out, Parser::Parse(input, phase2));
+  obs::RecordMillis(options.metrics, "pushdown.materialise_us",
+                    materialise_watch.ElapsedMillis());
   // Fold the probe's work into the reported counters.
   out.work += probe.work;
   out.timings += probe.timings;

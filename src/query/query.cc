@@ -4,6 +4,9 @@
 #include <cstring>
 #include <map>
 
+#include "obs/obs.h"
+#include "util/stopwatch.h"
+
 namespace parparaw {
 
 namespace {
@@ -76,6 +79,11 @@ Result<Table> GatherRows(const Table& table,
   if (static_cast<int64_t>(selection.size()) != table.num_rows) {
     return Status::Invalid("selection vector size mismatch");
   }
+  // The query layer records into the process-wide sinks: its entry points
+  // carry no options struct (see docs/observability.md).
+  obs::TraceSpan span(&obs::Tracer::Global(), "gather", "query");
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::Global();
+  Stopwatch watch;
   // Row index mapping.
   std::vector<int64_t> rows;
   rows.reserve(selection.size());
@@ -123,13 +131,26 @@ Result<Table> GatherRows(const Table& table,
     }
     out.columns.push_back(std::move(dst));
   }
+  obs::RecordMillis(metrics, "query.gather_us", watch.ElapsedMillis());
+  obs::AddCount(metrics, "query.rows_gathered", out.num_rows);
   return out;
 }
 
 Result<Table> RunQuery(const Table& table, const QuerySpec& spec,
                        ThreadPool* pool) {
+  obs::TraceSpan run_span(&obs::Tracer::Global(), "run", "query");
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::Global();
+  obs::AddCount(metrics, "query.runs", 1);
+  obs::AddCount(metrics, "query.rows_in", table.num_rows);
+  Stopwatch filter_watch;
+  Result<std::vector<uint8_t>> filtered = [&] {
+    obs::TraceSpan filter_span(&obs::Tracer::Global(), "filter", "query");
+    return EvaluateFilter(table, spec.filter, pool);
+  }();
   PARPARAW_ASSIGN_OR_RETURN(std::vector<uint8_t> selection,
-                            EvaluateFilter(table, spec.filter, pool));
+                            std::move(filtered));
+  obs::RecordMillis(metrics, "query.filter_us",
+                    filter_watch.ElapsedMillis());
 
   if (spec.aggregates.empty()) {
     PARPARAW_ASSIGN_OR_RETURN(Table filtered,
@@ -156,6 +177,8 @@ Result<Table> RunQuery(const Table& table, const QuerySpec& spec,
     }
   }
 
+  obs::TraceSpan agg_span(&obs::Tracer::Global(), "aggregate", "query");
+  Stopwatch agg_watch;
   // Group keys: one implicit global group, or the group_by column values.
   std::map<std::string, std::vector<AggState>> groups;
   std::map<std::string, int64_t> group_count_all;
@@ -259,6 +282,8 @@ Result<Table> RunQuery(const Table& table, const QuerySpec& spec,
   }
   out.num_rows = static_cast<int64_t>(groups.size());
   out.rejected.assign(out.num_rows, 0);
+  obs::RecordMillis(metrics, "query.aggregate_us",
+                    agg_watch.ElapsedMillis());
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/parser.h"
 #include "io/file.h"
+#include "obs/obs.h"
 #include "util/stopwatch.h"
 
 namespace parparaw {
@@ -25,6 +26,9 @@ class PartitionSession {
   }
 
   Status ProcessPartition(std::string_view partition, bool is_last) {
+    obs::TraceSpan span(options_.base.tracer, "partition", "stream",
+                        static_cast<int64_t>(partition.size()));
+    Stopwatch partition_watch;
     std::string buffer;
     buffer.reserve(carry_.size() + partition.size());
     buffer.append(carry_);
@@ -69,6 +73,18 @@ class PartitionSession {
     result_.work += out.work;
     tables_.push_back(std::move(out.table));
     ++result_.num_partitions;
+    if (options_.base.metrics != nullptr && options_.base.metrics->enabled()) {
+      obs::MetricsRegistry* m = options_.base.metrics;
+      obs::AddCount(m, "stream.partitions", 1);
+      obs::AddCount(m, "stream.bytes", static_cast<int64_t>(partition.size()));
+      // Chunk latency: wall time from partition receipt to its table.
+      obs::RecordMillis(m, "stream.partition_us",
+                        partition_watch.ElapsedMillis());
+      // Backlog: bytes carried over into the next partition. Record-larger-
+      // than-partition inputs show up here as a growing level.
+      obs::SetGauge(m, "stream.carry_bytes",
+                    static_cast<int64_t>(carry_.size()));
+    }
     return Status::OK();
   }
 

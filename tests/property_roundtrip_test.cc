@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "dfa/formats.h"
+#include "dfa/state_vector.h"
+#include "io/csv_writer.h"
+
+namespace parparaw {
+namespace {
+
+// ===========================================================================
+// Property 1: a randomly generated table, serialised with RFC 4180 quoting
+// and parsed back, reproduces every cell exactly — including embedded
+// delimiters, escaped quotes, newlines, and NULL numerics. A second trip
+// through the production csv_writer must yield an identical table.
+// ===========================================================================
+
+enum class CellKind { kString, kInt64, kFloat64 };
+
+struct RandomTable {
+  std::vector<CellKind> column_kinds;
+  // Cell payloads: for string columns the exact text; for numeric columns
+  // the textual form written into the CSV, empty meaning NULL.
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<int64_t>> int_values;
+  std::vector<std::vector<double>> float_values;
+};
+
+// Characters deliberately skewed towards the structural ones so quoting and
+// escaping paths are exercised constantly.
+std::string RandomFieldText(std::mt19937_64& rng) {
+  static constexpr char kAlphabet[] =
+      "abcXYZ 09_.;:!?\t'#$%&()*+-/<=>@[]^`{|}~";
+  std::uniform_int_distribution<int> length(1, 24);
+  std::uniform_int_distribution<int> pick(0, 99);
+  std::uniform_int_distribution<int> plain(
+      0, static_cast<int>(sizeof(kAlphabet)) - 2);
+  std::string out;
+  const int n = length(rng);
+  for (int i = 0; i < n; ++i) {
+    const int p = pick(rng);
+    if (p < 12) {
+      out.push_back(',');  // embedded field delimiter
+    } else if (p < 22) {
+      out.push_back('"');  // embedded quote, must be escaped as ""
+    } else if (p < 30) {
+      out.push_back('\n');  // embedded record delimiter
+    } else if (p < 34) {
+      out.push_back('\r');
+    } else {
+      out.push_back(kAlphabet[plain(rng)]);
+    }
+  }
+  return out;
+}
+
+RandomTable GenerateTable(uint64_t seed, int num_columns, int num_rows) {
+  std::mt19937_64 rng(seed);
+  RandomTable table;
+  std::uniform_int_distribution<int> kind(0, 2);
+  for (int c = 0; c < num_columns; ++c) {
+    table.column_kinds.push_back(static_cast<CellKind>(kind(rng)));
+  }
+  std::uniform_int_distribution<int64_t> ints(-1'000'000'000'000,
+                                              1'000'000'000'000);
+  std::uniform_real_distribution<double> reals(-1e9, 1e9);
+  std::uniform_int_distribution<int> null_roll(0, 9);
+  for (int r = 0; r < num_rows; ++r) {
+    std::vector<std::string> row;
+    std::vector<int64_t> int_row;
+    std::vector<double> float_row;
+    for (int c = 0; c < num_columns; ++c) {
+      switch (table.column_kinds[c]) {
+        case CellKind::kString:
+          // No NULL/empty strings: CSV cannot distinguish them, and this
+          // property test demands *exact* equality.
+          row.push_back(RandomFieldText(rng));
+          int_row.push_back(0);
+          float_row.push_back(0);
+          break;
+        case CellKind::kInt64: {
+          if (null_roll(rng) == 0) {
+            row.emplace_back();  // NULL
+            int_row.push_back(0);
+          } else {
+            const int64_t v = ints(rng);
+            row.push_back(std::to_string(v));
+            int_row.push_back(v);
+          }
+          float_row.push_back(0);
+          break;
+        }
+        case CellKind::kFloat64: {
+          if (null_roll(rng) == 0) {
+            row.emplace_back();  // NULL
+            float_row.push_back(0);
+          } else {
+            const double v = reals(rng);
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            row.emplace_back(buf);
+            float_row.push_back(v);
+          }
+          int_row.push_back(0);
+          break;
+        }
+      }
+    }
+    table.rows.push_back(std::move(row));
+    table.int_values.push_back(std::move(int_row));
+    table.float_values.push_back(std::move(float_row));
+  }
+  return table;
+}
+
+// Reference RFC 4180 serialiser, independent of src/io/csv_writer so the
+// production writer is *under test* rather than trusted.
+std::string SerialiseRfc4180(const RandomTable& table) {
+  std::string out;
+  for (const auto& row : table.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      const std::string& cell = row[c];
+      const bool is_string =
+          table.column_kinds[c] == CellKind::kString;
+      if (is_string) {
+        out.push_back('"');
+        for (char ch : cell) {
+          if (ch == '"') out.push_back('"');  // RFC 4180 escape: ""
+          out.push_back(ch);
+        }
+        out.push_back('"');
+      } else {
+        out += cell;  // numeric text or empty (NULL)
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Schema SchemaFor(const RandomTable& table) {
+  Schema schema;
+  for (size_t c = 0; c < table.column_kinds.size(); ++c) {
+    const std::string name = "f" + std::to_string(c);
+    switch (table.column_kinds[c]) {
+      case CellKind::kString:
+        schema.AddField(Field(name, DataType::String()));
+        break;
+      case CellKind::kInt64:
+        schema.AddField(Field(name, DataType::Int64()));
+        break;
+      case CellKind::kFloat64:
+        schema.AddField(Field(name, DataType::Float64()));
+        break;
+    }
+  }
+  return schema;
+}
+
+TEST(PropertyRoundTripTest, RandomTablesParseBackExactly) {
+  for (uint64_t seed = 1000; seed < 1008; ++seed) {
+    const RandomTable expected = GenerateTable(seed, 4, 80);
+    const std::string csv = SerialiseRfc4180(expected);
+
+    ParseOptions options;
+    options.schema = SchemaFor(expected);
+    auto parsed = Parser::Parse(csv, options);
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": "
+                             << parsed.status().ToString();
+    const Table& table = parsed->table;
+    ASSERT_EQ(table.num_rows, 80) << "seed " << seed;
+    ASSERT_EQ(table.num_columns(), 4) << "seed " << seed;
+    ASSERT_EQ(table.NumRejected(), 0) << "seed " << seed;
+
+    for (int64_t r = 0; r < table.num_rows; ++r) {
+      for (int c = 0; c < table.num_columns(); ++c) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " row " +
+                     std::to_string(r) + " col " + std::to_string(c));
+        const auto idx = static_cast<size_t>(r);
+        switch (expected.column_kinds[c]) {
+          case CellKind::kString:
+            ASSERT_FALSE(table.columns[c].IsNull(r));
+            ASSERT_EQ(table.columns[c].StringValue(r),
+                      expected.rows[idx][c]);
+            break;
+          case CellKind::kInt64:
+            if (expected.rows[idx][c].empty()) {
+              ASSERT_TRUE(table.columns[c].IsNull(r));
+            } else {
+              ASSERT_FALSE(table.columns[c].IsNull(r));
+              ASSERT_EQ(table.columns[c].Value<int64_t>(r),
+                        expected.int_values[idx][c]);
+            }
+            break;
+          case CellKind::kFloat64:
+            if (expected.rows[idx][c].empty()) {
+              ASSERT_TRUE(table.columns[c].IsNull(r));
+            } else {
+              ASSERT_FALSE(table.columns[c].IsNull(r));
+              // %.17g text identifies a double uniquely and ParseFloat64
+              // is correctly rounded, so equality is exact. (This test
+              // caught a 1-ulp fast-path drift; see convert/numeric.cc.)
+              ASSERT_EQ(table.columns[c].Value<double>(r),
+                        expected.float_values[idx][c]);
+            }
+            break;
+        }
+      }
+    }
+
+    // Second leg: the production writer must re-serialise to text that
+    // parses back to an identical table.
+    auto rewritten = WriteCsv(table);
+    ASSERT_TRUE(rewritten.ok()) << "seed " << seed;
+    auto second = Parser::Parse(*rewritten, options);
+    ASSERT_TRUE(second.ok()) << "seed " << seed << ": "
+                             << second.status().ToString();
+    EXPECT_TRUE(second->table.Equals(table)) << "seed " << seed;
+  }
+}
+
+TEST(PropertyRoundTripTest, QuoteAllWriterModeRoundTrips) {
+  const RandomTable expected = GenerateTable(77, 3, 50);
+  ParseOptions options;
+  options.schema = SchemaFor(expected);
+  auto parsed = Parser::Parse(SerialiseRfc4180(expected), options);
+  ASSERT_TRUE(parsed.ok());
+
+  CsvWriteOptions write_options;
+  write_options.quote_all = true;  // yelp-style: every field quoted
+  auto rewritten = WriteCsv(parsed->table, write_options);
+  ASSERT_TRUE(rewritten.ok());
+  // quote_all quotes string fields unconditionally; NULL numerics must
+  // still be written bare (a quoted empty string is not NULL), so
+  // re-parsing with the same schema reproduces the table.
+  auto second = Parser::Parse(*rewritten, options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->table.Equals(parsed->table));
+}
+
+// ===========================================================================
+// Property 2: ragged rows under the robust column policy. Short records
+// pad with NULLs, long records drop excess fields; writing the parsed
+// table and re-parsing must be a fixed point.
+// ===========================================================================
+
+TEST(PropertyRoundTripTest, RaggedRowsReachRoundTripFixedPoint) {
+  for (uint64_t seed = 2000; seed < 2004; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> fields(1, 5);
+    std::uniform_int_distribution<int64_t> ints(-9999, 9999);
+    std::string csv;
+    for (int r = 0; r < 120; ++r) {
+      const int n = fields(rng);  // schema has 3 columns; 1..5 fields
+      for (int f = 0; f < n; ++f) {
+        if (f > 0) csv.push_back(',');
+        csv += std::to_string(ints(rng));
+      }
+      csv.push_back('\n');
+    }
+
+    ParseOptions options;
+    options.schema.AddField(Field("a", DataType::Int64()));
+    options.schema.AddField(Field("b", DataType::Int64()));
+    options.schema.AddField(Field("c", DataType::Int64()));
+    options.column_count_policy = ColumnCountPolicy::kRobust;
+    auto first = Parser::Parse(csv, options);
+    ASSERT_TRUE(first.ok()) << "seed " << seed;
+    ASSERT_EQ(first->table.num_rows, 120);
+    EXPECT_LE(first->min_columns, first->max_columns);
+
+    auto rewritten = WriteCsv(first->table);
+    ASSERT_TRUE(rewritten.ok());
+    auto second = Parser::Parse(*rewritten, options);
+    ASSERT_TRUE(second.ok()) << "seed " << seed;
+    EXPECT_TRUE(second->table.Equals(first->table)) << "seed " << seed;
+  }
+}
+
+// ===========================================================================
+// Property 3: the state-transition vectors of §3.1 form a monoid under
+// composition — the algebraic fact the whole context step rests on. If
+// associativity broke, the prefix scan over chunk vectors would no longer
+// be allowed to re-associate work across threads.
+// ===========================================================================
+
+StateVector RandomVector(std::mt19937_64& rng, int num_states) {
+  std::uniform_int_distribution<int> state(0, num_states - 1);
+  StateVector v = StateVector::Identity(num_states);
+  for (int i = 0; i < num_states; ++i) {
+    v.Set(i, static_cast<uint8_t>(state(rng)));
+  }
+  return v;
+}
+
+TEST(StateVectorMonoidTest, ComposeIsAssociative) {
+  std::mt19937_64 rng(42);
+  for (int num_states = 1; num_states <= kMaxDfaStates; ++num_states) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const StateVector a = RandomVector(rng, num_states);
+      const StateVector b = RandomVector(rng, num_states);
+      const StateVector c = RandomVector(rng, num_states);
+      EXPECT_TRUE(Compose(Compose(a, b), c) == Compose(a, Compose(b, c)))
+          << "num_states=" << num_states << " trial=" << trial;
+    }
+  }
+}
+
+TEST(StateVectorMonoidTest, IdentityIsTwoSided) {
+  std::mt19937_64 rng(43);
+  for (int num_states = 1; num_states <= kMaxDfaStates; ++num_states) {
+    const StateVector e = StateVector::Identity(num_states);
+    for (int trial = 0; trial < 100; ++trial) {
+      const StateVector a = RandomVector(rng, num_states);
+      EXPECT_TRUE(Compose(e, a) == a);
+      EXPECT_TRUE(Compose(a, e) == a);
+    }
+  }
+}
+
+// The semantic link between the algebra and the DFA: the transition vector
+// of a concatenation equals the composition of the parts' vectors. This is
+// exactly the claim that lets ParPaRaw cut the input at arbitrary chunk
+// boundaries.
+TEST(StateVectorMonoidTest, TransitionVectorIsAHomomorphism) {
+  auto format = Rfc4180Format();
+  ASSERT_TRUE(format.ok());
+  const Dfa& dfa = format->dfa;
+
+  std::mt19937_64 rng(44);
+  static constexpr char kCsvChars[] = "a,\"\n\r0;x";
+  std::uniform_int_distribution<int> length(0, 40);
+  std::uniform_int_distribution<int> pick(
+      0, static_cast<int>(sizeof(kCsvChars)) - 2);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string x, y;
+    const int nx = length(rng);
+    const int ny = length(rng);
+    for (int i = 0; i < nx; ++i) x.push_back(kCsvChars[pick(rng)]);
+    for (int i = 0; i < ny; ++i) y.push_back(kCsvChars[pick(rng)]);
+    const std::string xy = x + y;
+
+    const StateVector vx = dfa.TransitionVector(
+        reinterpret_cast<const uint8_t*>(x.data()), x.size());
+    const StateVector vy = dfa.TransitionVector(
+        reinterpret_cast<const uint8_t*>(y.data()), y.size());
+    const StateVector vxy = dfa.TransitionVector(
+        reinterpret_cast<const uint8_t*>(xy.data()), xy.size());
+    EXPECT_TRUE(vxy == Compose(vx, vy)) << "trial " << trial;
+    // Empty chunks map to the identity element.
+    const StateVector empty = dfa.TransitionVector(nullptr, 0);
+    EXPECT_TRUE(empty == StateVector::Identity(dfa.num_states()));
+  }
+}
+
+}  // namespace
+}  // namespace parparaw
