@@ -36,8 +36,20 @@ void Row(const char* system, double seconds, int64_t rows, bool correct,
               static_cast<long long>(rows), correct ? "" : "  (WRONG OUTPUT)");
 }
 
-void RunDataset(const char* name, const std::string& data,
-                const Schema& schema, bool quoted_text) {
+/// Prints the row and records it into the --json-out report under
+/// "<key>/<system>".
+void Record(JsonReport* report, const char* key, const char* system,
+            double seconds, int64_t rows, bool correct, size_t bytes) {
+  Row(system, seconds, rows, correct, bytes);
+  report->Add(std::string(key) + "/" + system,
+              {{"seconds", seconds},
+               {"gbps", Gbps(bytes, seconds)},
+               {"rows", static_cast<double>(rows)},
+               {"correct", correct ? 1.0 : 0.0}});
+}
+
+void RunDataset(const char* key, const char* name, const std::string& data,
+                const Schema& schema, bool quoted_text, JsonReport* report) {
   std::printf("\n--- Figure 13 (%s, %.1f MB) ---\n", name,
               static_cast<double>(data.size()) / (1 << 20));
   std::printf("%-28s %12s %13s %10s\n", "system", "duration", "rate",
@@ -67,12 +79,12 @@ void RunDataset(const char* name, const std::string& data,
     options.partition_size = 4 << 20;
     auto result = StreamingParser::Parse(data, options);
     if (result.ok()) {
-      Row("ParPaRaw (modeled GPU e2e)", result->modeled_end_to_end_seconds,
-          result->table.num_rows, result->table.Equals(expected->table),
-          data.size());
-      Row("ParPaRaw (CPU substrate)", result->wall_seconds,
-          result->table.num_rows, result->table.Equals(expected->table),
-          data.size());
+      Record(report, key, "ParPaRaw (modeled GPU e2e)",
+             result->modeled_end_to_end_seconds, result->table.num_rows,
+             result->table.Equals(expected->table), data.size());
+      Record(report, key, "ParPaRaw (CPU substrate)", result->wall_seconds,
+             result->table.num_rows, result->table.Equals(expected->table),
+             data.size());
       std::printf("\nper-stage breakdown (CPU substrate, %d partitions):\n",
                   result->num_partitions);
       PrintStageBreakdown(&obs::MetricsRegistry::Global());
@@ -94,17 +106,17 @@ void RunDataset(const char* name, const std::string& data,
     Stopwatch watch;
     auto result = InstantLoadingParser::Parse(data, options);
     if (result.ok()) {
-      Row("Inst. Loading (unsafe)", watch.ElapsedSeconds(),
-          result->table.num_rows, result->table.Equals(expected->table),
-          data.size());
+      Record(report, key, "Inst. Loading (unsafe)", watch.ElapsedSeconds(),
+             result->table.num_rows, result->table.Equals(expected->table),
+             data.size());
     }
     options.safe_mode = true;
     watch.Restart();
     auto safe = InstantLoadingParser::Parse(data, options);
     if (safe.ok()) {
-      Row("Inst. Loading (safe)", watch.ElapsedSeconds(),
-          safe->table.num_rows, safe->table.Equals(expected->table),
-          data.size());
+      Record(report, key, "Inst. Loading (safe)", watch.ElapsedSeconds(),
+             safe->table.num_rows, safe->table.Equals(expected->table),
+             data.size());
     }
   }
 
@@ -113,9 +125,9 @@ void RunDataset(const char* name, const std::string& data,
     Stopwatch watch;
     auto result = QuoteCountParser::Parse(data, base);
     if (result.ok()) {
-      Row("Quote-count (speculative)", watch.ElapsedSeconds(),
-          result->table.num_rows, result->table.Equals(expected->table),
-          data.size());
+      Record(report, key, "Quote-count (speculative)", watch.ElapsedSeconds(),
+             result->table.num_rows, result->table.Equals(expected->table),
+             data.size());
     }
   }
 
@@ -124,8 +136,9 @@ void RunDataset(const char* name, const std::string& data,
     Stopwatch watch;
     auto result = SequentialParser::Parse(data, base);
     if (result.ok()) {
-      Row("Sequential FSM (CPU class)", watch.ElapsedSeconds(),
-          result->table.num_rows, true, data.size());
+      Record(report, key, "Sequential FSM (CPU class)",
+             watch.ElapsedSeconds(), result->table.num_rows, true,
+             data.size());
     }
   }
   (void)quoted_text;
@@ -133,12 +146,15 @@ void RunDataset(const char* name, const std::string& data,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report(argc, argv);
   PrintHeader("Figure 13: end-to-end comparison");
   const size_t bytes = BenchBytes(16);
-  RunDataset("yelp reviews (synthetic)", GenerateYelpLike(99, bytes),
-             YelpSchema(), /*quoted_text=*/true);
-  RunDataset("NYC taxi trips (synthetic)", GenerateTaxiLike(99, bytes),
-             TaxiSchema(), /*quoted_text=*/false);
+  RunDataset("yelp", "yelp reviews (synthetic)", GenerateYelpLike(99, bytes),
+             YelpSchema(), /*quoted_text=*/true, &report);
+  RunDataset("taxi", "NYC taxi trips (synthetic)",
+             GenerateTaxiLike(99, bytes), TaxiSchema(),
+             /*quoted_text=*/false, &report);
+  report.Flush();
   return 0;
 }

@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <iterator>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/options.h"
 #include "io/file.h"
@@ -81,6 +84,75 @@ inline void PrintStageBreakdown(obs::MetricsRegistry* registry) {
   }
   std::printf("%-32s %12.2f\n", "instrumented pipeline total", total_ms);
 }
+
+/// Collects benchmark measurements and, when `--json-out=<file>` was passed
+/// on the command line, serialises them as a JSON document on Flush(). The
+/// format is a flat list so downstream tooling can diff runs without knowing
+/// each bench's shape:
+///
+///   {"benchmarks": [
+///     {"name": "yelp_like/context/avx2",
+///      "metrics": {"seconds": 0.1234, "gbps": 3.21}},
+///     ...]}
+///
+/// With no --json-out flag the report is a no-op, so benches can always
+/// record into it unconditionally.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv) {
+    constexpr const char kFlag[] = "--json-out=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind(kFlag, 0) == 0) path_ = arg.substr(sizeof(kFlag) - 1);
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name,
+           std::initializer_list<std::pair<const char*, double>> metrics) {
+    Entry entry;
+    entry.name = name;
+    entry.metrics.assign(metrics.begin(), metrics.end());
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Writes the accumulated entries to the --json-out path. Safe to call
+  /// when disabled (does nothing).
+  void Flush() const {
+    if (path_.empty()) return;
+    std::string json = "{\n  \"benchmarks\": [";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      json += i == 0 ? "\n" : ",\n";
+      json += "    {\"name\": \"" + entries_[i].name + "\", \"metrics\": {";
+      for (size_t m = 0; m < entries_[i].metrics.size(); ++m) {
+        if (m > 0) json += ", ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "\"%s\": %.6g",
+                      entries_[i].metrics[m].first.c_str(),
+                      entries_[i].metrics[m].second);
+        json += buf;
+      }
+      json += "}}";
+    }
+    json += "\n  ]\n}\n";
+    if (WriteStringToFile(path_, json).ok()) {
+      std::fprintf(stderr, "benchmark results written to %s (%zu entries)\n",
+                   path_.c_str(), entries_.size());
+    } else {
+      std::fprintf(stderr, "failed to write benchmark results to %s\n",
+                   path_.c_str());
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 /// When PARPARAW_TRACE_OUT is set, writes the global tracer's events there
 /// as chrome://tracing JSON.

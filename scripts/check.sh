@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 hardening driver: builds and runs the test suite under ASan+UBSan,
 # then rebuilds under TSan and runs the concurrency-sensitive tests
-# (thread pool, observability, streaming). Usage:
+# (thread pool, observability, streaming), then re-runs the suite once per
+# src/simd kernel variant (PARPARAW_FORCE_KERNEL) so every dispatch level —
+# not just the one this machine auto-selects — gets sanitizer coverage.
+# Usage:
 #
-#   scripts/check.sh            # asan+ubsan full suite, then tsan subset
+#   scripts/check.sh            # asan+ubsan suite, tsan subset, kernel sweep
 #   scripts/check.sh asan       # just the address+undefined pass
 #   scripts/check.sh tsan       # just the thread-sanitizer pass
+#   scripts/check.sh kernels    # just the per-kernel-variant sweep
 #
 # Build trees land in build-asan/ and build-tsan/ next to the normal
 # build/ so a sanitizer run never invalidates the regular build cache.
@@ -44,15 +48,44 @@ run_tsan() {
       -R 'ThreadPool|ParallelFor|Metrics|Tracer|ObsIntegration|Streaming'
 }
 
+run_kernels() {
+  echo "=== kernel sweep: configure ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=address,undefined
+  echo "=== kernel sweep: build ==="
+  cmake --build build-asan -j "${JOBS}"
+  # scalar = the reference pipeline; swar = the portable fallback every
+  # build has; simd = the best vector level this CPU offers (degrades to
+  # swar when none). The full suite runs per variant, then the
+  # differential harness once more by itself so its cross-level sweep is
+  # exercised with the env override active too.
+  for kernel in scalar swar simd; do
+    echo "=== kernel sweep: full suite, PARPARAW_FORCE_KERNEL=${kernel} ==="
+    PARPARAW_FORCE_KERNEL="${kernel}" \
+    ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+      ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+    echo "=== kernel sweep: differential tests, PARPARAW_FORCE_KERNEL=${kernel} ==="
+    PARPARAW_FORCE_KERNEL="${kernel}" \
+    ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+      ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+        -R 'SimdDifferential|SimdSpeculation|Utf8Boundary'
+  done
+}
+
 case "${MODE}" in
   asan) run_asan ;;
   tsan) run_tsan ;;
+  kernels) run_kernels ;;
   all)
     run_asan
     run_tsan
+    run_kernels
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|all]" >&2
     exit 2
     ;;
 esac

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "obs/obs.h"
+#include "simd/simd_kernels.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
 
@@ -30,46 +31,117 @@ Status BitmapStep::Run(PipelineState* state, StepTimings* timings) {
   const int64_t num_chunks = state->num_chunks;
   const int invalid = dfa.invalid_state();
 
-  state->symbol_flags.assign(state->size, 0);
   state->record_counts.assign(num_chunks, 0);
   state->column_offsets.assign(num_chunks, ColumnOffset{});
   std::atomic<int64_t> first_invalid{-1};
 
-  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
-    const size_t begin = AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
-    const size_t end =
-        AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
-    int current = state->entry_states[c];
-    uint32_t records = 0;
-    uint32_t fields_since_record = 0;
-    bool saw_record_delim = false;
-    for (size_t i = begin; i < end; ++i) {
-      const int group = dfa.SymbolGroup(state->data[i]);
-      const uint8_t flags = dfa.Flags(current, group);
-      const int next = dfa.NextState(current, group);
-      state->symbol_flags[i] = flags;
-      if (flags & kSymbolRecordDelimiter) {
-        ++records;
-        fields_since_record = 0;
-        saw_record_delim = true;
-      } else if (flags & kSymbolFieldDelimiter) {
-        ++fields_since_record;
-      }
-      if (invalid >= 0 && next == invalid && current != invalid) {
-        // Record the earliest invalid transition across all chunks.
-        int64_t expected = first_invalid.load(std::memory_order_relaxed);
-        const int64_t offset = static_cast<int64_t>(i);
-        while ((expected == -1 || offset < expected) &&
-               !first_invalid.compare_exchange_weak(
-                   expected, offset, std::memory_order_relaxed)) {
-        }
-      }
-      current = next;
+  // Records the earliest invalid transition across all chunks.
+  auto record_invalid = [&first_invalid](int64_t offset) {
+    int64_t expected = first_invalid.load(std::memory_order_relaxed);
+    while ((expected == -1 || offset < expected) &&
+           !first_invalid.compare_exchange_weak(expected, offset,
+                                                std::memory_order_relaxed)) {
     }
-    state->record_counts[c] = records;
-    state->column_offsets[c] = ColumnOffset{fields_since_record,
-                                            saw_record_delim};
-  });
+  };
+
+  const bool fused =
+      state->kernel_level != simd::KernelLevel::kScalar &&
+      state->kernel_plan != nullptr &&
+      state->spec_offsets.size() == static_cast<size_t>(num_chunks);
+
+  if (fused) {
+    // The context step's fused kernel already wrote the flags for every
+    // chunk suffix whose states were entry-state-independent; this pass
+    // walks only each chunk's pre-convergence prefix from the now-known
+    // entry state, verifies the speculation token, and counts the rest
+    // from the emitted flags. A token mismatch (mis-speculation) falls
+    // back to re-walking the suffix — results are then still exact.
+    const simd::KernelPlan& plan = *state->kernel_plan;
+    obs::Counter* mis_speculations = nullptr;
+    if (state->options->metrics != nullptr &&
+        state->options->metrics->enabled()) {
+      mis_speculations =
+          state->options->metrics->GetCounter("simd.mis_speculations");
+    }
+    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+      const size_t begin =
+          AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+      const size_t end =
+          AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+      const int64_t spec = state->spec_offsets[c];
+      const size_t pre_end =
+          spec >= 0 ? std::min(static_cast<size_t>(spec), end) : end;
+      simd::FlagWalkResult head = simd::WalkEmitFlags(
+          plan, state->data, begin, pre_end, state->entry_states[c],
+          state->symbol_flags.data());
+      uint32_t records = head.records;
+      uint32_t fields_since_record = head.fields_since_record;
+      bool saw_record_delim = head.saw_record_delimiter;
+      int64_t chunk_invalid = head.first_invalid;
+      if (spec >= 0) {
+        simd::FlagWalkResult tail;
+        int64_t tail_invalid;
+        if (head.end_state == state->spec_states[c]) {
+          // Speculation verified: the already-emitted flags are exact.
+          tail = simd::CountEmittedFlags(state->symbol_flags.data(), pre_end,
+                                         end);
+          tail_invalid = state->spec_invalids[c];
+        } else {
+          // Mis-speculation detected: discard the speculative flags and
+          // re-walk the suffix from the verified state.
+          if (mis_speculations != nullptr) mis_speculations->Increment();
+          tail = simd::WalkEmitFlags(plan, state->data, pre_end, end,
+                                     head.end_state,
+                                     state->symbol_flags.data());
+          tail_invalid = tail.first_invalid;
+        }
+        records += tail.records;
+        if (tail.saw_record_delimiter) {
+          fields_since_record = tail.fields_since_record;
+          saw_record_delim = true;
+        } else {
+          fields_since_record += tail.fields_since_record;
+        }
+        if (chunk_invalid < 0) chunk_invalid = tail_invalid;
+      }
+      state->record_counts[c] = records;
+      state->column_offsets[c] =
+          ColumnOffset{fields_since_record, saw_record_delim};
+      if (chunk_invalid >= 0) record_invalid(chunk_invalid);
+    });
+  } else {
+    state->symbol_flags.assign(state->size, 0);
+    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+      const size_t begin =
+          AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+      const size_t end =
+          AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+      int current = state->entry_states[c];
+      uint32_t records = 0;
+      uint32_t fields_since_record = 0;
+      bool saw_record_delim = false;
+      for (size_t i = begin; i < end; ++i) {
+        const int group = dfa.SymbolGroup(state->data[i]);
+        const uint8_t flags = dfa.Flags(current, group);
+        const int next = dfa.NextState(current, group);
+        state->symbol_flags[i] = flags;
+        if (flags & kSymbolRecordDelimiter) {
+          ++records;
+          fields_since_record = 0;
+          saw_record_delim = true;
+        } else if (flags & kSymbolFieldDelimiter) {
+          ++fields_since_record;
+        }
+        if (invalid >= 0 && next == invalid && current != invalid) {
+          record_invalid(static_cast<int64_t>(i));
+        }
+        current = next;
+      }
+      state->record_counts[c] = records;
+      state->column_offsets[c] = ColumnOffset{fields_since_record,
+                                              saw_record_delim};
+    });
+  }
 
   state->first_invalid_offset = first_invalid.load();
   const double elapsed_ms = watch.ElapsedMillis();

@@ -4,6 +4,7 @@
 
 #include "obs/obs.h"
 #include "parallel/scan.h"
+#include "simd/simd_kernels.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
 
@@ -29,17 +30,70 @@ Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
   obs::TraceSpan span(state->options->tracer, "step.context", "pipeline",
                       static_cast<int64_t>(state->size));
 
+  // Kernel selection (src/simd): the scalar reference path below, or the
+  // fused vectorized path that also emits speculative bitmap flags for
+  // each chunk's entry-state-independent suffix.
+  simd::KernelLevel level = simd::ResolveKernelLevel(state->options->kernel);
+  if (dfa.num_states() == 0) level = simd::KernelLevel::kScalar;
+  state->kernel_level = level;
+
   // Parse: one state-transition vector per chunk (Fig. 3).
   Stopwatch parse_watch;
   state->transition_vectors.assign(num_chunks,
                                    StateVector::Identity(dfa.num_states()));
-  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
-    const size_t begin = AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
-    const size_t end =
-        AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
-    state->transition_vectors[c] =
-        dfa.TransitionVector(state->data + begin, end - begin);
-  });
+  if (level == simd::KernelLevel::kScalar) {
+    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+      const size_t begin =
+          AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+      const size_t end =
+          AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+      state->transition_vectors[c] =
+          dfa.TransitionVector(state->data + begin, end - begin);
+    });
+  } else {
+    state->kernel_plan =
+        std::make_shared<simd::KernelPlan>(simd::BuildKernelPlan(dfa));
+    state->symbol_flags.assign(state->size, 0);
+    state->spec_offsets.assign(num_chunks, -1);
+    state->spec_states.assign(num_chunks, 0);
+    state->spec_invalids.assign(num_chunks, -1);
+    const simd::ChunkKernelFn kernel = simd::GetChunkKernel(level);
+    const simd::KernelPlan& plan = *state->kernel_plan;
+
+    // Hot-path instruments resolved once (name lookup takes a mutex).
+    obs::MetricsRegistry* metrics = state->options->metrics;
+    obs::Counter* converged_counter = nullptr;
+    obs::Counter* unconverged_counter = nullptr;
+    obs::Histogram* fastpath_bytes = nullptr;
+    if (metrics != nullptr && metrics->enabled()) {
+      converged_counter = metrics->GetCounter("simd.chunks_converged");
+      unconverged_counter = metrics->GetCounter("simd.chunks_unconverged");
+      fastpath_bytes = metrics->GetHistogram("simd.fastpath_bytes");
+      metrics->SetGauge("simd.kernel_level", static_cast<int64_t>(level));
+    }
+
+    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+      const size_t begin =
+          AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+      const size_t end =
+          AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+      const simd::ChunkKernelResult result =
+          kernel(plan, state->data, begin, end, state->symbol_flags.data());
+      state->transition_vectors[c] = result.vector;
+      state->spec_offsets[c] = result.spec_offset;
+      state->spec_states[c] = result.spec_state;
+      state->spec_invalids[c] = result.first_invalid;
+      if (result.spec_offset >= 0) {
+        if (converged_counter != nullptr) converged_counter->Increment();
+        if (fastpath_bytes != nullptr) {
+          fastpath_bytes->Record(static_cast<int64_t>(end) -
+                                 result.spec_offset);
+        }
+      } else if (unconverged_counter != nullptr) {
+        unconverged_counter->Increment();
+      }
+    });
+  }
   const double parse_ms = parse_watch.ElapsedMillis();
   timings->parse_ms += parse_ms;
   obs::RecordMillis(state->options->metrics, "step.context.parse_us",

@@ -9,6 +9,7 @@
 #include "columnar/table.h"
 #include "dfa/formats.h"
 #include "parallel/thread_pool.h"
+#include "simd/dispatch.h"
 #include "text/unicode.h"
 
 namespace parparaw {
@@ -133,6 +134,13 @@ struct ParseOptions {
   /// the device-level path.
   size_t block_collaboration_threshold = 256;
   size_t device_collaboration_threshold = 64 * 1024;
+
+  /// Inner-loop kernel for the context and bitmap passes (src/simd):
+  /// kAuto/kSimd pick the best vectorized level detected at startup
+  /// (AVX2/SSE4.2/NEON, portable SWAR otherwise); kScalar forces the
+  /// byte-at-a-time reference pipeline. The PARPARAW_FORCE_KERNEL
+  /// environment variable overrides this per process (see docs/simd.md).
+  simd::KernelKind kernel = simd::KernelKind::kAuto;
 
   /// Worker pool; nullptr uses ThreadPool::Default().
   ThreadPool* pool = nullptr;

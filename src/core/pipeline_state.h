@@ -2,10 +2,12 @@
 #define PARPARAW_CORE_PIPELINE_STATE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/options.h"
 #include "dfa/state_vector.h"
+#include "simd/simd_kernels.h"
 
 namespace parparaw {
 
@@ -46,6 +48,22 @@ struct PipelineState {
   const ParseOptions* options = nullptr;
   ThreadPool* pool = nullptr;
   int64_t num_chunks = 0;
+
+  // --- kernel selection (src/simd) ---
+  /// Level resolved by the context step for this parse; kScalar means the
+  /// reference pipeline ran and none of the fields below are populated.
+  simd::KernelLevel kernel_level = simd::KernelLevel::kScalar;
+  /// DFA-derived lookup tables shared by the context and bitmap steps.
+  std::shared_ptr<const simd::KernelPlan> kernel_plan;
+  /// Per-chunk absolute byte offset where the fused kernel's lanes
+  /// converged and speculative flag emission began; -1 when they never did.
+  std::vector<int64_t> spec_offsets;
+  /// Converged state at spec_offsets[c] — the bitmap step's verification
+  /// token: its own walk must arrive there in exactly this state.
+  std::vector<uint8_t> spec_states;
+  /// Earliest invalid transition the fused kernel saw at/after
+  /// spec_offsets[c], or -1.
+  std::vector<int64_t> spec_invalids;
 
   // --- context step (§3.1) ---
   /// Per-chunk state-transition vectors (the "parse" bucket of Fig. 9).

@@ -23,6 +23,9 @@ class PartitionSession {
     num_states_ = options.base.format.dfa.num_states() > 0
                       ? options.base.format.dfa.num_states()
                       : 6;  // RFC 4180 default
+    // Dispatch once per stream (not per partition): every partition parse
+    // runs the same resolved kernel, and the result reports which.
+    result_.kernel_level = simd::ResolveKernelLevel(options.base.kernel);
   }
 
   Status ProcessPartition(std::string_view partition, bool is_last) {

@@ -31,6 +31,9 @@ struct StreamingOptions {
 /// Result of a streaming parse.
 struct StreamingResult {
   Table table;
+  /// Inner-loop kernel level (src/simd) every partition's context/bitmap
+  /// passes ran with, resolved once from base.kernel at stream start.
+  simd::KernelLevel kernel_level = simd::KernelLevel::kScalar;
   /// The modelled Fig. 7 schedule: overlapped transfer/parse/return.
   StreamingTimeline timeline;
   /// Modelled end-to-end seconds (the timeline's makespan).

@@ -17,6 +17,7 @@ int Utf8SequenceLength(uint8_t lead) {
 }
 
 size_t AdjustChunkBeginUtf8(const uint8_t* data, size_t size, size_t pos) {
+  if (pos > size) return size;
   // At most three continuation bytes can precede a lead byte.
   size_t p = pos;
   while (p < size && p < pos + 3 && IsUtf8ContinuationByte(data[p])) ++p;
