@@ -32,6 +32,12 @@ using namespace parparaw;  // NOLINT
 int RunQueryOnFile(const std::string& path, const std::string& sql,
                    const std::string& trace_out) {
   Stopwatch total;
+  // Enable the sinks before the read so I/O-side counters (robust.io_retries
+  // and friends) land in the summary too.
+  if (!trace_out.empty()) {
+    obs::MetricsRegistry::Global().SetEnabled(true);
+    obs::Tracer::Global().SetEnabled(true);
+  }
   auto raw = ReadFileToString(path);
   if (!raw.ok()) {
     std::fprintf(stderr, "%s\n", raw.status().ToString().c_str());
@@ -61,8 +67,6 @@ int RunQueryOnFile(const std::string& path, const std::string& sql,
   options.format = *format;
   options.infer_types = true;
   if (!trace_out.empty()) {
-    obs::MetricsRegistry::Global().SetEnabled(true);
-    obs::Tracer::Global().SetEnabled(true);
     options.metrics = &obs::MetricsRegistry::Global();
     options.tracer = &obs::Tracer::Global();
   }

@@ -10,6 +10,8 @@
 #   scripts/check.sh asan       # just the address+undefined pass
 #   scripts/check.sh tsan       # just the thread-sanitizer pass
 #   scripts/check.sh kernels    # just the per-kernel-variant sweep
+#   scripts/check.sh faults     # fault-injection: chaos/robustness suites
+#                               # under ASan+UBSan across a fixed seed matrix
 #
 # Build trees land in build-asan/ and build-tsan/ next to the normal
 # build/ so a sanitizer run never invalidates the regular build cache.
@@ -75,17 +77,42 @@ run_kernels() {
   done
 }
 
+run_faults() {
+  echo "=== faults: configure ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=address,undefined
+  echo "=== faults: build ==="
+  cmake --build build-asan -j "${JOBS}"
+  # The robustness surface (see docs/robustness.md): failpoint semantics,
+  # quarantine capture/repair, IPC corruption sweeps, I/O retry — then the
+  # chaos harness over a fixed matrix of seed bases so regressions replay
+  # deterministically. Each base shifts the whole schedule space; together
+  # with the in-test default this covers >4000 distinct seeded schedules.
+  for seed_base in 20260806 1 981276341; do
+    echo "=== faults: chaos/robustness suites, seed base ${seed_base} ==="
+    PARPARAW_CHAOS_SEED_BASE="${seed_base}" \
+    PARPARAW_CHAOS_SCHEDULES=1200 \
+    ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+      ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+        -R 'Chaos|Robust|Failpoint|Quarantine|Reparse|Ipc'
+  done
+}
+
 case "${MODE}" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   kernels) run_kernels ;;
+  faults) run_faults ;;
   all)
     run_asan
     run_tsan
     run_kernels
+    run_faults
     ;;
   *)
-    echo "usage: $0 [asan|tsan|kernels|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|faults|all]" >&2
     exit 2
     ;;
 esac

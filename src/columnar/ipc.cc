@@ -8,6 +8,8 @@ namespace {
 
 constexpr char kMagic[4] = {'P', 'P', 'R', 'W'};
 constexpr uint32_t kVersion = 1;
+constexpr char kQuarantineMagic[4] = {'P', 'P', 'Q', 'R'};
+constexpr uint32_t kQuarantineVersion = 1;
 
 // --- writer helpers ---
 
@@ -195,6 +197,83 @@ Result<Table> DeserializeTable(std::string_view bytes) {
     return Status::IoError("trailing bytes after table");
   }
   return table;
+}
+
+Result<std::string> SerializeQuarantine(const robust::QuarantineTable& q) {
+  std::string out;
+  out.append(kQuarantineMagic, sizeof(kQuarantineMagic));
+  PutScalar<uint32_t>(kQuarantineVersion, &out);
+  PutScalar<uint64_t>(q.size(), &out);
+  for (const robust::QuarantineEntry& entry : q.entries()) {
+    PutScalar<int64_t>(entry.row, &out);
+    PutScalar<int64_t>(entry.record_index, &out);
+    PutScalar<int64_t>(entry.begin, &out);
+    PutScalar<int64_t>(entry.end, &out);
+    PutScalar<int32_t>(entry.column, &out);
+    PutScalar<uint8_t>(static_cast<uint8_t>(entry.code), &out);
+    PutBytes(entry.stage.data(), entry.stage.size(), &out);
+    PutBytes(entry.message.data(), entry.message.size(), &out);
+    PutBytes(entry.raw.data(), entry.raw.size(), &out);
+  }
+  return out;
+}
+
+Result<robust::QuarantineTable> DeserializeQuarantine(
+    std::string_view bytes) {
+  Cursor cursor(bytes);
+  char magic[4];
+  for (char& c : magic) {
+    if (!cursor.Read(&c)) return Truncated();
+  }
+  if (std::memcmp(magic, kQuarantineMagic, 4) != 0) {
+    return Status::IoError("bad magic; not a serialized quarantine table");
+  }
+  uint32_t version;
+  uint64_t count;
+  if (!cursor.Read(&version) || !cursor.Read(&count)) return Truncated();
+  if (version != kQuarantineVersion) {
+    return Status::IoError("unsupported quarantine version " +
+                           std::to_string(version));
+  }
+  // Each entry is at least 61 bytes (five fixed scalars plus three length
+  // prefixes); a corrupt count would otherwise loop billions of times
+  // before the cursor runs dry.
+  if (count > bytes.size() / 61) {
+    return Status::IoError("quarantine entry count exceeds payload");
+  }
+  robust::QuarantineTable q;
+  for (uint64_t i = 0; i < count; ++i) {
+    robust::QuarantineEntry entry;
+    uint8_t code_raw;
+    std::string_view stage;
+    std::string_view message;
+    std::string_view raw;
+    if (!cursor.Read(&entry.row) || !cursor.Read(&entry.record_index) ||
+        !cursor.Read(&entry.begin) || !cursor.Read(&entry.end) ||
+        !cursor.Read(&entry.column) || !cursor.Read(&code_raw) ||
+        !cursor.ReadBytes(&stage) || !cursor.ReadBytes(&message) ||
+        !cursor.ReadBytes(&raw)) {
+      return Truncated();
+    }
+    if (code_raw > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+      return Status::IoError("unknown status code in quarantine entry");
+    }
+    if (entry.begin < 0 || entry.end < entry.begin) {
+      return Status::IoError("invalid byte span in quarantine entry");
+    }
+    if (entry.end - entry.begin != static_cast<int64_t>(raw.size())) {
+      return Status::IoError("quarantine span/raw length mismatch");
+    }
+    entry.code = static_cast<StatusCode>(code_raw);
+    entry.stage.assign(stage);
+    entry.message.assign(message);
+    entry.raw.assign(raw);
+    q.Add(std::move(entry));
+  }
+  if (!cursor.AtEnd()) {
+    return Status::IoError("trailing bytes after quarantine table");
+  }
+  return q;
 }
 
 }  // namespace parparaw

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "columnar/table.h"
+#include "robust/quarantine.h"
 #include "util/result.h"
 
 namespace parparaw {
@@ -35,6 +36,18 @@ Result<std::string> SerializeTable(const Table& table);
 /// Parses bytes produced by SerializeTable. Validates framing, buffer
 /// sizes, and offset monotonicity before constructing the table.
 Result<Table> DeserializeTable(std::string_view bytes);
+
+/// Serialises a quarantine table so rejected records can travel with (or
+/// separately from) their parsed table. Layout:
+///   magic "PPQR" | version u32 | count u64
+///   per entry:
+///     row i64 | record_index i64 | begin i64 | end i64 | column i32
+///     code u8 | stage, message, raw: u64 byte-length + bytes each
+Result<std::string> SerializeQuarantine(const robust::QuarantineTable& q);
+
+/// Parses bytes produced by SerializeQuarantine with the same defensive
+/// validation as DeserializeTable (framing, span sanity, known codes).
+Result<robust::QuarantineTable> DeserializeQuarantine(std::string_view bytes);
 
 }  // namespace parparaw
 

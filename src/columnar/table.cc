@@ -42,6 +42,46 @@ Table ConcatTables(const std::vector<Table>& tables) {
   return out;
 }
 
+Table TakeRows(const Table& table, const std::vector<int64_t>& rows) {
+  Table out;
+  out.schema = table.schema;
+  out.num_rows = static_cast<int64_t>(rows.size());
+  if (!table.rejected.empty()) {
+    out.rejected.reserve(rows.size());
+    for (int64_t r : rows) {
+      out.rejected.push_back(table.rejected[static_cast<size_t>(r)]);
+    }
+  }
+  for (const Column& src : table.columns) {
+    Column dst(src.type());
+    if (src.type().id == TypeId::kString) {
+      for (int64_t r : rows) {
+        if (src.IsNull(r)) {
+          dst.AppendNull();
+        } else {
+          dst.AppendString(src.StringValue(r));
+        }
+      }
+    } else {
+      const int width = FixedWidth(src.type().id);
+      dst.Allocate(static_cast<int64_t>(rows.size()));
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const int64_t r = rows[i];
+        if (src.IsNull(r)) {
+          dst.SetNull(static_cast<int64_t>(i));
+        } else {
+          std::memcpy(dst.mutable_data()->data() +
+                          static_cast<int64_t>(i) * width,
+                      src.data().data() + r * width, width);
+          dst.SetValid(static_cast<int64_t>(i));
+        }
+      }
+    }
+    out.columns.push_back(std::move(dst));
+  }
+  return out;
+}
+
 std::string Table::RowToString(int64_t i) const {
   std::string out;
   for (size_t c = 0; c < columns.size(); ++c) {

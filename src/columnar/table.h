@@ -43,6 +43,12 @@ struct Table {
 /// streaming partitions).
 Table ConcatTables(const std::vector<Table>& tables);
 
+/// Gathers `rows` (indices into `table`, in the given order, repeats
+/// allowed) into a new table with the same schema. Rejected flags travel
+/// with their rows. Used by ErrorPolicy::kSkip to compact malformed rows
+/// out of a parse result.
+Table TakeRows(const Table& table, const std::vector<int64_t>& rows);
+
 }  // namespace parparaw
 
 #endif  // PARPARAW_COLUMNAR_TABLE_H_

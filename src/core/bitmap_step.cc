@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "obs/obs.h"
+#include "robust/resource_guard.h"
 #include "simd/simd_kernels.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
@@ -63,7 +64,8 @@ Status BitmapStep::Run(PipelineState* state, StepTimings* timings) {
       mis_speculations =
           state->options->metrics->GetCounter("simd.mis_speculations");
     }
-    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    PARPARAW_RETURN_NOT_OK(
+        ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
       const size_t begin =
           AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
       const size_t end =
@@ -108,10 +110,12 @@ Status BitmapStep::Run(PipelineState* state, StepTimings* timings) {
       state->column_offsets[c] =
           ColumnOffset{fields_since_record, saw_record_delim};
       if (chunk_invalid >= 0) record_invalid(chunk_invalid);
-    });
+    }));
   } else {
-    state->symbol_flags.assign(state->size, 0);
-    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    PARPARAW_RETURN_NOT_OK(robust::GuardedAssign(
+        "alloc.bitmap", &state->symbol_flags, state->size, uint8_t{0}));
+    PARPARAW_RETURN_NOT_OK(
+        ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
       const size_t begin =
           AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
       const size_t end =
@@ -140,7 +144,7 @@ Status BitmapStep::Run(PipelineState* state, StepTimings* timings) {
       state->record_counts[c] = records;
       state->column_offsets[c] = ColumnOffset{fields_since_record,
                                               saw_record_delim};
-    });
+    }));
   }
 
   state->first_invalid_offset = first_invalid.load();

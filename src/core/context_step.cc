@@ -4,6 +4,7 @@
 
 #include "obs/obs.h"
 #include "parallel/scan.h"
+#include "robust/resource_guard.h"
 #include "simd/simd_kernels.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
@@ -42,18 +43,20 @@ Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
   state->transition_vectors.assign(num_chunks,
                                    StateVector::Identity(dfa.num_states()));
   if (level == simd::KernelLevel::kScalar) {
-    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
-      const size_t begin =
-          AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
-      const size_t end =
-          AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
-      state->transition_vectors[c] =
-          dfa.TransitionVector(state->data + begin, end - begin);
-    });
+    PARPARAW_RETURN_NOT_OK(
+        ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+          const size_t begin =
+              AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+          const size_t end =
+              AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+          state->transition_vectors[c] =
+              dfa.TransitionVector(state->data + begin, end - begin);
+        }));
   } else {
     state->kernel_plan =
         std::make_shared<simd::KernelPlan>(simd::BuildKernelPlan(dfa));
-    state->symbol_flags.assign(state->size, 0);
+    PARPARAW_RETURN_NOT_OK(robust::GuardedAssign(
+        "alloc.context", &state->symbol_flags, state->size, uint8_t{0}));
     state->spec_offsets.assign(num_chunks, -1);
     state->spec_states.assign(num_chunks, 0);
     state->spec_invalids.assign(num_chunks, -1);
@@ -72,7 +75,8 @@ Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
       metrics->SetGauge("simd.kernel_level", static_cast<int64_t>(level));
     }
 
-    ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+    PARPARAW_RETURN_NOT_OK(
+        ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
       const size_t begin =
           AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
       const size_t end =
@@ -92,7 +96,7 @@ Status ContextStep::Run(PipelineState* state, StepTimings* timings) {
       } else if (unconverged_counter != nullptr) {
         unconverged_counter->Increment();
       }
-    });
+    }));
   }
   const double parse_ms = parse_watch.ElapsedMillis();
   timings->parse_ms += parse_ms;

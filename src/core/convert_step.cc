@@ -10,6 +10,7 @@
 #include "core/css_index.h"
 #include "obs/obs.h"
 #include "parallel/scan.h"
+#include "robust/resource_guard.h"
 #include "util/stopwatch.h"
 
 namespace parparaw {
@@ -20,10 +21,11 @@ namespace {
 // validity-bitmap word writes never straddle workers.
 constexpr int64_t kRowBlock = 4096;
 
-void ParallelOverRowBlocks(ThreadPool* pool, int64_t num_rows,
-                           const std::function<void(int64_t, int64_t)>& body) {
+Status ParallelOverRowBlocks(
+    ThreadPool* pool, int64_t num_rows,
+    const std::function<void(int64_t, int64_t)>& body) {
   const int64_t num_blocks = (num_rows + kRowBlock - 1) / kRowBlock;
-  ParallelForEach(pool, 0, num_blocks, [&](int64_t blk) {
+  return ParallelForEach(pool, 0, num_blocks, [&](int64_t blk) {
     const int64_t b = blk * kRowBlock;
     const int64_t e = std::min(b + kRowBlock, num_rows);
     body(b, e);
@@ -141,6 +143,20 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
   table.rejected.assign(rows, 0);
   table.columns.clear();
 
+  // Error provenance for the facade's ErrorPolicy handling: why each row
+  // was rejected and which source column did it. First error per row wins;
+  // columns are converted sequentially and rows within a column are
+  // block-partitioned, so the writes never race.
+  state->reject_kind.assign(rows, 0);
+  state->reject_column.assign(rows, -1);
+  const auto mark_rejected = [&](int64_t row, uint8_t kind, int32_t col) {
+    table.rejected[row] = 1;
+    if (state->reject_kind[row] == 0) {
+      state->reject_kind[row] = kind;
+      state->reject_column[row] = col;
+    }
+  };
+
   std::vector<FieldEntry> fields;
   for (ColumnPlan& plan : plans) {
     const uint32_t j = static_cast<uint32_t>(plan.source_index);
@@ -151,9 +167,10 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
     // lattice join.
     if (!schema_given && options.infer_types && num_fields > 0) {
       std::vector<InferredKind> kinds(num_fields);
-      ParallelForEach(state->pool, 0, num_fields, [&](int64_t k) {
-        kinds[k] = ClassifyField(FieldView(*state, fields[k]));
-      });
+      PARPARAW_RETURN_NOT_OK(
+          ParallelForEach(state->pool, 0, num_fields, [&](int64_t k) {
+            kinds[k] = ClassifyField(FieldView(*state, fields[k]));
+          }));
       const InferredKind joined =
           Reduce(state->pool, kinds.data(), num_fields, Join,
                  InferredKind::kEmpty);
@@ -162,9 +179,10 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
 
     // Field-of-row lookup (rows without a field keep -1).
     std::vector<int64_t> field_of_row(rows, -1);
-    ParallelForEach(state->pool, 0, num_fields, [&](int64_t k) {
-      field_of_row[fields[k].row] = k;
-    });
+    PARPARAW_RETURN_NOT_OK(
+        ParallelForEach(state->pool, 0, num_fields, [&](int64_t k) {
+          field_of_row[fields[k].row] = k;
+        }));
 
     // Typed default value (§4.3 "Default values for empty strings").
     const bool has_default = plan.field.default_value.has_value();
@@ -191,27 +209,31 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
     if (plan.field.type.id != TypeId::kString) {
       const int width = FixedWidth(plan.field.type.id);
       column.Allocate(rows);
-      ParallelOverRowBlocks(state->pool, rows, [&](int64_t b, int64_t e) {
-        for (int64_t row = b; row < e; ++row) {
-          const int64_t k = field_of_row[row];
-          std::string_view sv =
-              k >= 0 ? FieldView(*state, fields[k]) : std::string_view();
-          bool ok = false;
-          if (!sv.empty()) {
-            ok = ConvertValue(plan.field.type, sv, &column, row);
-            if (!ok) table.rejected[row] = 1;  // malformed value (Fig. 5)
-          } else if (has_default) {
-            std::memcpy(column.mutable_data()->data() + row * width,
-                        default_holder.data().data(), width);
-            column.SetValid(row);
-            ok = true;
-          }
-          if (!ok) {
-            column.SetNull(row);
-            if (!nullable) table.rejected[row] = 1;
-          }
-        }
-      });
+      PARPARAW_RETURN_NOT_OK(ParallelOverRowBlocks(
+          state->pool, rows, [&](int64_t b, int64_t e) {
+            for (int64_t row = b; row < e; ++row) {
+              const int64_t k = field_of_row[row];
+              std::string_view sv =
+                  k >= 0 ? FieldView(*state, fields[k]) : std::string_view();
+              bool ok = false;
+              if (!sv.empty()) {
+                ok = ConvertValue(plan.field.type, sv, &column, row);
+                if (!ok) {
+                  // Malformed value (Fig. 5).
+                  mark_rejected(row, 1, plan.source_index);
+                }
+              } else if (has_default) {
+                std::memcpy(column.mutable_data()->data() + row * width,
+                            default_holder.data().data(), width);
+                column.SetValid(row);
+                ok = true;
+              }
+              if (!ok) {
+                column.SetNull(row);
+                if (!nullable) mark_rejected(row, 2, plan.source_index);
+              }
+            }
+          }));
       work->convert_bytes +=
           (state->column_css_offsets.size() > j + 1
                ? state->column_css_offsets[j + 1] - state->column_css_offsets[j]
@@ -224,7 +246,8 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
           has_default ? *plan.field.default_value : std::string();
       std::vector<int64_t> lengths(rows, 0);
       std::vector<uint8_t> valid(rows, 0);
-      ParallelOverRowBlocks(state->pool, rows, [&](int64_t b, int64_t e) {
+      PARPARAW_RETURN_NOT_OK(ParallelOverRowBlocks(
+          state->pool, rows, [&](int64_t b, int64_t e) {
         for (int64_t row = b; row < e; ++row) {
           const int64_t k = field_of_row[row];
           if (k >= 0 && fields[k].length > 0) {
@@ -242,13 +265,15 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
             valid[row] = 0;  // missing field, no default -> NULL
           }
         }
-      });
+      }));
       column.Allocate(rows);
       std::vector<int64_t>* offsets = column.mutable_offsets();
       const int64_t total_bytes = ExclusivePrefixSum(
           state->pool, lengths.data(), offsets->data(), rows);
       (*offsets)[rows] = total_bytes;
-      column.mutable_string_data()->assign(total_bytes, 0);
+      PARPARAW_RETURN_NOT_OK(robust::GuardedAssign(
+          "alloc.convert", column.mutable_string_data(), total_bytes,
+          uint8_t{0}));
       uint8_t* out = column.mutable_string_data()->data();
 
       // Thread-exclusive + block-level copies; device-level fields are
@@ -257,7 +282,8 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
       const size_t device_threshold = options.device_collaboration_threshold;
       std::vector<std::vector<int64_t>> deferred_per_block(
           (rows + kRowBlock - 1) / kRowBlock);
-      ParallelOverRowBlocks(state->pool, rows, [&](int64_t b, int64_t e) {
+      PARPARAW_RETURN_NOT_OK(ParallelOverRowBlocks(
+          state->pool, rows, [&](int64_t b, int64_t e) {
         for (int64_t row = b; row < e; ++row) {
           const int64_t k = field_of_row[row];
           const uint8_t* src;
@@ -290,7 +316,7 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
           }
           if (valid[row]) column.SetValid(row);
         }
-      });
+      }));
       // Device-level collaboration: each oversized field gets a
       // device-wide parallel copy of its own.
       for (const auto& block_rows : deferred_per_block) {
@@ -299,23 +325,25 @@ Status ConvertStep::Run(PipelineState* state, StepTimings* timings,
           const uint8_t* src = state->css.data() + fields[k].offset;
           uint8_t* dst = out + (*offsets)[row];
           const int64_t len = fields[k].length;
-          ParallelFor(state->pool, 0, len, [&](int64_t sb, int64_t se) {
-            std::memcpy(dst + sb, src + sb, se - sb);
-          });
+          PARPARAW_RETURN_NOT_OK(ParallelFor(
+              state->pool, 0, len, [&](int64_t sb, int64_t se) {
+                std::memcpy(dst + sb, src + sb, se - sb);
+              }));
         }
       }
       // Validity for rows handled outside the copy loop (empty strings,
       // deferred fields) — block-aligned, race-free.
-      ParallelOverRowBlocks(state->pool, rows, [&](int64_t b, int64_t e) {
-        for (int64_t row = b; row < e; ++row) {
-          if (valid[row]) {
-            column.SetValid(row);
-          } else {
-            column.SetNull(row);
-            if (!nullable) table.rejected[row] = 1;
-          }
-        }
-      });
+      PARPARAW_RETURN_NOT_OK(ParallelOverRowBlocks(
+          state->pool, rows, [&](int64_t b, int64_t e) {
+            for (int64_t row = b; row < e; ++row) {
+              if (valid[row]) {
+                column.SetValid(row);
+              } else {
+                column.SetNull(row);
+                if (!nullable) mark_rejected(row, 2, plan.source_index);
+              }
+            }
+          }));
       work->convert_bytes += total_bytes + rows * 8;
     }
 

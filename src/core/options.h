@@ -9,6 +9,7 @@
 #include "columnar/table.h"
 #include "dfa/formats.h"
 #include "parallel/thread_pool.h"
+#include "robust/quarantine.h"
 #include "simd/dispatch.h"
 #include "text/unicode.h"
 
@@ -159,6 +160,22 @@ struct ParseOptions {
   /// starts so the caller can prepend it to the next partition as the
   /// carry-over.
   bool exclude_trailing_record = false;
+
+  /// What to do with malformed records (values that do not convert,
+  /// non-nullable NULLs, wrong column counts under kReject). See
+  /// robust::ErrorPolicy; kNull reproduces the historical behaviour
+  /// (NULL value + rejected bit). kQuarantine additionally captures the
+  /// record in ParseOutput::quarantine for ReparseQuarantined().
+  robust::ErrorPolicy error_policy = robust::ErrorPolicy::kNull;
+
+  /// Peak working-set budget in bytes; 0 means unlimited. A monolithic
+  /// Parse() whose estimated working set (~16x input, see
+  /// robust::EstimateParseMemory) exceeds the budget fails with
+  /// kResourceExhausted instead of attempting the allocations; the
+  /// streaming parser and bulk loader degrade instead — smaller partitions
+  /// / streaming the file — and never return kResourceExhausted for the
+  /// budget alone.
+  int64_t memory_budget = 0;
 };
 
 /// \brief Result of a parse: the columnar table plus instrumentation.
@@ -173,8 +190,13 @@ struct ParseOutput {
   int64_t records_dropped = 0;
   /// With exclude_trailing_record: byte offset where the unterminated
   /// trailing record starts (== input size when the input ends exactly on
-  /// a record boundary); -1 otherwise.
+  /// a record boundary); -1 otherwise. Relative to the caller-provided
+  /// buffer — skipped leading rows are included in the offset.
   int64_t remainder_offset = -1;
+  /// Under ErrorPolicy::kQuarantine: every malformed record with its byte
+  /// span and provenance. table.rejected is a view over this (bit r set
+  /// iff an entry with row == r exists). Empty under other policies.
+  robust::QuarantineTable quarantine;
 };
 
 }  // namespace parparaw

@@ -2,6 +2,7 @@
 
 #include "obs/obs.h"
 #include "parallel/radix_sort.h"
+#include "robust/failpoint.h"
 #include "util/bit_util.h"
 #include "util/stopwatch.h"
 
@@ -22,6 +23,10 @@ Status PartitionStep::Run(PipelineState* state, StepTimings* timings,
                       elapsed_ms);
     return Status::OK();
   }
+
+  // The sort's scratch buffers (key + payload copies per pass) are the
+  // partition step's big allocations; the failpoint models them failing.
+  PARPARAW_FAILPOINT("alloc.partition");
 
   RadixSortOptions sort_options;
   StableRadixSortWithHistogram(state->pool, &state->col_tags,

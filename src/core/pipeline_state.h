@@ -104,6 +104,23 @@ struct PipelineState {
   uint32_t max_columns = 0;
   /// Partitions for the radix sort: max observed column index + 1.
   uint32_t num_partitions = 0;
+  /// Expected column count applied by kReject/kValidate (0 when the robust
+  /// policy ran).
+  uint32_t expected_columns = 0;
+  /// Per-record wrong-column-count flag. Only filled under
+  /// ErrorPolicy::kQuarantine + ColumnCountPolicy::kReject, where the
+  /// mismatched records are *kept* (marked rejected, quarantined for
+  /// repair) instead of dropped.
+  std::vector<uint8_t> record_column_mismatch;
+
+  // --- error provenance (ErrorPolicy machinery; convert step + facade) ---
+  /// Why output row r was rejected: 0 = not rejected, 1 = malformed value,
+  /// 2 = NULL in a non-nullable column, 3 = wrong column count. First
+  /// error per row wins.
+  std::vector<uint8_t> reject_kind;
+  /// Source column index of row r's first error; -1 for record-level
+  /// problems.
+  std::vector<int32_t> reject_column;
 
   // --- tag step outputs (§3.2/§4.1) ---
   /// Concatenated kept symbols (field data; plus one terminator slot per

@@ -5,6 +5,7 @@
 
 #include "obs/obs.h"
 #include "parallel/scan.h"
+#include "robust/resource_guard.h"
 #include "text/unicode.h"
 #include "util/stopwatch.h"
 
@@ -106,7 +107,8 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
   // --- 1. Count pass: per-record column counts + max column index. ---
   state->record_column_counts.assign(num_records, 0);
   std::vector<uint32_t> chunk_max_col(num_chunks, 0);
-  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+  PARPARAW_RETURN_NOT_OK(
+      ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
     const size_t chunk_size = options.chunk_size;
     const size_t begin =
         AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
@@ -132,7 +134,7 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
       max_col = std::max(max_col, col);
     }
     chunk_max_col[c] = max_col;
-  });
+  }));
   uint32_t max_col_index = 0;
   for (uint32_t m : chunk_max_col) max_col_index = std::max(max_col_index, m);
 
@@ -152,6 +154,8 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
       ++dropped_count;
     }
   }
+  state->record_column_mismatch.clear();
+  state->expected_columns = 0;
   if (options.column_count_policy != ColumnCountPolicy::kRobust &&
       num_records > 0) {
     uint32_t expected = options.schema.num_fields() > 0
@@ -166,6 +170,16 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
         }
       }
     }
+    state->expected_columns = expected;
+    // Under quarantine, kReject keeps mismatched records — as rejected rows
+    // with byte spans — so ReparseQuarantined() can repair them; dropping
+    // them would lose the bytes a repair needs.
+    const bool keep_for_quarantine =
+        options.column_count_policy == ColumnCountPolicy::kReject &&
+        options.error_policy == robust::ErrorPolicy::kQuarantine;
+    if (keep_for_quarantine) {
+      state->record_column_mismatch.assign(num_records, 0);
+    }
     for (int64_t r = 0; r < num_records; ++r) {
       if (state->record_dropped[r]) continue;
       if (state->record_column_counts[r] != expected) {
@@ -175,8 +189,12 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
               std::to_string(state->record_column_counts[r]) +
               " columns, expected " + std::to_string(expected));
         }
-        state->record_dropped[r] = 1;
-        ++dropped_count;
+        if (keep_for_quarantine) {
+          state->record_column_mismatch[r] = 1;
+        } else {
+          state->record_dropped[r] = 1;
+          ++dropped_count;
+        }
       }
     }
   }
@@ -204,12 +222,13 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
 
   // --- 3. Sizing pass + exclusive prefix sum. ---
   std::vector<int64_t> chunk_emit(num_chunks, 0);
-  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
-    int64_t count = 0;
-    ForEachEmission(*state, skip_lookup, c,
-                    [&](uint8_t, uint32_t, int64_t, bool) { ++count; });
-    chunk_emit[c] = count;
-  });
+  PARPARAW_RETURN_NOT_OK(
+      ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+        int64_t count = 0;
+        ForEachEmission(*state, skip_lookup, c,
+                        [&](uint8_t, uint32_t, int64_t, bool) { ++count; });
+        chunk_emit[c] = count;
+      }));
   {
     const double elapsed_ms = watch.ElapsedMillis();
     timings->tag_ms += elapsed_ms;
@@ -231,43 +250,48 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
   // --- 4. Write pass. ---
   watch.Restart();
   const TaggingMode mode = options.tagging_mode;
-  state->css.assign(total_slots, 0);
-  state->col_tags.assign(total_slots, 0);
+  PARPARAW_RETURN_NOT_OK(robust::GuardedAssign("alloc.tag", &state->css,
+                                               total_slots, uint8_t{0}));
+  PARPARAW_RETURN_NOT_OK(robust::GuardedAssign("alloc.tag", &state->col_tags,
+                                               total_slots, uint32_t{0}));
   if (mode == TaggingMode::kRecordTags) {
-    state->rec_tags.assign(total_slots, 0);
+    PARPARAW_RETURN_NOT_OK(robust::GuardedAssign("alloc.tag", &state->rec_tags,
+                                                 total_slots, uint32_t{0}));
   } else {
     state->rec_tags.clear();
   }
   if (mode == TaggingMode::kVectorDelimited) {
-    state->field_end.assign(total_slots, 0);
+    PARPARAW_RETURN_NOT_OK(robust::GuardedAssign(
+        "alloc.tag", &state->field_end, total_slots, uint8_t{0}));
   } else {
     state->field_end.clear();
   }
   std::atomic<bool> terminator_collision{false};
-  ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
-    int64_t out = chunk_write_offsets[c];
-    ForEachEmission(
-        *state, skip_lookup, c,
-        [&](uint8_t symbol, uint32_t col, int64_t rec, bool is_field_end) {
-          uint8_t stored = symbol;
-          if (mode == TaggingMode::kInlineTerminated) {
-            if (is_field_end) {
-              stored = options.terminator;
-            } else if (symbol == options.terminator) {
-              terminator_collision.store(true, std::memory_order_relaxed);
-            }
-          }
-          state->css[out] = stored;
-          state->col_tags[out] = col;
-          if (mode == TaggingMode::kRecordTags) {
-            state->rec_tags[out] =
-                static_cast<uint32_t>(state->out_row_of_record[rec]);
-          } else if (mode == TaggingMode::kVectorDelimited) {
-            state->field_end[out] = is_field_end ? 1 : 0;
-          }
-          ++out;
-        });
-  });
+  PARPARAW_RETURN_NOT_OK(
+      ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+        int64_t out = chunk_write_offsets[c];
+        ForEachEmission(
+            *state, skip_lookup, c,
+            [&](uint8_t symbol, uint32_t col, int64_t rec, bool is_field_end) {
+              uint8_t stored = symbol;
+              if (mode == TaggingMode::kInlineTerminated) {
+                if (is_field_end) {
+                  stored = options.terminator;
+                } else if (symbol == options.terminator) {
+                  terminator_collision.store(true, std::memory_order_relaxed);
+                }
+              }
+              state->css[out] = stored;
+              state->col_tags[out] = col;
+              if (mode == TaggingMode::kRecordTags) {
+                state->rec_tags[out] =
+                    static_cast<uint32_t>(state->out_row_of_record[rec]);
+              } else if (mode == TaggingMode::kVectorDelimited) {
+                state->field_end[out] = is_field_end ? 1 : 0;
+              }
+              ++out;
+            });
+      }));
   if (terminator_collision.load()) {
     return Status::ParseError(
         "terminator byte occurs in field data; use the vector-delimited or "

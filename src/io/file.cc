@@ -3,6 +3,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "robust/failpoint.h"
+#include "robust/resource_guard.h"
+
 namespace parparaw {
 
 namespace {
@@ -11,39 +14,99 @@ std::string ErrnoMessage(const std::string& prefix) {
   return prefix + ": " + std::strerror(errno);
 }
 
+// Bounded deterministic backoff shared by the transient-retry loops below.
+// Transient conditions are EINTR-class: a signal interrupted the stdio call
+// (errno == EINTR), or the `io.read`/`io.write` failpoint fired with the
+// transient flag. Everything else propagates immediately.
+struct TransientRetry {
+  robust::RetryPolicy policy;
+  int attempt = 0;
+
+  // True when a retry budget remains; sleeps the backoff and consumes one.
+  bool Next() {
+    if (attempt + 1 >= policy.max_attempts) return false;
+    ++attempt;
+    robust::internal::BackoffSleepAndCount(policy.DelayUs(attempt));
+    return true;
+  }
+};
+
 }  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  PARPARAW_FAILPOINT("io.open");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError(ErrnoMessage("cannot open '" + path + "'"));
   }
   std::string contents;
   char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
-    contents.append(buf, n);
+  TransientRetry retry;
+  while (true) {
+    bool transient = false;
+    const Status injected = robust::CheckFailpoint("io.read", &transient);
+    if (!injected.ok()) {
+      if (transient && retry.Next()) continue;
+      std::fclose(file);
+      return injected;
+    }
+    errno = 0;
+    const size_t n = std::fread(buf, 1, sizeof(buf), file);
+    if (n > 0) contents.append(buf, n);
+    if (n == sizeof(buf)) continue;
+    if (std::ferror(file) != 0) {
+      if (errno == EINTR && retry.Next()) {
+        std::clearerr(file);
+        continue;
+      }
+      const Status st =
+          Status::IoError(ErrnoMessage("error reading '" + path + "'"));
+      std::fclose(file);
+      return st;
+    }
+    break;  // short read without error: end of file
   }
-  const bool failed = std::ferror(file) != 0;
   std::fclose(file);
-  if (failed) {
-    return Status::IoError(ErrnoMessage("error reading '" + path + "'"));
-  }
   return contents;
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  PARPARAW_FAILPOINT("io.open");
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::IoError(ErrnoMessage("cannot create '" + path + "'"));
   }
-  const size_t written =
-      contents.empty()
-          ? 0
-          : std::fwrite(contents.data(), 1, contents.size(), file);
-  const bool failed = written != contents.size() || std::fclose(file) != 0;
-  if (failed) {
-    return Status::IoError(ErrnoMessage("error writing '" + path + "'"));
+  size_t written = 0;
+  TransientRetry retry;
+  while (written < contents.size()) {
+    bool transient = false;
+    const Status injected = robust::CheckFailpoint("io.write", &transient);
+    if (!injected.ok()) {
+      if (transient && retry.Next()) continue;
+      std::fclose(file);
+      return injected;
+    }
+    errno = 0;
+    const size_t n =
+        std::fwrite(contents.data() + written, 1, contents.size() - written,
+                    file);
+    written += n;
+    if (written == contents.size()) break;
+    // Partial write: retry the remainder on EINTR, fail otherwise — a
+    // silent short write would truncate the file without an error.
+    if (errno == EINTR && retry.Next()) {
+      std::clearerr(file);
+      continue;
+    }
+    const Status st = Status::IoError(
+        ErrnoMessage("short write to '" + path + "' (" +
+                     std::to_string(written) + " of " +
+                     std::to_string(contents.size()) + " bytes)"));
+    std::fclose(file);
+    return st;
+  }
+  if (std::fclose(file) != 0) {
+    return Status::IoError(ErrnoMessage("error closing '" + path + "'"));
   }
   return Status::OK();
 }
@@ -57,14 +120,30 @@ Status FileChunkReader::Open(const std::string& path) {
     std::fclose(file_);
     file_ = nullptr;
   }
+  file_size_ = 0;
+  PARPARAW_FAILPOINT("io.open");
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     return Status::IoError(ErrnoMessage("cannot open '" + path + "'"));
   }
+  // A failed reader must not look open: close and null the handle on every
+  // error below so a later ReadNext reports "not open" instead of reading
+  // from an undefined position.
+  const auto fail = [&](Status st) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return st;
+  };
+  const Status injected = robust::CheckFailpoint("io.tell");
+  if (!injected.ok()) return fail(injected);
   if (std::fseek(file_, 0, SEEK_END) != 0) {
-    return Status::IoError(ErrnoMessage("cannot seek '" + path + "'"));
+    return fail(Status::IoError(ErrnoMessage("cannot seek '" + path + "'")));
   }
-  file_size_ = std::ftell(file_);
+  const long size = std::ftell(file_);  // NOLINT(runtime/int): stdio API
+  if (size < 0) {
+    return fail(Status::IoError(ErrnoMessage("cannot tell '" + path + "'")));
+  }
+  file_size_ = static_cast<int64_t>(size);
   std::rewind(file_);
   return Status::OK();
 }
@@ -72,13 +151,36 @@ Status FileChunkReader::Open(const std::string& path) {
 Status FileChunkReader::ReadNext(size_t max_bytes, std::string* out,
                                  bool* eof) {
   if (file_ == nullptr) return Status::Invalid("reader not open");
+  out->clear();
   out->resize(max_bytes);
-  const size_t n = std::fread(out->data(), 1, max_bytes, file_);
-  if (n < max_bytes && std::ferror(file_) != 0) {
-    return Status::IoError("read error");
+  size_t total = 0;
+  bool at_eof = false;
+  TransientRetry retry;
+  while (total < max_bytes && !at_eof) {
+    bool transient = false;
+    const Status injected = robust::CheckFailpoint("io.read", &transient);
+    if (!injected.ok()) {
+      if (transient && retry.Next()) continue;
+      return injected;
+    }
+    errno = 0;
+    const size_t n =
+        std::fread(out->data() + total, 1, max_bytes - total, file_);
+    total += n;
+    if (total == max_bytes) break;
+    if (std::ferror(file_) != 0) {
+      // Short reads are resumed from where they stopped; EINTR-class
+      // interruptions retry with backoff instead of failing the stream.
+      if (errno == EINTR && retry.Next()) {
+        std::clearerr(file_);
+        continue;
+      }
+      return Status::IoError(ErrnoMessage("read error"));
+    }
+    at_eof = true;  // short read without error: end of file
   }
-  out->resize(n);
-  *eof = std::feof(file_) != 0 || n == 0;
+  out->resize(total);
+  *eof = at_eof || total == 0;
   return Status::OK();
 }
 

@@ -5,6 +5,8 @@
 
 #include "core/parser.h"
 #include "io/file.h"
+#include "robust/failpoint.h"
+#include "robust/resource_guard.h"
 #include "stream/streaming_parser.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -32,6 +34,124 @@ std::vector<std::string> HeaderNames(std::string_view input,
     names.emplace_back(piece);
   }
   return names;
+}
+
+// Resolves dialect, header names and column types from the input head.
+// `sample` is the start of the input; `sample_truncated` says it is a
+// proper prefix (a disk-streaming load only reads the head), in which case
+// the inference probe excludes the possibly cut-off trailing record.
+// Fills result->dialect and returns the per-partition ParseOptions.
+Result<ParseOptions> ResolveBase(std::string_view sample,
+                                 bool sample_truncated,
+                                 const LoadOptions& options,
+                                 LoadResult* result) {
+  Format format = options.format;
+  bool sniffed_header = false;
+  if (format.dfa.num_states() == 0) {
+    if (sample.empty()) {
+      PARPARAW_ASSIGN_OR_RETURN(format, Rfc4180Format());
+    } else {
+      PARPARAW_ASSIGN_OR_RETURN_CTX(
+          result->dialect,
+          SniffDsvFormat(sample.substr(
+              0, std::min<size_t>(sample.size(), 64 * 1024))),
+          "loader.sniff");
+      PARPARAW_ASSIGN_OR_RETURN(format, DsvFormat(result->dialect.options));
+      sniffed_header = result->dialect.has_header;
+    }
+  }
+  const bool header =
+      options.header >= 0 ? options.header != 0 : sniffed_header;
+
+  std::vector<std::string> names;
+  if (header && !sample.empty()) {
+    names = HeaderNames(sample, result->dialect.options);
+  }
+
+  // Type resolution: explicit schema wins; otherwise parse a sample with
+  // inference to fix the column types, then stream with that schema so all
+  // partitions agree.
+  ParseOptions base;
+  base.format = format;
+  base.pool = options.pool;
+  base.skip_rows = header ? 1 : 0;
+  if (options.schema.num_fields() > 0) {
+    base.schema = options.schema;
+  } else {
+    ParseOptions sample_options = base;
+    sample_options.infer_types = true;
+    const std::string_view probe_input =
+        sample.substr(0, std::min<size_t>(sample.size(), 256 * 1024));
+    // A probe cut off mid-record would see a garbled last row and could
+    // widen a column to string; drop the partial trailing record instead.
+    sample_options.exclude_trailing_record =
+        sample_truncated || probe_input.size() < sample.size();
+    PARPARAW_ASSIGN_OR_RETURN_CTX(
+        ParseOutput probe, Parser::Parse(probe_input, sample_options),
+        "loader.infer");
+    base.schema = probe.table.schema;
+    for (int c = 0; c < base.schema.num_fields(); ++c) {
+      if (c < static_cast<int>(names.size()) && !names[c].empty()) {
+        base.schema.mutable_field(c)->name = names[c];
+      }
+    }
+  }
+  base.error_policy = options.error_policy;
+  base.memory_budget = options.memory_budget;
+  return base;
+}
+
+// Shared tail of every load path: table, quarantine, rejects, statistics.
+Result<LoadResult> FinishLoad(StreamingResult streamed,
+                              const LoadOptions& options,
+                              const Stopwatch& watch, LoadResult result) {
+  result.table = std::move(streamed.table);
+  result.quarantine = std::move(streamed.quarantine);
+  result.timings = streamed.timings;
+  result.rows_loaded = result.table.num_rows;
+  result.rows_rejected = result.table.NumRejected();
+
+  if (options.collect_statistics) {
+    PARPARAW_ASSIGN_OR_RETURN_CTX(
+        result.statistics,
+        ComputeTableStatistics(result.table, options.pool),
+        "loader.statistics");
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+// Disk-streaming load for files whose monolithic parse would not fit the
+// memory budget: only the head sample plus one (budget-clamped) partition
+// and its carry-over are ever resident.
+Result<LoadResult> LoadFileStreaming(const std::string& path,
+                                     int64_t file_size,
+                                     const LoadOptions& options) {
+  Stopwatch watch;
+  LoadResult result;
+  result.input_bytes = file_size;
+
+  FileChunkReader reader;
+  PARPARAW_RETURN_NOT_OK_CTX(reader.Open(path), "loader.open");
+  std::string sample;
+  bool eof = false;
+  PARPARAW_RETURN_NOT_OK_CTX(
+      reader.ReadNext(std::min<size_t>(static_cast<size_t>(file_size),
+                                       256 * 1024),
+                      &sample, &eof),
+      "loader.sample");
+  PARPARAW_ASSIGN_OR_RETURN(
+      ParseOptions base,
+      ResolveBase(sample, static_cast<int64_t>(sample.size()) < file_size,
+                  options, &result));
+
+  StreamingOptions streaming;
+  streaming.base = base;
+  streaming.partition_size = options.partition_size;
+  PARPARAW_ASSIGN_OR_RETURN_CTX(
+      StreamingResult streamed, StreamingParser::ParseFile(path, streaming),
+      "loader.stream");
+  return FinishLoad(std::move(streamed), options, watch, std::move(result));
 }
 
 }  // namespace
@@ -66,80 +186,39 @@ std::string LoadResult::ReportToString() const {
 
 Result<LoadResult> BulkLoader::LoadBuffer(std::string_view input,
                                           const LoadOptions& options) {
+  PARPARAW_FAILPOINT("loader.load");
   Stopwatch watch;
   LoadResult result;
   result.input_bytes = static_cast<int64_t>(input.size());
 
-  // Resolve the dialect.
-  Format format = options.format;
-  bool sniffed_header = false;
-  if (format.dfa.num_states() == 0) {
-    if (input.empty()) {
-      PARPARAW_ASSIGN_OR_RETURN(format, Rfc4180Format());
-    } else {
-      PARPARAW_ASSIGN_OR_RETURN(
-          result.dialect,
-          SniffDsvFormat(input.substr(
-              0, std::min<size_t>(input.size(), 64 * 1024))));
-      PARPARAW_ASSIGN_OR_RETURN(format, DsvFormat(result.dialect.options));
-      sniffed_header = result.dialect.has_header;
-    }
-  }
-  const bool header =
-      options.header >= 0 ? options.header != 0 : sniffed_header;
+  PARPARAW_ASSIGN_OR_RETURN(
+      ParseOptions base,
+      ResolveBase(input, /*sample_truncated=*/false, options, &result));
 
-  std::vector<std::string> names;
-  if (header && !input.empty()) {
-    names = HeaderNames(input, result.dialect.options);
-  }
-
-  // Type resolution: explicit schema wins; otherwise parse a sample with
-  // inference to fix the column types, then stream with that schema so all
-  // partitions agree.
-  ParseOptions base;
-  base.format = format;
-  base.pool = options.pool;
-  base.skip_rows = header ? 1 : 0;
-  if (options.schema.num_fields() > 0) {
-    base.schema = options.schema;
-  } else {
-    ParseOptions sample_options = base;
-    sample_options.infer_types = true;
-    const std::string_view sample =
-        input.substr(0, std::min<size_t>(input.size(), 256 * 1024));
-    PARPARAW_ASSIGN_OR_RETURN(ParseOutput probe,
-                              Parser::Parse(sample, sample_options));
-    base.schema = probe.table.schema;
-    for (int c = 0; c < base.schema.num_fields(); ++c) {
-      if (c < static_cast<int>(names.size()) && !names[c].empty()) {
-        base.schema.mutable_field(c)->name = names[c];
-      }
-    }
-  }
-
-  // Streaming parse.
   StreamingOptions streaming;
   streaming.base = base;
   streaming.partition_size = options.partition_size;
-  PARPARAW_ASSIGN_OR_RETURN(StreamingResult streamed,
-                            StreamingParser::Parse(input, streaming));
-  result.table = std::move(streamed.table);
-  result.timings = streamed.timings;
-  result.rows_loaded = result.table.num_rows;
-  result.rows_rejected = result.table.NumRejected();
-
-  if (options.collect_statistics) {
-    PARPARAW_ASSIGN_OR_RETURN(
-        result.statistics,
-        ComputeTableStatistics(result.table, options.pool));
-  }
-  result.seconds = watch.ElapsedSeconds();
-  return result;
+  PARPARAW_ASSIGN_OR_RETURN_CTX(StreamingResult streamed,
+                                StreamingParser::Parse(input, streaming),
+                                "loader.stream");
+  return FinishLoad(std::move(streamed), options, watch, std::move(result));
 }
 
 Result<LoadResult> BulkLoader::LoadFile(const std::string& path,
                                         const LoadOptions& options) {
-  PARPARAW_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  PARPARAW_FAILPOINT("loader.load");
+  if (options.memory_budget > 0) {
+    FileChunkReader reader;
+    PARPARAW_RETURN_NOT_OK_CTX(reader.Open(path), "loader.open");
+    // The whole-file parse would not fit: degrade to streaming straight
+    // from disk instead of failing with kResourceExhausted.
+    if (robust::EstimateParseMemory(reader.file_size()) >
+        options.memory_budget) {
+      return LoadFileStreaming(path, reader.file_size(), options);
+    }
+  }
+  PARPARAW_ASSIGN_OR_RETURN_CTX(std::string contents, ReadFileToString(path),
+                                "loader.read");
   return LoadBuffer(contents, options);
 }
 

@@ -24,6 +24,13 @@ struct LoadOptions {
   size_t partition_size = 64 * 1024 * 1024;
   /// Compute per-column statistics after the load.
   bool collect_statistics = true;
+  /// What to do with malformed records (see robust/quarantine.h).
+  robust::ErrorPolicy error_policy = robust::ErrorPolicy::kNull;
+  /// Soft cap on parse working-set bytes; 0 = unlimited. The loader
+  /// degrades instead of failing: partitions shrink to fit, and LoadFile
+  /// switches to a disk-streaming parse (never materialising the whole
+  /// file) when the file itself would blow the budget.
+  int64_t memory_budget = 0;
   ThreadPool* pool = nullptr;
 };
 
@@ -31,6 +38,9 @@ struct LoadOptions {
 /// reports.
 struct LoadResult {
   Table table;
+  /// Malformed records captured under ErrorPolicy::kQuarantine, with
+  /// stream-relative rows and byte spans.
+  robust::QuarantineTable quarantine;
   SniffResult dialect;
   std::vector<ColumnStatistics> statistics;
   int64_t input_bytes = 0;

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "obs/metrics.h"
+#include "robust/failpoint.h"
 
 namespace parparaw {
 
@@ -95,16 +96,20 @@ ThreadPool* ThreadPool::Default() {
   return &pool;
 }
 
-void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
-                 const std::function<void(int64_t, int64_t)>& body) {
-  if (begin >= end) return;
+Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return Status::OK();
   const int64_t count = end - begin;
   const int num_workers =
       pool == nullptr ? 1
                       : std::min<int64_t>(pool->num_threads(), count);
   if (num_workers <= 1) {
+    const Status injected = robust::CheckFailpoint("pool.task");
+    // The slice body runs even when the failpoint fires: faults must never
+    // change what was computed, only whether an error is reported, so
+    // callers that discard the Status stay bit-identical to fault-free runs.
     body(begin, end);
-    return;
+    return injected;
   }
   // One contiguous slice per worker; remainder spread over the first slices.
   const int64_t base = count / num_workers;
@@ -112,12 +117,18 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
   std::atomic<int> remaining{num_workers};
   std::mutex done_mu;
   std::condition_variable done_cv;
+  Status first_error;
   int64_t slice_begin = begin;
   for (int w = 0; w < num_workers; ++w) {
     const int64_t slice_size = base + (w < extra ? 1 : 0);
     const int64_t slice_end = slice_begin + slice_size;
     pool->Submit([&, slice_begin, slice_end] {
+      const Status injected = robust::CheckFailpoint("pool.task");
       body(slice_begin, slice_end);
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (!injected.ok() && first_error.ok()) first_error = injected;
+      }
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(done_mu);
         done_cv.notify_all();
@@ -127,11 +138,12 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
   }
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  return first_error;
 }
 
-void ParallelForEach(ThreadPool* pool, int64_t begin, int64_t end,
-                     const std::function<void(int64_t)>& body) {
-  ParallelFor(pool, begin, end, [&](int64_t b, int64_t e) {
+Status ParallelForEach(ThreadPool* pool, int64_t begin, int64_t end,
+                       const std::function<void(int64_t)>& body) {
+  return ParallelFor(pool, begin, end, [&](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) body(i);
   });
 }

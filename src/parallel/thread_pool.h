@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace parparaw {
 
 namespace obs {
@@ -73,13 +75,20 @@ class ThreadPool {
 /// grid where each "thread" owns a contiguous run of chunks). `body` must be
 /// safe to invoke concurrently on disjoint ranges. A null `pool` or a
 /// single-worker pool degrades to a sequential loop.
-void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
-                 const std::function<void(int64_t, int64_t)>& body);
+///
+/// Returns non-OK when the `pool.task` failpoint fires for a slice. Every
+/// slice body still runs — faults never skip work, so callers that ignore
+/// the Status (pure computations whose results feed later steps) stay
+/// bit-identical to a fault-free run; callers that check it observe the
+/// injected error after the barrier. There is exactly one failpoint check
+/// per slice, before the slice body.
+Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& body);
 
 /// \brief Like ParallelFor but invokes `body(i)` per index. Convenience for
-/// per-chunk kernels.
-void ParallelForEach(ThreadPool* pool, int64_t begin, int64_t end,
-                     const std::function<void(int64_t)>& body);
+/// per-chunk kernels. Same failpoint/Status contract as ParallelFor.
+Status ParallelForEach(ThreadPool* pool, int64_t begin, int64_t end,
+                       const std::function<void(int64_t)>& body);
 
 }  // namespace parparaw
 

@@ -1,0 +1,265 @@
+#include "robust/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace parparaw {
+namespace robust {
+
+namespace {
+
+// xorshift64*: tiny, seedable, and good enough for firing decisions. The
+// chaos suite replays schedules from seeds, so the generator must be fully
+// deterministic and self-contained (no std::random_device).
+inline uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+const char* CodeSuffix(StatusCode code) {
+  switch (code) {
+    case StatusCode::kParseError:
+      return "parse";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource";
+    default:
+      return "io";
+  }
+}
+
+}  // namespace
+
+FailpointTrigger CountTrigger(int64_t n, bool transient) {
+  FailpointTrigger t;
+  t.kind = FailpointTrigger::Kind::kCount;
+  t.n = n;
+  t.transient = transient;
+  return t;
+}
+
+FailpointTrigger EveryNthTrigger(int64_t n, bool transient) {
+  FailpointTrigger t;
+  t.kind = FailpointTrigger::Kind::kEveryNth;
+  t.n = n;
+  t.transient = transient;
+  return t;
+}
+
+FailpointTrigger ProbabilityTrigger(double p, uint64_t seed, bool transient) {
+  FailpointTrigger t;
+  t.kind = FailpointTrigger::Kind::kProbability;
+  t.probability = p;
+  t.seed = seed;
+  t.transient = transient;
+  return t;
+}
+
+std::atomic<int64_t> FailpointRegistry::armed_count_{0};
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("PARPARAW_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    const Status st = ArmFromSpec(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "parparaw: ignoring PARPARAW_FAILPOINTS: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry& registry = *new FailpointRegistry();
+  return registry;
+}
+
+namespace {
+
+// The disarmed fast path never touches Instance(), so the registry — and
+// with it the PARPARAW_FAILPOINTS parse — must be forced into existence
+// before main(); otherwise an env-armed failpoint stays invisible to any
+// process that arms nothing programmatically. armed_count_ is
+// constant-initialized, so arming during this TU's dynamic init is safe.
+[[maybe_unused]] const FailpointRegistry& env_bootstrap =
+    FailpointRegistry::Instance();
+
+}  // namespace
+
+void FailpointRegistry::Arm(const std::string& name,
+                            FailpointTrigger trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.try_emplace(name);
+  it->second.trigger = trigger;
+  // Re-arming resets the schedule so tests can replay from a clean slate
+  // without tearing the registry down.
+  it->second.hits = 0;
+  it->second.fires = 0;
+  it->second.rng = trigger.seed != 0 ? trigger.seed : 0x9E3779B97F4A7C15ULL;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int64_t>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+}
+
+Status FailpointRegistry::ArmFromSpec(std::string_view spec) {
+  for (std::string_view entry : SplitString(spec, ';')) {
+    entry = TrimWhitespace(entry);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::Invalid("failpoint entry '" + std::string(entry) +
+                             "' is not name=trigger");
+    }
+    const std::string name(TrimWhitespace(entry.substr(0, eq)));
+    std::vector<std::string_view> tokens;
+    for (std::string_view tok : SplitString(entry.substr(eq + 1), ':')) {
+      tokens.push_back(TrimWhitespace(tok));
+    }
+    if (tokens.empty() || tokens[0].empty()) {
+      return Status::Invalid("failpoint '" + name + "' has an empty trigger");
+    }
+
+    FailpointTrigger trigger;
+    size_t next = 1;
+    const std::string kind(tokens[0]);
+    auto parse_int = [&](std::string_view sv, int64_t* out) {
+      char* end = nullptr;
+      const std::string s(sv);
+      *out = std::strtoll(s.c_str(), &end, 10);
+      return end != nullptr && *end == '\0' && !s.empty();
+    };
+    if (kind == "count" || kind == "every") {
+      if (next >= tokens.size() || !parse_int(tokens[next], &trigger.n) ||
+          trigger.n <= 0) {
+        return Status::Invalid("failpoint '" + name + "': '" + kind +
+                               "' needs a positive integer");
+      }
+      trigger.kind = kind == "count" ? FailpointTrigger::Kind::kCount
+                                     : FailpointTrigger::Kind::kEveryNth;
+      ++next;
+    } else if (kind == "prob") {
+      if (next >= tokens.size()) {
+        return Status::Invalid("failpoint '" + name +
+                               "': 'prob' needs a probability");
+      }
+      char* end = nullptr;
+      const std::string p(tokens[next]);
+      trigger.probability = std::strtod(p.c_str(), &end);
+      if (end == nullptr || *end != '\0' || trigger.probability < 0.0 ||
+          trigger.probability > 1.0) {
+        return Status::Invalid("failpoint '" + name + "': bad probability '" +
+                               p + "'");
+      }
+      trigger.kind = FailpointTrigger::Kind::kProbability;
+      ++next;
+      int64_t seed;
+      if (next < tokens.size() && parse_int(tokens[next], &seed)) {
+        trigger.seed = static_cast<uint64_t>(seed);
+        ++next;
+      }
+    } else {
+      // Bare integer: shorthand for count:N.
+      if (!parse_int(tokens[0], &trigger.n) || trigger.n <= 0) {
+        return Status::Invalid("failpoint '" + name + "': unknown trigger '" +
+                               kind + "'");
+      }
+      trigger.kind = FailpointTrigger::Kind::kCount;
+    }
+    for (; next < tokens.size(); ++next) {
+      const std::string flag(tokens[next]);
+      if (flag == "transient") {
+        trigger.transient = true;
+      } else if (flag == "io") {
+        trigger.code = StatusCode::kIoError;
+      } else if (flag == "parse") {
+        trigger.code = StatusCode::kParseError;
+      } else if (flag == "internal") {
+        trigger.code = StatusCode::kInternal;
+      } else if (flag == "resource") {
+        trigger.code = StatusCode::kResourceExhausted;
+      } else {
+        return Status::Invalid("failpoint '" + name + "': unknown flag '" +
+                               flag + "'");
+      }
+    }
+    Arm(name, trigger);
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::CheckSlow(const char* name, bool* transient) {
+  bool fire = false;
+  FailpointTrigger trigger;
+  int64_t total_hits = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(std::string_view(name));
+    if (it == points_.end()) return Status::OK();
+    Point& point = it->second;
+    ++point.hits;
+    trigger = point.trigger;
+    switch (trigger.kind) {
+      case FailpointTrigger::Kind::kCount:
+        fire = point.fires < trigger.n;
+        break;
+      case FailpointTrigger::Kind::kEveryNth:
+        fire = trigger.n > 0 && point.hits % trigger.n == 0;
+        break;
+      case FailpointTrigger::Kind::kProbability: {
+        const uint64_t r = NextRandom(&point.rng);
+        fire = static_cast<double>(r >> 11) * 0x1.0p-53 <
+               trigger.probability;
+        break;
+      }
+    }
+    if (fire) ++point.fires;
+    total_hits = point.hits;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.AddCounter("robust.failpoint_hits", 1);
+    if (fire) metrics.AddCounter("robust.failpoint_fires", 1);
+  }
+  if (!fire) return Status::OK();
+  if (transient != nullptr) *transient = trigger.transient;
+  std::string msg = "failpoint '" + std::string(name) + "' fired (hit " +
+                    std::to_string(total_hits) + ", " +
+                    CodeSuffix(trigger.code) + ")";
+  if (trigger.transient) msg += " [transient]";
+  return Status(trigger.code, std::move(msg));
+}
+
+int64_t FailpointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace robust
+}  // namespace parparaw

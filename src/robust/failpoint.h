@@ -1,0 +1,147 @@
+#ifndef PARPARAW_ROBUST_FAILPOINT_H_
+#define PARPARAW_ROBUST_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace parparaw {
+namespace robust {
+
+/// \brief Deterministic fault injection for the parsing pipeline.
+///
+/// A *failpoint* is a named site in library code (`io.read`, `pool.task`,
+/// `alloc.css`, ...) that can be armed to return an error Status instead of
+/// executing normally. The chaos suite (tests/chaos_test.cc) arms seeded
+/// schedules of failpoints and asserts the pipeline's core robustness
+/// invariant: every run either returns a clean error Status or produces
+/// output bit-identical to the fault-free run — never a crash, leak, or
+/// deadlock.
+///
+/// Disarmed cost: a single relaxed atomic load and a predictable branch per
+/// site (`AnyArmed()`), so production call sites pay effectively nothing.
+/// Armed checks take a registry mutex — fault-injection runs are about
+/// schedules, not throughput.
+///
+/// Failpoints are armed programmatically (Arm / ArmFromSpec) or via the
+/// PARPARAW_FAILPOINTS environment variable, read once when the registry is
+/// first used. Spec grammar (entries separated by ';'):
+///
+///   spec    := entry (';' entry)*
+///   entry   := name '=' trigger (':' flag)*
+///   trigger := INT                    -- shorthand for count:INT
+///            | 'count:' INT           -- fire the first N hits
+///            | 'every:' INT           -- fire every Nth hit
+///            | 'prob:' FLOAT [':' SEED]  -- fire with probability, seeded
+///   flag    := 'transient'            -- retryable by the I/O layer
+///            | 'io' | 'parse' | 'internal' | 'resource'  -- StatusCode
+///
+/// Examples:
+///   PARPARAW_FAILPOINTS="io.read=count:2:transient"
+///   PARPARAW_FAILPOINTS="pool.task=every:64;alloc.css=prob:0.01:42"
+
+/// How an armed failpoint decides to fire on a given hit.
+struct FailpointTrigger {
+  enum class Kind : uint8_t {
+    /// Fire on each of the first `n` hits, then stay quiet.
+    kCount,
+    /// Fire on every `n`th hit (n=1 fires always).
+    kEveryNth,
+    /// Fire with `probability` per hit, driven by a seeded xorshift PRNG so
+    /// schedules replay exactly.
+    kProbability,
+  };
+
+  Kind kind = Kind::kCount;
+  int64_t n = 1;
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// Code of the injected Status.
+  StatusCode code = StatusCode::kIoError;
+  /// Transient failures model EINTR-class conditions: the I/O retry loops
+  /// treat them as retryable, everything else propagates them as fatal.
+  bool transient = false;
+};
+
+/// Convenience factories for the common triggers.
+FailpointTrigger CountTrigger(int64_t n, bool transient = false);
+FailpointTrigger EveryNthTrigger(int64_t n, bool transient = false);
+FailpointTrigger ProbabilityTrigger(double p, uint64_t seed,
+                                    bool transient = false);
+
+/// \brief Process-wide failpoint registry.
+class FailpointRegistry {
+ public:
+  /// The singleton (created on first use, never destroyed). Reads
+  /// PARPARAW_FAILPOINTS on construction; a malformed spec is reported on
+  /// stderr and ignored rather than aborting the process.
+  static FailpointRegistry& Instance();
+
+  /// True when at least one failpoint is armed anywhere in the process —
+  /// the disarmed fast path is exactly this relaxed load.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms, resetting hit state) the named failpoint.
+  void Arm(const std::string& name, FailpointTrigger trigger);
+
+  /// Disarms one failpoint; unknown names are a no-op.
+  void Disarm(const std::string& name);
+
+  /// Disarms everything (chaos-test teardown).
+  void DisarmAll();
+
+  /// Parses and arms a PARPARAW_FAILPOINTS-style spec. On a malformed
+  /// entry, returns InvalidArgument and arms nothing from that entry
+  /// (earlier entries stay armed).
+  Status ArmFromSpec(std::string_view spec);
+
+  /// The slow path behind CheckFailpoint: records a hit and decides whether
+  /// to fire. Only call when AnyArmed().
+  Status CheckSlow(const char* name, bool* transient);
+
+  /// Lifetime hit/fire counts for `name` (0 for unknown names). Hits are
+  /// only counted while the failpoint is armed.
+  int64_t hits(const std::string& name) const;
+  int64_t fires(const std::string& name) const;
+
+ private:
+  FailpointRegistry();
+
+  struct Point {
+    FailpointTrigger trigger;
+    int64_t hits = 0;
+    int64_t fires = 0;
+    uint64_t rng = 0;
+  };
+
+  static std::atomic<int64_t> armed_count_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+/// Checks the named failpoint: OK when disarmed or not firing, the injected
+/// error when it fires. `transient` (optional) reports whether a fired
+/// error models a retryable condition.
+inline Status CheckFailpoint(const char* name, bool* transient = nullptr) {
+  if (transient != nullptr) *transient = false;
+  if (!FailpointRegistry::AnyArmed()) return Status::OK();
+  return FailpointRegistry::Instance().CheckSlow(name, transient);
+}
+
+}  // namespace robust
+}  // namespace parparaw
+
+/// Returns the injected error from the enclosing function (which must
+/// return Status or Result<T>) when the named failpoint fires.
+#define PARPARAW_FAILPOINT(name) \
+  PARPARAW_RETURN_NOT_OK(::parparaw::robust::CheckFailpoint(name))
+
+#endif  // PARPARAW_ROBUST_FAILPOINT_H_

@@ -1,0 +1,64 @@
+#include "robust/quarantine.h"
+
+namespace parparaw {
+namespace robust {
+
+const char* ErrorPolicyToString(ErrorPolicy policy) {
+  switch (policy) {
+    case ErrorPolicy::kNull:
+      return "null";
+    case ErrorPolicy::kFail:
+      return "fail";
+    case ErrorPolicy::kSkip:
+      return "skip";
+    case ErrorPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+const QuarantineEntry* QuarantineTable::FindRow(int64_t row) const {
+  for (const QuarantineEntry& entry : entries_) {
+    if (entry.row == row) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<uint8_t> QuarantineTable::RejectedBitmap(int64_t num_rows) const {
+  std::vector<uint8_t> rejected(static_cast<size_t>(num_rows), 0);
+  for (const QuarantineEntry& entry : entries_) {
+    if (entry.row >= 0 && entry.row < num_rows) {
+      rejected[static_cast<size_t>(entry.row)] = 1;
+    }
+  }
+  return rejected;
+}
+
+std::string QuarantineTable::SummaryText() const {
+  std::string out;
+  for (const QuarantineEntry& entry : entries_) {
+    out += "row ";
+    out += std::to_string(entry.row);
+    out += " [";
+    out += std::to_string(entry.begin);
+    out += ", ";
+    out += std::to_string(entry.end);
+    out += ") stage=";
+    out += entry.stage;
+    if (entry.column >= 0) {
+      out += " column=";
+      out += std::to_string(entry.column);
+    }
+    out += " ";
+    out += StatusCodeToString(entry.code);
+    if (!entry.message.empty()) {
+      out += ": ";
+      out += entry.message;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace robust
+}  // namespace parparaw

@@ -1,0 +1,152 @@
+#include "robust/reparse.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/parser.h"
+#include "dfa/sniffer.h"
+#include "obs/obs.h"
+
+namespace parparaw {
+namespace robust {
+
+namespace {
+
+// Strict single-record parse of a quarantined record's raw bytes: the
+// original options hardened so anything still wrong fails the attempt
+// instead of producing another rejected row.
+Result<Table> TryStrictParse(const ParseOptions& base, std::string_view raw) {
+  ParseOptions attempt = base;
+  attempt.skip_rows = 0;
+  attempt.skip_records.clear();
+  attempt.exclude_trailing_record = false;
+  attempt.column_count_policy = ColumnCountPolicy::kValidate;
+  attempt.error_policy = ErrorPolicy::kFail;
+  attempt.memory_budget = 0;
+  PARPARAW_ASSIGN_OR_RETURN(ParseOutput out, Parser::Parse(raw, attempt));
+  if (out.table.num_rows != 1) {
+    return Status::ParseError("reparse yielded " +
+                              std::to_string(out.table.num_rows) +
+                              " records, expected 1");
+  }
+  if (out.table.NumRejected() != 0) {
+    return Status::ParseError("reparsed record is still rejected");
+  }
+  return std::move(out.table);
+}
+
+// The repaired row can only be spliced when it has the target's column
+// layout (relevant for schema-less parses, where the repaired record
+// determines its own column count).
+bool LayoutMatches(const Table& target, const Table& repaired) {
+  if (repaired.columns.size() != target.columns.size()) return false;
+  for (size_t c = 0; c < target.columns.size(); ++c) {
+    if (!(repaired.columns[c].type() == target.columns[c].type())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<int64_t> ReparseQuarantined(const ParseOptions& options,
+                                   ParseOutput* output,
+                                   const ReparseOptions& reparse) {
+  Table& table = output->table;
+  std::vector<QuarantineEntry>& entries = output->quarantine.entries();
+  obs::AddCount(options.metrics, "robust.reparse_attempted",
+                static_cast<int64_t>(entries.size()));
+
+  std::vector<QuarantineEntry> remaining;
+  std::vector<std::pair<int64_t, Table>> repaired;  // table row -> 1-row fix
+  for (QuarantineEntry& entry : entries) {
+    Table fixed;
+    bool recovered = false;
+    if (entry.row >= 0 && entry.row < table.num_rows) {
+      Result<Table> strict = TryStrictParse(options, entry.raw);
+      if (strict.ok()) {
+        fixed = std::move(strict).ValueOrDie();
+        recovered = true;
+      } else if (reparse.sniff_dialect) {
+        // The record may simply be in a different dialect than the file
+        // (a ';' row inside a ',' file); let it speak for itself.
+        Result<SniffResult> sniffed = SniffDsvFormat(entry.raw);
+        if (sniffed.ok()) {
+          Result<Format> format = DsvFormat(sniffed->options);
+          if (format.ok()) {
+            ParseOptions alt = options;
+            alt.format = std::move(format).ValueOrDie();
+            Result<Table> retry = TryStrictParse(alt, entry.raw);
+            if (retry.ok()) {
+              fixed = std::move(retry).ValueOrDie();
+              recovered = true;
+            }
+          }
+        }
+      }
+    }
+    if (recovered && LayoutMatches(table, fixed)) {
+      repaired.emplace_back(entry.row, std::move(fixed));
+    } else {
+      remaining.push_back(std::move(entry));
+    }
+  }
+
+  if (!repaired.empty()) {
+    std::vector<int64_t> repaired_of_row(
+        static_cast<size_t>(table.num_rows), -1);
+    for (size_t i = 0; i < repaired.size(); ++i) {
+      repaired_of_row[static_cast<size_t>(repaired[i].first)] =
+          static_cast<int64_t>(i);
+    }
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      Column& column = table.columns[c];
+      if (column.type().id == TypeId::kString) {
+        // Strings live in one packed buffer; splicing a different-length
+        // value in place would shift every later offset, so the column is
+        // rebuilt in a single batch pass instead.
+        Column rebuilt(column.type());
+        for (int64_t row = 0; row < table.num_rows; ++row) {
+          const int64_t idx = repaired_of_row[static_cast<size_t>(row)];
+          const Column& src =
+              idx >= 0 ? repaired[static_cast<size_t>(idx)].second.columns[c]
+                       : column;
+          const int64_t src_row = idx >= 0 ? 0 : row;
+          if (src.IsNull(src_row)) {
+            rebuilt.AppendNull();
+          } else {
+            rebuilt.AppendString(src.StringValue(src_row));
+          }
+        }
+        column = std::move(rebuilt);
+      } else {
+        const int width = FixedWidth(column.type().id);
+        for (const auto& [row, fix] : repaired) {
+          const Column& src = fix.columns[c];
+          if (src.IsNull(0)) {
+            column.SetNull(row);
+          } else {
+            std::memcpy(column.mutable_data()->data() + row * width,
+                        src.data().data(), width);
+            column.SetValid(row);
+          }
+        }
+      }
+    }
+    for (const auto& [row, fix] : repaired) {
+      (void)fix;
+      table.rejected[static_cast<size_t>(row)] = 0;
+    }
+  }
+
+  output->quarantine.entries() = std::move(remaining);
+  obs::AddCount(options.metrics, "robust.reparse_recovered",
+                static_cast<int64_t>(repaired.size()));
+  return static_cast<int64_t>(repaired.size());
+}
+
+}  // namespace robust
+}  // namespace parparaw

@@ -1,0 +1,43 @@
+#ifndef PARPARAW_ROBUST_REPARSE_H_
+#define PARPARAW_ROBUST_REPARSE_H_
+
+#include <cstdint>
+
+#include "core/options.h"
+#include "util/result.h"
+
+namespace parparaw {
+namespace robust {
+
+/// Knobs for ReparseQuarantined.
+struct ReparseOptions {
+  /// When the strict retry under the original format fails, sniff the
+  /// record's own dialect (SniffDsvFormat) and retry under it — recovers
+  /// e.g. rows that slipped in with a ';' delimiter inside a ',' file.
+  bool sniff_dialect = true;
+};
+
+/// \brief Retries every record in `output->quarantine` and splices the
+/// repaired rows back into `output->table`.
+///
+/// Each entry's raw bytes are re-parsed as a single record under the
+/// original parse options hardened to strict mode (kValidate column counts,
+/// ErrorPolicy::kFail) — first with the original format, then, when
+/// `reparse.sniff_dialect` is set, with the dialect sniffed from the record
+/// itself. A retry that yields exactly one clean row is *recovered*: its
+/// values overwrite the quarantined row (fixed-width slots in place, string
+/// columns rebuilt in one batch), the row's rejected bit clears, and the
+/// entry leaves the quarantine. Unrecoverable entries stay behind with
+/// their provenance intact, so the call is idempotent and always safe.
+///
+/// `options` must be the options the original parse ran with (schema,
+/// format and skip_columns determine the output layout being spliced into).
+/// Returns the number of rows recovered.
+Result<int64_t> ReparseQuarantined(const ParseOptions& options,
+                                   ParseOutput* output,
+                                   const ReparseOptions& reparse = {});
+
+}  // namespace robust
+}  // namespace parparaw
+
+#endif  // PARPARAW_ROBUST_REPARSE_H_

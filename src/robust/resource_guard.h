@@ -1,0 +1,115 @@
+#ifndef PARPARAW_ROBUST_RESOURCE_GUARD_H_
+#define PARPARAW_ROBUST_RESOURCE_GUARD_H_
+
+#include <cstdint>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "robust/failpoint.h"
+#include "util/status.h"
+
+namespace parparaw {
+namespace robust {
+
+/// \brief Resource guards: turn allocation failure and transient I/O errors
+/// into recoverable Statuses instead of process death.
+///
+/// Two pieces:
+///   * GuardedAssign / GuardedResize wrap the pipeline's large working-set
+///     allocations (state vectors, symbol flags, offset arrays). They check
+///     an `alloc.*` failpoint first and catch std::bad_alloc, mapping both
+///     to kResourceExhausted so Parser::Parse and the bulk loader can
+///     degrade (smaller partitions, streaming) rather than abort.
+///   * RetryPolicy / RetryTransient implement bounded deterministic
+///     exponential backoff for EINTR-class conditions in the I/O layer.
+
+/// Approximate peak working-set bytes needed to parse `input_size` bytes in
+/// one monolithic Parse() call. The pipeline materialises per-byte state
+/// vectors (context step), symbol flags, offset arrays, tag arrays and the
+/// output table; 16x input is a deliberately conservative envelope measured
+/// against the dense CSV workloads in tests/workload.
+inline constexpr int64_t kParseMemoryFactor = 16;
+
+inline int64_t EstimateParseMemory(int64_t input_size) {
+  return input_size * kParseMemoryFactor;
+}
+
+/// Largest partition size (bytes) whose estimated working set fits in
+/// `memory_budget`, clamped to [floor_bytes, requested]. Returns `requested`
+/// unchanged when the budget is 0 (unlimited).
+int64_t ClampPartitionSizeForBudget(int64_t requested, int64_t memory_budget,
+                                    int64_t floor_bytes = 256);
+
+/// Assigns `count` copies of `value` into `container` (vector-like), mapping
+/// the `name` failpoint and std::bad_alloc to kResourceExhausted.
+template <typename Container, typename V>
+Status GuardedAssign(const char* name, Container* container, size_t count,
+                     const V& value) {
+  PARPARAW_FAILPOINT(name);
+  try {
+    container->assign(count, value);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(std::string("allocation of ") +
+                                     std::to_string(count) +
+                                     " elements failed at '" + name + "'");
+  }
+  return Status::OK();
+}
+
+/// Resize flavour of GuardedAssign for containers grown without a fill
+/// value.
+template <typename Container>
+Status GuardedResize(const char* name, Container* container, size_t count) {
+  PARPARAW_FAILPOINT(name);
+  try {
+    container->resize(count);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(std::string("allocation of ") +
+                                     std::to_string(count) +
+                                     " elements failed at '" + name + "'");
+  }
+  return Status::OK();
+}
+
+/// Bounded exponential backoff for transient failures. Deterministic (no
+/// jitter) so fault-injection runs replay identically; the delays are
+/// microseconds because the transients modelled (EINTR, short reads on
+/// pipes) clear on that scale.
+struct RetryPolicy {
+  int max_attempts = 5;
+  int64_t base_delay_us = 50;
+  int64_t max_delay_us = 5000;
+
+  /// Delay before retry attempt `attempt` (1-based): base * 2^(attempt-1),
+  /// capped at max_delay_us.
+  int64_t DelayUs(int attempt) const;
+};
+
+namespace internal {
+/// Sleeps for `delay_us` microseconds and increments robust.io_retries.
+/// Out-of-line so resource_guard.h does not pull <thread> into every step.
+void BackoffSleepAndCount(int64_t delay_us);
+}  // namespace internal
+
+/// Runs `op` (returning Status) up to `policy.max_attempts` times, sleeping
+/// the policy's backoff between attempts. Retries only while
+/// `is_transient(status)` holds; the final failure (or a non-transient one)
+/// propagates as-is. Each retry bumps the `robust.io_retries` metric.
+template <typename Op, typename TransientPred>
+Status RetryTransient(const RetryPolicy& policy, Op&& op,
+                      TransientPred&& is_transient) {
+  Status st;
+  for (int attempt = 1;; ++attempt) {
+    st = op();
+    if (st.ok() || attempt >= policy.max_attempts || !is_transient(st)) {
+      return st;
+    }
+    internal::BackoffSleepAndCount(policy.DelayUs(attempt));
+  }
+}
+
+}  // namespace robust
+}  // namespace parparaw
+
+#endif  // PARPARAW_ROBUST_RESOURCE_GUARD_H_

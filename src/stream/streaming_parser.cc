@@ -7,6 +7,8 @@
 #include "core/parser.h"
 #include "io/file.h"
 #include "obs/obs.h"
+#include "robust/failpoint.h"
+#include "robust/resource_guard.h"
 #include "util/stopwatch.h"
 
 namespace parparaw {
@@ -29,9 +31,14 @@ class PartitionSession {
   }
 
   Status ProcessPartition(std::string_view partition, bool is_last) {
+    PARPARAW_FAILPOINT("stream.chunk");
     obs::TraceSpan span(options_.base.tracer, "partition", "stream",
                         static_cast<int64_t>(partition.size()));
     Stopwatch partition_watch;
+    // Stream offset of buffer[0]: the carry bytes were already counted when
+    // their partition was consumed, so back them out.
+    const int64_t buffer_base =
+        stream_consumed_ - static_cast<int64_t>(carry_.size());
     std::string buffer;
     buffer.reserve(carry_.size() + partition.size());
     buffer.append(carry_);
@@ -39,6 +46,14 @@ class PartitionSession {
 
     ParseOptions partition_options = options_.base;
     partition_options.exclude_trailing_record = !is_last;
+    // Leading-row pruning applies to the stream, not to every buffer: only
+    // the first partition skips (previously base.skip_rows silently dropped
+    // records at every partition seam).
+    if (!first_partition_) partition_options.skip_rows = 0;
+    // Streaming *is* the degradation path for the memory budget — the
+    // partition size is already clamped to fit, so the per-partition parse
+    // must not re-apply the monolithic refusal.
+    partition_options.memory_budget = 0;
     PARPARAW_ASSIGN_OR_RETURN(ParseOutput out,
                               Parser::Parse(buffer, partition_options));
     if (!is_last) {
@@ -72,8 +87,21 @@ class PartitionSession {
     }
     stages_.push_back(stage);
 
+    // Re-base quarantined records from partition coordinates to stream
+    // coordinates: rows index the concatenated table, spans the logical
+    // byte stream (both match what ConcatTables produces below).
+    for (robust::QuarantineEntry& entry : out.quarantine.entries()) {
+      entry.row += rows_accumulated_;
+      entry.begin += buffer_base;
+      entry.end += buffer_base;
+      result_.quarantine.Add(std::move(entry));
+    }
+
     result_.timings += out.timings;
     result_.work += out.work;
+    rows_accumulated_ += out.table.num_rows;
+    stream_consumed_ += static_cast<int64_t>(partition.size());
+    first_partition_ = false;
     tables_.push_back(std::move(out.table));
     ++result_.num_partitions;
     if (options_.base.metrics != nullptr && options_.base.metrics->enabled()) {
@@ -115,6 +143,9 @@ class PartitionSession {
   const StreamingOptions& options_;
   DeviceModel device_;
   int num_states_;
+  bool first_partition_ = true;
+  int64_t stream_consumed_ = 0;    // partition bytes fed so far
+  int64_t rows_accumulated_ = 0;   // rows emitted by prior partitions
   std::string carry_;
   std::vector<Table> tables_;
   std::vector<PartitionStages> stages_;
@@ -128,12 +159,18 @@ Result<StreamingResult> StreamingParser::Parse(
   if (options.partition_size == 0) {
     return Status::Invalid("partition size must be positive");
   }
+  // Degrade instead of refusing: under a memory budget, shrink partitions
+  // until each one's parse working set fits.
+  const size_t partition_size =
+      static_cast<size_t>(robust::ClampPartitionSizeForBudget(
+          static_cast<int64_t>(options.partition_size),
+          options.base.memory_budget));
   PartitionSession session(options);
   Stopwatch wall;
   if (input.empty()) return session.Finish(0.0);
   size_t pos = 0;
   do {
-    const size_t take = std::min(options.partition_size, input.size() - pos);
+    const size_t take = std::min(partition_size, input.size() - pos);
     const bool is_last = (pos + take == input.size());
     PARPARAW_RETURN_NOT_OK(
         session.ProcessPartition(input.substr(pos, take), is_last));
@@ -148,6 +185,10 @@ Result<StreamingResult> StreamingParser::ParseFile(
   if (options.partition_size == 0) {
     return Status::Invalid("partition size must be positive");
   }
+  const size_t partition_size =
+      static_cast<size_t>(robust::ClampPartitionSizeForBudget(
+          static_cast<int64_t>(options.partition_size),
+          options.base.memory_budget));
   FileChunkReader reader;
   PARPARAW_RETURN_NOT_OK(reader.Open(path));
   PartitionSession session(options);
@@ -158,7 +199,7 @@ Result<StreamingResult> StreamingParser::ParseFile(
   while (true) {
     bool eof = false;
     PARPARAW_RETURN_NOT_OK(
-        reader.ReadNext(options.partition_size, &partition, &eof));
+        reader.ReadNext(partition_size, &partition, &eof));
     consumed += static_cast<int64_t>(partition.size());
     const bool is_last = eof || consumed >= reader.file_size();
     PARPARAW_RETURN_NOT_OK(session.ProcessPartition(partition, is_last));

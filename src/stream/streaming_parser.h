@@ -31,6 +31,12 @@ struct StreamingOptions {
 /// Result of a streaming parse.
 struct StreamingResult {
   Table table;
+  /// Under ErrorPolicy::kQuarantine: malformed records across all
+  /// partitions. Entry rows and byte spans are stream-relative (rows index
+  /// `table`, spans index the logical concatenation of all input bytes);
+  /// record_index stays partition-local. table.rejected is a view over
+  /// this, exactly as for a monolithic parse.
+  robust::QuarantineTable quarantine;
   /// Inner-loop kernel level (src/simd) every partition's context/bitmap
   /// passes ran with, resolved once from base.kernel at stream start.
   simd::KernelLevel kernel_level = simd::KernelLevel::kScalar;

@@ -80,4 +80,15 @@ class Result {
   PARPARAW_ASSIGN_OR_RETURN_IMPL(            \
       PARPARAW_CONCAT(_parparaw_result_, __LINE__), lhs, expr)
 
+/// Like PARPARAW_ASSIGN_OR_RETURN, but prepends `ctx` to a propagated
+/// error's message (see Status::WithContext).
+#define PARPARAW_ASSIGN_OR_RETURN_CTX_IMPL(tmp, lhs, expr, ctx) \
+  auto tmp = (expr);                                            \
+  if (!tmp.ok()) return tmp.status().WithContext(ctx);          \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define PARPARAW_ASSIGN_OR_RETURN_CTX(lhs, expr, ctx) \
+  PARPARAW_ASSIGN_OR_RETURN_CTX_IMPL(                 \
+      PARPARAW_CONCAT(_parparaw_result_, __LINE__), lhs, expr, ctx)
+
 #endif  // PARPARAW_UTIL_RESULT_H_

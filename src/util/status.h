@@ -2,6 +2,7 @@
 #define PARPARAW_UTIL_STATUS_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace parparaw {
@@ -20,6 +21,10 @@ enum class StatusCode {
   kNotImplemented,
   kIoError,
   kInternal,
+  /// A resource limit was hit (memory budget, allocation failure). Callers
+  /// can often degrade — e.g. retry through the streaming parser with a
+  /// smaller partition size — where other codes are final.
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -61,10 +66,26 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Returns a Status with the same code and "<context>: <message>" as the
+  /// message — the error-provenance idiom: each pipeline layer prepends the
+  /// stage (or file) it was working on, so a deep failure reads like
+  /// "bulk loader: step.convert: value 'x' is not a valid int64". OK
+  /// statuses pass through unchanged.
+  Status WithContext(std::string_view context) const {
+    if (ok()) return *this;
+    std::string prefixed(context);
+    prefixed += ": ";
+    prefixed += message_;
+    return Status(code_, std::move(prefixed));
+  }
 
   /// Renders as "<code name>: <message>" (or "OK").
   std::string ToString() const;
@@ -85,6 +106,14 @@ class Status {
   do {                                               \
     ::parparaw::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                       \
+  } while (false)
+
+/// Propagates a non-OK Status with `ctx` prepended to its message (see
+/// Status::WithContext), so the caller's stage shows up in the error.
+#define PARPARAW_RETURN_NOT_OK_CTX(expr, ctx)        \
+  do {                                               \
+    ::parparaw::Status _st = (expr);                 \
+    if (!_st.ok()) return _st.WithContext(ctx);      \
   } while (false)
 
 #endif  // PARPARAW_UTIL_STATUS_H_

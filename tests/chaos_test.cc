@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/parser.h"
+#include "loader/bulk_loader.h"
+#include "robust/failpoint.h"
+#include "stream/streaming_parser.h"
+
+namespace parparaw {
+namespace {
+
+using robust::ErrorPolicy;
+using robust::FailpointRegistry;
+using robust::FailpointTrigger;
+
+// The core robustness invariant (see robust/failpoint.h): under ANY
+// schedule of injected faults, a pipeline entry point either returns a
+// clean error Status or returns output bit-identical to the fault-free
+// run. Never a crash, a leak (ASan/LSan in scripts/check.sh faults), a
+// deadlock, or silently different data.
+//
+// Schedules are derived from a seeded PRNG so every run replays exactly.
+// Override the sweep with:
+//   PARPARAW_CHAOS_SCHEDULES  number of schedules (default 1200)
+//   PARPARAW_CHAOS_SEED_BASE  first seed (default 20260806)
+
+// xorshift64* — same generator the probability trigger uses, so schedules
+// stay deterministic across platforms.
+struct ChaosRng {
+  uint64_t state;
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  int Uniform(int n) { return static_cast<int>(Next() % n); }
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+};
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+// Faultable sites covering every layer the chaos sweep exercises.
+const char* const kFailpoints[] = {
+    "pool.task",       "alloc.context", "alloc.bitmap", "alloc.tag",
+    "alloc.partition", "alloc.convert", "stream.chunk", "loader.load",
+    "io.open",         "io.read",       "io.tell",
+};
+
+// A small input with every interesting shape: quoted fields, quoted
+// delimiters and newlines, empty fields, a malformed int, a short record.
+// ~3 KB so a schedule sweep of >1000 runs stays fast.
+std::string ChaosInput() {
+  std::string csv;
+  for (int i = 0; i < 120; ++i) {
+    switch (i % 8) {
+      case 3:
+        csv += "\"q" + std::to_string(i) + ",x\"," + std::to_string(i) +
+               ",\"line\nbreak\"\n";
+        break;
+      case 5:
+        // Malformed int64 in column n: the error policies diverge here.
+        csv += "row" + std::to_string(i) + ",notanint,plain\n";
+        break;
+      case 6:
+        csv += std::to_string(i) + ",,\n";
+        break;
+      default:
+        csv += "f" + std::to_string(i) + "," + std::to_string(i * 7) +
+               ",tail" + std::to_string(i) + "\n";
+        break;
+    }
+  }
+  return csv;
+}
+
+Schema ChaosSchema() {
+  Schema schema;
+  schema.AddField(Field("s", DataType::String()));
+  schema.AddField(Field("n", DataType::Int64()));
+  schema.AddField(Field("t", DataType::String()));
+  return schema;
+}
+
+enum class Entry { kParse, kStreaming, kLoader };
+
+struct Config {
+  Entry entry;
+  bool scalar_kernel;
+  ErrorPolicy policy;
+
+  bool operator<(const Config& other) const {
+    return std::tie(entry, scalar_kernel, policy) <
+           std::tie(other.entry, other.scalar_kernel, other.policy);
+  }
+};
+
+ParseOptions BaseOptions(const Config& config) {
+  ParseOptions options;
+  options.schema = ChaosSchema();
+  options.kernel =
+      config.scalar_kernel ? simd::KernelKind::kScalar : simd::KernelKind::kAuto;
+  options.error_policy = config.policy;
+  return options;
+}
+
+// One run of the configured entry point. Returns the resulting table (and
+// rejected vector inside it) or the error.
+Result<Table> RunEntry(const Config& config, const std::string& input) {
+  switch (config.entry) {
+    case Entry::kParse: {
+      PARPARAW_ASSIGN_OR_RETURN(ParseOutput out,
+                                Parser::Parse(input, BaseOptions(config)));
+      return std::move(out.table);
+    }
+    case Entry::kStreaming: {
+      StreamingOptions streaming;
+      streaming.base = BaseOptions(config);
+      streaming.partition_size = 700;  // several partitions per run
+      PARPARAW_ASSIGN_OR_RETURN(StreamingResult out,
+                                StreamingParser::Parse(input, streaming));
+      return std::move(out.table);
+    }
+    case Entry::kLoader: {
+      LoadOptions load;
+      load.schema = ChaosSchema();
+      load.header = 0;
+      load.collect_statistics = false;
+      load.error_policy = config.policy;
+      PARPARAW_ASSIGN_OR_RETURN(LoadResult out,
+                                BulkLoader::LoadBuffer(input, load));
+      return std::move(out.table);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+TEST(ChaosTest, EveryScheduleFailsCleanOrMatchesFaultFree) {
+  const int schedules =
+      static_cast<int>(EnvInt("PARPARAW_CHAOS_SCHEDULES", 1200));
+  const uint64_t seed_base =
+      static_cast<uint64_t>(EnvInt("PARPARAW_CHAOS_SEED_BASE", 20260806));
+  const std::string input = ChaosInput();
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+
+  // Fault-free references, one per configuration actually visited.
+  std::map<Config, Table> references;
+  const auto reference_for = [&](const Config& config) -> const Table& {
+    auto it = references.find(config);
+    if (it == references.end()) {
+      auto table = RunEntry(config, input);
+      EXPECT_TRUE(table.ok()) << table.status().ToString();
+      it = references.emplace(config, std::move(table).ValueOrDie()).first;
+    }
+    return it->second;
+  };
+
+  int clean_errors = 0;
+  int identical = 0;
+  for (int s = 0; s < schedules; ++s) {
+    ChaosRng rng{seed_base + static_cast<uint64_t>(s) * 0x9E3779B97F4A7C15ULL};
+    rng.Next();
+
+    Config config;
+    config.entry = static_cast<Entry>(rng.Uniform(3));
+    config.scalar_kernel = rng.Uniform(2) == 0;
+    config.policy = std::array<ErrorPolicy, 3>{
+        ErrorPolicy::kNull, ErrorPolicy::kSkip,
+        ErrorPolicy::kQuarantine}[rng.Uniform(3)];
+    const Table& reference = reference_for(config);
+
+    // Arm 1-3 random failpoints with random triggers.
+    const int armed = 1 + rng.Uniform(3);
+    for (int a = 0; a < armed; ++a) {
+      FailpointTrigger trigger;
+      switch (rng.Uniform(3)) {
+        case 0:
+          trigger.kind = FailpointTrigger::Kind::kCount;
+          trigger.n = 1 + rng.Uniform(3);
+          break;
+        case 1:
+          trigger.kind = FailpointTrigger::Kind::kEveryNth;
+          trigger.n = 2 + rng.Uniform(7);
+          break;
+        default:
+          trigger.kind = FailpointTrigger::Kind::kProbability;
+          trigger.probability = 0.05 + 0.45 * rng.Unit();
+          trigger.seed = rng.Next();
+          break;
+      }
+      switch (rng.Uniform(4)) {
+        case 0:
+          trigger.code = StatusCode::kIoError;
+          break;
+        case 1:
+          trigger.code = StatusCode::kParseError;
+          break;
+        case 2:
+          trigger.code = StatusCode::kResourceExhausted;
+          break;
+        default:
+          trigger.code = StatusCode::kIoError;
+          trigger.transient = true;  // exercised by the I/O retry loops
+          break;
+      }
+      registry.Arm(
+          kFailpoints[rng.Uniform(std::size(kFailpoints))], trigger);
+    }
+
+    const Result<Table> run = RunEntry(config, input);
+    registry.DisarmAll();
+
+    if (run.ok()) {
+      // Faults either did not fire or were transparently retried; the
+      // output must be bit-identical to the fault-free run.
+      ASSERT_TRUE(run->Equals(reference)) << "schedule " << s;
+      ASSERT_EQ(run->rejected, reference.rejected) << "schedule " << s;
+      ++identical;
+    } else {
+      // Clean failure: a real code and a non-empty message.
+      ASSERT_NE(run.status().code(), StatusCode::kOk) << "schedule " << s;
+      ASSERT_FALSE(run.status().message().empty()) << "schedule " << s;
+      ++clean_errors;
+    }
+  }
+
+  // The sweep is only meaningful when both outcomes occur.
+  EXPECT_GT(clean_errors, 0);
+  EXPECT_GT(identical, 0);
+}
+
+// Faults must not linger: a process that saw injected errors parses
+// normally once every failpoint is disarmed.
+TEST(ChaosTest, DisarmRestoresNormalOperation) {
+  const std::string input = ChaosInput();
+  Config config{Entry::kParse, true, ErrorPolicy::kNull};
+  FailpointRegistry::Instance().Arm("pool.task",
+                                    robust::CountTrigger(1000000));
+  const auto faulted = RunEntry(config, input);
+  EXPECT_FALSE(faulted.ok());
+  FailpointRegistry::Instance().DisarmAll();
+  const auto clean = RunEntry(config, input);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_GT(clean->num_rows, 0);
+}
+
+}  // namespace
+}  // namespace parparaw

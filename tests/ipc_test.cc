@@ -90,6 +90,124 @@ TEST(IpcTest, RejectsTrailingBytes) {
   EXPECT_FALSE(DeserializeTable(*bytes).ok());
 }
 
+// Corruption sweep: deserialization must fail cleanly (or, for payload
+// bytes that don't affect framing, succeed) for EVERY single-bit flip —
+// never crash, over-read, or hang. Run under ASan/UBSan by
+// `scripts/check.sh faults`.
+TEST(IpcTest, BitFlipSweepNeverCrashes) {
+  auto bytes = SerializeTable(MakeTable());
+  ASSERT_TRUE(bytes.ok());
+  for (size_t byte = 0; byte < bytes->size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = *bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto result = DeserializeTable(corrupt);  // must not crash
+      if (result.ok()) {
+        // A flip inside value data can legitimately deserialize; it must
+        // still describe a structurally sound table.
+        EXPECT_EQ(result->num_rows, 2);
+        EXPECT_EQ(result->num_columns(), 3);
+      }
+    }
+  }
+}
+
+TEST(IpcTest, FramingFlipsAreCleanErrors) {
+  auto bytes = SerializeTable(MakeTable());
+  ASSERT_TRUE(bytes.ok());
+  // The first 16 bytes are pure framing: magic, version, column count, row
+  // count. Any flip there must produce an error Status, never success.
+  for (size_t byte = 0; byte < 16; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = *bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto result = DeserializeTable(corrupt);
+      EXPECT_FALSE(result.ok()) << "byte " << byte << " bit " << bit;
+      if (!result.ok()) {
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+  }
+}
+
+robust::QuarantineTable MakeQuarantine() {
+  robust::QuarantineTable q;
+  robust::QuarantineEntry a;
+  a.row = 1;
+  a.record_index = 1;
+  a.begin = 12;
+  a.end = 24;
+  a.raw = "oops,20,beta";
+  a.column = 0;
+  a.code = StatusCode::kParseError;
+  a.stage = "convert";
+  a.message = "row 1, column 0: value is not a valid int64";
+  q.Add(a);
+  robust::QuarantineEntry b;
+  b.row = 4;
+  b.record_index = 5;
+  b.begin = 50;
+  b.end = 54;
+  b.raw = "x,,y";
+  b.column = -1;
+  b.code = StatusCode::kParseError;
+  b.stage = "tag";
+  b.message = "wrong number of columns";
+  q.Add(b);
+  return q;
+}
+
+TEST(IpcTest, QuarantineRoundTrip) {
+  const robust::QuarantineTable original = MakeQuarantine();
+  auto bytes = SerializeQuarantine(original);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeQuarantine(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), original.size());
+  for (int64_t i = 0; i < original.size(); ++i) {
+    const auto& want = original.entries()[static_cast<size_t>(i)];
+    const auto& got = restored->entries()[static_cast<size_t>(i)];
+    EXPECT_EQ(got.row, want.row);
+    EXPECT_EQ(got.record_index, want.record_index);
+    EXPECT_EQ(got.begin, want.begin);
+    EXPECT_EQ(got.end, want.end);
+    EXPECT_EQ(got.raw, want.raw);
+    EXPECT_EQ(got.column, want.column);
+    EXPECT_EQ(got.code, want.code);
+    EXPECT_EQ(got.stage, want.stage);
+    EXPECT_EQ(got.message, want.message);
+  }
+}
+
+TEST(IpcTest, QuarantineRejectsGarbageAndTruncation) {
+  EXPECT_FALSE(DeserializeQuarantine("").ok());
+  EXPECT_FALSE(DeserializeQuarantine("PPRW").ok());  // table magic, not PPQR
+  auto bytes = SerializeQuarantine(MakeQuarantine());
+  ASSERT_TRUE(bytes.ok());
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    auto result =
+        DeserializeQuarantine(std::string_view(*bytes).substr(0, len));
+    EXPECT_FALSE(result.ok()) << "prefix " << len;
+  }
+  std::string trailing = *bytes + "x";
+  EXPECT_FALSE(DeserializeQuarantine(trailing).ok());
+}
+
+TEST(IpcTest, QuarantineBitFlipSweepNeverCrashes) {
+  auto bytes = SerializeQuarantine(MakeQuarantine());
+  ASSERT_TRUE(bytes.ok());
+  for (size_t byte = 0; byte < bytes->size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = *bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto result = DeserializeQuarantine(corrupt);  // must not crash
+      if (result.ok()) {
+        EXPECT_EQ(result->size(), 2);
+      }
+    }
+  }
+}
+
 TEST(IpcTest, RejectsCorruptOffsets) {
   Table table;
   table.schema.AddField(Field("s", DataType::String()));

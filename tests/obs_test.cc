@@ -8,9 +8,15 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include "core/parser.h"
+#include "io/file.h"
 #include "obs/obs.h"
 #include "parallel/thread_pool.h"
+#include "robust/failpoint.h"
+#include "robust/reparse.h"
+#include "robust/resource_guard.h"
 
 namespace parparaw {
 namespace {
@@ -500,6 +506,68 @@ TEST(ObsIntegrationTest, UninstrumentedParseTouchesNoSinks) {
   EXPECT_TRUE(tracer.Events().empty());
   global.SetEnabled(metrics_enabled);
   tracer.SetEnabled(tracer_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// robust.* metric taxonomy (see docs/robustness.md).
+// ---------------------------------------------------------------------------
+
+TEST(ObsRobustTest, FailpointHitsAndFiresAreCounted) {
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  const bool was_enabled = global.enabled();
+  global.SetEnabled(true);
+  const int64_t hits0 = global.GetCounter("robust.failpoint_hits")->Value();
+  const int64_t fires0 = global.GetCounter("robust.failpoint_fires")->Value();
+
+  auto& registry = robust::FailpointRegistry::Instance();
+  registry.Arm("obs.test", robust::CountTrigger(2));
+  for (int i = 0; i < 5; ++i) (void)robust::CheckFailpoint("obs.test");
+  registry.DisarmAll();
+
+  EXPECT_EQ(global.GetCounter("robust.failpoint_hits")->Value() - hits0, 5);
+  EXPECT_EQ(global.GetCounter("robust.failpoint_fires")->Value() - fires0, 2);
+  global.SetEnabled(was_enabled);
+}
+
+TEST(ObsRobustTest, IoRetriesAndBudgetClampsAreCounted) {
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  const bool was_enabled = global.enabled();
+  global.SetEnabled(true);
+  const int64_t retries0 = global.GetCounter("robust.io_retries")->Value();
+  const int64_t clamps0 = global.GetCounter("robust.budget_clamps")->Value();
+
+  // A transient read fault forces the retry loop through its backoff.
+  const std::string path = "/tmp/parparaw_obs_robust.tmp";
+  ASSERT_TRUE(WriteStringToFile(path, "a,b\n1,2\n").ok());
+  auto& registry = robust::FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("io.read=count:1:transient").ok());
+  ASSERT_TRUE(ReadFileToString(path).ok());
+  registry.DisarmAll();
+  std::remove(path.c_str());
+  EXPECT_GE(global.GetCounter("robust.io_retries")->Value() - retries0, 1);
+
+  // A budget-driven partition clamp is observable.
+  (void)robust::ClampPartitionSizeForBudget(1 << 20, 16 * 1024);
+  EXPECT_EQ(global.GetCounter("robust.budget_clamps")->Value() - clamps0, 1);
+  global.SetEnabled(was_enabled);
+}
+
+TEST(ObsRobustTest, QuarantineAndReparseAreCounted) {
+  obs::MetricsRegistry registry;  // private, enabled
+  ParseOptions options;
+  options.schema.AddField(Field("n", DataType::Int64()));
+  options.schema.AddField(Field("s", DataType::String()));
+  options.error_policy = robust::ErrorPolicy::kQuarantine;
+  options.metrics = &registry;
+  auto parsed = Parser::Parse("1,a\nbad,b\n3,c\n", options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(registry.GetCounter("robust.quarantined_rows")->Value(), 1);
+
+  auto recovered = robust::ReparseQuarantined(options, &*parsed);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(registry.GetCounter("robust.reparse_attempted")->Value(), 1);
+  // 'bad' is unrecoverable; the attempt is counted, the recovery is not.
+  EXPECT_EQ(registry.GetCounter("robust.reparse_recovered")->Value(), 0);
 }
 
 }  // namespace
