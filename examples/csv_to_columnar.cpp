@@ -9,8 +9,8 @@
 #include <cstring>
 #include <string>
 
+#include "api/reader.h"
 #include "columnar/ipc.h"
-#include "core/parser.h"
 #include "io/csv_writer.h"
 #include "io/file.h"
 #include "util/string_util.h"
@@ -22,15 +22,7 @@ using namespace parparaw;  // NOLINT
 
 int Convert(const std::string& in_path, const std::string& out_path,
             bool header) {
-  auto csv = ReadFileToString(in_path);
-  if (!csv.ok()) {
-    std::fprintf(stderr, "%s\n", csv.status().ToString().c_str());
-    return 1;
-  }
-  ParseOptions options;
-  options.skip_rows = header ? 1 : 0;
-  options.infer_types = true;
-  auto parsed = Parser::Parse(*csv, options);
+  auto parsed = Reader::FromFile(in_path).WithHeader(header).ReadDetailed();
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
     return 1;
@@ -47,7 +39,7 @@ int Convert(const std::string& in_path, const std::string& out_path,
     return 1;
   }
   std::printf("%s (%s) -> %s (%s): %lld rows, %d columns\n",
-              in_path.c_str(), FormatBytes(csv->size()).c_str(),
+              in_path.c_str(), FormatBytes(parsed->input_bytes).c_str(),
               out_path.c_str(), FormatBytes(bytes->size()).c_str(),
               static_cast<long long>(parsed->table.num_rows),
               parsed->table.num_columns());

@@ -1,5 +1,6 @@
 // Quickstart: parse an RFC 4180 CSV string — including quoted fields with
-// embedded delimiters and escaped quotes — into typed Arrow-style columns.
+// embedded delimiters and escaped quotes — into typed Arrow-style columns,
+// through the library's front door: parparaw::Reader.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/parser.h"
+#include "api/reader.h"
 
 int main() {
   using namespace parparaw;  // NOLINT
@@ -19,12 +20,15 @@ int main() {
       "1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n"
       "2104,89.50,\"Shelf, wall-mounted\"\n";
 
-  ParseOptions options;
-  options.schema.AddField(Field("article_id", DataType::Int64()));
-  options.schema.AddField(Field("price", DataType::Float64()));
-  options.schema.AddField(Field("description", DataType::String()));
+  Schema schema;
+  schema.AddField(Field("article_id", DataType::Int64()));
+  schema.AddField(Field("price", DataType::Float64()));
+  schema.AddField(Field("description", DataType::String()));
 
-  auto result = Parser::Parse(csv, options);
+  auto result = Reader::FromBuffer(csv)
+                    .WithSchema(schema)
+                    .WithHeader(false)
+                    .ReadDetailed();
   if (!result.ok()) {
     std::fprintf(stderr, "parse failed: %s\n",
                  result.status().ToString().c_str());

@@ -12,6 +12,8 @@
 #   scripts/check.sh kernels    # just the per-kernel-variant sweep
 #   scripts/check.sh faults     # fault-injection: chaos/robustness suites
 #                               # under ASan+UBSan across a fixed seed matrix
+#   scripts/check.sh pipeline   # pipelined-executor differential suite
+#                               # (exec/Reader/chaos) under TSan
 #
 # Build trees land in build-asan/ and build-tsan/ next to the normal
 # build/ so a sanitizer run never invalidates the regular build cache.
@@ -43,11 +45,31 @@ run_tsan() {
   echo "=== TSan: build ==="
   cmake --build build-tsan -j "${JOBS}"
   # The concurrency surface: the worker pool, the lock-free metric shards
-  # and tracer, and the streaming pipeline that drives both.
+  # and tracer, the streaming pipeline, and the staged ingestion executor
+  # with its bounded queues and admission controller.
   echo "=== TSan: concurrency-sensitive tests ==="
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-      -R 'ThreadPool|ParallelFor|Metrics|Tracer|ObsIntegration|Streaming'
+      -R 'ThreadPool|ParallelFor|Metrics|Tracer|ObsIntegration|Streaming|Exec|Reader'
+}
+
+run_pipeline() {
+  echo "=== pipeline: configure (TSan) ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=thread
+  echo "=== pipeline: build ==="
+  cmake --build build-tsan -j "${JOBS}"
+  # The executor's differential suite (pipelined vs serial, bit-identical
+  # across kernels and error policies), the Reader facade on top of it,
+  # and the chaos sweep — whose schedule space now includes faults at
+  # every exec queue hand-off — all under the thread sanitizer, since the
+  # pipeline is the most schedule-sensitive code in the repo.
+  echo "=== pipeline: executor differential + chaos under TSan ==="
+  PARPARAW_CHAOS_SCHEDULES=400 \
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -R 'Exec|Reader|Validate|Chaos'
 }
 
 run_kernels() {
@@ -105,14 +127,16 @@ case "${MODE}" in
   tsan) run_tsan ;;
   kernels) run_kernels ;;
   faults) run_faults ;;
+  pipeline) run_pipeline ;;
   all)
     run_asan
     run_tsan
     run_kernels
     run_faults
+    run_pipeline
     ;;
   *)
-    echo "usage: $0 [asan|tsan|kernels|faults|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,122 @@
+#include "api/reader.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "io/file.h"
+
+namespace parparaw {
+
+Reader Reader::FromFile(std::string path) {
+  Reader reader;
+  reader.from_file_ = true;
+  reader.path_ = std::move(path);
+  reader.options_.collect_statistics = false;
+  return reader;
+}
+
+Reader Reader::FromBuffer(std::string_view buffer) {
+  Reader reader;
+  reader.buffer_ = buffer;
+  reader.options_.collect_statistics = false;
+  return reader;
+}
+
+Reader&& Reader::WithSchema(Schema schema) && {
+  options_.schema = std::move(schema);
+  return std::move(*this);
+}
+
+Reader&& Reader::WithFormat(Format format) && {
+  options_.format = std::move(format);
+  return std::move(*this);
+}
+
+Reader&& Reader::WithHeader(bool has_header) && {
+  options_.header = has_header ? 1 : 0;
+  return std::move(*this);
+}
+
+Reader&& Reader::WithErrorPolicy(robust::ErrorPolicy policy) && {
+  options_.error_policy = policy;
+  return std::move(*this);
+}
+
+Reader&& Reader::WithMemoryBudget(int64_t bytes) && {
+  options_.memory_budget = bytes;
+  return std::move(*this);
+}
+
+Reader&& Reader::WithPartitionSize(size_t bytes) && {
+  options_.partition_size = bytes;
+  return std::move(*this);
+}
+
+Reader&& Reader::WithThreadPool(ThreadPool* pool) && {
+  options_.pool = pool;
+  return std::move(*this);
+}
+
+Reader&& Reader::WithStatistics(bool enabled) && {
+  options_.collect_statistics = enabled;
+  return std::move(*this);
+}
+
+Reader&& Reader::Pipelined(bool enabled) && {
+  options_.pipelined = enabled;
+  return std::move(*this);
+}
+
+Result<Table> Reader::Read() && {
+  LoadOptions options = options_;
+  options.collect_statistics = false;  // Read() returns only the table
+  Result<LoadResult> loaded =
+      from_file_ ? BulkLoader::LoadFile(path_, options)
+                 : BulkLoader::LoadBuffer(buffer_, options);
+  PARPARAW_RETURN_NOT_OK(loaded.status());
+  return std::move(loaded->table);
+}
+
+Result<LoadResult> Reader::ReadDetailed() && {
+  return from_file_ ? BulkLoader::LoadFile(path_, options_)
+                    : BulkLoader::LoadBuffer(buffer_, options_);
+}
+
+Result<exec::IngestStats> Reader::ReadStream(
+    const std::function<Status(Table&&)>& sink) && {
+  LoadResult resolution;
+  std::string file_sample;
+  std::string_view sample = buffer_;
+  bool truncated = false;
+  if (from_file_) {
+    FileChunkReader head;
+    PARPARAW_RETURN_NOT_OK_CTX(head.Open(path_), "reader.open");
+    if (head.file_size() > 0) {
+      bool eof = false;
+      PARPARAW_RETURN_NOT_OK_CTX(
+          head.ReadNext(std::min<size_t>(
+                            static_cast<size_t>(head.file_size()),
+                            256 * 1024),
+                        &file_sample, &eof),
+          "reader.sample");
+    }
+    sample = file_sample;
+    truncated = static_cast<int64_t>(file_sample.size()) < head.file_size();
+  }
+  PARPARAW_ASSIGN_OR_RETURN(
+      ParseOptions base,
+      BulkLoader::ResolveBaseOptions(sample, truncated, options_,
+                                     &resolution));
+
+  exec::PipelineExecutor executor;
+  exec::ExecOptions exec_options;
+  exec_options.base = base;
+  exec_options.partition_size = options_.partition_size;
+  Result<exec::IngestResult> ingested =
+      from_file_ ? executor.StreamFile(path_, exec_options, sink)
+                 : executor.StreamBuffer(buffer_, exec_options, sink);
+  PARPARAW_RETURN_NOT_OK(ingested.status());
+  return ingested->stats;
+}
+
+}  // namespace parparaw

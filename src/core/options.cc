@@ -1,8 +1,97 @@
 #include "core/options.h"
 
 #include <cstdio>
+#include <string>
 
 namespace parparaw {
+
+namespace {
+
+// Upper bound on chunk_size: a chunk is the unit of per-logical-thread
+// work (the paper settles on 31 bytes, Fig. 9); anything beyond this
+// defeats the data-parallel decomposition and risks overflowing the
+// per-chunk uint32 delimiter counters on dense inputs.
+constexpr size_t kMaxChunkSize = size_t{1} << 24;
+
+std::string ByteName(uint8_t byte) {
+  char buf[16];
+  if (byte >= 0x21 && byte <= 0x7E) {
+    std::snprintf(buf, sizeof(buf), "'%c'", static_cast<char>(byte));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%02X", byte);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Status ParseOptions::Validate() const {
+  if (chunk_size > kMaxChunkSize) {
+    return Status::Invalid(
+        "chunk_size " + std::to_string(chunk_size) + " exceeds the " +
+        std::to_string(kMaxChunkSize) +
+        "-byte maximum; chunks are per-logical-thread work units "
+        "(the paper uses 31)");
+  }
+  if (skip_rows < 0) {
+    return Status::Invalid("skip_rows must be non-negative, got " +
+                           std::to_string(skip_rows));
+  }
+  for (int64_t record : skip_records) {
+    if (record < 0) {
+      return Status::Invalid("skip_records contains negative index " +
+                             std::to_string(record));
+    }
+  }
+  for (int column : skip_columns) {
+    if (column < 0) {
+      return Status::Invalid("skip_columns contains negative index " +
+                             std::to_string(column));
+    }
+  }
+  if (memory_budget < 0) {
+    return Status::Invalid("memory_budget must be non-negative, got " +
+                           std::to_string(memory_budget));
+  }
+  if (block_collaboration_threshold > device_collaboration_threshold) {
+    return Status::Invalid(
+        "block_collaboration_threshold (" +
+        std::to_string(block_collaboration_threshold) +
+        ") exceeds device_collaboration_threshold (" +
+        std::to_string(device_collaboration_threshold) +
+        "); the block-level path must engage before the device-level one");
+  }
+  if (tagging_mode == TaggingMode::kInlineTerminated) {
+    if (terminator == 0) {
+      return Status::Invalid(
+          "TaggingMode::kInlineTerminated needs a non-zero terminator byte "
+          "(the default is the ASCII unit separator 0x1F)");
+    }
+    // With no explicit format the RFC 4180 defaults apply.
+    const uint8_t field = format.dfa.num_states() > 0
+                              ? format.field_delimiter
+                              : static_cast<uint8_t>(',');
+    const uint8_t record = format.dfa.num_states() > 0
+                               ? format.record_delimiter
+                               : static_cast<uint8_t>('\n');
+    if (terminator == field || terminator == record) {
+      return Status::Invalid(
+          "inline terminator " + ByteName(terminator) +
+          " collides with the format's " +
+          (terminator == field ? "field" : "record") +
+          " delimiter; pick a byte that cannot occur as a delimiter");
+    }
+  }
+  if (column_count_policy == ColumnCountPolicy::kValidate &&
+      error_policy == robust::ErrorPolicy::kQuarantine) {
+    return Status::Invalid(
+        "ColumnCountPolicy::kValidate aborts on the first inconsistent "
+        "record, so ErrorPolicy::kQuarantine can never capture it; use "
+        "kReject (quarantines mismatched records) or a non-quarantine "
+        "error policy");
+  }
+  return Status::OK();
+}
 
 StepTimings& StepTimings::operator+=(const StepTimings& other) {
   parse_ms += other.parse_ms;

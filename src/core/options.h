@@ -172,10 +172,22 @@ struct ParseOptions {
   /// Parse() whose estimated working set (~16x input, see
   /// robust::EstimateParseMemory) exceeds the budget fails with
   /// kResourceExhausted instead of attempting the allocations; the
-  /// streaming parser and bulk loader degrade instead — smaller partitions
-  /// / streaming the file — and never return kResourceExhausted for the
-  /// budget alone.
+  /// streaming parser, bulk loader and pipelined executor degrade instead
+  /// — smaller partitions / streaming the file / fewer in-flight
+  /// partitions — and never return kResourceExhausted for the budget
+  /// alone.
   int64_t memory_budget = 0;
+
+  /// Validates the option *combination* without looking at any input.
+  /// Returns an actionable InvalidArgument for conflicts that a parse
+  /// would otherwise discover midway (or silently mis-handle): chunk_size
+  /// bounds, inline-terminator collisions with the format's delimiters,
+  /// negative skips/budget, collaboration-threshold ordering, and policy
+  /// pairs that contradict each other. Every entry point (Parser::Parse,
+  /// StreamingParser, BulkLoader, Reader, exec::PipelineExecutor) calls
+  /// this exactly once up front, so deeper layers can assume a coherent
+  /// configuration.
+  Status Validate() const;
 };
 
 /// \brief Result of a parse: the columnar table plus instrumentation.

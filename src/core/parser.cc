@@ -1,318 +1,22 @@
 #include "core/parser.h"
 
-#include <algorithm>
-#include <string>
-
-#include "core/bitmap_step.h"
-#include "core/context_step.h"
-#include "core/convert_step.h"
-#include "core/offset_step.h"
-#include "core/partition_step.h"
-#include "core/tag_step.h"
-#include "obs/obs.h"
-#include "robust/resource_guard.h"
-#include "text/unicode.h"
-#include "util/bit_util.h"
-#include "util/stopwatch.h"
+#include "core/staged_parse.h"
 
 namespace parparaw {
 
-namespace {
-
-// Skips the first `skip_rows` physical lines (§4.3 "Skipping rows": rows
-// are raw lines, pruned by an initial pass before any context is built, so
-// they cannot interfere with the record/column assignment).
-std::string_view SkipLeadingRows(std::string_view input, int64_t skip_rows,
-                                 uint8_t row_delimiter) {
-  while (skip_rows > 0 && !input.empty()) {
-    const size_t pos = input.find(static_cast<char>(row_delimiter));
-    if (pos == std::string_view::npos) return std::string_view();
-    input.remove_prefix(pos + 1);
-    --skip_rows;
-  }
-  return input;
-}
-
-// The error a rejected row stands for, composed from the convert/tag
-// provenance (PipelineState::reject_kind / reject_column).
-Status RowError(const PipelineState& state, const ParseOptions& options,
-                int64_t row) {
-  const uint8_t kind = state.reject_kind.empty()
-                           ? 0
-                           : state.reject_kind[static_cast<size_t>(row)];
-  const int32_t col = state.reject_column.empty()
-                          ? -1
-                          : state.reject_column[static_cast<size_t>(row)];
-  std::string where = "row " + std::to_string(row);
-  if (col >= 0) where += ", column " + std::to_string(col);
-  switch (kind) {
-    case 1: {
-      std::string type = "string";
-      if (col >= 0 && col < options.schema.num_fields()) {
-        type = options.schema.field(col).type.ToString();
-      }
-      return Status::ParseError(where + ": value is not a valid " + type);
-    }
-    case 2:
-      return Status::TypeError(where + ": NULL in non-nullable column");
-    case 3:
-      return Status::ParseError(where + ": wrong number of columns");
-    default:
-      return Status::ParseError(where + ": record rejected");
-  }
-}
-
-// Applies ParseOptions::error_policy to the convert step's rejected set:
-// fails (kFail), compacts rejected rows away (kSkip), or captures each
-// rejected record with its byte span into output->quarantine (kQuarantine).
-// `input` is the post-skip buffer the pipeline parsed; `skip_offset` is the
-// byte count SkipLeadingRows trimmed, added back so spans land in the
-// caller's original buffer.
-Status ApplyErrorPolicy(PipelineState* state, const ParseOptions& options,
-                        std::string_view input, int64_t skip_offset,
-                        ParseOutput* output) {
-  using robust::ErrorPolicy;
-  Table& table = output->table;
-  const int64_t rows = table.num_rows;
-
-  // Column-count mismatches kept by the tag step (kQuarantine + kReject)
-  // become rejected rows here, record-level provenance attached.
-  if (!state->record_column_mismatch.empty()) {
-    for (int64_t r = 0; r < state->num_records; ++r) {
-      if (!state->record_column_mismatch[r]) continue;
-      if (!state->record_dropped.empty() && state->record_dropped[r]) continue;
-      const int64_t row = state->out_row_of_record[r];
-      table.rejected[row] = 1;
-      if (state->reject_kind[row] == 0) {
-        state->reject_kind[row] = 3;
-        state->reject_column[row] = -1;
-      }
-    }
-  }
-
-  const ErrorPolicy policy = options.error_policy;
-  if (policy == ErrorPolicy::kNull) return Status::OK();
-
-  int64_t num_rejected = 0;
-  for (uint8_t b : table.rejected) num_rejected += b;
-  if (num_rejected == 0) return Status::OK();
-
-  if (policy == ErrorPolicy::kFail) {
-    for (int64_t row = 0; row < rows; ++row) {
-      if (table.rejected[row]) return RowError(*state, options, row);
-    }
-    return Status::OK();
-  }
-
-  if (policy == ErrorPolicy::kSkip) {
-    std::vector<int64_t> keep;
-    keep.reserve(static_cast<size_t>(rows - num_rejected));
-    for (int64_t row = 0; row < rows; ++row) {
-      if (!table.rejected[row]) keep.push_back(row);
-    }
-    table = TakeRows(table, keep);
-    table.rejected.assign(keep.size(), 0);
-    output->records_dropped += num_rejected;
-    return Status::OK();
-  }
-
-  // kQuarantine: byte-accurate spans for every rejected row. One linear
-  // walk over the symbol flags recovers the record boundaries — the flags
-  // mark only syntactic record delimiters, so quoted delimiters inside
-  // fields cannot split a span.
-  std::vector<int64_t> rec_of_row(static_cast<size_t>(rows), -1);
-  for (int64_t r = 0; r < state->num_records; ++r) {
-    if (!state->record_dropped.empty() && state->record_dropped[r]) continue;
-    rec_of_row[state->out_row_of_record[r]] = r;
-  }
-  std::vector<int64_t> rec_end(static_cast<size_t>(state->num_records),
-                               static_cast<int64_t>(state->size));
-  {
-    int64_t rec = 0;
-    for (size_t i = 0; i < state->size && rec < state->num_records; ++i) {
-      if (state->symbol_flags[i] & kSymbolRecordDelimiter) {
-        rec_end[rec++] = static_cast<int64_t>(i);
-      }
-    }
-  }
-  for (int64_t row = 0; row < rows; ++row) {
-    if (!table.rejected[row]) continue;
-    const int64_t rec = rec_of_row[row];
-    if (rec < 0) continue;  // defensive: rejected row with no record
-    const int64_t begin = rec == 0 ? 0 : rec_end[rec - 1] + 1;
-    const int64_t end = rec_end[rec];
-    robust::QuarantineEntry entry;
-    entry.row = row;
-    entry.record_index = rec;
-    entry.begin = begin + skip_offset;
-    entry.end = end + skip_offset;
-    entry.raw.assign(input.data() + begin, static_cast<size_t>(end - begin));
-    entry.column = state->reject_column.empty()
-                       ? -1
-                       : state->reject_column[static_cast<size_t>(row)];
-    const uint8_t kind = state->reject_kind.empty()
-                             ? 0
-                             : state->reject_kind[static_cast<size_t>(row)];
-    entry.stage = kind == 3 ? "tag" : "convert";
-    const Status why = RowError(*state, options, row);
-    entry.code = why.code();
-    entry.message = why.message();
-    output->quarantine.Add(std::move(entry));
-  }
-  obs::AddCount(options.metrics, "robust.quarantined_rows",
-                output->quarantine.size());
-  return Status::OK();
-}
-
-// An empty parse result carrying the schema's columns with zero rows.
-ParseOutput EmptyOutput(const ParseOptions& options) {
-  ParseOutput output;
-  for (int j = 0; j < options.schema.num_fields(); ++j) {
-    bool is_skipped = false;
-    for (int s : options.skip_columns) is_skipped |= (s == j);
-    if (is_skipped) continue;
-    output.table.schema.AddField(options.schema.field(j));
-    Column column(options.schema.field(j).type);
-    column.Allocate(0);
-    output.table.columns.push_back(std::move(column));
-  }
-  return output;
-}
-
-}  // namespace
-
 Result<ParseOutput> Parser::Parse(std::string_view input,
                                   const ParseOptions& options) {
-  // Resolve defaults that the options struct cannot carry statically.
-  ParseOptions resolved = options;
-  if (resolved.format.dfa.num_states() == 0) {
-    PARPARAW_ASSIGN_OR_RETURN(resolved.format, Rfc4180Format());
+  PARPARAW_RETURN_NOT_OK(options.Validate());
+  // The monolithic entry point is the staged pipeline run back to back on
+  // the calling thread; src/exec overlaps the same stages across
+  // partitions.
+  StagedParse staged;
+  PARPARAW_RETURN_NOT_OK(staged.Scan(input, options));
+  if (!staged.finished()) {
+    PARPARAW_RETURN_NOT_OK(staged.Partition());
+    PARPARAW_RETURN_NOT_OK(staged.Convert());
   }
-  if (resolved.pool == nullptr) resolved.pool = ThreadPool::Default();
-  if (resolved.chunk_size == 0) resolved.chunk_size = 31;
-
-  // UTF-16 input: data-parallel transcode pre-pass (§4.2), then parse the
-  // UTF-8 bytes.
-  std::string transcoded;
-  if (resolved.encoding == TextEncoding::kUtf16Le) {
-    PARPARAW_ASSIGN_OR_RETURN(
-        transcoded,
-        TranscodeUtf16LeToUtf8(resolved.pool, input));
-    input = transcoded;
-    resolved.encoding = TextEncoding::kUtf8;
-  }
-
-  int64_t skip_offset = 0;
-  if (resolved.skip_rows > 0) {
-    const size_t before = input.size();
-    input = SkipLeadingRows(input, resolved.skip_rows,
-                            resolved.format.record_delimiter);
-    skip_offset = static_cast<int64_t>(before - input.size());
-  }
-  if (input.empty()) {
-    ParseOutput output = EmptyOutput(resolved);
-    // Everything (if anything) was consumed by the row skip: the remainder
-    // is empty and starts at the end of the caller's buffer.
-    if (resolved.exclude_trailing_record) output.remainder_offset = skip_offset;
-    return output;
-  }
-
-  // Resource guard: refuse up front when the monolithic working set cannot
-  // fit the budget. The streaming parser and bulk loader degrade (smaller
-  // partitions / streaming) instead of surfacing this.
-  if (resolved.memory_budget > 0 &&
-      robust::EstimateParseMemory(static_cast<int64_t>(input.size())) >
-          resolved.memory_budget) {
-    return Status::ResourceExhausted(
-        "parsing " + std::to_string(input.size()) + " bytes needs ~" +
-        std::to_string(
-            robust::EstimateParseMemory(static_cast<int64_t>(input.size()))) +
-        " working-set bytes, over the " +
-        std::to_string(resolved.memory_budget) +
-        "-byte budget; use StreamingParser or BulkLoader to degrade");
-  }
-
-  obs::TraceSpan parse_span(resolved.tracer, "parse", "pipeline",
-                            static_cast<int64_t>(input.size()));
-  Stopwatch parse_watch;
-
-  PipelineState state;
-  state.data = reinterpret_cast<const uint8_t*>(input.data());
-  state.size = input.size();
-  state.options = &resolved;
-  state.pool = resolved.pool;
-  state.num_chunks = static_cast<int64_t>(
-      bit_util::CeilDiv(input.size(), resolved.chunk_size));
-
-  ParseOutput output;
-  output.work.input_bytes = static_cast<int64_t>(input.size());
-  output.work.parse_bytes_read = static_cast<int64_t>(input.size());
-  output.work.dfa_transitions = static_cast<int64_t>(input.size()) *
-                                resolved.format.dfa.num_states();
-  output.work.scan_elements = state.num_chunks * 3;  // context + two offsets
-
-  PARPARAW_RETURN_NOT_OK_CTX(ContextStep::Run(&state, &output.timings),
-                             "step.context");
-  PARPARAW_RETURN_NOT_OK_CTX(BitmapStep::Run(&state, &output.timings),
-                             "step.bitmap");
-
-  if (resolved.exclude_trailing_record) {
-    // Locate where the (possibly excluded) trailing record starts: one past
-    // the last true record delimiter.
-    if (!state.has_trailing_record) {
-      output.remainder_offset = static_cast<int64_t>(state.size);
-    } else {
-      output.remainder_offset = 0;
-      for (int64_t c = state.num_chunks - 1; c >= 0; --c) {
-        if (state.record_counts[c] == 0) continue;
-        const size_t begin = static_cast<size_t>(c) * resolved.chunk_size;
-        // UTF-8 chunk-boundary adjustment can shift a chunk's effective
-        // range by up to three bytes; include them in the backward scan.
-        const size_t end =
-            std::min(begin + resolved.chunk_size + 3, state.size);
-        for (size_t i = end; i > begin; --i) {
-          if (state.symbol_flags[i - 1] & kSymbolRecordDelimiter) {
-            output.remainder_offset = static_cast<int64_t>(i);
-            break;
-          }
-        }
-        break;
-      }
-    }
-    // Like the quarantine spans, the remainder offset is reported in the
-    // caller's coordinate space, including any skipped leading rows — the
-    // streaming parser slices its carry-over from the original buffer.
-    output.remainder_offset += skip_offset;
-  }
-
-  PARPARAW_RETURN_NOT_OK_CTX(OffsetStep::Run(&state, &output.timings),
-                             "step.offset");
-  PARPARAW_RETURN_NOT_OK_CTX(TagStep::Run(&state, &output.timings),
-                             "step.tag");
-  output.work.tag_bytes_written =
-      static_cast<int64_t>(state.css.size()) *
-      (resolved.tagging_mode == TaggingMode::kRecordTags ? 9 : 5);
-  PARPARAW_RETURN_NOT_OK_CTX(
-      PartitionStep::Run(&state, &output.timings, &output.work),
-      "step.partition");
-  PARPARAW_RETURN_NOT_OK_CTX(
-      ConvertStep::Run(&state, &output.timings, &output.work, &output),
-      "step.convert");
-  PARPARAW_RETURN_NOT_OK(
-      ApplyErrorPolicy(&state, resolved, input, skip_offset, &output));
-
-  if (resolved.metrics != nullptr && resolved.metrics->enabled()) {
-    obs::MetricsRegistry* m = resolved.metrics;
-    obs::AddCount(m, "parse.runs", 1);
-    obs::AddCount(m, "parse.bytes", output.work.input_bytes);
-    obs::AddCount(m, "parse.chunks", state.num_chunks);
-    obs::AddCount(m, "parse.records", state.num_records);
-    obs::AddCount(m, "parse.out_rows", output.table.num_rows);
-    obs::AddCount(m, "parse.css_symbols",
-                  static_cast<int64_t>(state.css.size()));
-    obs::RecordMillis(m, "parse.total_us", parse_watch.ElapsedMillis());
-  }
-  return output;
+  return staged.TakeOutput();
 }
 
 }  // namespace parparaw

@@ -1,0 +1,82 @@
+#ifndef PARPARAW_CORE_STAGED_PARSE_H_
+#define PARPARAW_CORE_STAGED_PARSE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/options.h"
+#include "core/pipeline_state.h"
+#include "obs/trace.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+
+/// \brief The parse pipeline cut into its three coarse stages, so the
+/// pipelined executor (src/exec) can overlap them across partitions the
+/// way the paper's Fig. 7 schedule overlaps its GPU streams:
+///
+///   Scan       context resolution + bitmap indexes (+ remainder offset)
+///              + record/column offset scans + symbol tagging —
+///              everything that must see the partition's raw bytes. After
+///              Scan, the carry-over for the *next* partition is known
+///              (remainder_offset()), so its Scan can start while this
+///              partition continues downstream.
+///   Partition  the stable radix sort into per-column symbol runs.
+///   Convert    CSS indexing + typed value generation + error policy.
+///
+/// Parser::Parse runs the three stages back to back on one thread; the
+/// executor runs each stage on its own thread with partitions flowing
+/// between them, which is exactly why the split exists. Stage methods
+/// must be called in order, each at most once. The instance must not
+/// move between Scan and TakeOutput (the pipeline state points into it),
+/// so the executor heap-allocates its per-partition tasks.
+class StagedParse {
+ public:
+  StagedParse() = default;
+  StagedParse(const StagedParse&) = delete;
+  StagedParse& operator=(const StagedParse&) = delete;
+
+  /// Runs the scan stage over `input` under `options`. `input` must stay
+  /// alive and unmoved until TakeOutput()/destruction. Empty (or fully
+  /// row-skipped) inputs complete immediately — see finished().
+  Status Scan(std::string_view input, const ParseOptions& options);
+
+  /// True when Scan already produced the final output (empty input):
+  /// callers skip Partition/Convert and go straight to TakeOutput().
+  bool finished() const { return finished_; }
+
+  /// Byte offset (in the caller's original buffer) where the unterminated
+  /// trailing record starts. Valid after Scan when
+  /// options.exclude_trailing_record was set; -1 otherwise.
+  int64_t remainder_offset() const { return output_.remainder_offset; }
+
+  /// Runs the partition stage (radix sort by column tag).
+  Status Partition();
+
+  /// Runs the convert stage (CSS indexing, value generation, error
+  /// policy) and finalises metrics.
+  Status Convert();
+
+  /// Moves the accumulated output out. Call once, after Convert (or after
+  /// a finished() Scan).
+  ParseOutput TakeOutput() { return std::move(output_); }
+
+ private:
+  ParseOptions resolved_;
+  /// Owns the UTF-8 bytes when the input needed transcoding (§4.2).
+  std::string transcoded_;
+  /// Post-row-skip view of the (possibly transcoded) input.
+  std::string_view input_;
+  int64_t skip_offset_ = 0;
+  bool finished_ = false;
+  PipelineState state_;
+  ParseOutput output_;
+  Stopwatch parse_watch_;
+  std::optional<obs::TraceSpan> parse_span_;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_CORE_STAGED_PARSE_H_

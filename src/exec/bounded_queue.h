@@ -1,0 +1,154 @@
+#ifndef PARPARAW_EXEC_BOUNDED_QUEUE_H_
+#define PARPARAW_EXEC_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "robust/failpoint.h"
+#include "util/status.h"
+
+namespace parparaw {
+namespace exec {
+
+/// \brief Bounded blocking queue connecting two pipeline stages.
+///
+/// The executor's stage graph is a chain of these: the producer stage
+/// Push()es partitions, the consumer Pop()s them, and the bounded
+/// capacity is the backpressure — a stalled consumer stops its producer
+/// (and transitively the reader) after `capacity` partitions, so the
+/// pipeline's working set stays clamped no matter how far ahead the disk
+/// could run. Capacity 2 gives the paper's double buffering (Fig. 7): one
+/// partition in flight downstream while the next is being produced.
+///
+/// Shutdown protocol:
+///   * Close()  — normal end of stream. Pop() drains remaining items,
+///     then returns std::nullopt.
+///   * Abort()  — error/cancellation path. Pending and future Push/Pop
+///     calls return immediately (Push with kCancelled, Pop with nullopt);
+///     queued items are dropped.
+///
+/// Every hand-off is a failpoint site: Push checks `<name>.push`, Pop
+/// checks `<name>.pop` (names like "exec.queue.scan"), so the chaos suite
+/// can inject faults into the exact points where partitions change
+/// threads. Queue depth is exported as the `<name>.depth` gauge when a
+/// registry is supplied.
+///
+/// Thread safety: any number of producers/consumers (the executor uses it
+/// SPSC; multi-file ingestion shares nothing but the admission
+/// controller).
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `name` must outlive the queue (string literals in the executor).
+  BoundedQueue(const char* name, size_t capacity,
+               obs::MetricsRegistry* metrics = nullptr)
+      : name_(name),
+        push_failpoint_(std::string(name) + ".push"),
+        pop_failpoint_(std::string(name) + ".pop"),
+        capacity_(capacity < 1 ? 1 : capacity) {
+    if (metrics != nullptr && metrics->enabled()) {
+      depth_gauge_ = metrics->GetGauge(std::string(name) + ".depth");
+    }
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (backpressure), then enqueues. Returns
+  /// kCancelled after Abort(), or the injected error when the push
+  /// failpoint fires (the item is then NOT enqueued — the hand-off
+  /// failed).
+  Status Push(T item) {
+    PARPARAW_RETURN_NOT_OK(
+        robust::CheckFailpoint(push_failpoint_.c_str()));
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || aborted_; });
+    if (aborted_) {
+      return Status::Cancelled(std::string(name_) +
+                               ": pipeline aborted during push");
+    }
+    items_.push_back(std::move(item));
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<int64_t>(items_.size()));
+    }
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until an item, Close() or Abort(). Returns the item, or
+  /// nullopt when the stream ended (closed and drained, or aborted).
+  /// `injected` (optional) receives a fired pop-failpoint error — the
+  /// hand-off still yields the item so faults never lose partitions
+  /// (mirroring ParallelFor's contract); callers propagate the error
+  /// after disposing of it.
+  std::optional<T> Pop(Status* injected = nullptr) {
+    if (injected != nullptr) {
+      *injected = robust::CheckFailpoint(pop_failpoint_.c_str());
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || closed_ || aborted_;
+    });
+    if (aborted_ || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<int64_t>(items_.size()));
+    }
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Normal end of stream: consumers drain what is queued, then see
+  /// nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Error/cancellation: unblocks everyone immediately and drops queued
+  /// items (their destructors release partition buffers).
+  void Abort() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      aborted_ = true;
+      items_.clear();
+      if (depth_gauge_ != nullptr) depth_gauge_->Set(0);
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const char* name_;
+  const std::string push_failpoint_;
+  const std::string pop_failpoint_;
+  const size_t capacity_;
+  obs::Gauge* depth_gauge_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace exec
+}  // namespace parparaw
+
+#endif  // PARPARAW_EXEC_BOUNDED_QUEUE_H_

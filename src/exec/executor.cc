@@ -1,0 +1,584 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "core/staged_parse.h"
+#include "exec/bounded_queue.h"
+#include "io/file.h"
+#include "obs/obs.h"
+#include "robust/failpoint.h"
+#include "robust/resource_guard.h"
+#include "simd/dispatch.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+namespace exec {
+
+namespace {
+
+/// One partition's raw bytes on their way from the reader to the scan
+/// stage. `view` points into `owned` (file mode) or into the caller's
+/// buffer (buffer mode).
+struct RawChunk {
+  int64_t index = 0;
+  std::string owned;
+  std::string_view view;
+  bool is_last = false;
+};
+
+/// One partition flowing through scan -> sort -> convert. Heap-allocated:
+/// the StagedParse's pipeline state points into `buffer` and into the
+/// task itself, so tasks must not move between stages.
+struct PartitionTask {
+  int64_t index = 0;
+  /// Carry-over + partition bytes; what the scan stage parsed.
+  std::string buffer;
+  /// Stream offset of buffer[0] (for quarantine-span re-basing).
+  int64_t buffer_base = 0;
+  /// Bytes this partition consumed from the stream (excludes the carry,
+  /// already counted when its partition was consumed).
+  int64_t partition_bytes = 0;
+  bool is_last = false;
+  StagedParse parse;
+};
+
+using TaskPtr = std::unique_ptr<PartitionTask>;
+
+/// Sequential partition source, either disk-backed or an in-memory view.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+  virtual int64_t total_bytes() const = 0;
+  /// Fills `chunk` with up to `max_bytes`; sets *eof on the chunk that
+  /// exhausts the stream (so no empty trailing chunk is ever produced).
+  virtual Status Next(size_t max_bytes, RawChunk* chunk, bool* eof) = 0;
+};
+
+class FileSource final : public ChunkSource {
+ public:
+  Status Open(const std::string& path) { return reader_.Open(path); }
+  int64_t total_bytes() const override { return reader_.file_size(); }
+
+  Status Next(size_t max_bytes, RawChunk* chunk, bool* eof) override {
+    bool read_eof = false;
+    PARPARAW_RETURN_NOT_OK(
+        reader_.ReadNext(max_bytes, &chunk->owned, &read_eof));
+    chunk->view = chunk->owned;
+    consumed_ += static_cast<int64_t>(chunk->owned.size());
+    *eof = read_eof || consumed_ >= reader_.file_size();
+    return Status::OK();
+  }
+
+ private:
+  FileChunkReader reader_;
+  int64_t consumed_ = 0;
+};
+
+class BufferSource final : public ChunkSource {
+ public:
+  explicit BufferSource(std::string_view input) : input_(input) {}
+  int64_t total_bytes() const override {
+    return static_cast<int64_t>(input_.size());
+  }
+
+  Status Next(size_t max_bytes, RawChunk* chunk, bool* eof) override {
+    const size_t take = std::min(max_bytes, input_.size() - pos_);
+    chunk->view = input_.substr(pos_, take);
+    pos_ += take;
+    *eof = pos_ >= input_.size();
+    return Status::OK();
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+/// \brief One ingest's worth of pipeline machinery: the three stage
+/// threads, their queues, error/cancel state, and the accumulator the
+/// convert stage (run on the calling thread) fills.
+class PipelineRun {
+ public:
+  PipelineRun(PipelineExecutor* executor, const ExecOptions& options,
+              const PartitionSink* sink)
+      : executor_(executor),
+        options_(options),
+        sink_(sink),
+        metrics_(options.base.metrics),
+        scan_queue_("exec.queue.scan", options.queue_capacity,
+                    options.base.metrics),
+        sort_queue_("exec.queue.sort", options.queue_capacity,
+                    options.base.metrics),
+        convert_queue_("exec.queue.convert", options.queue_capacity,
+                       options.base.metrics) {}
+
+  Result<IngestResult> Run(ChunkSource* source) {
+    PARPARAW_FAILPOINT("exec.ingest");
+    PARPARAW_RETURN_NOT_OK_CTX(options_.base.Validate(), "exec.options");
+    if (options_.partition_size == 0) {
+      return Status::Invalid("partition size must be positive");
+    }
+
+    // Degrade instead of refusing, in two independent ways: partitions
+    // shrink until one parse fits the budget, and the admission limit
+    // clamps how many of them may be resident at once.
+    partition_size_ = static_cast<size_t>(
+        robust::ClampPartitionSizeForBudget(
+            static_cast<int64_t>(options_.partition_size),
+            options_.base.memory_budget));
+    admission_limit_ = options_.max_inflight_partitions;
+    if (admission_limit_ <= 0) {
+      if (options_.base.memory_budget > 0) {
+        const int64_t per_partition = robust::EstimateParseMemory(
+            static_cast<int64_t>(partition_size_));
+        admission_limit_ = static_cast<int>(std::max<int64_t>(
+            1, options_.base.memory_budget / std::max<int64_t>(
+                                                 1, per_partition)));
+      } else {
+        admission_limit_ = 4;  // one partition per stage
+      }
+    }
+    result_.kernel_level = simd::ResolveKernelLevel(options_.base.kernel);
+    result_.stats.admission_limit = admission_limit_;
+
+    // Register with the executor so Cancel() reaches this run.
+    std::function<void()> abort_fn = [this] { Abort(); };
+    {
+      std::lock_guard<std::mutex> lock(executor_->runs_mu_);
+      if (executor_->cancelled()) {
+        return Status::Cancelled("executor was cancelled");
+      }
+      executor_->active_runs_.push_back(&abort_fn);
+    }
+
+    Stopwatch wall;
+    if (source->total_bytes() > 0) {
+      std::thread reader([this, source] { ReaderLoop(source); });
+      std::thread scanner([this] { ScanLoop(); });
+      std::thread sorter([this] { SortLoop(); });
+      ConvertLoop();
+      reader.join();
+      scanner.join();
+      sorter.join();
+    }
+    result_.stats.wall_seconds = wall.ElapsedSeconds();
+
+    // Return any admission slots a failed stage still held, so
+    // concurrent ingests sharing this executor are not starved.
+    {
+      std::lock_guard<std::mutex> lock(executor_->admission_mu_);
+      executor_->inflight_ -= slots_held_;
+      slots_held_ = 0;
+    }
+    executor_->admission_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(executor_->runs_mu_);
+      auto& runs = executor_->active_runs_;
+      runs.erase(std::remove(runs.begin(), runs.end(), &abort_fn),
+                 runs.end());
+    }
+
+    if (executor_->cancelled()) {
+      obs::AddCount(metrics_, "exec.cancelled", 1);
+      return Status::Cancelled("ingest cancelled");
+    }
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!first_error_.ok()) return first_error_;
+    }
+
+    for (size_t i = 1; i < tables_.size(); ++i) {
+      if (tables_[i].schema.num_fields() != tables_[0].schema.num_fields()) {
+        return Status::ParseError(
+            "partitions observed different column counts; provide a schema "
+            "for streaming parses");
+      }
+    }
+    if (sink_ == nullptr) result_.table = ConcatTables(tables_);
+    if (metrics_ != nullptr && metrics_->enabled()) {
+      obs::AddCount(metrics_, "exec.ingests", 1);
+      obs::AddCount(metrics_, "exec.partitions",
+                    result_.stats.num_partitions);
+      obs::AddCount(metrics_, "exec.bytes", result_.stats.bytes);
+      obs::RecordMillis(metrics_, "exec.ingest_us",
+                        result_.stats.wall_seconds * 1e3);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void Hook(int stage, int64_t partition) {
+    if (options_.stage_hook) options_.stage_hook(stage, partition);
+  }
+
+  /// Records the first error and aborts the pipeline.
+  void Fail(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (first_error_.ok()) first_error_ = std::move(status);
+    }
+    Abort();
+  }
+
+  /// Unblocks every stage: queues return immediately, admission waits
+  /// wake up. Idempotent; called on error and by PipelineExecutor's
+  /// Cancel().
+  void Abort() {
+    aborted_.store(true, std::memory_order_release);
+    scan_queue_.Abort();
+    sort_queue_.Abort();
+    convert_queue_.Abort();
+    {
+      // Taking the lock orders the flag store before the wakeup, so an
+      // admission wait cannot miss it.
+      std::lock_guard<std::mutex> lock(executor_->admission_mu_);
+    }
+    executor_->admission_cv_.notify_all();
+  }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Blocks until a partition may become resident (the backpressure that
+  /// keeps the working set inside the memory budget). False on abort.
+  bool AcquireSlot() {
+    std::unique_lock<std::mutex> lock(executor_->admission_mu_);
+    executor_->admission_cv_.wait(lock, [this] {
+      return aborted() || executor_->inflight_ < admission_limit_;
+    });
+    if (aborted()) return false;
+    ++executor_->inflight_;
+    ++slots_held_;
+    result_.stats.max_inflight =
+        std::max(result_.stats.max_inflight, executor_->inflight_);
+    if (metrics_ != nullptr && metrics_->enabled()) {
+      metrics_->SetGauge("exec.inflight", executor_->inflight_);
+    }
+    return true;
+  }
+
+  void ReleaseSlot() {
+    {
+      std::lock_guard<std::mutex> lock(executor_->admission_mu_);
+      --executor_->inflight_;
+      --slots_held_;
+      if (metrics_ != nullptr && metrics_->enabled()) {
+        metrics_->SetGauge("exec.inflight", executor_->inflight_);
+      }
+    }
+    executor_->admission_cv_.notify_all();
+  }
+
+  // --- stage 0: chunked, admission-gated reads ---
+  void ReaderLoop(ChunkSource* source) {
+    double busy = 0;
+    int64_t index = 0;
+    bool eof = false;
+    while (!eof) {
+      if (aborted()) break;
+      if (!AcquireSlot()) break;
+      Hook(0, index);
+      const Status injected = robust::CheckFailpoint("exec.read");
+      if (!injected.ok()) {
+        ReleaseSlot();
+        Fail(injected.WithContext("exec.read"));
+        break;
+      }
+      auto chunk = std::make_unique<RawChunk>();
+      chunk->index = index;
+      Stopwatch watch;
+      const Status read = source->Next(partition_size_, chunk.get(), &eof);
+      busy += watch.ElapsedSeconds();
+      if (!read.ok()) {
+        ReleaseSlot();
+        Fail(read.WithContext("exec.read"));
+        break;
+      }
+      chunk->is_last = eof;
+      const Status pushed = scan_queue_.Push(std::move(chunk));
+      if (!pushed.ok()) {
+        ReleaseSlot();
+        if (pushed.code() != StatusCode::kCancelled) {
+          Fail(pushed.WithContext("exec.queue.scan"));
+        }
+        break;
+      }
+      ++index;
+    }
+    scan_queue_.Close();
+    AddStageSeconds(&result_.stats.read_seconds, busy);
+  }
+
+  // --- stage 1: carry-over assembly + context/bitmap/offset/tag scan ---
+  void ScanLoop() {
+    double busy = 0;
+    std::string carry;
+    int64_t stream_consumed = 0;
+    bool first = true;
+    while (true) {
+      Status injected;
+      auto chunk = scan_queue_.Pop(&injected);
+      if (!injected.ok()) {
+        Fail(injected.WithContext("exec.queue.scan"));
+        break;
+      }
+      if (!chunk.has_value()) break;  // end of stream or abort
+      Hook(1, (*chunk)->index);
+      Stopwatch watch;
+      auto task = std::make_unique<PartitionTask>();
+      task->index = (*chunk)->index;
+      task->is_last = (*chunk)->is_last;
+      task->partition_bytes = static_cast<int64_t>((*chunk)->view.size());
+      // Stream offset of buffer[0]: the carry bytes were already counted
+      // when their partition was consumed, so back them out.
+      task->buffer_base = stream_consumed - static_cast<int64_t>(carry.size());
+      task->buffer.reserve(carry.size() + (*chunk)->view.size());
+      task->buffer.append(carry);
+      task->buffer.append((*chunk)->view);
+      chunk->reset();  // raw bytes copied; release the reader's buffer
+
+      ParseOptions po = options_.base;
+      po.exclude_trailing_record = !task->is_last;
+      // Leading-row pruning applies to the stream, not to every buffer.
+      if (!first) po.skip_rows = 0;
+      // The executor *is* the degradation path for the memory budget —
+      // partition size and admission are already clamped to fit, so the
+      // per-partition parse must not re-apply the monolithic refusal.
+      po.memory_budget = 0;
+      const Status scanned = task->parse.Scan(task->buffer, po);
+      if (!scanned.ok()) {
+        Fail(scanned.WithContext("exec.scan"));
+        break;
+      }
+      if (!task->is_last) {
+        const int64_t remainder = task->parse.remainder_offset();
+        if (remainder < 0 ||
+            remainder > static_cast<int64_t>(task->buffer.size())) {
+          Fail(Status::Internal("executor remainder out of range"));
+          break;
+        }
+        // A record larger than a partition simply keeps accumulating into
+        // the carry-over until its delimiter arrives (the skewed-input
+        // case of Fig. 11).
+        carry = task->buffer.substr(static_cast<size_t>(remainder));
+      } else {
+        carry.clear();
+      }
+      stream_consumed += task->partition_bytes;
+      first = false;
+      if (metrics_ != nullptr && metrics_->enabled()) {
+        obs::RecordMillis(metrics_, "exec.scan_us", watch.ElapsedMillis());
+        obs::SetGauge(metrics_, "exec.carry_bytes",
+                      static_cast<int64_t>(carry.size()));
+      }
+      busy += watch.ElapsedSeconds();
+      const Status pushed = sort_queue_.Push(std::move(task));
+      if (!pushed.ok()) {
+        if (pushed.code() != StatusCode::kCancelled) {
+          Fail(pushed.WithContext("exec.queue.sort"));
+        }
+        break;
+      }
+    }
+    sort_queue_.Close();
+    AddStageSeconds(&result_.stats.scan_seconds, busy);
+  }
+
+  // --- stage 2: radix-sort partition by column tag ---
+  void SortLoop() {
+    double busy = 0;
+    while (true) {
+      Status injected;
+      auto task = sort_queue_.Pop(&injected);
+      if (!injected.ok()) {
+        Fail(injected.WithContext("exec.queue.sort"));
+        break;
+      }
+      if (!task.has_value()) break;
+      Hook(2, (*task)->index);
+      Stopwatch watch;
+      if (!(*task)->parse.finished()) {
+        const Status sorted = (*task)->parse.Partition();
+        if (!sorted.ok()) {
+          Fail(sorted.WithContext("exec.sort"));
+          break;
+        }
+      }
+      if (metrics_ != nullptr && metrics_->enabled()) {
+        obs::RecordMillis(metrics_, "exec.sort_us", watch.ElapsedMillis());
+      }
+      busy += watch.ElapsedSeconds();
+      const Status pushed = convert_queue_.Push(std::move(*task));
+      if (!pushed.ok()) {
+        if (pushed.code() != StatusCode::kCancelled) {
+          Fail(pushed.WithContext("exec.queue.convert"));
+        }
+        break;
+      }
+    }
+    convert_queue_.Close();
+    AddStageSeconds(&result_.stats.sort_seconds, busy);
+  }
+
+  // --- stage 3 (calling thread): value generation + accumulation ---
+  void ConvertLoop() {
+    double busy = 0;
+    int64_t rows_accumulated = 0;
+    while (true) {
+      Status injected;
+      auto task = convert_queue_.Pop(&injected);
+      if (!injected.ok()) {
+        Fail(injected.WithContext("exec.queue.convert"));
+        break;
+      }
+      if (!task.has_value()) break;
+      Hook(3, (*task)->index);
+      Stopwatch watch;
+      if (!(*task)->parse.finished()) {
+        const Status converted = (*task)->parse.Convert();
+        if (!converted.ok()) {
+          Fail(converted.WithContext("exec.convert"));
+          break;
+        }
+      }
+      ParseOutput out = (*task)->parse.TakeOutput();
+      // Re-base quarantined records from partition coordinates to stream
+      // coordinates (rows index the concatenated table, spans the logical
+      // byte stream) — identical to the serial streaming path.
+      for (robust::QuarantineEntry& entry : out.quarantine.entries()) {
+        entry.row += rows_accumulated;
+        entry.begin += (*task)->buffer_base;
+        entry.end += (*task)->buffer_base;
+        result_.quarantine.Add(std::move(entry));
+      }
+      result_.timings += out.timings;
+      result_.work += out.work;
+      rows_accumulated += out.table.num_rows;
+      ++result_.stats.num_partitions;
+      result_.stats.bytes += (*task)->partition_bytes;
+      if (metrics_ != nullptr && metrics_->enabled()) {
+        obs::RecordMillis(metrics_, "exec.convert_us",
+                          watch.ElapsedMillis());
+      }
+      busy += watch.ElapsedSeconds();
+      if (sink_ != nullptr) {
+        const Status sunk = (*sink_)(std::move(out.table));
+        if (!sunk.ok()) {
+          Fail(sunk.WithContext("exec.sink"));
+          task->reset();
+          ReleaseSlot();
+          break;
+        }
+      } else {
+        tables_.push_back(std::move(out.table));
+      }
+      // Free the partition's raw bytes before returning its admission
+      // slot: the slot stands for the parse working set.
+      task->reset();
+      ReleaseSlot();
+    }
+    AddStageSeconds(&result_.stats.convert_seconds, busy);
+  }
+
+  void AddStageSeconds(double* accumulator, double seconds) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    *accumulator += seconds;
+  }
+
+  PipelineExecutor* executor_;
+  const ExecOptions& options_;
+  const PartitionSink* sink_;
+  obs::MetricsRegistry* metrics_;
+
+  size_t partition_size_ = 0;
+  int admission_limit_ = 0;
+  int slots_held_ = 0;  // guarded by executor_->admission_mu_
+
+  BoundedQueue<std::unique_ptr<RawChunk>> scan_queue_;
+  BoundedQueue<TaskPtr> sort_queue_;
+  BoundedQueue<TaskPtr> convert_queue_;
+
+  std::atomic<bool> aborted_{false};
+  std::mutex error_mu_;
+  Status first_error_;
+  std::mutex stats_mu_;
+
+  std::vector<Table> tables_;
+  IngestResult result_;
+};
+
+Result<IngestResult> PipelineExecutor::IngestFile(const std::string& path,
+                                                  const ExecOptions& options) {
+  FileSource source;
+  PARPARAW_RETURN_NOT_OK_CTX(source.Open(path), "exec.open");
+  PipelineRun run(this, options, nullptr);
+  return run.Run(&source);
+}
+
+Result<IngestResult> PipelineExecutor::IngestBuffer(
+    std::string_view input, const ExecOptions& options) {
+  BufferSource source(input);
+  PipelineRun run(this, options, nullptr);
+  return run.Run(&source);
+}
+
+Result<IngestResult> PipelineExecutor::StreamFile(const std::string& path,
+                                                  const ExecOptions& options,
+                                                  const PartitionSink& sink) {
+  FileSource source;
+  PARPARAW_RETURN_NOT_OK_CTX(source.Open(path), "exec.open");
+  PipelineRun run(this, options, &sink);
+  return run.Run(&source);
+}
+
+Result<IngestResult> PipelineExecutor::StreamBuffer(
+    std::string_view input, const ExecOptions& options,
+    const PartitionSink& sink) {
+  BufferSource source(input);
+  PipelineRun run(this, options, &sink);
+  return run.Run(&source);
+}
+
+std::vector<Result<IngestResult>> PipelineExecutor::IngestFiles(
+    const std::vector<std::string>& paths, const ExecOptions& options,
+    int max_concurrent_files) {
+  std::vector<Result<IngestResult>> results(
+      paths.size(), Result<IngestResult>(Status::Internal("not run")));
+  if (paths.empty()) return results;
+  const int workers = std::max(
+      1, std::min<int>(max_concurrent_files,
+                       static_cast<int>(paths.size())));
+  std::atomic<size_t> next{0};
+  std::mutex results_mu;
+  const auto drain = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= paths.size()) return;
+      Result<IngestResult> result = IngestFile(paths[i], options);
+      std::lock_guard<std::mutex> lock(results_mu);
+      results[i] = std::move(result);
+    }
+  };
+  // The calling thread ingests alongside the spawned workers; every file
+  // shares this executor's admission controller, so the memory budget
+  // holds across the whole fleet.
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (int w = 1; w < workers; ++w) threads.emplace_back(drain);
+  drain();
+  for (std::thread& t : threads) t.join();
+  return results;
+}
+
+void PipelineExecutor::Cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(runs_mu_);
+  for (std::function<void()>* abort : active_runs_) (*abort)();
+}
+
+}  // namespace exec
+}  // namespace parparaw

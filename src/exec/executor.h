@@ -1,0 +1,172 @@
+#ifndef PARPARAW_EXEC_EXECUTOR_H_
+#define PARPARAW_EXEC_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/options.h"
+#include "util/result.h"
+
+namespace parparaw {
+namespace exec {
+
+/// \brief Configuration of a pipelined ingest.
+struct ExecOptions {
+  /// Per-partition parse configuration. A schema is recommended (without
+  /// one, every partition must observe the same column count).
+  ParseOptions base;
+
+  /// Bytes per partition (before any memory-budget clamp).
+  size_t partition_size = 64 * 1024 * 1024;
+
+  /// Hard cap on partitions resident across all stages of this ingest.
+  /// 0 = auto: derived from base.memory_budget when one is set (the
+  /// admission controller *clamps* concurrency to fit the budget, it
+  /// never refuses), otherwise one partition per stage (4).
+  int max_inflight_partitions = 0;
+
+  /// Capacity of each inter-stage queue. 2 = the paper's double
+  /// buffering: one partition crossing the hand-off while the next is
+  /// being produced.
+  size_t queue_capacity = 2;
+
+  /// Test hook invoked at each stage's entry for each partition:
+  /// stage 0 = read, 1 = scan, 2 = sort, 3 = convert. Used by the test
+  /// suite to throttle a stage (backpressure) or trigger cancellation at
+  /// a deterministic point. Must be thread-safe; null = no hook.
+  std::function<void(int stage, int64_t partition)> stage_hook;
+};
+
+/// Occupancy/scheduling facts of one ingest, for tests and reporting.
+struct IngestStats {
+  int num_partitions = 0;
+  /// Admission-controller limit that was enforced (resident partitions).
+  int admission_limit = 0;
+  /// High-water mark of partitions resident at once; <= admission_limit.
+  int max_inflight = 0;
+  int64_t bytes = 0;
+  double wall_seconds = 0;
+  /// Per-stage busy time (sum over partitions). With pipelining their sum
+  /// exceeds wall_seconds — that surplus is exactly the overlap won.
+  double read_seconds = 0;
+  double scan_seconds = 0;
+  double sort_seconds = 0;
+  double convert_seconds = 0;
+};
+
+/// Result of a pipelined ingest. Mirrors StreamingResult's data surface
+/// (the executor is the *real* counterpart of the modelled Fig. 7
+/// schedule, so there is no modelled timeline here).
+struct IngestResult {
+  Table table;
+  /// Under ErrorPolicy::kQuarantine: malformed records across all
+  /// partitions, rows/spans stream-relative exactly as for
+  /// StreamingParser.
+  robust::QuarantineTable quarantine;
+  /// Kernel level every partition's context/bitmap passes ran with.
+  simd::KernelLevel kernel_level = simd::KernelLevel::kScalar;
+  StepTimings timings;
+  WorkCounters work;
+  IngestStats stats;
+};
+
+/// Consumes per-partition tables in stream order (bounded-memory
+/// streaming: the executor then never concatenates). Returning an error
+/// cancels the ingest.
+using PartitionSink = std::function<Status(Table&&)>;
+
+/// \brief Pipelined asynchronous ingestion executor — the paper's §5
+/// streaming schedule (Fig. 7, Fig. 12) on the real CPU path.
+///
+/// Ingestion runs as a staged pipeline over partitions:
+///
+///   read -> [q] -> scan -> [q] -> sort -> [q] -> convert
+///
+/// with each stage on its own thread and bounded queues (backpressure)
+/// between them, so partition k's conversion overlaps partition k+1's
+/// radix sort, k+2's scan and k+3's read — the disk is never idle while
+/// the CPU parses, and vice versa. The scan stage is the only
+/// sequentially-dependent one (partition k+1's carry-over is known only
+/// after partition k's scan), exactly like the carry dependency of the
+/// GPU pipeline; everything downstream overlaps freely. Each stage's
+/// data-parallel inner work still fans out over the shared ThreadPool.
+///
+/// An admission controller clamps the number of partitions resident
+/// across all stages so the total working set respects
+/// ParseOptions::memory_budget (clamp, not refuse — at worst the
+/// pipeline degrades to one partition in flight, the serial schedule).
+/// Several files can be ingested concurrently through one executor; they
+/// share the admission controller, so the budget holds globally.
+///
+/// Cancellation is cooperative: Cancel() aborts every in-flight ingest
+/// at its next stage boundary with StatusCode::kCancelled. Faults from
+/// the failpoint registry (exec.queue.*.push/pop, exec.read,
+/// exec.ingest) surface as clean errors; the chaos suite asserts
+/// clean-error-or-bit-identical against the serial path.
+class PipelineExecutor {
+ public:
+  PipelineExecutor() = default;
+  PipelineExecutor(const PipelineExecutor&) = delete;
+  PipelineExecutor& operator=(const PipelineExecutor&) = delete;
+
+  /// Ingests a file, reading it partition by partition (never
+  /// materialising the whole file).
+  Result<IngestResult> IngestFile(const std::string& path,
+                                  const ExecOptions& options);
+
+  /// Ingests an in-memory buffer through the same staged pipeline.
+  Result<IngestResult> IngestBuffer(std::string_view input,
+                                    const ExecOptions& options);
+
+  /// Streaming flavours: each partition's table goes to `sink` in stream
+  /// order instead of being concatenated; IngestResult::table stays
+  /// empty. Memory stays bounded by the admission limit.
+  Result<IngestResult> StreamFile(const std::string& path,
+                                  const ExecOptions& options,
+                                  const PartitionSink& sink);
+  Result<IngestResult> StreamBuffer(std::string_view input,
+                                    const ExecOptions& options,
+                                    const PartitionSink& sink);
+
+  /// Ingests several files concurrently (bounded by
+  /// `max_concurrent_files`), sharing this executor's admission
+  /// controller so memory_budget is respected globally. Results are in
+  /// input order.
+  std::vector<Result<IngestResult>> IngestFiles(
+      const std::vector<std::string>& paths, const ExecOptions& options,
+      int max_concurrent_files = 2);
+
+  /// Cooperatively cancels every in-flight (and future) ingest on this
+  /// executor: stages stop at their next boundary, queues unblock, and
+  /// the ingest returns kCancelled. One-shot — construct a fresh
+  /// executor to ingest again.
+  void Cancel();
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class PipelineRun;
+
+  /// Admission book-keeping shared by every ingest on this executor.
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int inflight_ = 0;
+
+  std::atomic<bool> cancelled_{false};
+  /// Abort hooks of in-flight runs, fired by Cancel().
+  std::mutex runs_mu_;
+  std::vector<std::function<void()>*> active_runs_;
+};
+
+}  // namespace exec
+}  // namespace parparaw
+
+#endif  // PARPARAW_EXEC_EXECUTOR_H_

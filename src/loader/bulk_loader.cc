@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/parser.h"
+#include "exec/executor.h"
 #include "io/file.h"
 #include "robust/failpoint.h"
 #include "robust/resource_guard.h"
@@ -47,10 +48,13 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
                                  LoadResult* result) {
   Format format = options.format;
   bool sniffed_header = false;
+  bool sniffed = false;
   if (format.dfa.num_states() == 0) {
     if (sample.empty()) {
       PARPARAW_ASSIGN_OR_RETURN(format, Rfc4180Format());
     } else {
+      // Sniff exactly once, from the head sample; every partition of the
+      // load reuses the resolved format.
       PARPARAW_ASSIGN_OR_RETURN_CTX(
           result->dialect,
           SniffDsvFormat(sample.substr(
@@ -58,6 +62,7 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
           "loader.sniff");
       PARPARAW_ASSIGN_OR_RETURN(format, DsvFormat(result->dialect.options));
       sniffed_header = result->dialect.has_header;
+      sniffed = true;
     }
   }
   const bool header =
@@ -65,7 +70,15 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
 
   std::vector<std::string> names;
   if (header && !sample.empty()) {
-    names = HeaderNames(sample, result->dialect.options);
+    // When the caller pinned a format, the sniffer never ran and
+    // result->dialect holds defaults — split the header with the pinned
+    // format's delimiters, not with ','/'\n' regardless of dialect.
+    DsvOptions header_dialect = result->dialect.options;
+    if (!sniffed) {
+      header_dialect.field_delimiter = format.field_delimiter;
+      header_dialect.record_delimiter = format.record_delimiter;
+    }
+    names = HeaderNames(sample, header_dialect);
   }
 
   // Type resolution: explicit schema wins; otherwise parse a sample with
@@ -102,12 +115,13 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
 }
 
 // Shared tail of every load path: table, quarantine, rejects, statistics.
-Result<LoadResult> FinishLoad(StreamingResult streamed,
+Result<LoadResult> FinishLoad(Table table, robust::QuarantineTable quarantine,
+                              const StepTimings& timings,
                               const LoadOptions& options,
                               const Stopwatch& watch, LoadResult result) {
-  result.table = std::move(streamed.table);
-  result.quarantine = std::move(streamed.quarantine);
-  result.timings = streamed.timings;
+  result.table = std::move(table);
+  result.quarantine = std::move(quarantine);
+  result.timings = timings;
   result.rows_loaded = result.table.num_rows;
   result.rows_rejected = result.table.NumRejected();
 
@@ -151,10 +165,18 @@ Result<LoadResult> LoadFileStreaming(const std::string& path,
   PARPARAW_ASSIGN_OR_RETURN_CTX(
       StreamingResult streamed, StreamingParser::ParseFile(path, streaming),
       "loader.stream");
-  return FinishLoad(std::move(streamed), options, watch, std::move(result));
+  return FinishLoad(std::move(streamed.table), std::move(streamed.quarantine),
+                    streamed.timings, options, watch, std::move(result));
 }
 
 }  // namespace
+
+Result<ParseOptions> BulkLoader::ResolveBaseOptions(std::string_view sample,
+                                                    bool sample_truncated,
+                                                    const LoadOptions& options,
+                                                    LoadResult* result) {
+  return ResolveBase(sample, sample_truncated, options, result);
+}
 
 std::string LoadResult::ReportToString() const {
   std::string out;
@@ -195,18 +217,70 @@ Result<LoadResult> BulkLoader::LoadBuffer(std::string_view input,
       ParseOptions base,
       ResolveBase(input, /*sample_truncated=*/false, options, &result));
 
+  if (options.pipelined) {
+    exec::PipelineExecutor executor;
+    exec::ExecOptions exec_options;
+    exec_options.base = base;
+    exec_options.partition_size = options.partition_size;
+    PARPARAW_ASSIGN_OR_RETURN_CTX(
+        exec::IngestResult ingested,
+        executor.IngestBuffer(input, exec_options), "loader.exec");
+    return FinishLoad(std::move(ingested.table),
+                      std::move(ingested.quarantine), ingested.timings,
+                      options, watch, std::move(result));
+  }
+
   StreamingOptions streaming;
   streaming.base = base;
   streaming.partition_size = options.partition_size;
   PARPARAW_ASSIGN_OR_RETURN_CTX(StreamingResult streamed,
                                 StreamingParser::Parse(input, streaming),
                                 "loader.stream");
-  return FinishLoad(std::move(streamed), options, watch, std::move(result));
+  return FinishLoad(std::move(streamed.table), std::move(streamed.quarantine),
+                    streamed.timings, options, watch, std::move(result));
 }
 
 Result<LoadResult> BulkLoader::LoadFile(const std::string& path,
                                         const LoadOptions& options) {
   PARPARAW_FAILPOINT("loader.load");
+  if (options.pipelined) {
+    // The pipelined engine reads the file partition by partition and its
+    // admission controller enforces the memory budget, so there is no
+    // whole-file materialisation and no separate degraded path: only the
+    // head sample (dialect + type resolution) is read twice.
+    Stopwatch watch;
+    LoadResult result;
+    FileChunkReader reader;
+    PARPARAW_RETURN_NOT_OK_CTX(reader.Open(path), "loader.open");
+    result.input_bytes = reader.file_size();
+    std::string sample;
+    if (reader.file_size() > 0) {
+      bool eof = false;
+      PARPARAW_RETURN_NOT_OK_CTX(
+          reader.ReadNext(std::min<size_t>(
+                              static_cast<size_t>(reader.file_size()),
+                              256 * 1024),
+                          &sample, &eof),
+          "loader.sample");
+    }
+    PARPARAW_ASSIGN_OR_RETURN(
+        ParseOptions base,
+        ResolveBase(sample,
+                    static_cast<int64_t>(sample.size()) < result.input_bytes,
+                    options, &result));
+
+    exec::PipelineExecutor executor;
+    exec::ExecOptions exec_options;
+    exec_options.base = base;
+    exec_options.partition_size = options.partition_size;
+    PARPARAW_ASSIGN_OR_RETURN_CTX(exec::IngestResult ingested,
+                                  executor.IngestFile(path, exec_options),
+                                  "loader.exec");
+    return FinishLoad(std::move(ingested.table),
+                      std::move(ingested.quarantine), ingested.timings,
+                      options, watch, std::move(result));
+  }
+
   if (options.memory_budget > 0) {
     FileChunkReader reader;
     PARPARAW_RETURN_NOT_OK_CTX(reader.Open(path), "loader.open");
@@ -219,7 +293,9 @@ Result<LoadResult> BulkLoader::LoadFile(const std::string& path,
   }
   PARPARAW_ASSIGN_OR_RETURN_CTX(std::string contents, ReadFileToString(path),
                                 "loader.read");
-  return LoadBuffer(contents, options);
+  LoadOptions serial = options;
+  serial.pipelined = false;
+  return BulkLoader::LoadBuffer(contents, serial);
 }
 
 }  // namespace parparaw

@@ -32,6 +32,11 @@ struct LoadOptions {
   /// file) when the file itself would blow the budget.
   int64_t memory_budget = 0;
   ThreadPool* pool = nullptr;
+  /// Run the load through the pipelined execution engine (src/exec):
+  /// partition k's type conversion overlaps k+1's parse and k+2's disk
+  /// read. false = the serial partition-at-a-time path, kept for
+  /// differential testing (both must produce bit-identical tables).
+  bool pipelined = true;
 };
 
 /// Result of a bulk load: the table plus everything an ingest pipeline
@@ -65,6 +70,15 @@ class BulkLoader {
   /// Loads from an in-memory buffer.
   static Result<LoadResult> LoadBuffer(std::string_view input,
                                        const LoadOptions& options = {});
+
+  /// Resolves dialect, header names and column types from the input head
+  /// (`sample_truncated` = sample is a proper prefix of the input) into
+  /// the per-partition ParseOptions; fills result->dialect. Shared by the
+  /// load paths and parparaw::Reader's streaming mode.
+  static Result<ParseOptions> ResolveBaseOptions(std::string_view sample,
+                                                 bool sample_truncated,
+                                                 const LoadOptions& options,
+                                                 LoadResult* result);
 };
 
 }  // namespace parparaw

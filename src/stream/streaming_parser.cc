@@ -156,6 +156,7 @@ class PartitionSession {
 
 Result<StreamingResult> StreamingParser::Parse(
     std::string_view input, const StreamingOptions& options) {
+  PARPARAW_RETURN_NOT_OK_CTX(options.base.Validate(), "stream.options");
   if (options.partition_size == 0) {
     return Status::Invalid("partition size must be positive");
   }
@@ -182,6 +183,7 @@ Result<StreamingResult> StreamingParser::Parse(
 
 Result<StreamingResult> StreamingParser::ParseFile(
     const std::string& path, const StreamingOptions& options) {
+  PARPARAW_RETURN_NOT_OK_CTX(options.base.Validate(), "stream.options");
   if (options.partition_size == 0) {
     return Status::Invalid("partition size must be positive");
   }

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -25,6 +25,10 @@ enum class StatusCode {
   /// can often degrade — e.g. retry through the streaming parser with a
   /// smaller partition size — where other codes are final.
   kResourceExhausted,
+  /// The operation was cooperatively cancelled (exec::PipelineExecutor's
+  /// Cancel(), or a caller-provided cancellation token). Partial output is
+  /// discarded; the input is untouched, so the operation can be re-run.
+  kCancelled,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -68,6 +72,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,180 @@
+#include "api/reader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "io/file.h"
+#include "stream/streaming_parser.h"
+
+namespace parparaw {
+namespace {
+
+const char kCsv[] =
+    "id,price,name\n"
+    "1,9.50,\"chair, oak\"\n"
+    "2,19.99,table\n"
+    "3,4.25,\"lamp\n2-arm\"\n";
+
+TEST(ReaderTest, FromBufferReadsTable) {
+  auto table = Reader::FromBuffer(kCsv).Read();
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows, 3);
+  EXPECT_EQ(table->num_columns(), 3);
+  // Sniffed header: column names come from the first row.
+  EXPECT_EQ(table->schema.field(0).name, "id");
+  EXPECT_EQ(table->schema.field(2).name, "name");
+}
+
+TEST(ReaderTest, FromFileMatchesFromBuffer) {
+  const std::string path = "/tmp/parparaw_api_test.csv";
+  ASSERT_TRUE(WriteStringToFile(path, kCsv).ok());
+  auto from_file = Reader::FromFile(path).Read();
+  auto from_buffer = Reader::FromBuffer(kCsv).Read();
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  ASSERT_TRUE(from_buffer.ok()) << from_buffer.status().ToString();
+  EXPECT_TRUE(from_file->Equals(*from_buffer));
+  std::remove(path.c_str());
+}
+
+TEST(ReaderTest, WithSchemaAndHeaderOverrideSniffing) {
+  Schema schema;
+  schema.AddField(Field("a", DataType::Int64()));
+  schema.AddField(Field("b", DataType::Float64()));
+  schema.AddField(Field("c", DataType::String()));
+  auto table = Reader::FromBuffer("1,2.5,x\n2,3.5,y\n")
+                   .WithSchema(schema)
+                   .WithHeader(false)
+                   .Read();
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows, 2);
+  EXPECT_TRUE(table->schema.field(0).type == DataType::Int64());
+  EXPECT_EQ(table->columns[0].Value<int64_t>(1), 2);
+}
+
+TEST(ReaderTest, ReadDetailedCarriesQuarantine) {
+  auto result = Reader::FromBuffer("a,b\n1,2\nnotanint,4\n")
+                    .WithSchema([] {
+                      Schema s;
+                      s.AddField(Field("a", DataType::Int64()));
+                      s.AddField(Field("b", DataType::Int64()));
+                      return s;
+                    }())
+                    .WithHeader(true)
+                    .WithErrorPolicy(robust::ErrorPolicy::kQuarantine)
+                    .ReadDetailed();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows_loaded, 2);
+  ASSERT_EQ(result->quarantine.size(), 1);
+  EXPECT_EQ(result->quarantine.entries()[0].row, 1);
+}
+
+TEST(ReaderTest, SerialAndPipelinedAreBitIdentical) {
+  std::string csv = "n,s\n";
+  for (int i = 0; i < 500; ++i) {
+    csv += std::to_string(i) + ",row" + std::to_string(i) + "\n";
+  }
+  auto pipelined =
+      Reader::FromBuffer(csv).WithPartitionSize(700).Pipelined(true).Read();
+  auto serial =
+      Reader::FromBuffer(csv).WithPartitionSize(700).Pipelined(false).Read();
+  ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_TRUE(pipelined->Equals(*serial));
+}
+
+TEST(ReaderTest, ReadStreamDeliversAllRowsInBatches) {
+  std::string csv = "n,s\n";
+  for (int i = 0; i < 500; ++i) {
+    csv += std::to_string(i) + ",row" + std::to_string(i) + "\n";
+  }
+  int64_t rows = 0;
+  int batches = 0;
+  auto stats = Reader::FromBuffer(csv).WithPartitionSize(900).ReadStream(
+      [&](Table&& batch) {
+        rows += batch.num_rows;
+        ++batches;
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(rows, 500);
+  EXPECT_EQ(batches, stats->num_partitions);
+  EXPECT_GT(stats->num_partitions, 1);
+}
+
+TEST(ReaderTest, MissingFileFailsCleanly) {
+  auto table = Reader::FromFile("/nonexistent/parparaw.csv").Read();
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+}
+
+// --- ParseOptions::Validate, wired into every entry point ---
+
+TEST(ValidateTest, AcceptsDefaults) {
+  EXPECT_TRUE(ParseOptions().Validate().ok());
+}
+
+TEST(ValidateTest, RejectsNegativeSkips) {
+  ParseOptions options;
+  options.skip_rows = -1;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = ParseOptions();
+  options.skip_records = {3, -2};
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = ParseOptions();
+  options.skip_columns = {-1};
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = ParseOptions();
+  options.memory_budget = -5;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsOversizedChunk) {
+  ParseOptions options;
+  options.chunk_size = size_t{1} << 30;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsInvertedCollaborationThresholds) {
+  ParseOptions options;
+  options.block_collaboration_threshold = 1 << 20;
+  options.device_collaboration_threshold = 256;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsInlineTerminatorCollidingWithDelimiter) {
+  ParseOptions options;
+  options.tagging_mode = TaggingMode::kInlineTerminated;
+  options.terminator = ',';  // the RFC 4180 field delimiter
+  const Status status = options.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  options.terminator = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.terminator = 0x1F;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(ValidateTest, RejectsValidatePolicyWithQuarantine) {
+  ParseOptions options;
+  options.column_count_policy = ColumnCountPolicy::kValidate;
+  options.error_policy = robust::ErrorPolicy::kQuarantine;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, EveryEntryPointRejectsInvalidOptionsUpFront) {
+  ParseOptions bad;
+  bad.skip_rows = -1;
+  EXPECT_EQ(Parser::Parse("a,b\n", bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  StreamingOptions streaming;
+  streaming.base = bad;
+  EXPECT_EQ(StreamingParser::Parse("a,b\n", streaming).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace parparaw

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/parser.h"
+#include "exec/executor.h"
 #include "loader/bulk_loader.h"
 #include "robust/failpoint.h"
 #include "stream/streaming_parser.h"
@@ -52,11 +53,16 @@ int64_t EnvInt(const char* name, int64_t fallback) {
   return std::strtoll(value, nullptr, 10);
 }
 
-// Faultable sites covering every layer the chaos sweep exercises.
+// Faultable sites covering every layer the chaos sweep exercises,
+// including every queue hand-off of the pipelined executor.
 const char* const kFailpoints[] = {
     "pool.task",       "alloc.context", "alloc.bitmap", "alloc.tag",
     "alloc.partition", "alloc.convert", "stream.chunk", "loader.load",
-    "io.open",         "io.read",       "io.tell",
+    "io.open",         "io.read",       "io.tell",      "exec.ingest",
+    "exec.read",
+    "exec.queue.scan.push",    "exec.queue.scan.pop",
+    "exec.queue.sort.push",    "exec.queue.sort.pop",
+    "exec.queue.convert.push", "exec.queue.convert.pop",
 };
 
 // A small input with every interesting shape: quoted fields, quoted
@@ -94,7 +100,7 @@ Schema ChaosSchema() {
   return schema;
 }
 
-enum class Entry { kParse, kStreaming, kLoader };
+enum class Entry { kParse, kStreaming, kLoader, kExec };
 
 struct Config {
   Entry entry;
@@ -143,6 +149,15 @@ Result<Table> RunEntry(const Config& config, const std::string& input) {
                                 BulkLoader::LoadBuffer(input, load));
       return std::move(out.table);
     }
+    case Entry::kExec: {
+      exec::PipelineExecutor executor;
+      exec::ExecOptions options;
+      options.base = BaseOptions(config);
+      options.partition_size = 700;  // several partitions in flight
+      PARPARAW_ASSIGN_OR_RETURN(exec::IngestResult out,
+                                executor.IngestBuffer(input, options));
+      return std::move(out.table);
+    }
   }
   return Status::Internal("unreachable");
 }
@@ -174,7 +189,7 @@ TEST(ChaosTest, EveryScheduleFailsCleanOrMatchesFaultFree) {
     rng.Next();
 
     Config config;
-    config.entry = static_cast<Entry>(rng.Uniform(3));
+    config.entry = static_cast<Entry>(rng.Uniform(4));
     config.scalar_kernel = rng.Uniform(2) == 0;
     config.policy = std::array<ErrorPolicy, 3>{
         ErrorPolicy::kNull, ErrorPolicy::kSkip,

@@ -1,0 +1,351 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parser.h"
+#include "io/file.h"
+#include "robust/failpoint.h"
+#include "stream/streaming_parser.h"
+#include "workload/generators.h"
+
+namespace parparaw {
+namespace {
+
+using exec::ExecOptions;
+using exec::IngestResult;
+using exec::PipelineExecutor;
+using robust::ErrorPolicy;
+
+// Input with quoted delimiters/newlines, empty fields, malformed ints and
+// short records, sized to span many partitions at the test partition size.
+std::string ExecInput(int rows = 400) {
+  std::string csv;
+  for (int i = 0; i < rows; ++i) {
+    switch (i % 8) {
+      case 3:
+        csv += "\"q" + std::to_string(i) + ",x\"," + std::to_string(i) +
+               ",\"line\nbreak\"\n";
+        break;
+      case 5:
+        csv += "row" + std::to_string(i) + ",notanint,plain\n";
+        break;
+      case 6:
+        csv += std::to_string(i) + ",,\n";
+        break;
+      case 7:
+        csv += "short" + std::to_string(i) + "\n";
+        break;
+      default:
+        csv += "f" + std::to_string(i) + "," + std::to_string(i * 7) +
+               ",tail" + std::to_string(i) + "\n";
+        break;
+    }
+  }
+  return csv;
+}
+
+Schema ExecSchema() {
+  Schema schema;
+  schema.AddField(Field("s", DataType::String()));
+  schema.AddField(Field("n", DataType::Int64()));
+  schema.AddField(Field("t", DataType::String()));
+  return schema;
+}
+
+ParseOptions BaseOptions(ErrorPolicy policy, simd::KernelKind kernel) {
+  ParseOptions options;
+  options.schema = ExecSchema();
+  options.error_policy = policy;
+  options.kernel = kernel;
+  return options;
+}
+
+void ExpectQuarantineEqual(const robust::QuarantineTable& got,
+                           const robust::QuarantineTable& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (int64_t i = 0; i < got.size(); ++i) {
+    const robust::QuarantineEntry& g = got.entries()[i];
+    const robust::QuarantineEntry& w = want.entries()[i];
+    EXPECT_EQ(g.row, w.row) << "entry " << i;
+    EXPECT_EQ(g.begin, w.begin) << "entry " << i;
+    EXPECT_EQ(g.end, w.end) << "entry " << i;
+    EXPECT_EQ(g.raw, w.raw) << "entry " << i;
+    EXPECT_EQ(g.column, w.column) << "entry " << i;
+    EXPECT_EQ(g.stage, w.stage) << "entry " << i;
+  }
+}
+
+// The pipelined schedule must be invisible in the output: for every kernel
+// and error policy, the table, rejected vector and quarantine are
+// bit-identical to the serial partition-at-a-time parse over the same
+// partition decomposition.
+TEST(ExecTest, DifferentialAgainstSerialAcrossKernelsAndPolicies) {
+  const std::string input = ExecInput();
+  for (simd::KernelKind kernel :
+       {simd::KernelKind::kScalar, simd::KernelKind::kAuto}) {
+    for (ErrorPolicy policy :
+         {ErrorPolicy::kNull, ErrorPolicy::kSkip, ErrorPolicy::kQuarantine}) {
+      for (size_t partition_size :
+           {size_t{257}, size_t{700}, size_t{4096}, size_t{1} << 20}) {
+        StreamingOptions serial;
+        serial.base = BaseOptions(policy, kernel);
+        serial.partition_size = partition_size;
+        auto want = StreamingParser::Parse(input, serial);
+        ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+        PipelineExecutor executor;
+        ExecOptions options;
+        options.base = BaseOptions(policy, kernel);
+        options.partition_size = partition_size;
+        auto got = executor.IngestBuffer(input, options);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+        ASSERT_TRUE(got->table.Equals(want->table))
+            << "kernel=" << static_cast<int>(kernel)
+            << " policy=" << static_cast<int>(policy)
+            << " partition=" << partition_size;
+        EXPECT_EQ(got->table.rejected, want->table.rejected);
+        ExpectQuarantineEqual(got->quarantine, want->quarantine);
+        EXPECT_EQ(got->stats.num_partitions, want->num_partitions);
+      }
+    }
+  }
+}
+
+TEST(ExecTest, FileIngestMatchesBufferIngest) {
+  const std::string input = ExecInput(800);
+  const std::string path = "/tmp/parparaw_exec_test.csv";
+  ASSERT_TRUE(WriteStringToFile(path, input).ok());
+
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kQuarantine, simd::KernelKind::kAuto);
+  options.partition_size = 1000;
+  auto from_file = executor.IngestFile(path, options);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+
+  PipelineExecutor buffer_executor;
+  auto from_buffer = buffer_executor.IngestBuffer(input, options);
+  ASSERT_TRUE(from_buffer.ok()) << from_buffer.status().ToString();
+
+  ASSERT_TRUE(from_file->table.Equals(from_buffer->table));
+  ExpectQuarantineEqual(from_file->quarantine, from_buffer->quarantine);
+  EXPECT_EQ(from_file->stats.bytes, static_cast<int64_t>(input.size()));
+  std::remove(path.c_str());
+}
+
+TEST(ExecTest, EmptyInputYieldsEmptyTable) {
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  auto result = executor.IngestBuffer("", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows, 0);
+  EXPECT_EQ(result->stats.num_partitions, 0);
+}
+
+TEST(ExecTest, InvalidOptionsRejectedUpFront) {
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.base.skip_rows = -2;
+  auto result = executor.IngestBuffer("a,b,c\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Backpressure: with a stalled convert stage, the admission controller
+// must clamp how many partitions become resident — the reader cannot run
+// ahead of the budget no matter how fast the disk is.
+TEST(ExecTest, BackpressureClampsResidentPartitionsUnderBudget) {
+  const std::string input = ExecInput(1200);
+  std::atomic<int> convert_calls{0};
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.partition_size = 600;
+  options.max_inflight_partitions = 2;
+  options.stage_hook = [&](int stage, int64_t) {
+    if (stage == 3) {
+      // A slow consumer: every partition's conversion stalls, so upstream
+      // stages fill their queues and must block on admission.
+      ++convert_calls;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+  auto result = executor.IngestBuffer(input, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.num_partitions, 4);
+  EXPECT_EQ(result->stats.admission_limit, 2);
+  EXPECT_LE(result->stats.max_inflight, 2);
+  EXPECT_EQ(convert_calls.load(), result->stats.num_partitions);
+}
+
+// The auto admission limit derives from the memory budget: a budget that
+// fits one clamped partition serialises the pipeline (degrade, not refuse).
+TEST(ExecTest, MemoryBudgetDerivesAdmissionLimit) {
+  const std::string input = ExecInput(600);
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.base.memory_budget = 64 * 1024;
+  options.partition_size = 1 << 20;  // gets clamped to fit the budget
+  auto result = executor.IngestBuffer(input, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->stats.admission_limit, 1);
+  EXPECT_LE(result->stats.max_inflight, result->stats.admission_limit);
+  // The clamp shrank partitions: the input must have been split.
+  EXPECT_GT(result->stats.num_partitions, 1);
+
+  // Differential: the degraded schedule still produces the serial answer.
+  StreamingOptions serial;
+  serial.base = options.base;
+  serial.partition_size = options.partition_size;
+  auto want = StreamingParser::Parse(input, serial);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_TRUE(result->table.Equals(want->table));
+}
+
+TEST(ExecTest, CancellationMidPipelineReturnsCancelled) {
+  const std::string input = ExecInput(1200);
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.partition_size = 600;
+  std::atomic<bool> fired{false};
+  options.stage_hook = [&](int stage, int64_t partition) {
+    // Cancel from inside the pipeline once partition 2 reaches the scan
+    // stage — upstream reads are already in flight at that point.
+    if (stage == 1 && partition == 2 && !fired.exchange(true)) {
+      executor.Cancel();
+    }
+  };
+  auto result = executor.IngestBuffer(input, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(executor.cancelled());
+
+  // A cancelled executor refuses new work immediately.
+  auto again = executor.IngestBuffer("a,1,b\n", options);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kCancelled);
+}
+
+// Streaming mode: per-partition tables arrive in stream order, and a sink
+// error cancels the rest of the ingest cleanly.
+TEST(ExecTest, StreamSinkReceivesPartitionsInOrder) {
+  const std::string input = ExecInput(400);
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.partition_size = 700;
+  std::vector<Table> batches;
+  auto result = executor.StreamBuffer(input, options, [&](Table&& batch) {
+    batches.push_back(std::move(batch));
+    return Status::OK();
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows, 0);  // sink consumed everything
+  ASSERT_EQ(static_cast<int>(batches.size()), result->stats.num_partitions);
+
+  int64_t rows = 0;
+  for (const Table& batch : batches) rows += batch.num_rows;
+  auto monolithic =
+      Parser::Parse(input, BaseOptions(ErrorPolicy::kNull,
+                                       simd::KernelKind::kScalar));
+  ASSERT_TRUE(monolithic.ok());
+  EXPECT_EQ(rows, monolithic->table.num_rows);
+}
+
+TEST(ExecTest, StreamSinkErrorCancelsIngest) {
+  const std::string input = ExecInput(400);
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.partition_size = 700;
+  int seen = 0;
+  auto result = executor.StreamBuffer(input, options, [&](Table&&) {
+    return ++seen >= 2 ? Status::IoError("sink full") : Status::OK();
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(seen, 2);
+}
+
+// Concurrent multi-file ingestion shares one admission controller, so the
+// budget holds across files; results come back in input order.
+TEST(ExecTest, IngestFilesConcurrentlyMatchesPerFileResults) {
+  std::vector<std::string> paths;
+  std::vector<std::string> inputs;
+  for (int f = 0; f < 3; ++f) {
+    inputs.push_back(ExecInput(300 + 50 * f));
+    paths.push_back("/tmp/parparaw_exec_multi_" + std::to_string(f) +
+                    ".csv");
+    ASSERT_TRUE(WriteStringToFile(paths[f], inputs[f]).ok());
+  }
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.partition_size = 900;
+  options.max_inflight_partitions = 3;
+  auto results = executor.IngestFiles(paths, options, /*max_concurrent=*/3);
+  ASSERT_EQ(results.size(), paths.size());
+  for (size_t f = 0; f < paths.size(); ++f) {
+    ASSERT_TRUE(results[f].ok()) << results[f].status().ToString();
+    // Global admission: no single file may have exceeded the shared limit.
+    EXPECT_LE(results[f]->stats.max_inflight, 3);
+    PipelineExecutor solo;
+    auto want = solo.IngestBuffer(inputs[f], options);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(results[f]->table.Equals(want->table)) << "file " << f;
+    std::remove(paths[f].c_str());
+  }
+}
+
+// Queue hand-off failpoints surface as clean errors with the queue's name
+// in the context, never as hangs or corrupt output.
+TEST(ExecTest, QueueFailpointsFailCleanly) {
+  const std::string input = ExecInput(400);
+  for (const char* site :
+       {"exec.queue.scan.push", "exec.queue.scan.pop",
+        "exec.queue.sort.push", "exec.queue.sort.pop",
+        "exec.queue.convert.push", "exec.queue.convert.pop", "exec.read"}) {
+    robust::FailpointRegistry::Instance().Arm(site,
+                                              robust::CountTrigger(2));
+    PipelineExecutor executor;
+    ExecOptions options;
+    options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+    options.partition_size = 700;
+    auto result = executor.IngestBuffer(input, options);
+    robust::FailpointRegistry::Instance().DisarmAll();
+    ASSERT_FALSE(result.ok()) << site;
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError) << site;
+  }
+}
+
+// A record larger than one partition accumulates through the carry-over
+// without stalling or splitting mid-record.
+TEST(ExecTest, RecordLargerThanPartition) {
+  std::string input = "a,1,b\n";
+  input += "\"" + std::string(5000, 'x') + "\",2,c\n";
+  input += "d,3,e\n";
+  PipelineExecutor executor;
+  ExecOptions options;
+  options.base = BaseOptions(ErrorPolicy::kNull, simd::KernelKind::kScalar);
+  options.partition_size = 256;
+  auto result = executor.IngestBuffer(input, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto want = Parser::Parse(input, options.base);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(result->table.Equals(want->table));
+}
+
+}  // namespace
+}  // namespace parparaw
