@@ -2,18 +2,27 @@
 //  * single-pass decoupled-lookback scan (Merrill & Garland, the paper's
 //    §2 building block) vs the classic two-pass reduce-then-scan;
 //  * radix-sort digit width (partitioning passes vs per-pass cost);
-//  * the composite-operator scan over state-transition vectors.
+//  * the composite-operator scan over state-transition vectors;
+//  * `--transpose-mode`: the symbol-sort vs field-gather transposition
+//    head-to-head on the yelp-like workload (wall time, transpose-phase
+//    time, modelled peak bytes; --json-out= for BENCH_transpose.json).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
+#include "core/parser.h"
 #include "dfa/dfa.h"
 #include "dfa/state_vector.h"
 #include "parallel/radix_sort.h"
 #include "parallel/scan.h"
 #include "parallel/thread_pool.h"
+#include "util/stopwatch.h"
+#include "workload/generators.h"
 
 namespace {
 
@@ -114,6 +123,101 @@ void BM_RadixSortBitsPerPass(benchmark::State& state) {
 }
 BENCHMARK(BM_RadixSortBitsPerPass)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// --transpose-mode: head-to-head of the two TransposeMode implementations
+// on the yelp-like workload (quoted text fields — the shape the paper's §5
+// string-heavy dataset stresses). Reports wall time, the transpose-phase
+// share (tag + partition), and the modelled peak bytes resident for the
+// transposition; the field gather should be >= 4x lighter and faster.
+struct TransposeRun {
+  double seconds = 0;
+  double transpose_ms = 0;
+  int64_t peak_bytes = 0;
+};
+
+int RunTransposeAblation(int argc, char** argv) {
+  using namespace parparaw::bench;  // NOLINT
+  JsonReport report(argc, argv);
+  const size_t bytes = BenchBytes(8);
+  const std::string data = GenerateYelpLike(42, bytes);
+  PrintHeader("transpose mode ablation (yelp-like)");
+  std::printf("%zu MB input, best of 3 runs\n\n", bytes >> 20);
+  std::printf("%-14s %10s %8s %14s %18s\n", "mode", "seconds", "GB/s",
+              "transpose ms", "transpose peak");
+
+  auto run_mode = [&](TransposeMode mode, const char* name,
+                      TransposeRun* out) -> bool {
+    ParseOptions options;
+    options.schema = YelpSchema();
+    options.transpose_mode = mode;
+    TransposeRun best;
+    best.seconds = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      auto result = Parser::Parse(data, options);
+      const double seconds = watch.ElapsedSeconds();
+      if (!result.ok()) {
+        std::printf("%-14s failed: %s\n", name,
+                    result.status().ToString().c_str());
+        return false;
+      }
+      if (seconds < best.seconds) {
+        best.seconds = seconds;
+        best.transpose_ms =
+            result->timings.tag_ms + result->timings.partition_ms;
+      }
+      best.peak_bytes = result->work.transpose_peak_bytes;
+    }
+    std::printf("%-14s %10.3f %8.2f %14.1f %18lld\n", name, best.seconds,
+                Gbps(bytes, best.seconds), best.transpose_ms,
+                static_cast<long long>(best.peak_bytes));
+    report.Add(std::string("transpose/") + name,
+               {{"seconds", best.seconds},
+                {"gbps", Gbps(bytes, best.seconds)},
+                {"transpose_ms", best.transpose_ms},
+                {"transpose_peak_bytes",
+                 static_cast<double>(best.peak_bytes)}});
+    *out = best;
+    return true;
+  };
+
+  TransposeRun sort_run, gather_run;
+  if (!run_mode(TransposeMode::kSymbolSort, "symbol_sort", &sort_run) ||
+      !run_mode(TransposeMode::kFieldGather, "field_gather", &gather_run)) {
+    return 1;
+  }
+  const double peak_reduction =
+      gather_run.peak_bytes > 0
+          ? static_cast<double>(sort_run.peak_bytes) /
+                static_cast<double>(gather_run.peak_bytes)
+          : 0;
+  const double transpose_speedup =
+      gather_run.transpose_ms > 0
+          ? sort_run.transpose_ms / gather_run.transpose_ms
+          : 0;
+  const double wall_speedup =
+      gather_run.seconds > 0 ? sort_run.seconds / gather_run.seconds : 0;
+  std::printf(
+      "\nfield gather vs symbol sort: %.2fx lower transpose peak, "
+      "%.2fx faster transpose phase, %.2fx end-to-end\n",
+      peak_reduction, transpose_speedup, wall_speedup);
+  report.Add("transpose/ratio", {{"peak_reduction", peak_reduction},
+                                 {"transpose_speedup", transpose_speedup},
+                                 {"wall_speedup", wall_speedup}});
+  report.Flush();
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transpose-mode") == 0) {
+      return RunTransposeAblation(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

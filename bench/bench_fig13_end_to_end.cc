@@ -34,6 +34,11 @@ namespace {
 using namespace parparaw;         // NOLINT
 using namespace parparaw::bench;  // NOLINT
 
+// --transpose-mode=<symbol_sort|field_gather> pins the transposition
+// implementation for every ParPaRaw run (default: the library's kAuto
+// resolution).
+TransposeMode g_transpose_mode = TransposeMode::kAuto;
+
 void Row(const char* system, double seconds, int64_t rows, bool correct,
          size_t bytes) {
   std::printf("%-28s %10.1fms %10.3fGB/s %10lld %s\n", system,
@@ -62,6 +67,7 @@ void RunDataset(const char* key, const char* name, const std::string& data,
 
   ParseOptions base;
   base.schema = schema;
+  base.transpose_mode = g_transpose_mode;
 
   // Ground truth for correctness marks.
   auto expected = SequentialParser::Parse(data, base);
@@ -245,12 +251,20 @@ void RunPipelineMode(JsonReport* report) {
 
 int main(int argc, char** argv) {
   JsonReport report(argc, argv);
+  bool pipeline = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--pipeline") == 0) {
-      RunPipelineMode(&report);
-      report.Flush();
-      return 0;
+    if (std::strcmp(argv[i], "--pipeline") == 0) pipeline = true;
+    if (std::strcmp(argv[i], "--transpose-mode=symbol_sort") == 0) {
+      g_transpose_mode = TransposeMode::kSymbolSort;
     }
+    if (std::strcmp(argv[i], "--transpose-mode=field_gather") == 0) {
+      g_transpose_mode = TransposeMode::kFieldGather;
+    }
+  }
+  if (pipeline) {
+    RunPipelineMode(&report);
+    report.Flush();
+    return 0;
   }
   PrintHeader("Figure 13: end-to-end comparison");
   const size_t bytes = BenchBytes(16);

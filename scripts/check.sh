@@ -14,6 +14,10 @@
 #                               # under ASan+UBSan across a fixed seed matrix
 #   scripts/check.sh pipeline   # pipelined-executor differential suite
 #                               # (exec/Reader/chaos) under TSan
+#   scripts/check.sh transpose  # full suite per TransposeMode
+#                               # (PARPARAW_TRANSPOSE_MODE) plus the
+#                               # symbol-sort vs field-gather differential
+#                               # harness, under ASan+UBSan
 #
 # Build trees land in build-asan/ and build-tsan/ next to the normal
 # build/ so a sanitizer run never invalidates the regular build cache.
@@ -122,21 +126,49 @@ run_faults() {
   done
 }
 
+run_transpose() {
+  echo "=== transpose sweep: configure ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=address,undefined
+  echo "=== transpose sweep: build ==="
+  cmake --build build-asan -j "${JOBS}"
+  # The full suite once per transposition implementation: the env override
+  # flips what TransposeMode::kAuto resolves to, so every test that does
+  # not pin a mode runs both the field-gather default and the paper's
+  # symbol-sort path. Then the dedicated differential harness (10k+ seeded
+  # inputs comparing the two bit for bit) with the default resolution.
+  for mode in field_gather symbol_sort; do
+    echo "=== transpose sweep: full suite, PARPARAW_TRANSPOSE_MODE=${mode} ==="
+    PARPARAW_TRANSPOSE_MODE="${mode}" \
+    ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+      ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+  done
+  echo "=== transpose sweep: differential harness ==="
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+      -R 'TransposeDifferential|FieldGather|CssIndex|Tagging'
+}
+
 case "${MODE}" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   kernels) run_kernels ;;
   faults) run_faults ;;
   pipeline) run_pipeline ;;
+  transpose) run_transpose ;;
   all)
     run_asan
     run_tsan
     run_kernels
     run_faults
     run_pipeline
+    run_transpose
     ;;
   *)
-    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|all]" >&2
     exit 2
     ;;
 esac

@@ -11,10 +11,46 @@ Status BuildCssIndex(const PipelineState& state, uint32_t column,
   Stopwatch watch;
   fields->clear();
   if (column >= state.num_partitions) return Status::OK();
+  const TaggingMode mode = state.options->tagging_mode;
+
+  if (state.transpose_mode == TransposeMode::kFieldGather) {
+    // The partition step already bucketed the field entries by column with
+    // offsets relative to the global CSS; slicing them is the whole index.
+    const int64_t entry_begin = state.gather_entry_offsets[column];
+    const int64_t entry_end = state.gather_entry_offsets[column + 1];
+    if (mode == TaggingMode::kRecordTags) {
+      // Parity with the run-length encoding of the record tags: an empty
+      // field contributes no symbols, hence no run — the convert step
+      // fills it from defaults (§4.3).
+      fields->reserve(static_cast<size_t>(entry_end - entry_begin));
+      for (int64_t k = entry_begin; k < entry_end; ++k) {
+        const FieldEntry& entry = state.gather_entries[k];
+        if (entry.length == 0) continue;
+        fields->push_back(entry);
+      }
+    } else {
+      const int64_t count = entry_end - entry_begin;
+      if (count != state.num_out_rows) {
+        return Status::ParseError(
+            "column " + std::to_string(column) + " has " +
+            std::to_string(count) + " fields for " +
+            std::to_string(state.num_out_rows) +
+            " records; inconsistent column counts require the record-tag "
+            "mode or the reject policy");
+      }
+      fields->assign(state.gather_entries.begin() + entry_begin,
+                     state.gather_entries.begin() + entry_end);
+    }
+    obs::RecordMillis(state.options->metrics, "step.css_index_us",
+                      watch.ElapsedMillis());
+    obs::AddCount(state.options->metrics, "css_index.fields",
+                  static_cast<int64_t>(fields->size()));
+    return Status::OK();
+  }
+
   const int64_t begin = state.column_css_offsets[column];
   const int64_t end = state.column_css_offsets[column + 1];
   const int64_t n = end - begin;
-  const TaggingMode mode = state.options->tagging_mode;
 
   if (mode == TaggingMode::kRecordTags) {
     // Run-length encode the record tags: run starts where the tag differs

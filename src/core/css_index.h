@@ -9,15 +9,8 @@
 
 namespace parparaw {
 
-/// One field inside a column's concatenated symbol string (§3.3, Fig. 5).
-struct FieldEntry {
-  /// Output row this field belongs to.
-  int64_t row = 0;
-  /// Offset of the field's first symbol in the global CSS buffer.
-  int64_t offset = 0;
-  /// Number of value symbols (terminator slots excluded).
-  int64_t length = 0;
-};
+// FieldEntry lives in core/pipeline_state.h (the gather transpose path
+// stores entries in PipelineState, which this header includes).
 
 /// \brief Step 6 (§3.3/§4.1): generate a column's CSS index.
 ///

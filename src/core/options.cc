@@ -1,7 +1,12 @@
 #include "core/options.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "robust/resource_guard.h"
 
 namespace parparaw {
 
@@ -82,6 +87,11 @@ Status ParseOptions::Validate() const {
           " delimiter; pick a byte that cannot occur as a delimiter");
     }
   }
+  if (max_record_columns == 0) {
+    return Status::Invalid(
+        "max_record_columns must be positive; it bounds the per-record "
+        "column tables against adversarial delimiter-dense inputs");
+  }
   if (column_count_policy == ColumnCountPolicy::kValidate &&
       error_policy == robust::ErrorPolicy::kQuarantine) {
     return Status::Invalid(
@@ -122,7 +132,33 @@ WorkCounters& WorkCounters::operator+=(const WorkCounters& other) {
   scan_elements += other.scan_elements;
   convert_bytes += other.convert_bytes;
   output_bytes += other.output_bytes;
+  // Peak footprints do not sum across partitions: the next partition's
+  // transpose reuses the buffers the previous one released.
+  transpose_peak_bytes = std::max(transpose_peak_bytes,
+                                  other.transpose_peak_bytes);
   return *this;
+}
+
+TransposeMode EffectiveTransposeMode(const ParseOptions& options) {
+  if (options.transpose_mode != TransposeMode::kAuto) {
+    return options.transpose_mode;
+  }
+  // Read once: the sweep scripts set this for a whole process, and a
+  // per-parse getenv would be a race under TSan anyway.
+  static const TransposeMode kEnvDefault = [] {
+    const char* env = std::getenv("PARPARAW_TRANSPOSE_MODE");
+    if (env != nullptr && std::strcmp(env, "symbol_sort") == 0) {
+      return TransposeMode::kSymbolSort;
+    }
+    return TransposeMode::kFieldGather;
+  }();
+  return kEnvDefault;
+}
+
+int64_t ParseWorkingSetFactor(const ParseOptions& options) {
+  return EffectiveTransposeMode(options) == TransposeMode::kSymbolSort
+             ? robust::kParseMemoryFactor
+             : robust::kParseMemoryFactorFieldGather;
 }
 
 }  // namespace parparaw

@@ -36,6 +36,30 @@ enum class TaggingMode : uint8_t {
   kVectorDelimited,
 };
 
+/// How tagged symbols are transposed into per-column concatenated symbol
+/// strings (§3.3). The paper radix-sorts every *symbol* by its column tag —
+/// the right shape for a GPU scatter, but on the CPU substrate it
+/// materialises ~16 bytes of sort metadata per input byte. The
+/// field-granularity gather reaches the same CSS layout with O(fields)
+/// metadata and whole-field memcpy moves (the Instant-Loading-style CPU
+/// idiom), and is the default.
+enum class TransposeMode : uint8_t {
+  /// Resolve to kFieldGather, unless the PARPARAW_TRANSPOSE_MODE
+  /// environment variable ("field_gather" / "symbol_sort") overrides the
+  /// default for the process (scripts/check.sh transpose sweeps it). An
+  /// explicit mode request always wins over the environment.
+  kAuto,
+  /// Field-granularity fast path: derive per-field (column, row, offset,
+  /// length) extents from the bitmap indexes, bucket them by column with
+  /// one stable O(fields) partitioning pass, then gather each column's CSS
+  /// with whole-field copies.
+  kFieldGather,
+  /// The paper's faithful symbol-granularity path: every kept symbol
+  /// carries a 4-byte column tag and is moved by a stable LSD radix sort.
+  /// Kept for differential testing and GPU-substrate fidelity.
+  kSymbolSort,
+};
+
 /// How records with an inconsistent number of columns are handled (§4.1,
 /// §4.3 "Inferring or validating number of columns").
 enum class ColumnCountPolicy : uint8_t {
@@ -81,6 +105,11 @@ struct WorkCounters {
   int64_t scan_elements = 0;
   int64_t convert_bytes = 0;
   int64_t output_bytes = 0;
+  /// Peak bytes resident for the transposition phase (tag sideband +
+  /// partition metadata + CSS), modelled deterministically from container
+  /// sizes by PartitionStep. Combined with max() under operator+= — the
+  /// partitions of a streaming parse reuse the footprint, they do not sum.
+  int64_t transpose_peak_bytes = 0;
 
   WorkCounters& operator+=(const WorkCounters& other);
 };
@@ -99,6 +128,18 @@ struct ParseOptions {
   size_t chunk_size = 31;
 
   TaggingMode tagging_mode = TaggingMode::kRecordTags;
+
+  /// How tagged symbols are moved into per-column CSS buffers; see
+  /// TransposeMode. kAuto resolves to kFieldGather (overridable per process
+  /// via PARPARAW_TRANSPOSE_MODE); both modes produce bit-identical tables.
+  TransposeMode transpose_mode = TransposeMode::kAuto;
+
+  /// Upper bound on columns a single record may tag. Adversarial inputs (a
+  /// million-delimiter row) would otherwise grow O(columns) lookup/count
+  /// tables without bound inside the tagging pass; a record exceeding the
+  /// limit fails the parse with a ParseError carrying the record's byte
+  /// span. Must be positive.
+  uint32_t max_record_columns = 1u << 16;
 
   /// Terminator byte for TaggingMode::kInlineTerminated; the ASCII unit
   /// separator by default (§4.1).
@@ -189,6 +230,21 @@ struct ParseOptions {
   /// configuration.
   Status Validate() const;
 };
+
+/// Resolves TransposeMode::kAuto to a concrete mode. kAuto picks
+/// kFieldGather unless the PARPARAW_TRANSPOSE_MODE environment variable
+/// ("field_gather" / "symbol_sort", read once per process) says otherwise;
+/// an explicitly requested mode is returned unchanged so differential
+/// tests can pin both sides regardless of the environment.
+TransposeMode EffectiveTransposeMode(const ParseOptions& options);
+
+/// Multiplier over input bytes for the parse's peak working set under the
+/// options' effective transpose mode: robust::kParseMemoryFactor (16) for
+/// kSymbolSort — per-symbol tags, permutation and scratch — and
+/// robust::kParseMemoryFactorFieldGather (8) for kFieldGather, whose
+/// metadata is O(fields) rather than O(bytes). Feed the result to
+/// robust::EstimateParseMemory / ClampPartitionSizeForBudget.
+int64_t ParseWorkingSetFactor(const ParseOptions& options);
 
 /// \brief Result of a parse: the columnar table plus instrumentation.
 struct ParseOutput {

@@ -1,18 +1,215 @@
 #include "core/partition_step.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "obs/obs.h"
 #include "parallel/radix_sort.h"
 #include "robust/failpoint.h"
+#include "robust/resource_guard.h"
+#include "text/unicode.h"
 #include "util/bit_util.h"
 #include "util/stopwatch.h"
 
 namespace parparaw {
+
+namespace {
+
+inline size_t AdjustBegin(const PipelineState& state, size_t pos) {
+  pos = std::min(pos, state.size);
+  if (state.options->encoding == TextEncoding::kUtf8) {
+    return AdjustChunkBeginUtf8(state.data, state.size, pos);
+  }
+  return pos;
+}
+
+// Deterministic model of the transposition phase's peak resident bytes,
+// derived from container sizes rather than allocator introspection so it is
+// identical across platforms and runs. Symbol sort: the CSS, the per-symbol
+// tag sidebands, the permutation, and the sort's key/payload scratch all
+// live at once at the final scatter. Field gather: the source-order
+// extents, the bucketed entries with their offsets, and the final CSS.
+int64_t ModelTransposePeakBytes(const PipelineState& state) {
+  if (state.transpose_mode == TransposeMode::kFieldGather) {
+    return static_cast<int64_t>(
+        state.gather_extents.size() * sizeof(FieldExtent) +
+        state.gather_entries.size() * sizeof(FieldEntry) +
+        state.gather_entry_offsets.size() * sizeof(int64_t) +
+        state.css.size());
+  }
+  const int64_t n = static_cast<int64_t>(state.css.size());
+  const int64_t sideband =
+      static_cast<int64_t>(state.col_tags.size()) * 4 +
+      static_cast<int64_t>(state.rec_tags.size()) * 4 +
+      static_cast<int64_t>(state.field_end.size());
+  // css + sidebands + permutation + radix scratch + sorted-key copy +
+  // sorted-payload copy.
+  return n + sideband + n * 4 + n * 4 + n * 4 + n;
+}
+
+// One stable partitioning pass over O(fields) column keys (§3.3 recast at
+// field granularity): per-tile histograms of field counts and CSS slot
+// bytes, a bucket-major x tile-major exclusive scan (the same stability
+// argument as the radix sort's), then a stable scatter that copies each
+// field's value bytes into its column's CSS with one memcpy — or a
+// filtered walk when control bytes (quotes, escapes) interleave the field.
+Status RunFieldGather(PipelineState* state, WorkCounters* work) {
+  const ParseOptions& options = *state->options;
+  const TaggingMode mode = options.tagging_mode;
+  const bool slot_per_field = mode != TaggingMode::kRecordTags;
+  const uint32_t num_partitions = state->num_partitions;
+  const std::vector<FieldExtent>& extents = state->gather_extents;
+  const int64_t n_fields = static_cast<int64_t>(extents.size());
+  state->permutation.clear();
+
+  if (num_partitions == 0) {
+    state->column_histogram.assign(num_partitions, 0);
+    state->column_css_offsets.assign(num_partitions + 1, 0);
+    state->gather_entries.clear();
+    state->gather_entry_offsets.assign(num_partitions + 1, 0);
+    return Status::OK();
+  }
+
+  // The entry/CSS buffers are the gather's big allocations; the failpoint
+  // models them failing (GuardedResize re-checks it per buffer).
+  PARPARAW_FAILPOINT("alloc.gather");
+
+  const int num_workers = state->pool ? state->pool->num_threads() : 1;
+  const int64_t num_tiles = std::max<int64_t>(
+      1, std::min<int64_t>(num_workers, n_fields / 1024 + 1));
+  const int64_t tile = (n_fields + num_tiles - 1) / num_tiles;
+
+  // (1) Per-tile histograms: kept fields and CSS slot bytes per column.
+  std::vector<std::vector<int64_t>> tile_fields(
+      num_tiles, std::vector<int64_t>(num_partitions, 0));
+  std::vector<std::vector<int64_t>> tile_bytes(
+      num_tiles, std::vector<int64_t>(num_partitions, 0));
+  PARPARAW_RETURN_NOT_OK(
+      ParallelForEach(state->pool, 0, num_tiles, [&](int64_t t) {
+        const int64_t b = t * tile;
+        const int64_t e = std::min<int64_t>(b + tile, n_fields);
+        std::vector<int64_t>& fields = tile_fields[t];
+        std::vector<int64_t>& bytes = tile_bytes[t];
+        for (int64_t i = b; i < e; ++i) {
+          const FieldExtent& ex = extents[i];
+          if (ex.column == kDroppedColumn) continue;
+          ++fields[ex.column];
+          bytes[ex.column] += ex.length + (slot_per_field ? 1 : 0);
+        }
+      }));
+
+  // (2) Bucket-major then tile-major exclusive scan, turning the per-tile
+  // counts into stable write cursors and yielding the per-column totals the
+  // CSS offsets come from (the gather's equivalent of the sort histogram).
+  state->column_histogram.assign(num_partitions, 0);
+  state->column_css_offsets.assign(num_partitions + 1, 0);
+  PARPARAW_RETURN_NOT_OK(robust::GuardedAssign(
+      "alloc.gather", &state->gather_entry_offsets,
+      static_cast<size_t>(num_partitions) + 1, int64_t{0}));
+  int64_t entry_running = 0;
+  int64_t byte_running = 0;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    state->gather_entry_offsets[p] = entry_running;
+    state->column_css_offsets[p] = byte_running;
+    for (int64_t t = 0; t < num_tiles; ++t) {
+      const int64_t f = tile_fields[t][p];
+      const int64_t by = tile_bytes[t][p];
+      tile_fields[t][p] = entry_running;
+      tile_bytes[t][p] = byte_running;
+      entry_running += f;
+      byte_running += by;
+    }
+    state->column_histogram[p] =
+        static_cast<uint64_t>(byte_running - state->column_css_offsets[p]);
+  }
+  state->gather_entry_offsets[num_partitions] = entry_running;
+  state->column_css_offsets[num_partitions] = byte_running;
+
+  // (3) Stable scatter + whole-field gather copy.
+  PARPARAW_RETURN_NOT_OK(robust::GuardedResize(
+      "alloc.gather", &state->gather_entries,
+      static_cast<size_t>(entry_running)));
+  PARPARAW_RETURN_NOT_OK(robust::GuardedResize(
+      "alloc.gather", &state->css, static_cast<size_t>(byte_running)));
+  const uint8_t* data = state->data;
+  const uint8_t* flags = state->symbol_flags.data();
+  uint8_t* css = state->css.data();
+  // The very first field starts where the first chunk starts — under UTF-8
+  // chunking that can be past byte 0 (a leading continuation byte is
+  // outside every chunk and was never tagged, so it must not be gathered).
+  const int64_t input_begin =
+      static_cast<int64_t>(AdjustBegin(*state, 0));
+  PARPARAW_RETURN_NOT_OK(
+      ParallelForEach(state->pool, 0, num_tiles, [&](int64_t t) {
+        const int64_t b = t * tile;
+        const int64_t e = std::min<int64_t>(b + tile, n_fields);
+        std::vector<int64_t>& entry_cursor = tile_fields[t];
+        std::vector<int64_t>& byte_cursor = tile_bytes[t];
+        for (int64_t i = b; i < e; ++i) {
+          const FieldExtent& ex = extents[i];
+          if (ex.column == kDroppedColumn) continue;
+          const int64_t out = byte_cursor[ex.column];
+          const int64_t src_begin =
+              i == 0 ? input_begin : extents[i - 1].src_end + 1;
+          if (ex.src_end - src_begin == ex.length) {
+            std::memcpy(css + out, data + src_begin,
+                        static_cast<size_t>(ex.length));
+          } else {
+            int64_t w = out;
+            const int64_t w_end = out + ex.length;
+            for (int64_t s = src_begin; s < ex.src_end && w < w_end; ++s) {
+              if (flags[s] == kSymbolData) css[w++] = data[s];
+            }
+          }
+          if (slot_per_field) {
+            // The terminator slot the per-symbol path emits at each field
+            // end: the terminator byte inline, the delimiter byte itself in
+            // the vector mode (the trailing record's virtual end uses the
+            // format's record delimiter).
+            css[out + ex.length] =
+                mode == TaggingMode::kInlineTerminated
+                    ? options.terminator
+                    : (ex.src_end < static_cast<int64_t>(state->size)
+                           ? data[ex.src_end]
+                           : options.format.record_delimiter);
+          }
+          state->gather_entries[entry_cursor[ex.column]] =
+              FieldEntry{ex.row, out, ex.length};
+          ++entry_cursor[ex.column];
+          byte_cursor[ex.column] =
+              out + ex.length + (slot_per_field ? 1 : 0);
+        }
+      }));
+
+  work->sort_passes += 1;
+  work->sort_bytes_moved +=
+      byte_running + n_fields * static_cast<int64_t>(sizeof(FieldExtent));
+  obs::AddCount(state->options->metrics, "partition.sort_bytes_moved",
+                byte_running +
+                    n_fields * static_cast<int64_t>(sizeof(FieldExtent)));
+  return Status::OK();
+}
+
+}  // namespace
 
 Status PartitionStep::Run(PipelineState* state, StepTimings* timings,
                           WorkCounters* work) {
   obs::TraceSpan span(state->options->tracer, "step.partition", "pipeline",
                       static_cast<int64_t>(state->css.size()));
   Stopwatch watch;
+
+  if (state->transpose_mode == TransposeMode::kFieldGather) {
+    PARPARAW_RETURN_NOT_OK(RunFieldGather(state, work));
+    work->transpose_peak_bytes = std::max(work->transpose_peak_bytes,
+                                          ModelTransposePeakBytes(*state));
+    const double elapsed_ms = watch.ElapsedMillis();
+    timings->partition_ms += elapsed_ms;
+    obs::RecordMillis(state->options->metrics, "step.partition_us",
+                      elapsed_ms);
+    span.set_bytes(static_cast<int64_t>(state->css.size()));
+    return Status::OK();
+  }
+
   const int64_t n = static_cast<int64_t>(state->css.size());
   if (n == 0 || state->num_partitions == 0) {
     state->column_histogram.assign(state->num_partitions, 0);
@@ -29,9 +226,9 @@ Status PartitionStep::Run(PipelineState* state, StepTimings* timings,
   PARPARAW_FAILPOINT("alloc.partition");
 
   RadixSortOptions sort_options;
-  StableRadixSortWithHistogram(state->pool, &state->col_tags,
-                               &state->permutation, state->num_partitions,
-                               &state->column_histogram, sort_options);
+  PARPARAW_RETURN_NOT_OK(StableRadixSortWithHistogram(
+      state->pool, &state->col_tags, &state->permutation,
+      state->num_partitions, &state->column_histogram, sort_options));
 
   // Move the symbols and their side arrays along with the sort key (§3.3:
   // "the symbols and the record-tags are moved along with the associated
@@ -69,6 +266,8 @@ Status PartitionStep::Run(PipelineState* state, StepTimings* timings,
           : 1;
   work->sort_passes += sort_passes;
   work->sort_bytes_moved += bytes_moved * sort_passes;
+  work->transpose_peak_bytes = std::max(work->transpose_peak_bytes,
+                                        ModelTransposePeakBytes(*state));
   const double elapsed_ms = watch.ElapsedMillis();
   timings->partition_ms += elapsed_ms;
   obs::RecordMillis(state->options->metrics, "step.partition_us", elapsed_ms);

@@ -8,11 +8,21 @@ namespace parparaw {
 
 /// \brief Step 5 (§3.3): partition symbols by column.
 ///
-/// A stable LSD radix sort over the column tags moves every kept symbol —
-/// together with its record tag / field-end marker — into its column's
-/// concatenated symbol string (CSS). The sort's histogram doubles as the
-/// per-column CSS offsets. Fills: permutation, column_histogram,
-/// column_css_offsets, and reorders css / rec_tags / field_end in place.
+/// TransposeMode::kSymbolSort: a stable LSD radix sort over the column tags
+/// moves every kept symbol — together with its record tag / field-end
+/// marker — into its column's concatenated symbol string (CSS). The sort's
+/// histogram doubles as the per-column CSS offsets. Fills: permutation,
+/// column_histogram, column_css_offsets, and reorders css / rec_tags /
+/// field_end in place.
+///
+/// TransposeMode::kFieldGather (default): one stable partitioning pass over
+/// the O(fields) gather_extents buckets field entries by column, then a
+/// parallel whole-field memcpy gather builds the CSS directly from the
+/// source buffer (terminator slots folded into the copy). Fills:
+/// column_histogram, column_css_offsets, gather_entries,
+/// gather_entry_offsets, css. Both modes produce byte-identical CSS
+/// layouts; WorkCounters::transpose_peak_bytes records each mode's modelled
+/// peak footprint.
 class PartitionStep {
  public:
   /// Runs the step; accounted to timings->partition_ms. Work counters

@@ -31,6 +31,38 @@ inline ColumnOffset CombineColumnOffsets(const ColumnOffset& a,
   return ColumnOffset{a.value + b.value, a.absolute};
 }
 
+/// One field inside a column's concatenated symbol string (§3.3, Fig. 5).
+struct FieldEntry {
+  /// Output row this field belongs to.
+  int64_t row = 0;
+  /// Offset of the field's first symbol in the global CSS buffer.
+  int64_t offset = 0;
+  /// Number of value symbols (terminator slots excluded).
+  int64_t length = 0;
+};
+
+/// One field of the *source* buffer, in source order — the O(fields) unit of
+/// the TransposeMode::kFieldGather path. Produced by the tag step's extent
+/// pass, consumed by the partition step's column bucketing + gather copy.
+struct FieldExtent {
+  /// Byte offset one past the field's last byte: the delimiter that ended
+  /// it, or the end of input for the trailing field.
+  int64_t src_end = 0;
+  /// Kept value bytes in [src_begin, src_end) (flags==0 bytes only, so
+  /// quotes/escapes/comment bytes are already excluded from the count).
+  int64_t length = 0;
+  /// Output row of the field's record, or -1 when the record was dropped
+  /// (reject policy / skip_records) — dropped extents still occupy a slot
+  /// so src_begin can be derived from the predecessor's src_end.
+  int64_t row = -1;
+  /// Column index, or kDroppedColumn when the field is dropped or its
+  /// column is skipped / beyond the lookup width.
+  uint32_t column = 0;
+};
+
+/// FieldExtent::column sentinel: the field is not part of the output.
+inline constexpr uint32_t kDroppedColumn = 0xFFFFFFFFu;
+
 /// Per-input-byte symbol classification produced by the bitmap step — the
 /// paper's three bitmap indexes (§3.1), stored byte-per-symbol so parallel
 /// chunk writers never share a word. Bit values match SymbolFlags.
@@ -140,6 +172,22 @@ struct PipelineState {
   std::vector<uint64_t> column_histogram;
   /// Exclusive prefix sum of the histogram: each column's CSS offset.
   std::vector<int64_t> column_css_offsets;
+
+  // --- field-gather transposition (TransposeMode::kFieldGather) ---
+  /// The transpose mode the tag step resolved for this parse; the partition
+  /// and CSS-index steps follow it so a parse never mixes paths.
+  TransposeMode transpose_mode = TransposeMode::kSymbolSort;
+  /// Every field of the buffer in source order, including dropped ones
+  /// (their column is kDroppedColumn); field i starts at
+  /// extents[i-1].src_end + 1 (0 for i == 0).
+  std::vector<FieldExtent> gather_extents;
+  /// Field entries bucketed by column (stable within a column), ready to
+  /// slice per partition via gather_entry_offsets. FieldEntry::offset is
+  /// already global-CSS-relative, matching the symbol-sort layout.
+  std::vector<FieldEntry> gather_entries;
+  /// Exclusive prefix: gather_entries[gather_entry_offsets[p] ..
+  /// gather_entry_offsets[p+1]) are column p's fields (num_partitions + 1).
+  std::vector<int64_t> gather_entry_offsets;
 };
 
 }  // namespace parparaw

@@ -223,13 +223,18 @@ Status StagedParse::Scan(std::string_view input, const ParseOptions& options) {
   // fit the budget. The streaming parser, bulk loader and executor degrade
   // (smaller partitions / streaming / fewer in flight) instead of
   // surfacing this.
+  // The envelope depends on the transpose mode: the symbol sort carries
+  // per-byte tag metadata (16x), the field gather O(fields) extents (8x).
+  const int64_t working_set_factor = ParseWorkingSetFactor(resolved_);
   if (resolved_.memory_budget > 0 &&
-      robust::EstimateParseMemory(static_cast<int64_t>(input.size())) >
+      robust::EstimateParseMemory(static_cast<int64_t>(input.size()),
+                                  working_set_factor) >
           resolved_.memory_budget) {
     return Status::ResourceExhausted(
         "parsing " + std::to_string(input.size()) + " bytes needs ~" +
         std::to_string(
-            robust::EstimateParseMemory(static_cast<int64_t>(input.size()))) +
+            robust::EstimateParseMemory(static_cast<int64_t>(input.size()),
+                                        working_set_factor)) +
         " working-set bytes, over the " +
         std::to_string(resolved_.memory_budget) +
         "-byte budget; use StreamingParser or BulkLoader to degrade");
@@ -291,8 +296,11 @@ Status StagedParse::Scan(std::string_view input, const ParseOptions& options) {
   PARPARAW_RETURN_NOT_OK_CTX(TagStep::Run(&state_, &output_.timings),
                              "step.tag");
   output_.work.tag_bytes_written =
-      static_cast<int64_t>(state_.css.size()) *
-      (resolved_.tagging_mode == TaggingMode::kRecordTags ? 9 : 5);
+      state_.transpose_mode == TransposeMode::kFieldGather
+          ? static_cast<int64_t>(state_.gather_extents.size() *
+                                 sizeof(FieldExtent))
+          : static_cast<int64_t>(state_.css.size()) *
+                (resolved_.tagging_mode == TaggingMode::kRecordTags ? 9 : 5);
   return Status::OK();
 }
 

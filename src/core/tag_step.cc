@@ -22,11 +22,14 @@ inline size_t AdjustBegin(const PipelineState& state, size_t pos) {
 }
 
 // Dense lookup for skipped columns (columns above the largest skipped index
-// are never skipped).
+// are never skipped). Bounded by max_record_columns: a column at or beyond
+// the limit cannot survive the count pass, so the lookup never needs to
+// grow past it either.
 std::vector<uint8_t> BuildSkipColumnLookup(const ParseOptions& options) {
   std::vector<uint8_t> lookup;
   for (int col : options.skip_columns) {
     if (col < 0) continue;
+    if (static_cast<uint32_t>(col) >= options.max_record_columns) continue;
     if (static_cast<size_t>(col) >= lookup.size()) lookup.resize(col + 1, 0);
     lookup[col] = 1;
   }
@@ -93,6 +96,178 @@ void ForEachEmission(const PipelineState& state,
   }
 }
 
+// Field-gather transposition (TransposeMode::kFieldGather): instead of a
+// per-symbol tag sideband for the radix sort, derive one FieldExtent per
+// field — including dropped ones, whose predecessor link recovers field
+// starts — with the same chunk-parallel count + exclusive-scan + fill
+// structure as the symbol path. The partition step buckets the extents by
+// column and gathers each column's CSS with whole-field copies.
+Status RunFieldGatherTag(PipelineState* state, StepTimings* timings,
+                         const std::vector<uint8_t>& skip_lookup,
+                         uint32_t max_col_index, Stopwatch* watch,
+                         obs::TraceSpan* span) {
+  const ParseOptions& options = *state->options;
+  const int64_t num_chunks = state->num_chunks;
+  const TaggingMode mode = options.tagging_mode;
+  const bool slot_per_field = mode != TaggingMode::kRecordTags;
+  const auto dropped = [state](int64_t r) {
+    if (r >= state->num_records) return true;
+    return !state->record_dropped.empty() && state->record_dropped[r] != 0;
+  };
+
+  // --- 3. Sizing pass: field ends + open-field tail data per chunk. ---
+  std::vector<int64_t> chunk_fields(num_chunks, 0);
+  std::vector<int64_t> chunk_tail_data(num_chunks, 0);
+  std::vector<uint8_t> chunk_has_end(num_chunks, 0);
+  PARPARAW_RETURN_NOT_OK(
+      ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+        const size_t chunk_size = options.chunk_size;
+        const size_t begin =
+            AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+        const size_t end =
+            AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+        int64_t fields = 0;
+        int64_t tail = 0;
+        bool has_end = false;
+        for (size_t i = begin; i < end; ++i) {
+          const uint8_t flags = state->symbol_flags[i];
+          if (flags & (kSymbolRecordDelimiter | kSymbolFieldDelimiter)) {
+            ++fields;
+            tail = 0;
+            has_end = true;
+          } else if (flags & kSymbolControl) {
+            // Quotes, escapes, comment bytes: excluded from field values.
+          } else {
+            ++tail;
+          }
+        }
+        // The trailing unterminated record's final field ends at EOF.
+        if (c == num_chunks - 1 && state->has_trailing_record) ++fields;
+        chunk_fields[c] = fields;
+        chunk_tail_data[c] = tail;
+        chunk_has_end[c] = has_end ? 1 : 0;
+      }));
+  {
+    const double elapsed_ms = watch->ElapsedMillis();
+    timings->tag_ms += elapsed_ms;
+    obs::RecordMillis(options.metrics, "step.tag.count_us", elapsed_ms);
+  }
+
+  Stopwatch scan_watch;
+  std::vector<int64_t> chunk_extent_offsets(num_chunks, 0);
+  const int64_t total_fields =
+      ExclusivePrefixSum(state->pool, chunk_fields.data(),
+                         chunk_extent_offsets.data(), num_chunks);
+  // carry_in[c]: value bytes before chunk c belonging to the field still
+  // open at its boundary; the first field end inside c closes them.
+  std::vector<int64_t> carry_in(num_chunks, 0);
+  for (int64_t c = 1; c < num_chunks; ++c) {
+    carry_in[c] =
+        chunk_tail_data[c - 1] + (chunk_has_end[c - 1] ? 0 : carry_in[c - 1]);
+  }
+  {
+    const double elapsed_ms = scan_watch.ElapsedMillis();
+    timings->scan_ms += elapsed_ms;
+    obs::RecordMillis(options.metrics, "step.tag.scan_us", elapsed_ms);
+  }
+
+  // --- 4. Fill pass. ---
+  watch->Restart();
+  PARPARAW_RETURN_NOT_OK(robust::GuardedResize(
+      "alloc.gather", &state->gather_extents, total_fields));
+  std::vector<int64_t> chunk_kept_fields(num_chunks, 0);
+  std::vector<int64_t> chunk_kept_bytes(num_chunks, 0);
+  std::atomic<bool> terminator_collision{false};
+  PARPARAW_RETURN_NOT_OK(
+      ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
+        const size_t chunk_size = options.chunk_size;
+        const size_t begin =
+            AdjustBegin(*state, static_cast<size_t>(c) * chunk_size);
+        const size_t end =
+            AdjustBegin(*state, static_cast<size_t>(c + 1) * chunk_size);
+        uint32_t col = state->entry_columns[c];
+        int64_t rec = state->record_offsets[c];
+        int64_t out = chunk_extent_offsets[c];
+        int64_t data_count = 0;
+        bool first_end = true;
+        int64_t kept_fields = 0;
+        int64_t kept_bytes = 0;
+        const auto emit_extent = [&](int64_t src_end) {
+          const int64_t length = data_count + (first_end ? carry_in[c] : 0);
+          first_end = false;
+          data_count = 0;
+          const bool keep =
+              !dropped(rec) && !IsSkippedColumn(skip_lookup, col);
+          FieldExtent& ex = state->gather_extents[out++];
+          ex.src_end = src_end;
+          ex.length = length;
+          ex.row = keep ? state->out_row_of_record[rec] : -1;
+          ex.column = keep ? col : kDroppedColumn;
+          if (keep) {
+            ++kept_fields;
+            kept_bytes += length;
+          }
+        };
+        for (size_t i = begin; i < end; ++i) {
+          const uint8_t flags = state->symbol_flags[i];
+          if (flags & kSymbolRecordDelimiter) {
+            emit_extent(static_cast<int64_t>(i));
+            ++rec;
+            col = 0;
+          } else if (flags & kSymbolFieldDelimiter) {
+            emit_extent(static_cast<int64_t>(i));
+            ++col;
+          } else if (flags & kSymbolControl) {
+            // Not part of any field's value.
+          } else {
+            if (mode == TaggingMode::kInlineTerminated &&
+                state->data[i] == options.terminator && !dropped(rec) &&
+                !IsSkippedColumn(skip_lookup, col)) {
+              terminator_collision.store(true, std::memory_order_relaxed);
+            }
+            ++data_count;
+          }
+        }
+        if (c == num_chunks - 1 && state->has_trailing_record) {
+          emit_extent(static_cast<int64_t>(state->size));
+        }
+        chunk_kept_fields[c] = kept_fields;
+        chunk_kept_bytes[c] = kept_bytes;
+      }));
+  if (terminator_collision.load()) {
+    return Status::ParseError(
+        "terminator byte occurs in field data; use the vector-delimited or "
+        "record-tag mode");
+  }
+
+  // Kept totals decide num_partitions exactly as the symbol path's
+  // total_slots does: value bytes, plus one terminator slot per kept field
+  // end in the inline/vector modes.
+  int64_t kept_fields_total = 0;
+  int64_t kept_bytes_total = 0;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    kept_fields_total += chunk_kept_fields[c];
+    kept_bytes_total += chunk_kept_bytes[c];
+  }
+  const int64_t total_slots =
+      kept_bytes_total + (slot_per_field ? kept_fields_total : 0);
+  state->num_partitions = total_slots > 0 ? max_col_index + 1 : 0;
+
+  // The symbol-path sidebands stay empty; the partition step builds the
+  // CSS directly from the extents.
+  state->css.clear();
+  state->col_tags.clear();
+  state->rec_tags.clear();
+  state->field_end.clear();
+
+  const double write_ms = watch->ElapsedMillis();
+  timings->tag_ms += write_ms;
+  obs::RecordMillis(options.metrics, "step.tag.write_us", write_ms);
+  span->set_bytes(static_cast<int64_t>(state->gather_extents.size() *
+                                       sizeof(FieldExtent)));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status TagStep::Run(PipelineState* state, StepTimings* timings) {
@@ -105,8 +280,17 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
   const std::vector<uint8_t> skip_lookup = BuildSkipColumnLookup(options);
 
   // --- 1. Count pass: per-record column counts + max column index. ---
+  // A record tagging more than max_record_columns columns fails the parse:
+  // every per-column table downstream (skip lookup, sort histogram, CSS
+  // offsets) is sized by max_col_index + 1, so an adversarial
+  // delimiter-dense row must not be allowed to size them unbounded (or to
+  // march the uint32 column counter toward overflow). Each chunk records
+  // its first violation; the earliest record wins.
+  const uint32_t column_limit = options.max_record_columns;
   state->record_column_counts.assign(num_records, 0);
   std::vector<uint32_t> chunk_max_col(num_chunks, 0);
+  std::vector<int64_t> chunk_violation_rec(num_chunks, -1);
+  std::vector<int64_t> chunk_violation_pos(num_chunks, -1);
   PARPARAW_RETURN_NOT_OK(
       ParallelForEach(state->pool, 0, num_chunks, [&](int64_t c) {
     const size_t chunk_size = options.chunk_size;
@@ -127,6 +311,10 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
       } else if (flags & kSymbolFieldDelimiter) {
         ++col;
         max_col = std::max(max_col, col);
+        if (col >= column_limit && chunk_violation_rec[c] < 0) {
+          chunk_violation_rec[c] = rec;
+          chunk_violation_pos[c] = static_cast<int64_t>(i);
+        }
       }
     }
     if (c == num_chunks - 1 && state->has_trailing_record) {
@@ -135,6 +323,37 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
     }
     chunk_max_col[c] = max_col;
   }));
+  int64_t violation_rec = -1;
+  int64_t violation_pos = -1;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    if (chunk_violation_rec[c] < 0) continue;
+    if (violation_rec < 0 || chunk_violation_rec[c] < violation_rec ||
+        (chunk_violation_rec[c] == violation_rec &&
+         chunk_violation_pos[c] < violation_pos)) {
+      violation_rec = chunk_violation_rec[c];
+      violation_pos = chunk_violation_pos[c];
+    }
+  }
+  if (violation_rec >= 0) {
+    // Recover the offending record's byte span for the error: back to the
+    // previous record delimiter, forward to the next one (or EOF).
+    int64_t span_begin = violation_pos;
+    while (span_begin > 0 &&
+           !(state->symbol_flags[span_begin - 1] & kSymbolRecordDelimiter)) {
+      --span_begin;
+    }
+    int64_t span_end = violation_pos;
+    while (span_end < static_cast<int64_t>(state->size) &&
+           !(state->symbol_flags[span_end] & kSymbolRecordDelimiter)) {
+      ++span_end;
+    }
+    return Status::ParseError(
+        "record " + std::to_string(violation_rec) + " (bytes " +
+        std::to_string(span_begin) + ".." + std::to_string(span_end) +
+        ") has more than " + std::to_string(column_limit) +
+        " columns (ParseOptions::max_record_columns); raise the limit for "
+        "genuinely wide data");
+  }
   uint32_t max_col_index = 0;
   for (uint32_t m : chunk_max_col) max_col_index = std::max(max_col_index, m);
 
@@ -219,6 +438,15 @@ Status TagStep::Run(PipelineState* state, StepTimings* timings) {
   state->min_columns = min_cols;
   state->max_columns = max_cols;
   (void)dropped_count;
+
+  state->transpose_mode = EffectiveTransposeMode(options);
+  if (state->transpose_mode == TransposeMode::kFieldGather) {
+    return RunFieldGatherTag(state, timings, skip_lookup, max_col_index,
+                             &watch, &span);
+  }
+  state->gather_extents.clear();
+  state->gather_entries.clear();
+  state->gather_entry_offsets.clear();
 
   // --- 3. Sizing pass + exclusive prefix sum. ---
   std::vector<int64_t> chunk_emit(num_chunks, 0);

@@ -26,9 +26,18 @@ namespace parparaw {
 ///     (kInlineTerminated), or an auxiliary field-end vector
 ///     (kVectorDelimited).
 ///
+/// Passes 3-4 describe TransposeMode::kSymbolSort. Under the default
+/// kFieldGather the step instead derives one FieldExtent per field (the
+/// same count + exclusive-scan + fill structure, but over O(fields) units)
+/// and leaves css/col_tags/rec_tags/field_end empty — the partition step
+/// builds the CSS from the extents. A record tagging more than
+/// ParseOptions::max_record_columns columns fails the parse with a
+/// ParseError carrying the record's byte span (both modes).
+///
 /// Fills: record_column_counts, record_dropped, out_row_of_record,
-/// num_out_rows, min/max_columns, num_partitions, css, col_tags, rec_tags,
-/// field_end.
+/// num_out_rows, min/max_columns, num_partitions, transpose_mode, and
+/// css/col_tags/rec_tags/field_end (kSymbolSort) or gather_extents
+/// (kFieldGather).
 class TagStep {
  public:
   /// Runs the step; the work is accounted to timings->tag_ms (the prefix

@@ -127,15 +127,17 @@ class PipelineRun {
     // Degrade instead of refusing, in two independent ways: partitions
     // shrink until one parse fits the budget, and the admission limit
     // clamps how many of them may be resident at once.
+    const int64_t working_set_factor = ParseWorkingSetFactor(options_.base);
     partition_size_ = static_cast<size_t>(
         robust::ClampPartitionSizeForBudget(
             static_cast<int64_t>(options_.partition_size),
-            options_.base.memory_budget));
+            options_.base.memory_budget, /*floor_bytes=*/256,
+            working_set_factor));
     admission_limit_ = options_.max_inflight_partitions;
     if (admission_limit_ <= 0) {
       if (options_.base.memory_budget > 0) {
         const int64_t per_partition = robust::EstimateParseMemory(
-            static_cast<int64_t>(partition_size_));
+            static_cast<int64_t>(partition_size_), working_set_factor);
         admission_limit_ = static_cast<int>(std::max<int64_t>(
             1, options_.base.memory_budget / std::max<int64_t>(
                                                  1, per_partition)));

@@ -285,8 +285,11 @@ Result<LoadResult> BulkLoader::LoadFile(const std::string& path,
     FileChunkReader reader;
     PARPARAW_RETURN_NOT_OK_CTX(reader.Open(path), "loader.open");
     // The whole-file parse would not fit: degrade to streaming straight
-    // from disk instead of failing with kResourceExhausted.
-    if (robust::EstimateParseMemory(reader.file_size()) >
+    // from disk instead of failing with kResourceExhausted. LoadOptions
+    // carries no transpose mode, so the envelope is the one the resolved
+    // per-partition options will use (the process default).
+    if (robust::EstimateParseMemory(reader.file_size(),
+                                    ParseWorkingSetFactor(ParseOptions{})) >
         options.memory_budget) {
       return LoadFileStreaming(path, reader.file_size(), options);
     }

@@ -63,7 +63,10 @@ void PartitionPass(ThreadPool* pool, const std::vector<uint32_t>& keys,
 
 int SignificantBits(const std::vector<uint32_t>& keys,
                     const RadixSortOptions& options) {
-  if (options.significant_bits > 0) return options.significant_bits;
+  // Clamp to the key width: a caller asking for more than 32 significant
+  // bits would otherwise drive the pass loop to `keys >> shift` with
+  // shift >= 32, which is undefined behaviour on a uint32_t.
+  if (options.significant_bits > 0) return std::min(options.significant_bits, 32);
   uint32_t max_key = 0;
   for (uint32_t k : keys) max_key = std::max(max_key, k);
   if (max_key == 0) return 1;
@@ -93,26 +96,38 @@ void StableRadixSortPermutation(ThreadPool* pool,
   if (src != permutation) *permutation = std::move(*src);
 }
 
-void StableRadixSortWithHistogram(ThreadPool* pool,
-                                  std::vector<uint32_t>* keys,
-                                  std::vector<uint32_t>* permutation,
-                                  uint32_t num_partitions,
-                                  std::vector<uint64_t>* histogram,
-                                  const RadixSortOptions& options) {
+Status StableRadixSortWithHistogram(ThreadPool* pool,
+                                    std::vector<uint32_t>* keys,
+                                    std::vector<uint32_t>* permutation,
+                                    uint32_t num_partitions,
+                                    std::vector<uint64_t>* histogram,
+                                    const RadixSortOptions& options) {
+  // Every key must lie in the declared domain: the histogram is reused as
+  // the source of the per-column CSS offsets, so a silently skipped key
+  // would desynchronize every offset after it. An out-of-domain key can
+  // only come from a bug in the tagging step — fail loudly.
+  histogram->assign(num_partitions, 0);
+  for (size_t i = 0; i < keys->size(); ++i) {
+    const uint32_t k = (*keys)[i];
+    if (k >= num_partitions) {
+      return Status::Internal(
+          "radix-sort key " + std::to_string(k) + " at index " +
+          std::to_string(i) + " is outside the declared domain [0, " +
+          std::to_string(num_partitions) +
+          "); the tagging step emitted a column tag beyond num_partitions");
+    }
+    ++(*histogram)[k];
+  }
   RadixSortOptions opts = options;
   if (opts.significant_bits == 0 && num_partitions > 1) {
     opts.significant_bits = bit_util::Log2Floor(num_partitions - 1) + 1;
   }
   StableRadixSortPermutation(pool, *keys, permutation, opts);
-  // Histogram over the (already validated) key domain.
-  histogram->assign(num_partitions, 0);
-  for (uint32_t k : *keys) {
-    if (k < num_partitions) ++(*histogram)[k];
-  }
   // Reorder the keys themselves.
   std::vector<uint32_t> sorted;
   ApplyPermutation(pool, *permutation, *keys, &sorted);
   *keys = std::move(sorted);
+  return Status::OK();
 }
 
 }  // namespace parparaw

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.h"
+#include "util/status.h"
 
 namespace parparaw {
 
@@ -16,6 +17,9 @@ struct RadixSortOptions {
   int bits_per_pass = 8;
   /// Number of low key bits that are significant; passes stop once all
   /// significant bits are consumed. 0 means derive from the maximum key.
+  /// Values above 32 are clamped to 32: keys are uint32_t, and a larger
+  /// request would drive the pass loop to shifts >= 32 (undefined
+  /// behaviour on a 32-bit operand).
   int significant_bits = 0;
 };
 
@@ -33,13 +37,17 @@ void StableRadixSortPermutation(ThreadPool* pool,
 
 /// \brief Stable radix sort that also reorders `keys` in place and returns
 /// the per-key-value counts (the histogram the paper reuses to find the CSS
-/// offsets). `num_partitions` is an exclusive upper bound on key values.
-void StableRadixSortWithHistogram(ThreadPool* pool,
-                                  std::vector<uint32_t>* keys,
-                                  std::vector<uint32_t>* permutation,
-                                  uint32_t num_partitions,
-                                  std::vector<uint64_t>* histogram,
-                                  const RadixSortOptions& options = {});
+/// offsets). `num_partitions` is an exclusive upper bound on key values;
+/// a key outside [0, num_partitions) violates the tagging step's invariant
+/// and yields an Internal error (leaving `keys` unreordered) rather than a
+/// silently short histogram that would desynchronize every CSS offset
+/// derived from it.
+Status StableRadixSortWithHistogram(ThreadPool* pool,
+                                    std::vector<uint32_t>* keys,
+                                    std::vector<uint32_t>* permutation,
+                                    uint32_t num_partitions,
+                                    std::vector<uint64_t>* histogram,
+                                    const RadixSortOptions& options = {});
 
 /// \brief Gathers `in` through `permutation`: out[i] = in[permutation[i]].
 template <typename T>

@@ -31,15 +31,26 @@ namespace robust {
 /// against the dense CSV workloads in tests/workload.
 inline constexpr int64_t kParseMemoryFactor = 16;
 
-inline int64_t EstimateParseMemory(int64_t input_size) {
-  return input_size * kParseMemoryFactor;
+/// Envelope for TransposeMode::kFieldGather, whose transposition metadata is
+/// O(fields) instead of O(bytes): the per-byte tag sideband, per-symbol
+/// permutation and sort scratch disappear, leaving the state vectors, symbol
+/// flags, field extents (~40 bytes per *field*) and the output table.
+/// Measured against the same dense workloads, 8x input bounds the peak.
+inline constexpr int64_t kParseMemoryFactorFieldGather = 8;
+
+inline int64_t EstimateParseMemory(int64_t input_size,
+                                   int64_t factor = kParseMemoryFactor) {
+  return input_size * factor;
 }
 
 /// Largest partition size (bytes) whose estimated working set fits in
 /// `memory_budget`, clamped to [floor_bytes, requested]. Returns `requested`
-/// unchanged when the budget is 0 (unlimited).
+/// unchanged when the budget is 0 (unlimited). `factor` is the working-set
+/// multiplier of the parse the partitions feed — pass
+/// ParseWorkingSetFactor(options) when the transpose mode is known.
 int64_t ClampPartitionSizeForBudget(int64_t requested, int64_t memory_budget,
-                                    int64_t floor_bytes = 256);
+                                    int64_t floor_bytes = 256,
+                                    int64_t factor = kParseMemoryFactor);
 
 /// Assigns `count` copies of `value` into `container` (vector-like), mapping
 /// the `name` failpoint and std::bad_alloc to kResourceExhausted.

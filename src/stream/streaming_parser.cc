@@ -161,11 +161,12 @@ Result<StreamingResult> StreamingParser::Parse(
     return Status::Invalid("partition size must be positive");
   }
   // Degrade instead of refusing: under a memory budget, shrink partitions
-  // until each one's parse working set fits.
+  // until each one's parse working set (mode-dependent envelope) fits.
   const size_t partition_size =
       static_cast<size_t>(robust::ClampPartitionSizeForBudget(
           static_cast<int64_t>(options.partition_size),
-          options.base.memory_budget));
+          options.base.memory_budget, /*floor_bytes=*/256,
+          ParseWorkingSetFactor(options.base)));
   PartitionSession session(options);
   Stopwatch wall;
   if (input.empty()) return session.Finish(0.0);
@@ -190,7 +191,8 @@ Result<StreamingResult> StreamingParser::ParseFile(
   const size_t partition_size =
       static_cast<size_t>(robust::ClampPartitionSizeForBudget(
           static_cast<int64_t>(options.partition_size),
-          options.base.memory_budget));
+          options.base.memory_budget, /*floor_bytes=*/256,
+          ParseWorkingSetFactor(options.base)));
   FileChunkReader reader;
   PARPARAW_RETURN_NOT_OK(reader.Open(path));
   PartitionSession session(options);

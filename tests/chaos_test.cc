@@ -57,7 +57,8 @@ int64_t EnvInt(const char* name, int64_t fallback) {
 // including every queue hand-off of the pipelined executor.
 const char* const kFailpoints[] = {
     "pool.task",       "alloc.context", "alloc.bitmap", "alloc.tag",
-    "alloc.partition", "alloc.convert", "stream.chunk", "loader.load",
+    "alloc.partition", "alloc.gather",  "alloc.convert", "stream.chunk",
+    "loader.load",
     "io.open",         "io.read",       "io.tell",      "exec.ingest",
     "exec.read",
     "exec.queue.scan.push",    "exec.queue.scan.pop",

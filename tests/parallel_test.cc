@@ -189,13 +189,49 @@ TEST(RadixSortTest, HistogramMatchesCounts) {
   std::vector<uint32_t> keys = {3, 1, 4, 1, 5, 2, 6, 5, 3, 5};
   std::vector<uint32_t> perm;
   std::vector<uint64_t> histogram;
-  StableRadixSortWithHistogram(&pool, &keys, &perm, 7, &histogram);
+  ASSERT_TRUE(
+      StableRadixSortWithHistogram(&pool, &keys, &perm, 7, &histogram).ok());
   ASSERT_EQ(histogram.size(), 7u);
   EXPECT_EQ(histogram[0], 0u);
   EXPECT_EQ(histogram[1], 2u);
   EXPECT_EQ(histogram[5], 3u);
   // Keys are now sorted.
   for (size_t i = 1; i < keys.size(); ++i) EXPECT_LE(keys[i - 1], keys[i]);
+}
+
+// Regression: a key at or beyond num_partitions used to be silently skipped
+// in the histogram, desynchronizing every CSS offset derived from it. It is
+// an internal-invariant violation and must fail loudly.
+TEST(RadixSortTest, OutOfDomainKeyIsAnInternalError) {
+  ThreadPool pool(4);
+  std::vector<uint32_t> keys = {3, 1, 9, 2};  // 9 >= num_partitions
+  std::vector<uint32_t> perm;
+  std::vector<uint64_t> histogram;
+  const Status st =
+      StableRadixSortWithHistogram(&pool, &keys, &perm, 7, &histogram);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("9"), std::string::npos) << st.message();
+  // The keys were left untouched (no partial reorder).
+  EXPECT_EQ(keys, (std::vector<uint32_t>{3, 1, 9, 2}));
+}
+
+// Regression: significant_bits > 32 used to drive the pass loop to
+// `key >> shift` with shift >= 32 — undefined behaviour on uint32_t (the
+// UBSan build catches the shift). The request is clamped to the key width.
+TEST(RadixSortTest, SignificantBitsAbove32AreClamped) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(40);
+  std::vector<uint32_t> keys(4096);
+  for (auto& k : keys) k = static_cast<uint32_t>(rng());
+  RadixSortOptions options;
+  options.significant_bits = 40;
+  std::vector<uint32_t> perm;
+  StableRadixSortPermutation(&pool, keys, &perm, options);
+  ASSERT_EQ(perm.size(), keys.size());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LE(keys[perm[i - 1]], keys[perm[i]]);
+  }
 }
 
 TEST(RadixSortTest, WideBitsPerPass) {

@@ -196,6 +196,57 @@ TEST(ParserTest, DefaultValuesForEmptyFields) {
   EXPECT_EQ(result->table.NumRejected(), 0);
 }
 
+TEST(ParserTest, TrailingEmptyFieldsOfLastRecordRoundTripToDefaults) {
+  // Regression: the trailing empty field of the LAST record — whether the
+  // record ends with the final newline or at EOF with no newline at all —
+  // must behave like any interior empty field and pick up the column
+  // default, in both transpose modes.
+  for (TransposeMode mode :
+       {TransposeMode::kSymbolSort, TransposeMode::kFieldGather}) {
+    ParseOptions options;
+    options.transpose_mode = mode;
+    options.schema.AddField(Field("a", DataType::String()));
+    options.schema.AddField(Field("b", DataType::String()));
+    Field c("c", DataType::String());
+    c.default_value = "dflt";
+    options.schema.AddField(c);
+    for (const char* input : {"a,b,\n", "a,b,"}) {
+      auto result = Parser::Parse(input, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result->table.num_rows, 1) << input;
+      EXPECT_EQ(result->table.columns[0].StringValue(0), "a");
+      EXPECT_EQ(result->table.columns[1].StringValue(0), "b");
+      EXPECT_EQ(result->table.columns[2].StringValue(0), "dflt") << input;
+      EXPECT_EQ(result->table.NumRejected(), 0);
+    }
+  }
+}
+
+TEST(ParserTest, LoneDelimiterRecordYieldsAllDefaults) {
+  // A record that is nothing but a field delimiter has two empty fields;
+  // as the last (or only) record it must still produce one row of
+  // defaults, with or without a closing newline.
+  for (TransposeMode mode :
+       {TransposeMode::kSymbolSort, TransposeMode::kFieldGather}) {
+    ParseOptions options;
+    options.transpose_mode = mode;
+    Field a("a", DataType::String());
+    a.default_value = "left";
+    Field b("b", DataType::String());
+    b.default_value = "right";
+    options.schema.AddField(a);
+    options.schema.AddField(b);
+    for (const char* input : {",\n", ","}) {
+      auto result = Parser::Parse(input, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result->table.num_rows, 1) << input;
+      EXPECT_EQ(result->table.columns[0].StringValue(0), "left") << input;
+      EXPECT_EQ(result->table.columns[1].StringValue(0), "right") << input;
+      EXPECT_EQ(result->table.NumRejected(), 0);
+    }
+  }
+}
+
 TEST(ParserTest, InvalidDefaultValueFailsParse) {
   ParseOptions options;
   Field id("id", DataType::Int64());

@@ -43,6 +43,53 @@ TEST(CssIndexTest, RecordTagModeSkipsEmptyFields) {
   EXPECT_EQ(fields[1].row, 2);
 }
 
+TEST(CssIndexTest, RecordTagModeTrailingEmptyFieldOfLastRecord) {
+  // Regression: `a,b,` — the last record's trailing empty field ends at the
+  // final newline or at the virtual record end (EOF with no newline). The
+  // record must still count three columns while the empty field produces no
+  // run, so conversion falls back to the column default.
+  for (TransposeMode mode :
+       {TransposeMode::kSymbolSort, TransposeMode::kFieldGather}) {
+    for (const char* input : {"a,b,\n", "a,b,"}) {
+      ParseOptions options;
+      options.transpose_mode = mode;
+      auto h = StepHarness::Make(input, options);
+      ASSERT_TRUE(h->RunThroughPartition().ok());
+      ASSERT_EQ(h->state.record_column_counts.size(), 1u) << input;
+      EXPECT_EQ(h->state.record_column_counts[0], 3u) << input;
+      std::vector<FieldEntry> fields;
+      ASSERT_TRUE(BuildCssIndex(h->state, 2, &fields).ok());
+      EXPECT_TRUE(fields.empty()) << input;
+      // The non-empty sibling columns are unaffected.
+      ASSERT_TRUE(BuildCssIndex(h->state, 0, &fields).ok());
+      ASSERT_EQ(fields.size(), 1u) << input;
+      EXPECT_EQ(fields[0].length, 1) << input;
+    }
+  }
+}
+
+TEST(CssIndexTest, LoneDelimiterRecordHasNoRuns) {
+  // `,` as the only record: two empty fields, zero kept symbols. Both
+  // transpose modes agree that no column has a partition (num_partitions
+  // is 0 when the CSS is empty) and every index lookup is empty.
+  for (TransposeMode mode :
+       {TransposeMode::kSymbolSort, TransposeMode::kFieldGather}) {
+    for (const char* input : {",\n", ","}) {
+      ParseOptions options;
+      options.transpose_mode = mode;
+      auto h = StepHarness::Make(input, options);
+      ASSERT_TRUE(h->RunThroughPartition().ok());
+      ASSERT_EQ(h->state.record_column_counts.size(), 1u) << input;
+      EXPECT_EQ(h->state.record_column_counts[0], 2u) << input;
+      std::vector<FieldEntry> fields;
+      for (uint32_t col = 0; col < 2; ++col) {
+        ASSERT_TRUE(BuildCssIndex(h->state, col, &fields).ok());
+        EXPECT_TRUE(fields.empty()) << input << " col " << col;
+      }
+    }
+  }
+}
+
 TEST(CssIndexTest, InlineModeIncludesEmptyFields) {
   const std::string input = "a,1\nb,\nc,3\n";
   ParseOptions options;

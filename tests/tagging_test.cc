@@ -20,12 +20,14 @@ std::map<std::pair<uint32_t, uint32_t>, std::string> FieldsFromTags(
 }
 
 TEST(TagStepTest, Figure4Example) {
-  // The running example of Figs. 3-5.
+  // The running example of Figs. 3-5. Inspects the per-symbol tag
+  // sidebands, so it pins the symbol-sort transposition explicitly.
   const std::string input =
       "1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", "
       "black\"\n";
   ParseOptions options;
   options.chunk_size = 10;
+  options.transpose_mode = TransposeMode::kSymbolSort;
   auto h = StepHarness::Make(input, options);
   ASSERT_NE(h, nullptr);
   ASSERT_TRUE(h->RunThroughTagging().ok());
@@ -53,11 +55,13 @@ TEST_P(TaggingChunkSweep, TagsAreChunkSizeInvariant) {
       "a,\"b,\n\",c\n,,\nx,\"\"\"q\"\"\",z\ntrailing,1,2";
   ParseOptions base;
   base.chunk_size = 1 << 20;
+  base.transpose_mode = TransposeMode::kSymbolSort;
   auto reference = StepHarness::Make(input, base);
   ASSERT_TRUE(reference->RunThroughTagging().ok());
 
   ParseOptions options;
   options.chunk_size = GetParam();
+  options.transpose_mode = TransposeMode::kSymbolSort;
   auto h = StepHarness::Make(input, options);
   ASSERT_TRUE(h->RunThroughTagging().ok());
 
@@ -91,6 +95,7 @@ TEST(TagStepTest, VectorDelimitedModeKeepsDelimiterBytes) {
   ParseOptions options;
   options.chunk_size = 6;
   options.tagging_mode = TaggingMode::kVectorDelimited;
+  options.transpose_mode = TransposeMode::kSymbolSort;  // reads field_end
   auto h = StepHarness::Make(input, options);
   ASSERT_TRUE(h->RunThroughPartition().ok());
 
@@ -139,6 +144,7 @@ TEST(TagStepTest, RejectPolicyDropsInconsistentRecords) {
   const std::string input = "1,Apples\n2\n3,Pears\n";
   ParseOptions options;
   options.column_count_policy = ColumnCountPolicy::kReject;
+  options.transpose_mode = TransposeMode::kSymbolSort;
   auto h = StepHarness::Make(input, options);
   ASSERT_TRUE(h->RunThroughTagging().ok());
   EXPECT_EQ(h->state.num_out_rows, 2);
@@ -164,6 +170,7 @@ TEST(TagStepTest, SkipRecordsDropsRequestedIndices) {
   const std::string input = "r0,a\nr1,b\nr2,c\nr3,d\n";
   ParseOptions options;
   options.skip_records = {1, 3};
+  options.transpose_mode = TransposeMode::kSymbolSort;
   auto h = StepHarness::Make(input, options);
   ASSERT_TRUE(h->RunThroughTagging().ok());
   EXPECT_EQ(h->state.num_out_rows, 2);
@@ -176,6 +183,7 @@ TEST(TagStepTest, SkipColumnsDropsSymbols) {
   const std::string input = "a,bb,c\nd,ee,f\n";
   ParseOptions options;
   options.skip_columns = {1};
+  options.transpose_mode = TransposeMode::kSymbolSort;
   auto h = StepHarness::Make(input, options);
   ASSERT_TRUE(h->RunThroughTagging().ok());
   const auto fields = FieldsFromTags(h->state);
@@ -189,6 +197,7 @@ TEST(TagStepTest, ExcludeTrailingRecordForStreaming) {
   const std::string input = "a,b\npartial,rec";
   ParseOptions options;
   options.exclude_trailing_record = true;
+  options.transpose_mode = TransposeMode::kSymbolSort;
   auto h = StepHarness::Make(input, options);
   ASSERT_TRUE(h->RunThroughTagging().ok());
   EXPECT_EQ(h->state.num_records, 2);
@@ -201,6 +210,7 @@ TEST(PartitionStepTest, SymbolsGroupedByColumnInRecordOrder) {
   const std::string input = "a1,b1\na2,b2\na3,b3\n";
   ParseOptions options;
   options.chunk_size = 3;
+  options.transpose_mode = TransposeMode::kSymbolSort;  // reads rec_tags
   auto h = StepHarness::Make(input, options);
   ASSERT_TRUE(h->RunThroughPartition().ok());
 
@@ -223,6 +233,152 @@ TEST(PartitionStepTest, EmptyInputProducesEmptyPartitions) {
   ASSERT_TRUE(h->RunThroughPartition().ok());
   // One empty record: no symbols at all, one partition from max col 0.
   EXPECT_EQ(h->state.css.size(), 0u);
+}
+
+// --- TransposeMode::kFieldGather step-level tests. The differential suite
+// (transpose_differential_test.cc) proves whole-table equivalence; these
+// pin the intermediate layout the gather path promises. ---
+
+// Runs the same input through both transpose modes and asserts the CSS
+// buffer and its per-column offsets come out byte-identical.
+void ExpectGatherCssMatchesSymbolSort(const std::string& input,
+                                      ParseOptions options) {
+  options.transpose_mode = TransposeMode::kSymbolSort;
+  auto symbol = StepHarness::Make(input, options);
+  ASSERT_NE(symbol, nullptr);
+  ASSERT_TRUE(symbol->RunThroughPartition().ok());
+
+  options.transpose_mode = TransposeMode::kFieldGather;
+  auto gather = StepHarness::Make(input, options);
+  ASSERT_NE(gather, nullptr);
+  ASSERT_TRUE(gather->RunThroughPartition().ok());
+
+  EXPECT_EQ(gather->state.num_partitions, symbol->state.num_partitions);
+  EXPECT_EQ(gather->state.column_css_offsets,
+            symbol->state.column_css_offsets);
+  EXPECT_EQ(gather->state.column_histogram, symbol->state.column_histogram);
+  EXPECT_EQ(gather->state.css, symbol->state.css);
+}
+
+TEST(FieldGatherTest, CssMatchesSymbolSortOnFigure4) {
+  const std::string input =
+      "1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", "
+      "black\"\n";
+  ParseOptions options;
+  options.chunk_size = 10;
+  ExpectGatherCssMatchesSymbolSort(input, options);
+}
+
+TEST(FieldGatherTest, CssMatchesSymbolSortAcrossTaggingModes) {
+  const std::string input = "0,\"Apples\"\n1,\n2,\"Pears\"\n";
+  for (TaggingMode mode :
+       {TaggingMode::kRecordTags, TaggingMode::kInlineTerminated,
+        TaggingMode::kVectorDelimited}) {
+    ParseOptions options;
+    options.chunk_size = 5;
+    options.tagging_mode = mode;
+    ExpectGatherCssMatchesSymbolSort(input, options);
+  }
+}
+
+TEST(FieldGatherTest, CssMatchesSymbolSortWithDropsAndSkips) {
+  const std::string input = "r0,a,x\nr1,b,y\nr2\nr3,d,z\npartial,rec";
+  ParseOptions options;
+  options.chunk_size = 7;
+  options.skip_records = {1};
+  options.skip_columns = {1};
+  options.column_count_policy = ColumnCountPolicy::kReject;
+  options.exclude_trailing_record = true;
+  ExpectGatherCssMatchesSymbolSort(input, options);
+}
+
+TEST(FieldGatherTest, EntriesGroupByColumnInRecordOrder) {
+  const std::string input = "a1,b1\na2,b2\na3,b3\n";
+  ParseOptions options;
+  options.chunk_size = 3;
+  options.transpose_mode = TransposeMode::kFieldGather;
+  auto h = StepHarness::Make(input, options);
+  ASSERT_TRUE(h->RunThroughPartition().ok());
+
+  ASSERT_EQ(h->state.gather_entry_offsets.size(), 3u);
+  EXPECT_EQ(h->state.gather_entry_offsets[0], 0);
+  EXPECT_EQ(h->state.gather_entry_offsets[1], 3);
+  EXPECT_EQ(h->state.gather_entry_offsets[2], 6);
+  std::string col0(h->state.css.begin(), h->state.css.begin() + 6);
+  std::string col1(h->state.css.begin() + 6, h->state.css.end());
+  EXPECT_EQ(col0, "a1a2a3");
+  EXPECT_EQ(col1, "b1b2b3");
+  for (int64_t k = 0; k < 3; ++k) {
+    const FieldEntry& entry = h->state.gather_entries[k];
+    EXPECT_EQ(entry.row, k);
+    EXPECT_EQ(entry.offset, k * 2);
+    EXPECT_EQ(entry.length, 2);
+  }
+}
+
+TEST(FieldGatherTest, ChunkSizeInvariant) {
+  const std::string input =
+      "a,\"b,\n\",c\n,,\nx,\"\"\"q\"\"\",z\ntrailing,1,2";
+  ParseOptions base;
+  base.chunk_size = 1 << 20;
+  base.transpose_mode = TransposeMode::kFieldGather;
+  auto reference = StepHarness::Make(input, base);
+  ASSERT_TRUE(reference->RunThroughPartition().ok());
+  for (size_t chunk : {1u, 2u, 3u, 5u, 7u, 11u, 31u, 64u}) {
+    ParseOptions options;
+    options.chunk_size = chunk;
+    options.transpose_mode = TransposeMode::kFieldGather;
+    auto h = StepHarness::Make(input, options);
+    ASSERT_TRUE(h->RunThroughPartition().ok()) << "chunk=" << chunk;
+    EXPECT_EQ(h->state.css, reference->state.css) << "chunk=" << chunk;
+    EXPECT_EQ(h->state.column_css_offsets,
+              reference->state.column_css_offsets)
+        << "chunk=" << chunk;
+    EXPECT_EQ(h->state.gather_entry_offsets,
+              reference->state.gather_entry_offsets)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(FieldGatherTest, InlineModeDetectsTerminatorCollision) {
+  std::string input = "a,b\n";
+  input[0] = 0x1F;  // the default terminator as field data
+  ParseOptions options;
+  options.tagging_mode = TaggingMode::kInlineTerminated;
+  options.transpose_mode = TransposeMode::kFieldGather;
+  auto h = StepHarness::Make(input, options);
+  const Status st = h->RunThroughTagging();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+// Satellite: adversarial delimiter-dense records must fail with a bounded
+// ParseError instead of growing per-column tables without limit.
+TEST(TagStepTest, MaxRecordColumnsRejectsAdversarialRow) {
+  ParseOptions options;
+  options.max_record_columns = 8;
+  const std::string input = "ok,row\n" + std::string(63, ',') + "\nnext,r\n";
+  for (TransposeMode mode :
+       {TransposeMode::kSymbolSort, TransposeMode::kFieldGather}) {
+    options.transpose_mode = mode;
+    auto h = StepHarness::Make(input, options);
+    const Status st = h->RunThroughTagging();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError);
+    // The error names the offending record and its byte span.
+    EXPECT_NE(st.message().find("record 1"), std::string::npos)
+        << st.message();
+    EXPECT_NE(st.message().find("bytes 7..70"), std::string::npos)
+        << st.message();
+  }
+}
+
+TEST(TagStepTest, MaxRecordColumnsAllowsLimitExactly) {
+  ParseOptions options;
+  options.max_record_columns = 4;
+  auto h = StepHarness::Make("a,b,c,d\n", options);
+  ASSERT_TRUE(h->RunThroughTagging().ok());
+  EXPECT_EQ(h->state.max_columns, 4u);
 }
 
 }  // namespace
