@@ -5,10 +5,15 @@
 //  * the composite-operator scan over state-transition vectors;
 //  * `--transpose-mode`: the symbol-sort vs field-gather transposition
 //    head-to-head on the yelp-like workload (wall time, transpose-phase
-//    time, modelled peak bytes; --json-out= for BENCH_transpose.json).
+//    time, modelled peak bytes; --json-out= for BENCH_transpose.json);
+//  * `--dialect`: the runtime dialect compiler — compile+minimise+prove
+//    latency per spec shape, compiled-CSV-twin vs built-in RFC 4180 parse
+//    throughput, and the scalar-fallback walk's cost relative to the
+//    pipeline (--json-out= for BENCH_dialect.json).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <random>
 #include <string>
@@ -16,6 +21,7 @@
 
 #include "bench_util.h"
 #include "core/parser.h"
+#include "dialect/dialect.h"
 #include "dfa/dfa.h"
 #include "dfa/state_vector.h"
 #include "parallel/radix_sort.h"
@@ -207,12 +213,138 @@ int RunTransposeAblation(int argc, char** argv) {
   return 0;
 }
 
+// Dialect-compiler ablation: what the runtime construction costs (compile
+// + minimise + equivalence proof, per spec shape), and what using a
+// compiled dialect costs at parse time — the twin must match the built-in
+// within noise since both pack into the identical Dfa representation,
+// while the scalar fallback walk shows the price an over-budget dialect
+// pays.
+int RunDialectAblation(int argc, char** argv) {
+  using namespace parparaw::bench;  // NOLINT
+  JsonReport report(argc, argv);
+  PrintHeader("dialect compiler ablation");
+
+  // (1) Compile latency across the spec shapes, best of 16.
+  std::vector<dialect::DialectSpec> specs;
+  {
+    dialect::DialectSpec csv;
+    csv.name = "csv_twin";
+    specs.push_back(csv);
+    dialect::DialectSpec crlf;
+    crlf.name = "crlf_multibyte";
+    crlf.record_delimiter = "\r\n";
+    specs.push_back(crlf);
+    dialect::DialectSpec euro;
+    euro.name = "euro_backslash_comment";
+    euro.field_delimiter = ';';
+    euro.escape_style = dialect::EscapeStyle::kBackslash;
+    euro.comment = '#';
+    euro.skip_empty_lines = true;
+    specs.push_back(euro);
+    dialect::DialectSpec fixed;
+    fixed.name = "fixed_width_12";
+    fixed.fixed_widths = {3, 2, 4, 3};
+    fixed.quote = 0;
+    specs.push_back(fixed);
+  }
+  std::printf("%-24s %12s %8s %8s %8s\n", "spec", "compile us", "wide",
+              "minimal", "packed");
+  for (const dialect::DialectSpec& spec : specs) {
+    double best_us = 1e100;
+    int original = 0, minimal = 0;
+    bool packed = false;
+    for (int rep = 0; rep < 16; ++rep) {
+      Stopwatch watch;
+      auto compiled = dialect::Compile(spec, Pool());
+      const double us = watch.ElapsedSeconds() * 1e6;
+      if (!compiled.ok()) {
+        std::printf("%-24s failed: %s\n", spec.name.c_str(),
+                    compiled.status().ToString().c_str());
+        return 1;
+      }
+      best_us = std::min(best_us, us);
+      original = compiled->original_states;
+      minimal = compiled->minimized_states;
+      packed = compiled->within_budget;
+    }
+    std::printf("%-24s %12.1f %8d %8d %8s\n", spec.name.c_str(), best_us,
+                original, minimal, packed ? "yes" : "fallback");
+    report.Add("dialect/compile/" + spec.name,
+               {{"compile_us", best_us},
+                {"original_states", static_cast<double>(original)},
+                {"minimized_states", static_cast<double>(minimal)},
+                {"within_budget", packed ? 1.0 : 0.0}});
+  }
+
+  // (2) Parse throughput: built-in RFC 4180 vs its compiled twin vs the
+  // scalar fallback walk, same yelp-like input and schema.
+  const size_t bytes = BenchBytes(8);
+  const std::string data = GenerateYelpLike(42, bytes);
+  auto twin = dialect::Compile(specs[0], Pool());
+  if (!twin.ok()) return 1;
+  std::printf("\n%zu MB yelp-like input, best of 3 runs\n", bytes >> 20);
+  std::printf("%-24s %10s %8s\n", "path", "seconds", "GB/s");
+  double builtin_seconds = 0, twin_seconds = 0, fallback_seconds = 0;
+  auto run_path = [&](const char* name, double* out,
+                      auto&& parse) -> bool {
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      if (!parse()) {
+        std::printf("%-24s failed\n", name);
+        return false;
+      }
+      best = std::min(best, watch.ElapsedSeconds());
+    }
+    std::printf("%-24s %10.3f %8.2f\n", name, best, Gbps(bytes, best));
+    report.Add(std::string("dialect/parse/") + name,
+               {{"seconds", best}, {"gbps", Gbps(bytes, best)}});
+    *out = best;
+    return true;
+  };
+  const bool ok =
+      run_path("builtin_rfc4180", &builtin_seconds,
+               [&] {
+                 ParseOptions options;
+                 options.schema = YelpSchema();
+                 return Parser::Parse(data, options).ok();
+               }) &&
+      run_path("compiled_twin", &twin_seconds,
+               [&] {
+                 ParseOptions options;
+                 options.schema = YelpSchema();
+                 options.dialect = specs[0];
+                 return Parser::Parse(data, options).ok();
+               }) &&
+      run_path("scalar_fallback_walk", &fallback_seconds, [&] {
+        ParseOptions options;
+        options.schema = YelpSchema();
+        return dialect::FallbackParse(data, *twin, options).ok();
+      });
+  if (!ok) return 1;
+  const double twin_overhead =
+      builtin_seconds > 0 ? twin_seconds / builtin_seconds : 0;
+  const double fallback_slowdown =
+      twin_seconds > 0 ? fallback_seconds / twin_seconds : 0;
+  std::printf(
+      "\ncompiled twin vs built-in: %.2fx; scalar fallback vs pipeline: "
+      "%.2fx\n",
+      twin_overhead, fallback_slowdown);
+  report.Add("dialect/ratio", {{"twin_overhead", twin_overhead},
+                               {"fallback_slowdown", fallback_slowdown}});
+  report.Flush();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transpose-mode") == 0) {
       return RunTransposeAblation(argc, argv);
+    }
+    if (std::strncmp(argv[i], "--dialect", 9) == 0) {
+      return RunDialectAblation(argc, argv);
     }
   }
   benchmark::Initialize(&argc, argv);

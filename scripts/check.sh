@@ -18,6 +18,10 @@
 #                               # (PARPARAW_TRANSPOSE_MODE) plus the
 #                               # symbol-sort vs field-gather differential
 #                               # harness, under ASan+UBSan
+#   scripts/check.sh dialects   # dialect compiler suite (equivalence
+#                               # proofs, minimiser properties, widened
+#                               # generated-dialect differential sweeps,
+#                               # chaos) under ASan+UBSan
 #
 # Build trees land in build-asan/ and build-tsan/ next to the normal
 # build/ so a sanitizer run never invalidates the regular build cache.
@@ -152,6 +156,28 @@ run_transpose() {
       -R 'TransposeDifferential|FieldGather|CssIndex|Tagging'
 }
 
+run_dialects() {
+  echo "=== dialects: configure ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=address,undefined
+  echo "=== dialects: build ==="
+  cmake --build build-asan -j "${JOBS}"
+  # The dialect compiler surface (see docs/dialects.md): the built-in-twin
+  # equivalence proofs and minimiser property sweeps, the generated-dialect
+  # axes of the SIMD and transpose differential harnesses with the seed
+  # count raised well past the in-test default, and the chaos schedule
+  # space that now includes dialect.compile/dialect.minimise faults — all
+  # under ASan+UBSan, since the compiler allocates per-spec tables the
+  # regular suite only exercises for the built-ins.
+  echo "=== dialects: equivalence, minimiser, differential, chaos ==="
+  PARPARAW_DIALECT_SEEDS=256 \
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+      -R 'Dialect|SimdDifferential|TransposeDifferential|Chaos|Sniffer'
+}
+
 case "${MODE}" in
   asan) run_asan ;;
   tsan) run_tsan ;;
@@ -159,6 +185,7 @@ case "${MODE}" in
   faults) run_faults ;;
   pipeline) run_pipeline ;;
   transpose) run_transpose ;;
+  dialects) run_dialects ;;
   all)
     run_asan
     run_tsan
@@ -166,9 +193,10 @@ case "${MODE}" in
     run_faults
     run_pipeline
     run_transpose
+    run_dialects
     ;;
   *)
-    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|dialects|all]" >&2
     exit 2
     ;;
 esac

@@ -32,6 +32,11 @@ Reader&& Reader::WithFormat(Format format) && {
   return std::move(*this);
 }
 
+Reader&& Reader::WithDialect(dialect::DialectSpec spec) && {
+  options_.dialect = std::move(spec);
+  return std::move(*this);
+}
+
 Reader&& Reader::WithHeader(bool has_header) && {
   options_.header = has_header ? 1 : 0;
   return std::move(*this);

@@ -50,6 +50,9 @@ class Reader {
   Reader&& WithSchema(Schema schema) &&;
   /// Explicit format; skips dialect sniffing.
   Reader&& WithFormat(Format format) &&;
+  /// User-defined dialect (src/dialect), compiled at runtime into the
+  /// format; skips sniffing. Mutually exclusive with WithFormat.
+  Reader&& WithDialect(dialect::DialectSpec spec) &&;
   /// First row is (true) / is not (false) a header. Default: sniffed.
   Reader&& WithHeader(bool has_header) &&;
   /// What to do with malformed records (kNull/kFail/kSkip/kQuarantine).

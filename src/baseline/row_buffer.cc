@@ -34,6 +34,9 @@ ScanResult AppendParsedRange(const Format& format, const uint8_t* data,
       out->EndField();
       out->EndRecord();
     } else if (flags & kSymbolFieldDelimiter) {
+      // An inclusive boundary (no control bit) is the field's last value
+      // byte as well as its end (fixed-width dialects).
+      if ((flags & kSymbolControl) == 0) out->AppendFieldByte(data[i]);
       out->EndField();
     } else if (flags & kSymbolControl) {
       // Not part of any field's value.

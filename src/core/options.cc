@@ -31,6 +31,14 @@ std::string ByteName(uint8_t byte) {
 }  // namespace
 
 Status ParseOptions::Validate() const {
+  if (dialect.has_value()) {
+    if (format.dfa.num_states() != 0) {
+      return Status::Invalid(
+          "ParseOptions sets both a format and a dialect; pick one (the "
+          "dialect compiles into the format)");
+    }
+    PARPARAW_RETURN_NOT_OK(dialect->Validate());
+  }
   if (chunk_size > kMaxChunkSize) {
     return Status::Invalid(
         "chunk_size " + std::to_string(chunk_size) + " exceeds the " +
@@ -72,12 +80,16 @@ Status ParseOptions::Validate() const {
           "TaggingMode::kInlineTerminated needs a non-zero terminator byte "
           "(the default is the ASCII unit separator 0x1F)");
     }
-    // With no explicit format the RFC 4180 defaults apply.
-    const uint8_t field = format.dfa.num_states() > 0
-                              ? format.field_delimiter
+    // With no explicit format the RFC 4180 defaults apply; a dialect
+    // contributes its own delimiters before it is even compiled.
+    const uint8_t field = format.dfa.num_states() > 0 ? format.field_delimiter
+                          : dialect.has_value()
+                              ? dialect->field_delimiter
                               : static_cast<uint8_t>(',');
     const uint8_t record = format.dfa.num_states() > 0
                                ? format.record_delimiter
+                           : dialect.has_value()
+                               ? dialect->record_delimiter_final()
                                : static_cast<uint8_t>('\n');
     if (terminator == field || terminator == record) {
       return Status::Invalid(

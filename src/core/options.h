@@ -2,12 +2,14 @@
 #define PARPARAW_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "columnar/schema.h"
 #include "columnar/table.h"
 #include "dfa/formats.h"
+#include "dialect/spec.h"
 #include "parallel/thread_pool.h"
 #include "robust/quarantine.h"
 #include "simd/dispatch.h"
@@ -118,6 +120,15 @@ struct WorkCounters {
 struct ParseOptions {
   /// Parsing rules; defaults to RFC 4180 CSV when left empty (no states).
   Format format;
+
+  /// A user-defined dialect compiled at runtime into `format` (see
+  /// src/dialect). Mutually exclusive with an explicit format: every entry
+  /// point resolves an engaged dialect exactly once — compiling, minimising
+  /// and equivalence-proving it — before parsing, replacing `format` with
+  /// the packed result or falling back to the scalar wide-automaton walk
+  /// when the minimised state count exceeds the SIMD register budget
+  /// (counted by the "dialect.fallback" metric).
+  std::optional<dialect::DialectSpec> dialect;
 
   /// Output schema. Empty schema: the number of columns is inferred and
   /// every column is parsed as a string (or inferred, see infer_types).

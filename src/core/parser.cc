@@ -1,17 +1,26 @@
 #include "core/parser.h"
 
 #include "core/staged_parse.h"
+#include "dialect/dialect.h"
 
 namespace parparaw {
 
 Result<ParseOutput> Parser::Parse(std::string_view input,
                                   const ParseOptions& options) {
   PARPARAW_RETURN_NOT_OK(options.Validate());
+  // A user dialect compiles into the format here; a dialect over the SIMD
+  // register budget parses on the scalar wide-automaton fallback instead.
+  ParseOptions resolved = options;
+  PARPARAW_ASSIGN_OR_RETURN(std::optional<dialect::CompiledDialect> fallback,
+                            dialect::ResolveParseDialect(&resolved));
+  if (fallback.has_value()) {
+    return dialect::FallbackParse(input, *fallback, resolved);
+  }
   // The monolithic entry point is the staged pipeline run back to back on
   // the calling thread; src/exec overlaps the same stages across
   // partitions.
   StagedParse staged;
-  PARPARAW_RETURN_NOT_OK(staged.Scan(input, options));
+  PARPARAW_RETURN_NOT_OK(staged.Scan(input, resolved));
   if (!staged.finished()) {
     PARPARAW_RETURN_NOT_OK(staged.Partition());
     PARPARAW_RETURN_NOT_OK(staged.Convert());

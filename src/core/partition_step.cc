@@ -151,14 +151,26 @@ Status RunFieldGather(PipelineState* state, WorkCounters* work) {
           const int64_t out = byte_cursor[ex.column];
           const int64_t src_begin =
               i == 0 ? input_begin : extents[i - 1].src_end + 1;
-          if (ex.src_end - src_begin == ex.length) {
+          // An inclusive boundary (kSymbolFieldDelimiter without
+          // kSymbolControl) is the field's last value byte: the copy
+          // window extends over it. src_end == size is the trailing
+          // record's virtual end, never inclusive.
+          const bool inclusive_end =
+              ex.src_end < static_cast<int64_t>(state->size) &&
+              (flags[ex.src_end] & kSymbolFieldDelimiter) != 0 &&
+              (flags[ex.src_end] & kSymbolControl) == 0;
+          const int64_t copy_end = ex.src_end + (inclusive_end ? 1 : 0);
+          if (copy_end - src_begin == ex.length) {
             std::memcpy(css + out, data + src_begin,
                         static_cast<size_t>(ex.length));
           } else {
             int64_t w = out;
             const int64_t w_end = out + ex.length;
-            for (int64_t s = src_begin; s < ex.src_end && w < w_end; ++s) {
-              if (flags[s] == kSymbolData) css[w++] = data[s];
+            for (int64_t s = src_begin; s < copy_end && w < w_end; ++s) {
+              if ((flags[s] &
+                   (kSymbolRecordDelimiter | kSymbolControl)) == 0) {
+                css[w++] = data[s];
+              }
             }
           }
           if (slot_per_field) {

@@ -10,6 +10,7 @@
 #include "core/offset_step.h"
 #include "core/partition_step.h"
 #include "core/tag_step.h"
+#include "dialect/dialect.h"
 #include "obs/obs.h"
 #include "robust/resource_guard.h"
 #include "text/unicode.h"
@@ -184,6 +185,22 @@ ParseOutput EmptyOutput(const ParseOptions& options) {
 Status StagedParse::Scan(std::string_view input, const ParseOptions& options) {
   // Resolve defaults that the options struct cannot carry statically.
   resolved_ = options;
+  if (resolved_.dialect.has_value()) {
+    // Entry points resolve dialects up front (Parser::Parse routes
+    // over-budget dialects to the scalar fallback); this defensive path
+    // covers direct StagedParse users, for whom an over-budget dialect is
+    // an error rather than a silent fallback.
+    PARPARAW_ASSIGN_OR_RETURN(
+        std::optional<dialect::CompiledDialect> fallback,
+        dialect::ResolveParseDialect(&resolved_));
+    if (fallback.has_value()) {
+      return Status::Invalid(
+          "dialect '" + fallback->spec.name + "' needs " +
+          std::to_string(fallback->minimized_states) +
+          " DFA states, over the SIMD register budget; use Parser::Parse, "
+          "which falls back to the scalar dialect walk");
+    }
+  }
   if (resolved_.format.dfa.num_states() == 0) {
     PARPARAW_ASSIGN_OR_RETURN(resolved_.format, Rfc4180Format());
   }

@@ -75,7 +75,13 @@ void ForEachEmission(const PipelineState& state,
       ++rec;
       col = 0;
     } else if (flags & kSymbolFieldDelimiter) {
-      if (slot_per_field && !dropped(rec) && !IsSkippedColumn(skip_lookup, col)) {
+      const bool keep = !dropped(rec) && !IsSkippedColumn(skip_lookup, col);
+      // An inclusive boundary (no control bit, see SymbolFlags) is the
+      // field's last *value* byte as well as its end.
+      if (keep && (flags & kSymbolControl) == 0) {
+        emit(state.data[i], col, rec, false);
+      }
+      if (slot_per_field && keep) {
         emit(state.data[i], col, rec, true);
       }
       ++col;
@@ -215,6 +221,17 @@ Status RunFieldGatherTag(PipelineState* state, StepTimings* timings,
             ++rec;
             col = 0;
           } else if (flags & kSymbolFieldDelimiter) {
+            // An inclusive boundary is counted into the closing field's
+            // length; src_end still points at the boundary byte, so the
+            // next field's src_begin (src_end + 1) is unchanged.
+            if ((flags & kSymbolControl) == 0) {
+              if (mode == TaggingMode::kInlineTerminated &&
+                  state->data[i] == options.terminator && !dropped(rec) &&
+                  !IsSkippedColumn(skip_lookup, col)) {
+                terminator_collision.store(true, std::memory_order_relaxed);
+              }
+              ++data_count;
+            }
             emit_extent(static_cast<int64_t>(i));
             ++col;
           } else if (flags & kSymbolControl) {

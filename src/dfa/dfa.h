@@ -20,7 +20,13 @@ enum SymbolFlags : uint8_t {
   kSymbolData = 0,
   /// The symbol delimits a record (also implies control).
   kSymbolRecordDelimiter = 1 << 0,
-  /// The symbol delimits a field (also implies control).
+  /// The symbol delimits a field. Combined with kSymbolControl (every
+  /// delimited format) the byte is pure punctuation; WITHOUT
+  /// kSymbolControl it is an *inclusive* boundary — the byte both ends
+  /// the field and is the last byte of its value, the fixed-width shape
+  /// compiled by src/dialect. Record delimiters have no inclusive form:
+  /// they always carry kSymbolControl (the asymmetry keeps carry-over
+  /// splitting and synthetic termination byte-exact).
   kSymbolFieldDelimiter = 1 << 1,
   /// The symbol is a control symbol (quote, escape, comment marker, ...)
   /// and not part of the field's value.

@@ -5,6 +5,7 @@
 
 #include "baseline/row_buffer.h"
 #include "convert/inference.h"
+#include "dialect/dialect.h"
 
 namespace parparaw {
 
@@ -18,10 +19,10 @@ struct Candidate {
   int64_t num_records = 0;
 };
 
-// Parses the sample with a candidate dialect and scores column-count
+// Parses the sample with a candidate format and scores column-count
 // consistency.
-Status Evaluate(std::string_view sample, Candidate* candidate) {
-  PARPARAW_ASSIGN_OR_RETURN(Format format, DsvFormat(candidate->options));
+Status EvaluateFormat(std::string_view sample, const Format& format,
+                      Candidate* candidate) {
   AppendParsedRange(format,
                     reinterpret_cast<const uint8_t*>(sample.data()), 0,
                     sample.size(), /*emit_trailing=*/true,
@@ -44,6 +45,11 @@ Status Evaluate(std::string_view sample, Candidate* candidate) {
   candidate->consistency =
       static_cast<double>(best_count) / candidate->num_records;
   return Status::OK();
+}
+
+Status Evaluate(std::string_view sample, Candidate* candidate) {
+  PARPARAW_ASSIGN_OR_RETURN(Format format, DsvFormat(candidate->options));
+  return EvaluateFormat(sample, format, candidate);
 }
 
 // True when `sv`'s classification is a concrete non-string type.
@@ -83,6 +89,7 @@ Result<SniffResult> SniffDsvFormat(std::string_view sample, int max_rows) {
   const bool use_crlf = lf > 0 && crlf * 2 > lf;
 
   std::vector<Candidate> candidates;
+  std::vector<std::optional<dialect::DialectSpec>> candidate_specs;
   for (uint8_t delimiter : {',', '\t', ';', '|', ' '}) {
     for (uint8_t quote : {'"', '\0'}) {
       Candidate candidate;
@@ -92,22 +99,55 @@ Result<SniffResult> SniffDsvFormat(std::string_view sample, int max_rows) {
       candidate.options.ignore_carriage_return = use_crlf;
       PARPARAW_RETURN_NOT_OK(Evaluate(sample, &candidate));
       candidates.push_back(std::move(candidate));
+      candidate_specs.emplace_back();
     }
   }
 
-  // Pick the most consistent multi-column dialect; prefer quote support on
-  // ties (it is a superset for well-formed data) and more columns.
+  // User-registered dialects compete on the same score. Only dialects
+  // within the register budget are scored (the packed format drives the
+  // same reference walk as the DSV candidates); a spec that no longer
+  // compiles is skipped rather than failing the sniff.
+  for (const dialect::DialectSpec& spec : dialect::RegisteredDialects()) {
+    Result<dialect::CompiledDialect> compiled = dialect::Compile(spec);
+    if (!compiled.ok() || !compiled->within_budget) continue;
+    Candidate candidate;
+    candidate.options.field_delimiter = spec.field_delimiter != 0
+                                            ? spec.field_delimiter
+                                            : spec.record_delimiter_final();
+    candidate.options.record_delimiter = spec.record_delimiter_final();
+    candidate.options.quote = spec.quote;
+    candidate.options.comment = spec.comment;
+    candidate.options.skip_empty_lines = spec.skip_empty_lines;
+    candidate.options.strict_quotes = spec.strict_quotes;
+    PARPARAW_RETURN_NOT_OK(
+        EvaluateFormat(sample, compiled->format, &candidate));
+    candidates.push_back(std::move(candidate));
+    candidate_specs.emplace_back(spec);
+  }
+
+  // Pick the most consistent multi-column dialect; prefer a registered
+  // dialect on ties (explicit user intent), then quote support (a
+  // superset for well-formed data) and more columns.
   const Candidate* best = nullptr;
+  size_t best_index = 0;
   auto score = [](const Candidate& c) {
     const double multi_column = c.modal_columns > 1 ? 1.0 : 0.05;
     return c.consistency * multi_column;
   };
-  for (const Candidate& candidate : candidates) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& candidate = candidates[i];
     if (candidate.num_records == 0) continue;
-    if (best == nullptr || score(candidate) > score(*best) ||
+    const bool wins =
+        best == nullptr || score(candidate) > score(*best) ||
         (score(candidate) == score(*best) &&
-         candidate.modal_columns > best->modal_columns)) {
+         ((candidate_specs[i].has_value() &&
+           !candidate_specs[best_index].has_value()) ||
+          (candidate_specs[i].has_value() ==
+               candidate_specs[best_index].has_value() &&
+           candidate.modal_columns > best->modal_columns)));
+    if (wins) {
       best = &candidate;
+      best_index = i;
     }
   }
   if (best == nullptr) {
@@ -116,6 +156,7 @@ Result<SniffResult> SniffDsvFormat(std::string_view sample, int max_rows) {
 
   SniffResult result;
   result.options = best->options;
+  result.dialect_spec = candidate_specs[best_index];
   result.num_columns = best->modal_columns;
   result.confidence = best->consistency;
 

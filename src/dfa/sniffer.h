@@ -1,9 +1,11 @@
 #ifndef PARPARAW_DFA_SNIFFER_H_
 #define PARPARAW_DFA_SNIFFER_H_
 
+#include <optional>
 #include <string_view>
 
 #include "dfa/formats.h"
+#include "dialect/spec.h"
 #include "util/result.h"
 
 namespace parparaw {
@@ -11,6 +13,11 @@ namespace parparaw {
 /// Outcome of format sniffing.
 struct SniffResult {
   DsvOptions options;
+  /// Engaged when a user-registered dialect (dialect::RegisterDialect)
+  /// out-scored every built-in DSV candidate on the sample; `options` then
+  /// mirrors the dialect's delimiters for legacy consumers. Registered
+  /// dialects over the SIMD register budget are not scored.
+  std::optional<dialect::DialectSpec> dialect_spec;
   /// Records observed per sampled candidate parse.
   uint32_t num_columns = 0;
   /// True when the first row looks like a header (all-string row over a

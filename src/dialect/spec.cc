@@ -1,0 +1,148 @@
+#include "dialect/spec.h"
+
+#include <cstdio>
+
+namespace parparaw::dialect {
+
+namespace {
+
+std::string ByteName(uint8_t byte) {
+  char buf[16];
+  if (byte >= 0x21 && byte <= 0x7E) {
+    std::snprintf(buf, sizeof(buf), "'%c'", static_cast<char>(byte));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%02X", byte);
+  }
+  return buf;
+}
+
+// True when a proper prefix of `s` is also a suffix (a non-trivial
+// border): such a delimiter can overlap itself, so a single-pass flag
+// assignment cannot decide where one occurrence ends and the next begins.
+bool HasSelfOverlap(const std::string& s) {
+  for (size_t len = 1; len < s.size(); ++len) {
+    if (s.compare(0, len, s, s.size() - len, len) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status DialectSpec::Validate() const {
+  if (record_delimiter.empty()) {
+    return Status::Invalid("dialect '" + name +
+                           "': record delimiter must not be empty");
+  }
+  if (record_delimiter.size() > 4) {
+    return Status::Invalid(
+        "dialect '" + name + "': record delimiter is " +
+        std::to_string(record_delimiter.size()) +
+        " bytes; at most 4 are supported (each extra byte costs a DFA "
+        "state)");
+  }
+  if (HasSelfOverlap(record_delimiter)) {
+    return Status::Invalid(
+        "dialect '" + name +
+        "': multi-byte record delimiter has a shared prefix/suffix and can "
+        "overlap itself; occurrences would be ambiguous");
+  }
+  const bool fixed = !fixed_widths.empty();
+  const bool quoting = !fixed && quote != 0;
+  const bool backslash = quoting && escape_style == EscapeStyle::kBackslash;
+
+  // The record delimiter's bytes must not double as any other special
+  // symbol: the compiled DFA assigns each byte one role per state, and a
+  // delimiter byte that is also (say) the quote would be ambiguous in
+  // every state a delimiter may start in.
+  for (char c : record_delimiter) {
+    const uint8_t byte = static_cast<uint8_t>(c);
+    const char* role = nullptr;
+    if (!fixed && field_delimiter != 0 && byte == field_delimiter) {
+      role = "field delimiter";
+    } else if (quoting && byte == quote) {
+      role = "quote";
+    } else if (backslash && byte == escape_char) {
+      role = "escape";
+    } else if (!fixed && comment != 0 && byte == comment) {
+      role = "comment marker";
+    }
+    if (role != nullptr) {
+      return Status::Invalid("dialect '" + name + "': record-delimiter byte " +
+                             ByteName(byte) + " is also the " + role);
+    }
+  }
+
+  if (fixed) {
+    for (int width : fixed_widths) {
+      if (width <= 0) {
+        return Status::Invalid("dialect '" + name +
+                               "': fixed field widths must be positive, got " +
+                               std::to_string(width));
+      }
+    }
+    int64_t total = 0;
+    for (int width : fixed_widths) total += width;
+    if (total > 4096) {
+      return Status::Invalid(
+          "dialect '" + name + "': fixed-width record is " +
+          std::to_string(total) +
+          " bytes; at most 4096 are supported (each byte is a DFA state "
+          "before minimisation)");
+    }
+    if (quote != 0 || comment != 0) {
+      return Status::Invalid(
+          "dialect '" + name +
+          "': fixed-width dialects do not support quoting or comment lines; "
+          "every byte of a field is part of its value");
+    }
+    if (skip_empty_lines) {
+      return Status::Invalid(
+          "dialect '" + name +
+          "': skip_empty_lines is ambiguous for fixed-width records (a "
+          "record-delimiter byte is also a valid first data byte)");
+    }
+    return Status::OK();
+  }
+
+  if (quoting && field_delimiter != 0 && quote == field_delimiter) {
+    return Status::Invalid("dialect '" + name + "': quote " + ByteName(quote) +
+                           " collides with the field delimiter");
+  }
+  if (comment != 0) {
+    if (field_delimiter != 0 && comment == field_delimiter) {
+      return Status::Invalid("dialect '" + name + "': comment marker " +
+                             ByteName(comment) +
+                             " collides with the field delimiter");
+    }
+    if (quoting && comment == quote) {
+      return Status::Invalid("dialect '" + name + "': comment marker " +
+                             ByteName(comment) + " collides with the quote");
+    }
+  }
+  if (backslash) {
+    if (escape_char == 0) {
+      return Status::Invalid("dialect '" + name +
+                             "': EscapeStyle::kBackslash needs a non-zero "
+                             "escape_char");
+    }
+    const char* role = nullptr;
+    if (escape_char == quote) {
+      role = "quote";
+    } else if (field_delimiter != 0 && escape_char == field_delimiter) {
+      role = "field delimiter";
+    } else if (comment != 0 && escape_char == comment) {
+      role = "comment marker";
+    }
+    if (role != nullptr) {
+      return Status::Invalid("dialect '" + name + "': escape character " +
+                             ByteName(escape_char) + " is also the " + role);
+    }
+  }
+  if (verbatim_quotes && quote == 0) {
+    return Status::Invalid("dialect '" + name +
+                           "': verbatim_quotes needs a quote character");
+  }
+  return Status::OK();
+}
+
+}  // namespace parparaw::dialect

@@ -1,0 +1,97 @@
+#ifndef PARPARAW_DIALECT_SPEC_H_
+#define PARPARAW_DIALECT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace parparaw::dialect {
+
+/// How quoted-field escaping works in a dialect.
+enum class EscapeStyle : uint8_t {
+  /// RFC 4180: a doubled quote inside a quoted field is a literal quote.
+  kDoubledQuote,
+  /// A backslash (or custom escape_char) inside a quoted field takes the
+  /// next symbol literally. A doubled quote still reads as a literal quote,
+  /// matching DsvOptions::escape semantics.
+  kBackslash,
+};
+
+/// \brief A user-defined delimiter-separated format, compiled at runtime
+/// into the packed multi-DFA representation (see dialect/dialect.h).
+///
+/// The spec covers the regular-language family the paper's approach
+/// generalises to (§3.1 "as many scenarios as you can imagine"): custom
+/// field delimiters, multi-byte record delimiters (CRLF and beyond), quote
+/// and escape conventions, comment lines, verbatim quoting for
+/// record-splitting dialects like JSON Lines, and fixed-width fields.
+struct DialectSpec {
+  std::string name = "dialect";
+
+  /// Field delimiter byte; 0 means the dialect has no field delimiter
+  /// (single-column records, e.g. JSON Lines). Ignored for fixed-width
+  /// dialects.
+  uint8_t field_delimiter = ',';
+
+  /// Record delimiter byte sequence, 1..4 bytes (e.g. "\n", "\r\n"). For
+  /// multi-byte delimiters the sequence is matched strictly: a broken
+  /// prefix outside quoted context transitions to the invalid trap state.
+  std::string record_delimiter = "\n";
+
+  /// Quote character enclosing fields that may contain delimiters; 0
+  /// disables quoting.
+  uint8_t quote = '"';
+
+  /// Escape convention inside quoted fields (only meaningful with quoting).
+  EscapeStyle escape_style = EscapeStyle::kDoubledQuote;
+
+  /// The escape byte for EscapeStyle::kBackslash.
+  uint8_t escape_char = '\\';
+
+  /// Line-comment marker recognised at the start of a record; 0 disables
+  /// comments.
+  uint8_t comment = 0;
+
+  /// When true, a record delimiter at the start of a record is consumed
+  /// without emitting an empty record.
+  bool skip_empty_lines = false;
+
+  /// When true, a quote inside an unquoted field is invalid input; when
+  /// false it is field data.
+  bool strict_quotes = true;
+
+  /// When true, quote and escape bytes stay part of the field's value: the
+  /// quote only toggles whether delimiters split, it is not stripped. This
+  /// is the JSON Lines shape (record splitting over raw text).
+  bool verbatim_quotes = false;
+
+  /// Non-empty: the dialect is fixed-width. Each record is the given field
+  /// widths back to back, followed by the record delimiter. Fixed-width
+  /// dialects have no quoting/escaping/comments; every byte of a field,
+  /// including the last, is part of its value (the compiled DFA flags the
+  /// final byte of each non-trailing field as an *inclusive* field
+  /// boundary: kSymbolFieldDelimiter without kSymbolControl).
+  std::vector<int> fixed_widths;
+
+  /// Checks the spec for internal contradictions: empty or self-overlapping
+  /// record delimiters, symbol collisions (quote == delimiter, ...),
+  /// non-positive fixed widths, unsupported combinations. Returns
+  /// kInvalidArgument with an actionable message; every compile entry point
+  /// calls this first so malformed specs never reach DFA construction.
+  Status Validate() const;
+
+  /// The canonical single-byte record delimiter: the final byte of the
+  /// sequence (the byte that carries kSymbolRecordDelimiter in the
+  /// compiled DFA and that Format::record_delimiter reports).
+  uint8_t record_delimiter_final() const {
+    return record_delimiter.empty()
+               ? static_cast<uint8_t>('\n')
+               : static_cast<uint8_t>(record_delimiter.back());
+  }
+};
+
+}  // namespace parparaw::dialect
+
+#endif  // PARPARAW_DIALECT_SPEC_H_

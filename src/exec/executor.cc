@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/staged_parse.h"
+#include "dialect/dialect.h"
 #include "exec/bounded_queue.h"
 #include "io/file.h"
 #include "obs/obs.h"
@@ -122,6 +123,25 @@ class PipelineRun {
     PARPARAW_RETURN_NOT_OK_CTX(options_.base.Validate(), "exec.options");
     if (options_.partition_size == 0) {
       return Status::Invalid("partition size must be positive");
+    }
+
+    // Compile a user dialect once per ingest, not once per partition. The
+    // pipelined stages need the packed Dfa, so an over-budget dialect is a
+    // clean refusal here; Parser::Parse and StreamingParser carry the
+    // scalar fallback.
+    base_ = options_.base;
+    {
+      PARPARAW_ASSIGN_OR_RETURN(
+          std::optional<dialect::CompiledDialect> fallback,
+          dialect::ResolveParseDialect(&base_));
+      if (fallback.has_value()) {
+        return Status::Invalid(
+            "dialect '" + fallback->spec.name + "' needs " +
+            std::to_string(fallback->minimized_states) +
+            " DFA states, over the SIMD register budget; the pipelined "
+            "executor cannot run its scalar fallback — use Parser::Parse "
+            "or StreamingParser");
+      }
     }
 
     // Degrade instead of refusing, in two independent ways: partitions
@@ -343,7 +363,7 @@ class PipelineRun {
       task->buffer.append((*chunk)->view);
       chunk->reset();  // raw bytes copied; release the reader's buffer
 
-      ParseOptions po = options_.base;
+      ParseOptions po = base_;
       po.exclude_trailing_record = !task->is_last;
       // Leading-row pruning applies to the stream, not to every buffer.
       if (!first) po.skip_rows = 0;
@@ -493,6 +513,8 @@ class PipelineRun {
 
   PipelineExecutor* executor_;
   const ExecOptions& options_;
+  /// options_.base with any dialect resolved into a packed format.
+  ParseOptions base_;
   const PartitionSink* sink_;
   obs::MetricsRegistry* metrics_;
 

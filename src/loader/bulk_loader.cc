@@ -49,7 +49,15 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
   Format format = options.format;
   bool sniffed_header = false;
   bool sniffed = false;
-  if (format.dfa.num_states() == 0) {
+  if (options.dialect.has_value()) {
+    if (format.dfa.num_states() != 0) {
+      return Status::Invalid(
+          "LoadOptions sets both a format and a dialect; pick one (the "
+          "dialect compiles into the format)");
+    }
+    PARPARAW_RETURN_NOT_OK(options.dialect->Validate());
+    // A user dialect pins the format family — nothing to sniff.
+  } else if (format.dfa.num_states() == 0) {
     if (sample.empty()) {
       PARPARAW_ASSIGN_OR_RETURN(format, Rfc4180Format());
     } else {
@@ -60,7 +68,12 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
           SniffDsvFormat(sample.substr(
               0, std::min<size_t>(sample.size(), 64 * 1024))),
           "loader.sniff");
-      PARPARAW_ASSIGN_OR_RETURN(format, DsvFormat(result->dialect.options));
+      if (!result->dialect.dialect_spec.has_value()) {
+        // A winning registered dialect stays a dialect (compiled by the
+        // downstream entry point); a DSV winner resolves here.
+        PARPARAW_ASSIGN_OR_RETURN(format,
+                                  DsvFormat(result->dialect.options));
+      }
       sniffed_header = result->dialect.has_header;
       sniffed = true;
     }
@@ -74,7 +87,12 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
     // result->dialect holds defaults — split the header with the pinned
     // format's delimiters, not with ','/'\n' regardless of dialect.
     DsvOptions header_dialect = result->dialect.options;
-    if (!sniffed) {
+    if (options.dialect.has_value()) {
+      header_dialect.field_delimiter = options.dialect->field_delimiter;
+      header_dialect.record_delimiter =
+          options.dialect->record_delimiter_final();
+      header_dialect.quote = options.dialect->quote;
+    } else if (!sniffed) {
       header_dialect.field_delimiter = format.field_delimiter;
       header_dialect.record_delimiter = format.record_delimiter;
     }
@@ -85,7 +103,15 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
   // inference to fix the column types, then stream with that schema so all
   // partitions agree.
   ParseOptions base;
-  base.format = format;
+  if (options.dialect.has_value()) {
+    // Left as a dialect: every downstream entry point (Parser, streaming,
+    // exec) resolves it, keeping the scalar-fallback decision theirs.
+    base.dialect = options.dialect;
+  } else if (sniffed && result->dialect.dialect_spec.has_value()) {
+    base.dialect = result->dialect.dialect_spec;
+  } else {
+    base.format = format;
+  }
   base.pool = options.pool;
   base.skip_rows = header ? 1 : 0;
   if (options.schema.num_fields() > 0) {

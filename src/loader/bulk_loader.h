@@ -17,6 +17,11 @@ struct LoadOptions {
   Schema schema;
   /// Explicit format; unset (0 states) = sniff from the file head.
   Format format;
+  /// A user-defined dialect (src/dialect), compiled at runtime; mutually
+  /// exclusive with an explicit format and skips sniffing. Over-budget
+  /// dialects route through the scalar fallback on the serial path and
+  /// are refused by the pipelined executor.
+  std::optional<dialect::DialectSpec> dialect;
   /// Header handling: -1 = auto (from the sniffer), 0 = no header,
   /// 1 = first row is a header (its names become the column names).
   int header = -1;

@@ -79,6 +79,7 @@ Result<int64_t> ReparseQuarantined(const ParseOptions& options,
           if (format.ok()) {
             ParseOptions alt = options;
             alt.format = std::move(format).ValueOrDie();
+            alt.dialect.reset();  // the sniffed format replaces the dialect
             Result<Table> retry = TryStrictParse(alt, entry.raw);
             if (retry.ok()) {
               fixed = std::move(retry).ValueOrDie();

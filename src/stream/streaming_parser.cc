@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/parser.h"
+#include "dialect/dialect.h"
 #include "io/file.h"
 #include "obs/obs.h"
 #include "robust/failpoint.h"
@@ -54,8 +55,16 @@ class PartitionSession {
     // partition size is already clamped to fit, so the per-partition parse
     // must not re-apply the monolithic refusal.
     partition_options.memory_budget = 0;
-    PARPARAW_ASSIGN_OR_RETURN(ParseOutput out,
-                              Parser::Parse(buffer, partition_options));
+    ParseOutput out;
+    if (fallback_ != nullptr) {
+      // Over-budget dialect, compiled once for the whole stream: the
+      // scalar walk honours exclude_trailing_record/remainder_offset, so
+      // the carry-over protocol is unchanged.
+      PARPARAW_ASSIGN_OR_RETURN(
+          out, dialect::FallbackParse(buffer, *fallback_, partition_options));
+    } else {
+      PARPARAW_ASSIGN_OR_RETURN(out, Parser::Parse(buffer, partition_options));
+    }
     if (!is_last) {
       if (out.remainder_offset < 0 ||
           out.remainder_offset > static_cast<int64_t>(buffer.size())) {
@@ -119,6 +128,10 @@ class PartitionSession {
     return Status::OK();
   }
 
+  void SetDialectFallback(const dialect::CompiledDialect* fallback) {
+    fallback_ = fallback;
+  }
+
   Result<StreamingResult> Finish(double wall_seconds) {
     result_.wall_seconds = wall_seconds;
     for (size_t i = 1; i < tables_.size(); ++i) {
@@ -142,6 +155,7 @@ class PartitionSession {
  private:
   const StreamingOptions& options_;
   DeviceModel device_;
+  const dialect::CompiledDialect* fallback_ = nullptr;
   int num_states_;
   bool first_partition_ = true;
   int64_t stream_consumed_ = 0;    // partition bytes fed so far
@@ -160,14 +174,19 @@ Result<StreamingResult> StreamingParser::Parse(
   if (options.partition_size == 0) {
     return Status::Invalid("partition size must be positive");
   }
+  // Compile a user dialect once per stream, not once per partition.
+  StreamingOptions resolved = options;
+  PARPARAW_ASSIGN_OR_RETURN(std::optional<dialect::CompiledDialect> fallback,
+                            dialect::ResolveParseDialect(&resolved.base));
   // Degrade instead of refusing: under a memory budget, shrink partitions
   // until each one's parse working set (mode-dependent envelope) fits.
   const size_t partition_size =
       static_cast<size_t>(robust::ClampPartitionSizeForBudget(
-          static_cast<int64_t>(options.partition_size),
-          options.base.memory_budget, /*floor_bytes=*/256,
-          ParseWorkingSetFactor(options.base)));
-  PartitionSession session(options);
+          static_cast<int64_t>(resolved.partition_size),
+          resolved.base.memory_budget, /*floor_bytes=*/256,
+          ParseWorkingSetFactor(resolved.base)));
+  PartitionSession session(resolved);
+  if (fallback.has_value()) session.SetDialectFallback(&*fallback);
   Stopwatch wall;
   if (input.empty()) return session.Finish(0.0);
   size_t pos = 0;
@@ -188,14 +207,18 @@ Result<StreamingResult> StreamingParser::ParseFile(
   if (options.partition_size == 0) {
     return Status::Invalid("partition size must be positive");
   }
+  StreamingOptions resolved = options;
+  PARPARAW_ASSIGN_OR_RETURN(std::optional<dialect::CompiledDialect> fallback,
+                            dialect::ResolveParseDialect(&resolved.base));
   const size_t partition_size =
       static_cast<size_t>(robust::ClampPartitionSizeForBudget(
-          static_cast<int64_t>(options.partition_size),
-          options.base.memory_budget, /*floor_bytes=*/256,
-          ParseWorkingSetFactor(options.base)));
+          static_cast<int64_t>(resolved.partition_size),
+          resolved.base.memory_budget, /*floor_bytes=*/256,
+          ParseWorkingSetFactor(resolved.base)));
   FileChunkReader reader;
   PARPARAW_RETURN_NOT_OK(reader.Open(path));
-  PartitionSession session(options);
+  PartitionSession session(resolved);
+  if (fallback.has_value()) session.SetDialectFallback(&*fallback);
   Stopwatch wall;
   if (reader.file_size() == 0) return session.Finish(0.0);
   int64_t consumed = 0;

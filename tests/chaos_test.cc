@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "core/parser.h"
+#include "dialect/dialect.h"
 #include "exec/executor.h"
 #include "loader/bulk_loader.h"
 #include "robust/failpoint.h"
+#include "robust/reparse.h"
 #include "stream/streaming_parser.h"
 
 namespace parparaw {
@@ -64,6 +66,7 @@ const char* const kFailpoints[] = {
     "exec.queue.scan.push",    "exec.queue.scan.pop",
     "exec.queue.sort.push",    "exec.queue.sort.pop",
     "exec.queue.convert.push", "exec.queue.convert.pop",
+    "dialect.compile", "dialect.minimise",
 };
 
 // A small input with every interesting shape: quoted fields, quoted
@@ -107,12 +110,24 @@ struct Config {
   Entry entry;
   bool scalar_kernel;
   ErrorPolicy policy;
+  // Route the run through the dialect compiler: a runtime-compiled twin of
+  // the default RFC 4180 format, so the parsed language is unchanged but
+  // the compile → minimise → prove path (and its failpoints) is on the
+  // schedule.
+  bool use_dialect = false;
 
   bool operator<(const Config& other) const {
-    return std::tie(entry, scalar_kernel, policy) <
-           std::tie(other.entry, other.scalar_kernel, other.policy);
+    return std::tie(entry, scalar_kernel, policy, use_dialect) <
+           std::tie(other.entry, other.scalar_kernel, other.policy,
+                    other.use_dialect);
   }
 };
+
+dialect::DialectSpec ChaosTwinSpec() {
+  dialect::DialectSpec spec;  // defaults are exactly RFC 4180 CSV
+  spec.name = "chaos-twin";
+  return spec;
+}
 
 ParseOptions BaseOptions(const Config& config) {
   ParseOptions options;
@@ -120,6 +135,7 @@ ParseOptions BaseOptions(const Config& config) {
   options.kernel =
       config.scalar_kernel ? simd::KernelKind::kScalar : simd::KernelKind::kAuto;
   options.error_policy = config.policy;
+  if (config.use_dialect) options.dialect = ChaosTwinSpec();
   return options;
 }
 
@@ -146,6 +162,7 @@ Result<Table> RunEntry(const Config& config, const std::string& input) {
       load.header = 0;
       load.collect_statistics = false;
       load.error_policy = config.policy;
+      if (config.use_dialect) load.dialect = ChaosTwinSpec();
       PARPARAW_ASSIGN_OR_RETURN(LoadResult out,
                                 BulkLoader::LoadBuffer(input, load));
       return std::move(out.table);
@@ -195,6 +212,7 @@ TEST(ChaosTest, EveryScheduleFailsCleanOrMatchesFaultFree) {
     config.policy = std::array<ErrorPolicy, 3>{
         ErrorPolicy::kNull, ErrorPolicy::kSkip,
         ErrorPolicy::kQuarantine}[rng.Uniform(3)];
+    config.use_dialect = rng.Uniform(3) == 0;
     const Table& reference = reference_for(config);
 
     // Arm 1-3 random failpoints with random triggers.
@@ -255,6 +273,68 @@ TEST(ChaosTest, EveryScheduleFailsCleanOrMatchesFaultFree) {
   // The sweep is only meaningful when both outcomes occur.
   EXPECT_GT(clean_errors, 0);
   EXPECT_GT(identical, 0);
+}
+
+// Quarantine recovery must keep working when the file was parsed under a
+// runtime-compiled dialect: a ','-delimited row slips into a ';' European
+// CSV, is quarantined (one giant field fails int64 conversion), and
+// ReparseQuarantined splices it back by sniffing the row's own dialect.
+// The sniffed-format retry must disengage the custom dialect (format and
+// dialect are mutually exclusive) or the retry itself would be rejected.
+TEST(ChaosTest, QuarantineRecoveryUnderCustomDialect) {
+  dialect::DialectSpec euro;
+  euro.name = "euro-semicolon";
+  euro.field_delimiter = ';';
+  euro.escape_style = dialect::EscapeStyle::kBackslash;
+  euro.strict_quotes = false;
+
+  ParseOptions options;
+  options.dialect = euro;
+  options.schema.AddField(Field("a", DataType::Int64()));
+  options.schema.AddField(Field("b", DataType::Int64()));
+  options.schema.AddField(Field("s", DataType::String()));
+  options.error_policy = ErrorPolicy::kQuarantine;
+
+  const std::string input =
+      "1;10;alpha\n"
+      "7,70,delta\n"  // foreign ',' row: one field under ';', bad int64
+      "3;30;gamma\n";
+  auto result = Parser::Parse(input, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows, 3);
+  ASSERT_EQ(result->quarantine.size(), 1);
+  EXPECT_EQ(result->table.rejected[1], 1);
+
+  const auto recovered = robust::ReparseQuarantined(options, &*result);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, 1);
+  EXPECT_TRUE(result->quarantine.empty());
+  EXPECT_EQ(result->table.NumRejected(), 0);
+  EXPECT_EQ(result->table.columns[0].Value<int64_t>(1), 7);
+  EXPECT_EQ(result->table.columns[1].Value<int64_t>(1), 70);
+  EXPECT_EQ(result->table.columns[2].StringValue(1), "delta");
+  // Rows parsed under the custom dialect stay untouched.
+  EXPECT_EQ(result->table.columns[0].Value<int64_t>(0), 1);
+  EXPECT_EQ(result->table.columns[2].StringValue(2), "gamma");
+}
+
+// A fault inside the dialect compiler itself must surface as a clean error
+// from every entry point, and recompile cleanly once disarmed.
+TEST(ChaosTest, DialectCompileFaultsFailCleanAcrossEntryPoints) {
+  const std::string input = ChaosInput();
+  for (const char* site : {"dialect.compile", "dialect.minimise"}) {
+    for (int e = 0; e < 4; ++e) {
+      Config config{static_cast<Entry>(e), true, ErrorPolicy::kNull, true};
+      FailpointRegistry::Instance().Arm(site, robust::CountTrigger(1));
+      const auto faulted = RunEntry(config, input);
+      FailpointRegistry::Instance().DisarmAll();
+      ASSERT_FALSE(faulted.ok()) << site << " entry " << e;
+      EXPECT_FALSE(faulted.status().message().empty());
+      const auto clean = RunEntry(config, input);
+      ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+      EXPECT_GT(clean->num_rows, 0);
+    }
+  }
 }
 
 // Faults must not linger: a process that saw injected errors parses

@@ -8,6 +8,7 @@
 
 #include "core/parser.h"
 #include "dfa/formats.h"
+#include "dialect/dialect.h"
 #include "simd/dispatch.h"
 #include "simd/simd_kernels.h"
 #include "text/unicode.h"
@@ -338,6 +339,118 @@ TEST(SimdDifferentialTest, ValidationFailuresMatchScalar) {
       }
     }
   }
+}
+
+// Generated-dialect axis: seeded random DialectSpecs (src/dialect) whose
+// compiled formats drive the same per-level sweep — the SIMD kernels must
+// be bit-identical to scalar on runtime-compiled DFAs (multi-byte record
+// delimiters, backslash escapes, fixed-width inclusive boundaries), not
+// just on the hand-written built-ins. PARPARAW_DIALECT_SEEDS overrides the
+// seed count (default 48) for deeper sweeps (scripts/check.sh dialects).
+dialect::DialectSpec DialectSpecForSeed(uint64_t seed) {
+  Rng rng(seed * 257 + 11);
+  dialect::DialectSpec spec;
+  spec.name = "gen-" + std::to_string(seed);
+  if (rng.Next() % 4 == 0) {
+    const int fields = 1 + static_cast<int>(rng.Next() % 3);
+    for (int f = 0; f < fields; ++f) {
+      spec.fixed_widths.push_back(1 + static_cast<int>(rng.Next() % 4));
+    }
+    spec.quote = 0;
+    return spec;
+  }
+  static const uint8_t kFieldDelims[] = {',', ';', '\t', '|'};
+  static const char* const kRecordDelims[] = {"\n", "\r\n", "%$"};
+  spec.field_delimiter = kFieldDelims[rng.Next() % 4];
+  spec.record_delimiter = kRecordDelims[rng.Next() % 3];
+  spec.quote = (rng.Next() % 4 == 0) ? 0 : '"';
+  spec.escape_style = (rng.Next() % 2 == 0)
+                          ? dialect::EscapeStyle::kDoubledQuote
+                          : dialect::EscapeStyle::kBackslash;
+  spec.comment = (rng.Next() % 3 == 0) ? '#' : 0;
+  spec.skip_empty_lines = rng.Next() % 2 == 0;
+  spec.strict_quotes = rng.Next() % 2 == 0;
+  return spec;
+}
+
+std::string DialectInputForSeed(const dialect::DialectSpec& spec,
+                                uint64_t seed) {
+  Rng rng(seed + 5);
+  if (!spec.fixed_widths.empty()) {
+    int64_t width = 0;
+    for (int w : spec.fixed_widths) width += w;
+    std::string input;
+    const int records = 4 + static_cast<int>(seed % 12);
+    for (int r = 0; r < records; ++r) {
+      for (int64_t i = 0; i < width; ++i) {
+        input.push_back(static_cast<char>('a' + rng.Next() % 26));
+      }
+      // A few broken records exercise the trap state across levels.
+      if (rng.Next() % 7 == 0) input.pop_back();
+      input += spec.record_delimiter;
+    }
+    return input;
+  }
+  std::string input = InputForSeed({spec.name, Format{}}, seed);
+  if (spec.field_delimiter != ',' && spec.field_delimiter != 0) {
+    for (char& ch : input) {
+      if (ch == ',') ch = static_cast<char>(spec.field_delimiter);
+    }
+  }
+  if (spec.record_delimiter != "\n") {
+    std::string rewritten;
+    rewritten.reserve(input.size() * 2);
+    for (char ch : input) {
+      if (ch == '\n') {
+        rewritten += spec.record_delimiter;
+      } else {
+        rewritten.push_back(ch);
+      }
+    }
+    input = std::move(rewritten);
+  }
+  return input;
+}
+
+TEST(SimdDifferentialTest, GeneratedDialectsMatchScalarAcrossLevels) {
+  const std::vector<KernelLevel> levels = AvailableVectorLevels();
+  const char* env = std::getenv("PARPARAW_DIALECT_SEEDS");
+  const uint64_t seeds =
+      env != nullptr && *env != '\0' ? std::strtoull(env, nullptr, 10) : 48;
+  int swept = 0;
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
+    const dialect::DialectSpec spec = DialectSpecForSeed(seed);
+    auto compiled = dialect::Compile(spec);
+    ASSERT_TRUE(compiled.ok()) << spec.name << ": "
+                               << compiled.status().ToString();
+    if (!compiled->within_budget) continue;  // no SIMD path to compare
+    const std::string input = DialectInputForSeed(spec, seed);
+    ParseOptions options;
+    options.dialect = spec;
+    options.chunk_size = ChunkSizeForSeed(seed);
+
+    Result<ParseOutput> reference = [&] {
+      ScopedKernelLevel force(KernelLevel::kScalar);
+      return Parser::Parse(input, options);
+    }();
+    for (KernelLevel level : levels) {
+      ScopedKernelLevel force(level);
+      Result<ParseOutput> got = Parser::Parse(input, options);
+      const std::string context = spec.name + " level " +
+                                  simd::KernelLevelName(level);
+      ASSERT_EQ(reference.ok(), got.ok()) << context;
+      if (!reference.ok()) {
+        ASSERT_EQ(reference.status().ToString(), got.status().ToString())
+            << context;
+        continue;
+      }
+      ASSERT_TRUE(reference->table.Equals(got->table)) << context;
+      ASSERT_EQ(reference->min_columns, got->min_columns) << context;
+      ASSERT_EQ(reference->max_columns, got->max_columns) << context;
+    }
+    ++swept;
+  }
+  EXPECT_GT(swept, static_cast<int>(seeds / 2));
 }
 
 // The arch levels this build claims must actually resolve to themselves —

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/parser.h"
 #include "dfa/formats.h"
+#include "dialect/dialect.h"
 #include "robust/failpoint.h"
 #include "stream/streaming_parser.h"
 #include "test_util.h"
@@ -293,6 +295,147 @@ TEST(TransposeDifferentialTest, StreamingPartitionsMatchAcrossModes) {
                   got->quarantine.entries().size())
             << context;
       }
+    }
+  }
+}
+
+// Generated-dialect axis: seeded random DialectSpecs (src/dialect) ride
+// the same symbol-sort vs field-gather comparison — the gather path's
+// whole-field copies must honour runtime-compiled flag conventions
+// (notably the fixed-width *inclusive* field boundary, where the boundary
+// byte is both the field's end and its last value byte) exactly like the
+// paper's per-symbol sort. PARPARAW_DIALECT_SEEDS overrides the seed
+// count (default 48).
+dialect::DialectSpec DialectSpecForSeed(uint64_t seed) {
+  Rng rng(seed * 257 + 11);
+  dialect::DialectSpec spec;
+  spec.name = "gen-" + std::to_string(seed);
+  if (rng.Next() % 4 == 0) {
+    const int fields = 1 + static_cast<int>(rng.Next() % 3);
+    for (int f = 0; f < fields; ++f) {
+      spec.fixed_widths.push_back(1 + static_cast<int>(rng.Next() % 4));
+    }
+    spec.quote = 0;
+    return spec;
+  }
+  static const uint8_t kFieldDelims[] = {',', ';', '\t', '|'};
+  static const char* const kRecordDelims[] = {"\n", "\r\n", "%$"};
+  spec.field_delimiter = kFieldDelims[rng.Next() % 4];
+  spec.record_delimiter = kRecordDelims[rng.Next() % 3];
+  spec.quote = (rng.Next() % 4 == 0) ? 0 : '"';
+  spec.escape_style = (rng.Next() % 2 == 0)
+                          ? dialect::EscapeStyle::kDoubledQuote
+                          : dialect::EscapeStyle::kBackslash;
+  spec.comment = (rng.Next() % 3 == 0) ? '#' : 0;
+  spec.skip_empty_lines = rng.Next() % 2 == 0;
+  spec.strict_quotes = rng.Next() % 2 == 0;
+  return spec;
+}
+
+std::string DialectInputForSeed(const dialect::DialectSpec& spec,
+                                uint64_t seed) {
+  Rng rng(seed + 5);
+  if (!spec.fixed_widths.empty()) {
+    int64_t width = 0;
+    for (int w : spec.fixed_widths) width += w;
+    std::string input;
+    const int records = 4 + static_cast<int>(seed % 12);
+    for (int r = 0; r < records; ++r) {
+      for (int64_t i = 0; i < width; ++i) {
+        input.push_back(static_cast<char>('a' + rng.Next() % 26));
+      }
+      if (rng.Next() % 7 == 0) input.pop_back();  // broken record
+      input += spec.record_delimiter;
+    }
+    return input;
+  }
+  std::string input = InputForSeed({spec.name, Format{}}, seed);
+  if (spec.field_delimiter != ',' && spec.field_delimiter != 0) {
+    for (char& ch : input) {
+      if (ch == ',') ch = static_cast<char>(spec.field_delimiter);
+    }
+  }
+  if (spec.record_delimiter != "\n") {
+    std::string rewritten;
+    rewritten.reserve(input.size() * 2);
+    for (char ch : input) {
+      if (ch == '\n') {
+        rewritten += spec.record_delimiter;
+      } else {
+        rewritten.push_back(ch);
+      }
+    }
+    input = std::move(rewritten);
+  }
+  return input;
+}
+
+uint64_t DialectSeedCount() {
+  const char* env = std::getenv("PARPARAW_DIALECT_SEEDS");
+  return env != nullptr && *env != '\0' ? std::strtoull(env, nullptr, 10)
+                                        : 48;
+}
+
+TEST(TransposeDifferentialTest, GeneratedDialectsAgreeAcrossModes) {
+  const uint64_t seeds = DialectSeedCount();
+  int swept = 0;
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
+    const dialect::DialectSpec spec = DialectSpecForSeed(seed);
+    auto compiled = dialect::Compile(spec);
+    ASSERT_TRUE(compiled.ok()) << spec.name << ": "
+                               << compiled.status().ToString();
+    if (!compiled->within_budget) continue;  // fallback bypasses transpose
+    const std::string input = DialectInputForSeed(spec, seed);
+    ParseOptions options;
+    options.dialect = spec;
+    options.chunk_size = ChunkSizeForSeed(seed);
+    options.tagging_mode = TaggingMode::kRecordTags;
+
+    options.transpose_mode = TransposeMode::kSymbolSort;
+    const Result<ParseOutput> reference = Parser::Parse(input, options);
+    options.transpose_mode = TransposeMode::kFieldGather;
+    const Result<ParseOutput> got = Parser::Parse(input, options);
+    ASSERT_NO_FATAL_FAILURE(ExpectOutputsEqual(reference, got, spec.name));
+    ++swept;
+  }
+  EXPECT_GT(swept, static_cast<int>(seeds / 2));
+}
+
+// Oracle axis: for within-budget dialects the scalar wide-automaton walk
+// (dialect::FallbackParse — the path over-budget dialects take) and the
+// full parallel pipeline under both transpose modes must produce the same
+// table from the same spec. This pins the packed Dfa, the SymbolFlags
+// conventions and both transposition paths to one reference semantics.
+TEST(TransposeDifferentialTest, FallbackWalkMatchesPipelineOnDialects) {
+  const uint64_t seeds = DialectSeedCount();
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
+    const dialect::DialectSpec spec = DialectSpecForSeed(seed * 7 + 1);
+    auto compiled = dialect::Compile(spec);
+    ASSERT_TRUE(compiled.ok()) << spec.name;
+    if (!compiled->within_budget) continue;
+    const std::string input = DialectInputForSeed(spec, seed);
+
+    ParseOptions options;  // defaults: kRecordTags, kRobust, kNull policy
+    const Result<ParseOutput> walked =
+        dialect::FallbackParse(input, *compiled, options);
+
+    for (TransposeMode mode :
+         {TransposeMode::kSymbolSort, TransposeMode::kFieldGather}) {
+      ParseOptions pipeline;
+      pipeline.dialect = spec;
+      pipeline.transpose_mode = mode;
+      const Result<ParseOutput> piped = Parser::Parse(input, pipeline);
+      const std::string context =
+          spec.name + (mode == TransposeMode::kSymbolSort ? " sort"
+                                                          : " gather");
+      ASSERT_EQ(walked.ok(), piped.ok())
+          << context << ": "
+          << (walked.ok() ? piped.status().ToString()
+                          : walked.status().ToString());
+      if (!walked.ok()) continue;
+      ASSERT_TRUE(walked->table.Equals(piped->table)) << context;
+      ASSERT_EQ(walked->min_columns, piped->min_columns) << context;
+      ASSERT_EQ(walked->max_columns, piped->max_columns) << context;
     }
   }
 }
