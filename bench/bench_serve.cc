@@ -1,0 +1,289 @@
+// parparawd serving benchmark: drives a loopback daemon with the
+// src/workload request generators and reports request-latency
+// percentiles (p50/p99/p999) plus saturation throughput.
+//
+// Two harness modes, both built on workload::RequestStream:
+//   closed loop — N client threads, each issuing the next request the
+//     moment the previous reply lands. Sweeping N exposes the
+//     saturation point (max aggregate throughput).
+//   open loop — Poisson arrivals at a fixed offered rate (a fraction of
+//     the measured saturation), so reported latency includes queueing
+//     delay rather than being gated by the clients themselves.
+//
+// Output: plain tables on stdout; `--json-out=BENCH_serve.json` writes
+// the flat metric list documented in EXPERIMENTS.md.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/obs.h"
+#include "query/predicate.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/stopwatch.h"
+#include "workload/generators.h"
+#include "workload/request_stream.h"
+
+namespace parparaw::bench {
+namespace {
+
+struct Dataset {
+  std::string bytes;
+};
+
+std::vector<Dataset> MakeDatasets(size_t count, size_t bytes_each) {
+  std::vector<Dataset> datasets(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Alternate generator families so dialect/type resolution varies.
+    switch (i % 3) {
+      case 0:
+        datasets[i].bytes = GenerateYelpLike(100 + i, bytes_each);
+        break;
+      case 1:
+        datasets[i].bytes = GenerateTaxiLike(200 + i, bytes_each);
+        break;
+      default:
+        datasets[i].bytes = GenerateLogLike(300 + i, bytes_each);
+        break;
+    }
+  }
+  return datasets;
+}
+
+struct RunResult {
+  std::vector<double> latencies_us;  // one entry per completed request
+  double wall_seconds = 0;
+  int64_t requests = 0;
+  int64_t busy = 0;
+  int64_t payload_bytes = 0;
+};
+
+double Percentile(std::vector<double>* sorted_inout, double p) {
+  if (sorted_inout->empty()) return 0;
+  std::sort(sorted_inout->begin(), sorted_inout->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_inout->size() - 1));
+  return (*sorted_inout)[idx];
+}
+
+/// Issues one request from the stream against `client`; returns the
+/// request's payload bytes, or -1 on busy (not retried here — shed work
+/// is part of the daemon's contract under saturation).
+int64_t IssueOne(serve::Client* client, const Request& request,
+                 const std::vector<Dataset>& datasets) {
+  const Dataset& dataset = datasets[request.dataset % datasets.size()];
+  switch (request.kind) {
+    case RequestKind::kPing:
+      return client->Ping().ok() ? 0 : -1;
+    case RequestKind::kQuery: {
+      auto reply =
+          client->Query(dataset.bytes, Predicate(0, CompareOp::kIsNotNull));
+      if (!reply.ok() || reply->busy) return -1;
+      return static_cast<int64_t>(dataset.bytes.size());
+    }
+    case RequestKind::kStreamParse: {
+      serve::RequestOptions options;
+      options.stream = true;
+      auto reply = client->Parse(dataset.bytes, options);
+      if (!reply.ok() || reply->busy) return -1;
+      return static_cast<int64_t>(dataset.bytes.size());
+    }
+    case RequestKind::kParse:
+    default: {
+      auto reply = client->Parse(dataset.bytes);
+      if (!reply.ok() || reply->busy) return -1;
+      return static_cast<int64_t>(dataset.bytes.size());
+    }
+  }
+}
+
+/// Closed loop: `threads` clients, `per_thread` requests each,
+/// back-to-back.
+RunResult RunClosedLoop(uint16_t port, const std::vector<Dataset>& datasets,
+                        int threads, int per_thread) {
+  std::vector<RunResult> partial(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      RunResult& mine = partial[static_cast<size_t>(t)];
+      auto client = serve::Client::Connect(port);
+      if (!client.ok()) return;
+      RequestStream::Options stream_options;
+      stream_options.seed = 7000 + static_cast<uint64_t>(t);
+      stream_options.num_datasets = datasets.size();
+      RequestStream stream(stream_options);
+      mine.latencies_us.reserve(static_cast<size_t>(per_thread));
+      for (int i = 0; i < per_thread; ++i) {
+        const Request request = stream.Next();
+        Stopwatch timer;
+        const int64_t bytes = IssueOne(&*client, request, datasets);
+        if (bytes < 0) {
+          ++mine.busy;
+          continue;
+        }
+        mine.latencies_us.push_back(timer.ElapsedSeconds() * 1e6);
+        ++mine.requests;
+        mine.payload_bytes += bytes;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  RunResult merged;
+  merged.wall_seconds = wall.ElapsedSeconds();
+  for (RunResult& p : partial) {
+    merged.requests += p.requests;
+    merged.busy += p.busy;
+    merged.payload_bytes += p.payload_bytes;
+    merged.latencies_us.insert(merged.latencies_us.end(),
+                               p.latencies_us.begin(), p.latencies_us.end());
+  }
+  return merged;
+}
+
+/// Open loop: Poisson arrivals at `rate` req/s spread over `threads`
+/// dispatchers; latency includes time spent waiting behind the offered
+/// schedule.
+RunResult RunOpenLoop(uint16_t port, const std::vector<Dataset>& datasets,
+                      int threads, double rate, int total_requests) {
+  std::vector<RunResult> partial(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  const int per_thread = total_requests / threads;
+  Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      RunResult& mine = partial[static_cast<size_t>(t)];
+      auto client = serve::Client::Connect(port);
+      if (!client.ok()) return;
+      RequestStream::Options stream_options;
+      stream_options.seed = 9000 + static_cast<uint64_t>(t);
+      stream_options.num_datasets = datasets.size();
+      stream_options.arrivals_per_sec = rate / threads;
+      RequestStream stream(stream_options);
+      Stopwatch clock;
+      double next_due_us = 0;
+      for (int i = 0; i < per_thread; ++i) {
+        const Request request = stream.Next();
+        next_due_us += static_cast<double>(request.inter_arrival_us);
+        const double now_us = clock.ElapsedSeconds() * 1e6;
+        if (now_us < next_due_us) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<int64_t>(next_due_us - now_us)));
+        }
+        // Latency is measured from the *scheduled* arrival, so falling
+        // behind the offered rate shows up as queueing delay.
+        const int64_t bytes = IssueOne(&*client, request, datasets);
+        if (bytes < 0) {
+          ++mine.busy;
+          continue;
+        }
+        mine.latencies_us.push_back(clock.ElapsedSeconds() * 1e6 -
+                                    next_due_us);
+        ++mine.requests;
+        mine.payload_bytes += bytes;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  RunResult merged;
+  merged.wall_seconds = wall.ElapsedSeconds();
+  for (RunResult& p : partial) {
+    merged.requests += p.requests;
+    merged.busy += p.busy;
+    merged.payload_bytes += p.payload_bytes;
+    merged.latencies_us.insert(merged.latencies_us.end(),
+                               p.latencies_us.begin(), p.latencies_us.end());
+  }
+  return merged;
+}
+
+void Report(const char* mode, const char* axis, int value,
+            const RunResult& run, JsonReport* json) {
+  std::vector<double> lat = run.latencies_us;
+  const double p50 = Percentile(&lat, 0.50);
+  const double p99 = Percentile(&lat, 0.99);
+  const double p999 = Percentile(&lat, 0.999);
+  const double rps =
+      run.wall_seconds > 0 ? run.requests / run.wall_seconds : 0;
+  const double gbps = Gbps(static_cast<size_t>(run.payload_bytes),
+                           run.wall_seconds);
+  std::printf("%-12s %4d %10lld %8lld %10.0f %9.0f %9.0f %9.0f %7.2f\n",
+              mode, value, static_cast<long long>(run.requests),
+              static_cast<long long>(run.busy), rps, p50, p99, p999, gbps);
+  char name[64];
+  std::snprintf(name, sizeof(name), "serve/%s/%s=%d", mode, axis, value);
+  json->Add(name, {{"requests", static_cast<double>(run.requests)},
+                   {"busy", static_cast<double>(run.busy)},
+                   {"requests_per_sec", rps},
+                   {"p50_us", p50},
+                   {"p99_us", p99},
+                   {"p999_us", p999},
+                   {"payload_gbps", gbps}});
+}
+
+int Main(int argc, char** argv) {
+  JsonReport json(argc, argv);
+
+  // Per-dataset size; PARPARAW_BENCH_MB scales it (default keeps a full
+  // sweep under a minute on a small CI box).
+  const size_t dataset_bytes = BenchBytes(1) / 8;
+  const std::vector<Dataset> datasets = MakeDatasets(8, dataset_bytes);
+
+  serve::ServeOptions options;
+  options.max_connections = 128;
+  options.max_inflight_requests =
+      std::max(2u, std::thread::hardware_concurrency());
+  serve::Server server(options);
+  auto port = server.Start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 port.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintHeader("parparawd serving: closed-loop concurrency sweep");
+  std::printf("%-12s %4s %10s %8s %10s %9s %9s %9s %7s\n", "mode", "conc",
+              "requests", "busy", "req/s", "p50us", "p99us", "p999us",
+              "GB/s");
+  const int per_thread = 60;
+  double saturation_rps = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    const RunResult run =
+        RunClosedLoop(*port, datasets, threads, per_thread);
+    Report("closed", "threads", threads, run, &json);
+    if (run.wall_seconds > 0) {
+      saturation_rps =
+          std::max(saturation_rps, run.requests / run.wall_seconds);
+    }
+  }
+  json.Add("serve/saturation",
+           {{"requests_per_sec", saturation_rps}});
+  std::printf("saturation throughput: %.0f req/s\n", saturation_rps);
+
+  PrintHeader("parparawd serving: open loop (Poisson arrivals)");
+  std::printf("%-12s %4s %10s %8s %10s %9s %9s %9s %7s\n", "mode", "rate%",
+              "requests", "busy", "req/s", "p50us", "p99us", "p999us",
+              "GB/s");
+  // Offered load at 30% / 60% / 90% of saturation: queueing delay climbs
+  // as the daemon approaches its admission limit.
+  for (int pct : {30, 60, 90}) {
+    const double rate = saturation_rps * pct / 100.0;
+    if (rate <= 0) break;
+    const RunResult run = RunOpenLoop(*port, datasets, 4, rate, 240);
+    Report("open", "pct", pct, run, &json);
+  }
+
+  server.Stop();
+  json.Flush();
+  return 0;
+}
+
+}  // namespace
+}  // namespace parparaw::bench
+
+int main(int argc, char** argv) { return parparaw::bench::Main(argc, argv); }

@@ -22,6 +22,11 @@
 #                               # proofs, minimiser properties, widened
 #                               # generated-dialect differential sweeps,
 #                               # chaos) under ASan+UBSan
+#   scripts/check.sh serve      # parparawd daemon: protocol conformance
+#                               # + 10k-frame fuzz under ASan+UBSan, then
+#                               # the multi-client loopback soak under
+#                               # TSan, plus the chaos sweep with serve.*
+#                               # failpoints in its schedule space
 #
 # Build trees land in build-asan/ and build-tsan/ next to the normal
 # build/ so a sanitizer run never invalidates the regular build cache.
@@ -178,6 +183,39 @@ run_dialects() {
       -R 'Dialect|SimdDifferential|TransposeDifferential|Chaos|Sniffer'
 }
 
+run_serve() {
+  echo "=== serve: configure (ASan+UBSan) ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=address,undefined
+  echo "=== serve: build ==="
+  cmake --build build-asan -j "${JOBS}"
+  # The daemon's memory-safety surface: every protocol encoder/decoder,
+  # the 10k-seeded-malformed-frame fuzz, the robust socket I/O helpers
+  # with their serve.* failpoints, the workload generators, and the chaos
+  # sweep (whose schedule space includes serve.* faults and a loopback
+  # daemon entry point).
+  echo "=== serve: conformance + fuzz under ASan+UBSan ==="
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+      -R 'ServeProtocol|ServeConformance|ServeFailpoint|ServeFuzz|RequestStream|Chaos'
+  echo "=== serve: configure (TSan) ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=thread
+  echo "=== serve: build (TSan) ==="
+  cmake --build build-tsan -j "${JOBS}"
+  # The daemon's schedule-sensitive surface: N concurrent clients mixing
+  # ingest/query/disconnect against one shared admission controller, the
+  # BUSY shedding paths, cancel-on-disconnect slot return, and clean
+  # shutdown with requests in flight.
+  echo "=== serve: concurrency soak under TSan ==="
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -R 'ServeConcurrency|ServeConformance'
+}
+
 case "${MODE}" in
   asan) run_asan ;;
   tsan) run_tsan ;;
@@ -186,6 +224,7 @@ case "${MODE}" in
   pipeline) run_pipeline ;;
   transpose) run_transpose ;;
   dialects) run_dialects ;;
+  serve) run_serve ;;
   all)
     run_asan
     run_tsan
@@ -194,9 +233,10 @@ case "${MODE}" in
     run_pipeline
     run_transpose
     run_dialects
+    run_serve
     ;;
   *)
-    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|dialects|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|dialects|serve|all]" >&2
     exit 2
     ;;
 esac

@@ -1,6 +1,8 @@
 #include "columnar/ipc.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace parparaw {
 
@@ -77,8 +79,19 @@ Result<std::string> SerializeTable(const Table& table) {
     PutScalar<uint8_t>(static_cast<uint8_t>(field.type.id), &out);
     PutScalar<int32_t>(field.type.scale, &out);
     PutScalar<uint8_t>(field.nullable ? 1 : 0, &out);
+    // Columns grown through Concat carry an amortised-doubled validity
+    // buffer; serialize exactly the words the row count needs (the
+    // reader rejects anything else).
     const auto& words = column.validity().words();
-    PutBytes(words.data(), words.size() * sizeof(uint64_t), &out);
+    const size_t want_words =
+        (static_cast<size_t>(table.num_rows) + 63) / 64;
+    if (words.size() >= want_words) {
+      PutBytes(words.data(), want_words * sizeof(uint64_t), &out);
+    } else {
+      std::vector<uint64_t> padded(want_words, 0);
+      std::copy(words.begin(), words.end(), padded.begin());
+      PutBytes(padded.data(), want_words * sizeof(uint64_t), &out);
+    }
     if (IsFixedWidth(field.type.id)) {
       PutBytes(column.data().data(), column.data().size(), &out);
     } else {

@@ -1,0 +1,41 @@
+#include "exec/admission.h"
+
+namespace parparaw {
+namespace exec {
+
+int AdmissionController::Acquire(int limit, const std::function<bool()>& stop) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return stop() || inflight_ < limit; });
+  if (stop()) return -1;
+  return ++inflight_;
+}
+
+int AdmissionController::TryAcquire(int limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ >= limit) return -1;
+  return ++inflight_;
+}
+
+int AdmissionController::Release(int n) {
+  int now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ -= n;
+    now = inflight_;
+  }
+  cv_.notify_all();
+  return now;
+}
+
+void AdmissionController::Wake() {
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace exec
+}  // namespace parparaw

@@ -1,0 +1,65 @@
+#ifndef PARPARAW_EXEC_ADMISSION_H_
+#define PARPARAW_EXEC_ADMISSION_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+namespace parparaw {
+namespace exec {
+
+/// \brief Counting admission controller shared by concurrent ingests.
+///
+/// Tracks how many memory-bearing units (partitions resident in the
+/// pipeline, requests in flight on the network daemon) exist at once and
+/// blocks producers once a limit is reached. Extracted from
+/// PipelineExecutor so that *several* executors — e.g. one per daemon
+/// connection, so cancel-on-disconnect stays per-client — can share one
+/// controller and therefore one global memory budget: whoever acquires
+/// counts against everyone's limit, which is exactly the multi-tenant
+/// backpressure the serving layer needs.
+///
+/// The limit is a parameter of Acquire rather than controller state
+/// because each ingest derives its own limit from its options (and they
+/// must all still count against the same inflight total); heterogeneous
+/// limits resolve conservatively — a waiter admits itself only below its
+/// own limit.
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until the inflight count is below `limit` or `stop()` returns
+  /// true, then takes one slot. Returns the inflight count *after* the
+  /// acquisition (>= 1), or -1 when stopped. `stop` is evaluated under
+  /// the controller mutex; keep it cheap (an atomic load).
+  int Acquire(int limit, const std::function<bool()>& stop);
+
+  /// Takes a slot only when one is free under `limit` — the queue-depth
+  /// shedding primitive (the daemon answers BUSY instead of waiting).
+  /// Returns the post-acquisition count, or -1 when saturated.
+  int TryAcquire(int limit);
+
+  /// Returns `n` slots and wakes all waiters. Returns the new count.
+  int Release(int n = 1);
+
+  /// Wakes every waiter without changing the count. Taking the mutex
+  /// first orders a caller's stop-flag store before the wakeup, so an
+  /// Acquire cannot miss it (the PipelineRun::Abort idiom).
+  void Wake();
+
+  /// Current inflight count (for gauges and the slot-leak assertions in
+  /// tests/serve_concurrency_test.cc).
+  int inflight() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;
+};
+
+}  // namespace exec
+}  // namespace parparaw
+
+#endif  // PARPARAW_EXEC_ADMISSION_H_

@@ -191,13 +191,10 @@ class PipelineRun {
     result_.stats.wall_seconds = wall.ElapsedSeconds();
 
     // Return any admission slots a failed stage still held, so
-    // concurrent ingests sharing this executor are not starved.
-    {
-      std::lock_guard<std::mutex> lock(executor_->admission_mu_);
-      executor_->inflight_ -= slots_held_;
-      slots_held_ = 0;
-    }
-    executor_->admission_cv_.notify_all();
+    // concurrent ingests sharing this executor's controller (other files,
+    // other daemon connections) are not starved.
+    const int leftover = slots_held_.exchange(0);
+    if (leftover > 0) executor_->admission()->Release(leftover);
     {
       std::lock_guard<std::mutex> lock(executor_->runs_mu_);
       auto& runs = executor_->active_runs_;
@@ -255,12 +252,9 @@ class PipelineRun {
     scan_queue_.Abort();
     sort_queue_.Abort();
     convert_queue_.Abort();
-    {
-      // Taking the lock orders the flag store before the wakeup, so an
-      // admission wait cannot miss it.
-      std::lock_guard<std::mutex> lock(executor_->admission_mu_);
-    }
-    executor_->admission_cv_.notify_all();
+    // Wake() takes the controller mutex first, ordering the flag store
+    // before the wakeup so an admission wait cannot miss it.
+    executor_->admission()->Wake();
   }
 
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
@@ -268,31 +262,26 @@ class PipelineRun {
   /// Blocks until a partition may become resident (the backpressure that
   /// keeps the working set inside the memory budget). False on abort.
   bool AcquireSlot() {
-    std::unique_lock<std::mutex> lock(executor_->admission_mu_);
-    executor_->admission_cv_.wait(lock, [this] {
-      return aborted() || executor_->inflight_ < admission_limit_;
-    });
-    if (aborted()) return false;
-    ++executor_->inflight_;
-    ++slots_held_;
-    result_.stats.max_inflight =
-        std::max(result_.stats.max_inflight, executor_->inflight_);
+    const int now = executor_->admission()->Acquire(
+        admission_limit_, [this] { return aborted(); });
+    if (now < 0) return false;
+    slots_held_.fetch_add(1, std::memory_order_relaxed);
+    // Only this run's reader thread acquires, so the stat update is
+    // race-free; the count may include partitions of other ingests
+    // sharing the controller (that is the point of sharing it).
+    result_.stats.max_inflight = std::max(result_.stats.max_inflight, now);
     if (metrics_ != nullptr && metrics_->enabled()) {
-      metrics_->SetGauge("exec.inflight", executor_->inflight_);
+      metrics_->SetGauge("exec.inflight", now);
     }
     return true;
   }
 
   void ReleaseSlot() {
-    {
-      std::lock_guard<std::mutex> lock(executor_->admission_mu_);
-      --executor_->inflight_;
-      --slots_held_;
-      if (metrics_ != nullptr && metrics_->enabled()) {
-        metrics_->SetGauge("exec.inflight", executor_->inflight_);
-      }
+    slots_held_.fetch_sub(1, std::memory_order_relaxed);
+    const int now = executor_->admission()->Release();
+    if (metrics_ != nullptr && metrics_->enabled()) {
+      metrics_->SetGauge("exec.inflight", now);
     }
-    executor_->admission_cv_.notify_all();
   }
 
   // --- stage 0: chunked, admission-gated reads ---
@@ -520,7 +509,9 @@ class PipelineRun {
 
   size_t partition_size_ = 0;
   int admission_limit_ = 0;
-  int slots_held_ = 0;  // guarded by executor_->admission_mu_
+  /// Slots this run holds; incremented by the reader thread, decremented
+  /// by the convert thread, drained at teardown after every stage joined.
+  std::atomic<int> slots_held_{0};
 
   BoundedQueue<std::unique_ptr<RawChunk>> scan_queue_;
   BoundedQueue<TaskPtr> sort_queue_;

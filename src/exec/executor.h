@@ -2,7 +2,6 @@
 #define PARPARAW_EXEC_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -11,6 +10,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "exec/admission.h"
 #include "util/result.h"
 
 namespace parparaw {
@@ -112,6 +112,14 @@ using PartitionSink = std::function<Status(Table&&)>;
 class PipelineExecutor {
  public:
   PipelineExecutor() = default;
+  /// Shares `admission` (not owned, must outlive the executor) instead of
+  /// the executor's private controller. Several executors bound to one
+  /// controller admit partitions against a single global inflight count —
+  /// the serving daemon binds one executor per request to the server's
+  /// controller so every client's ingest draws from the same memory
+  /// budget, while Cancel() stays per-request.
+  explicit PipelineExecutor(AdmissionController* admission)
+      : admission_(admission) {}
   PipelineExecutor(const PipelineExecutor&) = delete;
   PipelineExecutor& operator=(const PipelineExecutor&) = delete;
 
@@ -152,13 +160,20 @@ class PipelineExecutor {
     return cancelled_.load(std::memory_order_acquire);
   }
 
+  /// The admission controller this executor's ingests draw slots from:
+  /// the shared one when constructed with it, the private one otherwise.
+  AdmissionController* admission() {
+    return admission_ != nullptr ? admission_ : &owned_admission_;
+  }
+
  private:
   friend class PipelineRun;
 
-  /// Admission book-keeping shared by every ingest on this executor.
-  std::mutex admission_mu_;
-  std::condition_variable admission_cv_;
-  int inflight_ = 0;
+  /// Admission book-keeping shared by every ingest on this executor (and,
+  /// when admission_ points at a shared controller, by every ingest on
+  /// every executor bound to it).
+  AdmissionController owned_admission_;
+  AdmissionController* admission_ = nullptr;
 
   std::atomic<bool> cancelled_{false};
   /// Abort hooks of in-flight runs, fired by Cancel().

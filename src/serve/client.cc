@@ -1,0 +1,213 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "columnar/ipc.h"
+
+namespace parparaw {
+namespace serve {
+
+namespace {
+
+uint64_t ReadU64Le(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint8_t RequestFlags(const RequestOptions& options) {
+  uint8_t flags = 0;
+  if (options.stream) flags |= kFlagStream;
+  if (options.want_quarantine) flags |= kFlagQuarantine;
+  return flags;
+}
+
+RequestHeader ToHeader(const RequestOptions& options) {
+  RequestHeader header;
+  header.error_policy = options.error_policy;
+  header.header = options.header;
+  header.memory_budget = options.memory_budget;
+  header.partition_size = options.partition_size;
+  return header;
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(uint16_t port) {
+  PARPARAW_ASSIGN_OR_RETURN(Socket sock, ConnectLoopback(port));
+  return Client(std::move(sock));
+}
+
+Status Client::SendRequest(Opcode opcode, uint8_t flags,
+                           std::string_view body,
+                           const RequestOptions& options) {
+  std::string payload = EncodeRequestHeader(ToHeader(options));
+  payload.append(body);
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(opcode, flags, payload, &frame);
+  return SendAll(sock_.fd(), frame);
+}
+
+Result<Client::Frame> Client::ReadFrame() {
+  std::string header_bytes;
+  PARPARAW_RETURN_NOT_OK(
+      RecvExact(sock_.fd(), kFrameHeaderSize, &header_bytes));
+  Frame frame;
+  PARPARAW_ASSIGN_OR_RETURN(
+      frame.header, DecodeFrameHeader(header_bytes, kDefaultMaxPayload));
+  if (frame.header.payload_size > 0) {
+    PARPARAW_RETURN_NOT_OK(RecvExact(
+        sock_.fd(), static_cast<size_t>(frame.header.payload_size),
+        &frame.payload));
+  }
+  return frame;
+}
+
+Status Client::Ping(std::string_view token) {
+  std::string frame;
+  AppendFrame(Opcode::kPing, 0, token, &frame);
+  PARPARAW_RETURN_NOT_OK(SendAll(sock_.fd(), frame));
+  PARPARAW_ASSIGN_OR_RETURN(const Frame reply, ReadFrame());
+  if (reply.header.opcode != Opcode::kPong) {
+    return Status::IoError("expected kPong, got opcode " +
+                           std::to_string(
+                               static_cast<int>(reply.header.opcode)));
+  }
+  if (reply.payload != token) {
+    return Status::IoError("ping payload did not echo back");
+  }
+  return Status::OK();
+}
+
+Result<ParseReply> Client::Parse(std::string_view data,
+                                 const RequestOptions& options) {
+  return DoParse(Opcode::kParseBuffer, data, options);
+}
+
+Result<ParseReply> Client::ParseFile(const std::string& path,
+                                     const RequestOptions& options) {
+  return DoParse(Opcode::kParseFile, path, options);
+}
+
+Result<ParseReply> Client::DoParse(Opcode opcode, std::string_view body,
+                                   const RequestOptions& options) {
+  PARPARAW_RETURN_NOT_OK(
+      SendRequest(opcode, RequestFlags(options), body, options));
+  ParseReply reply;
+  bool expect_quarantine = false;
+  while (true) {
+    PARPARAW_ASSIGN_OR_RETURN(const Frame frame, ReadFrame());
+    switch (frame.header.opcode) {
+      case Opcode::kBusy:
+        reply.busy = true;
+        return reply;
+      case Opcode::kError:
+        return DecodeErrorPayload(frame.payload);
+      case Opcode::kOkTable: {
+        PARPARAW_ASSIGN_OR_RETURN(reply.table,
+                                  DeserializeTable(frame.payload));
+        if ((frame.header.flags & kFlagQuarantine) == 0) return reply;
+        expect_quarantine = true;
+        break;
+      }
+      case Opcode::kTablePart: {
+        PARPARAW_ASSIGN_OR_RETURN(Table part,
+                                  DeserializeTable(frame.payload));
+        reply.parts.push_back(std::move(part));
+        break;
+      }
+      case Opcode::kEnd: {
+        if (frame.payload.size() != 8) {
+          return Status::IoError("kEnd payload must be 8 bytes");
+        }
+        reply.parts_declared = ReadU64Le(frame.payload.data());
+        if (reply.parts_declared != reply.parts.size()) {
+          return Status::IoError(
+              "stream declared " + std::to_string(reply.parts_declared) +
+              " partitions but sent " + std::to_string(reply.parts.size()));
+        }
+        if ((frame.header.flags & kFlagQuarantine) == 0) return reply;
+        expect_quarantine = true;
+        break;
+      }
+      case Opcode::kQuarantine: {
+        if (!expect_quarantine) {
+          return Status::IoError("unexpected kQuarantine frame");
+        }
+        PARPARAW_ASSIGN_OR_RETURN(reply.quarantine,
+                                  DeserializeQuarantine(frame.payload));
+        reply.has_quarantine = true;
+        return reply;
+      }
+      default:
+        return Status::IoError(
+            "unexpected response opcode " +
+            std::to_string(static_cast<int>(frame.header.opcode)));
+    }
+  }
+}
+
+Result<QueryReply> Client::Query(std::string_view data,
+                                 const Predicate& predicate,
+                                 const RequestOptions& options) {
+  return DoQuery(Opcode::kQueryBuffer, data, predicate, options);
+}
+
+Result<QueryReply> Client::QueryFile(const std::string& path,
+                                     const Predicate& predicate,
+                                     const RequestOptions& options) {
+  return DoQuery(Opcode::kQueryFile, path, predicate, options);
+}
+
+Result<QueryReply> Client::DoQuery(Opcode opcode, std::string_view body,
+                                   const Predicate& predicate,
+                                   const RequestOptions& options) {
+  std::string request = EncodePredicateBlock(predicate);
+  request.append(body);
+  PARPARAW_RETURN_NOT_OK(SendRequest(opcode, 0, request, options));
+  PARPARAW_ASSIGN_OR_RETURN(const Frame frame, ReadFrame());
+  QueryReply reply;
+  switch (frame.header.opcode) {
+    case Opcode::kBusy:
+      reply.busy = true;
+      return reply;
+    case Opcode::kError:
+      return DecodeErrorPayload(frame.payload);
+    case Opcode::kOkQuery: {
+      if (frame.payload.size() < 16) {
+        return Status::IoError("kOkQuery payload too small");
+      }
+      reply.records_scanned =
+          static_cast<int64_t>(ReadU64Le(frame.payload.data()));
+      reply.records_selected =
+          static_cast<int64_t>(ReadU64Le(frame.payload.data() + 8));
+      PARPARAW_ASSIGN_OR_RETURN(
+          reply.table,
+          DeserializeTable(
+              std::string_view(frame.payload).substr(16)));
+      return reply;
+    }
+    default:
+      return Status::IoError(
+          "unexpected response opcode " +
+          std::to_string(static_cast<int>(frame.header.opcode)));
+  }
+}
+
+Result<std::string> Client::Stats() {
+  std::string frame;
+  AppendFrame(Opcode::kStats, 0, {}, &frame);
+  PARPARAW_RETURN_NOT_OK(SendAll(sock_.fd(), frame));
+  PARPARAW_ASSIGN_OR_RETURN(const Frame reply, ReadFrame());
+  if (reply.header.opcode == Opcode::kError) {
+    return DecodeErrorPayload(reply.payload);
+  }
+  if (reply.header.opcode != Opcode::kStatsText) {
+    return Status::IoError("expected kStatsText");
+  }
+  return reply.payload;
+}
+
+}  // namespace serve
+}  // namespace parparaw

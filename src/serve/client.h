@@ -1,0 +1,120 @@
+#ifndef PARPARAW_SERVE_CLIENT_H_
+#define PARPARAW_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columnar/table.h"
+#include "query/predicate.h"
+#include "robust/quarantine.h"
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+#include "util/result.h"
+
+namespace parparaw {
+namespace serve {
+
+/// Per-request knobs a client sends in the RequestHeader (and flags).
+struct RequestOptions {
+  /// robust::ErrorPolicy as its wire value (kNull/kFail/kSkip/kQuarantine).
+  uint8_t error_policy = 0;
+  /// 0 = no header row, 1 = header row, 2 = sniff (server decides).
+  uint8_t header = 2;
+  /// 0 = server default slice; >0 tightens the request's budget.
+  int64_t memory_budget = 0;
+  /// 0 = server default partition size.
+  uint64_t partition_size = 0;
+  /// Request per-partition streaming (kTablePart* then kEnd) instead of
+  /// one concatenated kOkTable.
+  bool stream = false;
+  /// Append the quarantine table (kQuarantine frame) to the response.
+  bool want_quarantine = false;
+};
+
+/// A parse response. `busy` means the daemon shed the request at its
+/// queue-depth limit — no other field is meaningful and the connection
+/// is still usable; the client decides whether to retry.
+struct ParseReply {
+  bool busy = false;
+  Table table;                 // non-streaming responses
+  std::vector<Table> parts;    // streaming responses, in stream order
+  uint64_t parts_declared = 0;  // kEnd's count (streaming)
+  robust::QuarantineTable quarantine;
+  bool has_quarantine = false;
+};
+
+/// A pushdown-query response.
+struct QueryReply {
+  bool busy = false;
+  int64_t records_scanned = 0;
+  int64_t records_selected = 0;
+  Table table;
+};
+
+/// \brief Blocking parparawd client used by the tests, the soak/bench
+/// harnesses, and anything else that wants a parse served remotely.
+///
+/// One request in flight at a time per Client (the daemon itself accepts
+/// pipelined frames; tests exercise that path with raw sockets). A
+/// server-side request error (kError frame) comes back as that decoded
+/// Status; transport problems surface as kIoError.
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects to a parparawd on 127.0.0.1:`port`.
+  static Result<Client> Connect(uint16_t port);
+
+  bool connected() const { return sock_.valid(); }
+  int fd() const { return sock_.fd(); }
+  void Close() { sock_.Close(); }
+
+  /// Round-trips a kPing; the payload must echo back verbatim.
+  Status Ping(std::string_view token = "ping");
+
+  /// Parses `data` server-side and returns the columnar result.
+  Result<ParseReply> Parse(std::string_view data,
+                           const RequestOptions& options = {});
+
+  /// Parses a *server-local* file by path.
+  Result<ParseReply> ParseFile(const std::string& path,
+                               const RequestOptions& options = {});
+
+  /// Runs a pushdown query over uploaded bytes.
+  Result<QueryReply> Query(std::string_view data, const Predicate& predicate,
+                           const RequestOptions& options = {});
+
+  /// Runs a pushdown query over a server-local file.
+  Result<QueryReply> QueryFile(const std::string& path,
+                               const Predicate& predicate,
+                               const RequestOptions& options = {});
+
+  /// Fetches the daemon's metrics summary text.
+  Result<std::string> Stats();
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  struct Frame {
+    FrameHeader header;
+    std::string payload;
+  };
+
+  Status SendRequest(Opcode opcode, uint8_t flags, std::string_view body,
+                     const RequestOptions& options);
+  Result<Frame> ReadFrame();
+  Result<ParseReply> DoParse(Opcode opcode, std::string_view body,
+                             const RequestOptions& options);
+  Result<QueryReply> DoQuery(Opcode opcode, std::string_view body,
+                             const Predicate& predicate,
+                             const RequestOptions& options);
+
+  Socket sock_;
+};
+
+}  // namespace serve
+}  // namespace parparaw
+
+#endif  // PARPARAW_SERVE_CLIENT_H_

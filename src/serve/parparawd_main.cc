@@ -1,0 +1,127 @@
+// parparawd — the ParPaRaw parse-serving daemon.
+//
+// Binds 127.0.0.1:<port> and serves the serve/protocol.h frame protocol:
+// clients upload delimiter-separated bytes (or name a server-local file)
+// and receive columnar IPC tables, pushdown query answers, or a
+// partition stream. See docs/serving.md.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int64_t ParseBytes(const char* text) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || value < 0) return -1;
+  switch (*end) {
+    case 'k': case 'K': return static_cast<int64_t>(value * (1LL << 10));
+    case 'm': case 'M': return static_cast<int64_t>(value * (1LL << 20));
+    case 'g': case 'G': return static_cast<int64_t>(value * (1LL << 30));
+    case '\0': return static_cast<int64_t>(value);
+    default: return -1;
+  }
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port N             listen port on 127.0.0.1 (default 7070;\n"
+      "                       0 = ephemeral, printed on startup)\n"
+      "  --max-connections N  concurrent connections (default 64)\n"
+      "  --max-inflight N     admitted requests before BUSY shedding\n"
+      "                       (default 8)\n"
+      "  --memory-budget B    global parse working-set budget, e.g. 512M\n"
+      "                       (default 0 = unlimited)\n"
+      "  --partition-size B   default parse partition size (default 8M)\n"
+      "  --no-metrics         disable the serve.*/exec.* metrics registry\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parparaw::serve::ServeOptions options;
+  options.port = 7070;
+  bool metrics_enabled = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    }
+    if (std::strcmp(arg, "--no-metrics") == 0) {
+      metrics_enabled = false;
+      continue;
+    }
+    if (!has_value) {
+      Usage(argv[0]);
+      return 2;
+    }
+    const char* value = argv[++i];
+    if (std::strcmp(arg, "--port") == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (std::strcmp(arg, "--max-connections") == 0) {
+      options.max_connections = std::atoi(value);
+    } else if (std::strcmp(arg, "--max-inflight") == 0) {
+      options.max_inflight_requests = std::atoi(value);
+    } else if (std::strcmp(arg, "--memory-budget") == 0) {
+      options.memory_budget = ParseBytes(value);
+      if (options.memory_budget < 0) {
+        std::fprintf(stderr, "bad --memory-budget '%s'\n", value);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--partition-size") == 0) {
+      const int64_t parsed = ParseBytes(value);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "bad --partition-size '%s'\n", value);
+        return 2;
+      }
+      options.partition_size = static_cast<size_t>(parsed);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  parparaw::obs::MetricsRegistry metrics(metrics_enabled);
+  if (metrics_enabled) options.metrics = &metrics;
+
+  parparaw::serve::Server server(options);
+  const auto port = server.Start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "parparawd: %s\n",
+                 port.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "parparawd listening on 127.0.0.1:%u\n", *port);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    sigsuspend(&empty);  // wake only on a signal
+  }
+
+  std::fprintf(stderr, "parparawd: shutting down\n");
+  server.Stop();
+  if (metrics_enabled) {
+    std::fputs(metrics.SummaryText().c_str(), stderr);
+  }
+  return 0;
+}

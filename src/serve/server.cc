@@ -1,0 +1,610 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "columnar/ipc.h"
+#include "exec/executor.h"
+#include "io/file.h"
+#include "loader/bulk_loader.h"
+#include "obs/obs.h"
+#include "query/pushdown.h"
+#include "robust/resource_guard.h"
+#include "util/stopwatch.h"
+
+namespace parparaw {
+namespace serve {
+
+namespace {
+
+void AppendU64Le(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Returns the queue-depth slot on every exit path and keeps the
+/// serve.inflight_requests gauge honest (it must drain to zero).
+class SlotReturn {
+ public:
+  SlotReturn(exec::AdmissionController* slots,
+             obs::MetricsRegistry* metrics)
+      : slots_(slots), metrics_(metrics) {}
+  ~SlotReturn() {
+    const int now = slots_->Release();
+    obs::SetGauge(metrics_, "serve.inflight_requests", now);
+  }
+  SlotReturn(const SlotReturn&) = delete;
+  SlotReturn& operator=(const SlotReturn&) = delete;
+
+ private:
+  exec::AdmissionController* slots_;
+  obs::MetricsRegistry* metrics_;
+};
+
+/// Polls the connection for a peer disconnect while a request is in
+/// flight; fires the request executor's cooperative Cancel() so the
+/// ingest aborts at its next stage boundary and its admission slots
+/// return to the shared controller.
+class DisconnectWatchdog {
+ public:
+  DisconnectWatchdog(int fd, exec::PipelineExecutor* executor,
+                     int interval_ms)
+      : fd_(fd), executor_(executor), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  /// Joins the poll thread; returns true when the peer vanished.
+  bool Finish() {
+    done_.store(true, std::memory_order_release);
+    thread_.join();
+    return fired_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Loop() {
+    while (!done_.load(std::memory_order_acquire)) {
+      if (PeerClosed(fd_)) {
+        fired_.store(true, std::memory_order_release);
+        executor_->Cancel();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms_));
+    }
+  }
+
+  int fd_;
+  exec::PipelineExecutor* executor_;
+  int interval_ms_;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace
+
+/// One accepted connection: its socket, its thread, and the executor of
+/// its in-flight request (if any) so Stop() can cancel it.
+struct Server::Connection {
+  Socket sock;
+  std::thread thread;
+  std::atomic<bool> done{false};
+  std::mutex exec_mu;
+  exec::PipelineExecutor* active_exec = nullptr;  // guarded by exec_mu
+};
+
+Server::Server(ServeOptions options) : options_(options) {}
+
+Server::~Server() { Stop(); }
+
+Result<uint16_t> Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Invalid("server already running");
+  }
+  if (options_.max_inflight_requests <= 0) {
+    return Status::Invalid("max_inflight_requests must be positive");
+  }
+  if (options_.max_connections <= 0) {
+    return Status::Invalid("max_connections must be positive");
+  }
+  if (options_.partition_size == 0) {
+    return Status::Invalid("partition size must be positive");
+  }
+
+  // Derive the shared partition-admission limit once: how many resident
+  // partitions the whole daemon may hold. Each request's partitions are
+  // already clamped to its per-connection budget slice, so the limit is
+  // the global budget divided by one sliced partition's working set.
+  ParseOptions probe;
+  const int64_t factor = ParseWorkingSetFactor(probe);
+  if (options_.memory_budget > 0) {
+    const int64_t slice =
+        options_.memory_budget / options_.max_inflight_requests;
+    const int64_t sliced_partition = robust::ClampPartitionSizeForBudget(
+        static_cast<int64_t>(options_.partition_size), slice,
+        /*floor_bytes=*/256, factor);
+    const int64_t per_partition = std::max<int64_t>(
+        1, robust::EstimateParseMemory(sliced_partition, factor));
+    exec_partition_limit_ = static_cast<int>(std::max<int64_t>(
+        1, options_.memory_budget / per_partition));
+  } else {
+    // Unbudgeted: one pipeline's worth of slots per admissible request.
+    exec_partition_limit_ = 4 * options_.max_inflight_requests;
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  PARPARAW_ASSIGN_OR_RETURN(
+      int listen_fd, ListenLoopback(options_.port, options_.backlog, &port_));
+  listen_fd_.store(listen_fd, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Shutting down the listener kicks the acceptor out of accept();
+  // the fd is only closed once the acceptor has been joined so the
+  // close cannot race an in-flight accept (fd reuse).
+  {
+    const int fd = listen_fd_.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) Socket(listen_fd).Close();
+  // Cancel in-flight requests, then unblock and join every connection.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    {
+      std::lock_guard<std::mutex> lock(conn->exec_mu);
+      if (conn->active_exec != nullptr) conn->active_exec->Cancel();
+    }
+    // Wake a blocked recv without closing: the connection thread owns
+    // the fd's close (a concurrent close would race the recv).
+    conn->sock.Shutdown();
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Server::Count(const char* name, int64_t delta) {
+  obs::AddCount(options_.metrics, name, delta);
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted =
+        AcceptConnection(listen_fd_.load(std::memory_order_acquire));
+    // Reap finished connections so a churny client (the fuzz suite's
+    // 10k+ one-shot connections) does not accumulate joinable threads.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& conn : conns_) {
+        if (conn->done.load(std::memory_order_acquire) &&
+            conn->thread.joinable()) {
+          conn->thread.join();
+        }
+      }
+      conns_.erase(
+          std::remove_if(conns_.begin(), conns_.end(),
+                         [](const std::unique_ptr<Connection>& c) {
+                           return c->done.load(std::memory_order_acquire) &&
+                                  !c->thread.joinable();
+                         }),
+          conns_.end());
+    }
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      Count("serve.accept_errors", 1);
+      // An injected serve.accept fault or a transient accept error must
+      // not kill the daemon; keep listening.
+      continue;
+    }
+    if (open_conns_.load(std::memory_order_acquire) >=
+        options_.max_connections) {
+      // Over the connection cap: one BUSY frame, then the door.
+      std::string frame;
+      AppendFrame(Opcode::kBusy, 0, {}, &frame);
+      (void)SendAll(accepted->fd(), frame);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.busy_shed;
+      }
+      Count("serve.busy", 1);
+      continue;  // Socket destructor closes
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(*accepted);
+    Connection* raw = conn.get();
+    open_conns_.fetch_add(1, std::memory_order_acq_rel);
+    obs::SetGauge(options_.metrics, "serve.connections",
+                  open_conns_.load(std::memory_order_acquire));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    Count("serve.accepted", 1);
+    conn->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::ConnectionLoop(Connection* conn) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::string header_bytes;
+    bool eof = false;
+    const Status received =
+        RecvExact(conn->sock.fd(), kFrameHeaderSize, &header_bytes, &eof);
+    if (!received.ok() || eof) {
+      if (!received.ok() && !stopping_.load(std::memory_order_acquire)) {
+        Count("serve.read_errors", 1);
+      }
+      break;  // orderly disconnect, mid-header truncation, or shutdown
+    }
+    Result<FrameHeader> header =
+        DecodeFrameHeader(header_bytes, options_.max_payload);
+    if (header.ok() && !IsRequestOpcode(header->opcode)) {
+      header = Status::Invalid(
+          "opcode " +
+          std::to_string(static_cast<int>(header->opcode)) +
+          " is not a request");
+    }
+    if (!header.ok()) {
+      // Unframeable garbage: answer (best-effort) and close — there is
+      // no way to resynchronise a length-prefixed stream.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      Count("serve.protocol_errors", 1);
+      (void)SendError(conn, header.status());  // best-effort
+      break;
+    }
+    std::string payload;
+    if (header->payload_size > 0) {
+      const Status body = RecvExact(
+          conn->sock.fd(), static_cast<size_t>(header->payload_size),
+          &payload);
+      if (!body.ok()) {
+        // Mid-frame disconnect or injected fault: nothing to answer.
+        Count("serve.read_errors", 1);
+        break;
+      }
+    }
+    if (!Dispatch(conn, *header, payload)) break;
+  }
+  conn->sock.Close();
+  open_conns_.fetch_sub(1, std::memory_order_acq_rel);
+  obs::SetGauge(options_.metrics, "serve.connections",
+                open_conns_.load(std::memory_order_acquire));
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool Server::SendFrame(Connection* conn, Opcode opcode, uint8_t flags,
+                       std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(opcode, flags, payload, &frame);
+  const Status sent = SendAll(conn->sock.fd(), frame);
+  if (!sent.ok()) {
+    Count("serve.write_errors", 1);
+    return false;
+  }
+  return true;
+}
+
+bool Server::SendError(Connection* conn, const Status& status) {
+  return SendFrame(conn, Opcode::kError, 0, EncodeErrorPayload(status));
+}
+
+bool Server::Dispatch(Connection* conn, const FrameHeader& header,
+                      std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  Count("serve.requests", 1);
+  switch (header.opcode) {
+    case Opcode::kPing:
+      return SendFrame(conn, Opcode::kPong, 0, payload);
+    case Opcode::kStats: {
+      std::string text = options_.metrics != nullptr
+                             ? options_.metrics->SummaryText()
+                             : std::string("metrics disabled\n");
+      return SendFrame(conn, Opcode::kStatsText, 0, text);
+    }
+    case Opcode::kParseBuffer:
+    case Opcode::kParseFile:
+      return HandleParse(conn, header, payload);
+    case Opcode::kQueryBuffer:
+    case Opcode::kQueryFile:
+      return HandleQuery(conn, header, payload);
+    default:
+      // Unreachable: Dispatch is gated on IsRequestOpcode.
+      return SendError(conn, Status::Internal("unhandled opcode"));
+  }
+}
+
+namespace {
+
+/// Per-request parse configuration: the request header resolved against
+/// the server's defaults and budget slices.
+struct RequestConfig {
+  LoadOptions load;
+  std::string_view rest;  // payload after the request header
+};
+
+Result<RequestConfig> ResolveRequest(std::string_view payload,
+                                     const ServeOptions& server) {
+  PARPARAW_ASSIGN_OR_RETURN(RequestHeader header,
+                            DecodeRequestHeader(payload));
+  RequestConfig config;
+  config.load.error_policy =
+      static_cast<robust::ErrorPolicy>(header.error_policy);
+  config.load.header = header.header == 2 ? -1 : header.header;
+  config.load.collect_statistics = false;
+  config.load.pool = server.pool;
+  config.load.partition_size = header.partition_size > 0
+                                   ? static_cast<size_t>(header.partition_size)
+                                   : server.partition_size;
+  // Per-connection budget: the request may tighten its slice of the
+  // server budget, never widen it.
+  const int64_t slice =
+      server.memory_budget > 0
+          ? server.memory_budget / server.max_inflight_requests
+          : 0;
+  config.load.memory_budget = header.memory_budget;
+  if (slice > 0) {
+    config.load.memory_budget =
+        config.load.memory_budget > 0
+            ? std::min(config.load.memory_budget, slice)
+            : slice;
+  }
+  config.rest = payload.substr(kRequestHeaderSize);
+  return config;
+}
+
+}  // namespace
+
+bool Server::HandleParse(Connection* conn, const FrameHeader& header,
+                         std::string_view payload) {
+  const auto config = ResolveRequest(payload, options_);
+  if (!config.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    Count("serve.protocol_errors", 1);
+    (void)SendError(conn, config.status());
+    return false;  // malformed request payload: close
+  }
+  // Queue-depth shedding: at the admission limit the daemon answers
+  // BUSY immediately instead of queueing unbounded work.
+  if (request_slots_.TryAcquire(options_.max_inflight_requests) < 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.busy_shed;
+    }
+    Count("serve.busy", 1);
+    return SendFrame(conn, Opcode::kBusy, 0, {});
+  }
+  SlotReturn slot(&request_slots_, options_.metrics);
+  obs::SetGauge(options_.metrics, "serve.inflight_requests",
+                request_slots_.inflight());
+  Stopwatch watch;
+
+  const bool from_file = header.opcode == Opcode::kParseFile;
+  const bool stream = (header.flags & kFlagStream) != 0;
+  const bool want_quarantine = (header.flags & kFlagQuarantine) != 0;
+  const std::string path(from_file ? config->rest : std::string_view());
+
+  // Resolve dialect/header/types from the input head, exactly like
+  // parparaw::Reader, so responses are bit-identical to a local read.
+  LoadResult resolution;
+  std::string file_sample;
+  std::string_view sample = config->rest;
+  bool truncated = false;
+  if (from_file) {
+    FileChunkReader head;
+    const Status opened = head.Open(path);
+    if (!opened.ok()) {
+      return SendError(conn, opened.WithContext("serve.open"));
+    }
+    if (head.file_size() > 0) {
+      bool eof = false;
+      const Status sampled = head.ReadNext(
+          std::min<size_t>(static_cast<size_t>(head.file_size()), 256 * 1024),
+          &file_sample, &eof);
+      if (!sampled.ok()) {
+        return SendError(conn, sampled.WithContext("serve.sample"));
+      }
+    }
+    sample = file_sample;
+    truncated = static_cast<int64_t>(file_sample.size()) < head.file_size();
+  }
+  Result<ParseOptions> base = BulkLoader::ResolveBaseOptions(
+      sample, truncated, config->load, &resolution);
+  if (!base.ok()) {
+    return SendError(conn, base.status().WithContext("serve.resolve"));
+  }
+
+  exec::ExecOptions exec_options;
+  exec_options.base = std::move(*base);
+  exec_options.partition_size = config->load.partition_size;
+  // All requests draw from ONE admission controller; this limit caps the
+  // daemon-wide resident partitions, not this request's.
+  exec_options.max_inflight_partitions = exec_partition_limit_;
+
+  exec::PipelineExecutor executor(&exec_admission_);
+  {
+    std::lock_guard<std::mutex> lock(conn->exec_mu);
+    conn->active_exec = &executor;
+  }
+  DisconnectWatchdog watchdog(conn->sock.fd(), &executor,
+                              options_.watchdog_interval_ms);
+
+  bool send_failed = false;
+  uint64_t parts = 0;
+  Result<exec::IngestResult> ingested = [&]() -> Result<exec::IngestResult> {
+    if (!stream) {
+      return from_file ? executor.IngestFile(path, exec_options)
+                       : executor.IngestBuffer(config->rest, exec_options);
+    }
+    const exec::PartitionSink sink = [&](Table&& part) -> Status {
+      PARPARAW_ASSIGN_OR_RETURN(const std::string ipc,
+                                SerializeTable(part));
+      if (!SendFrame(conn, Opcode::kTablePart, 0, ipc)) {
+        send_failed = true;
+        return Status::IoError("client went away mid-stream");
+      }
+      ++parts;
+      return Status::OK();
+    };
+    return from_file ? executor.StreamFile(path, exec_options, sink)
+                     : executor.StreamBuffer(config->rest, exec_options, sink);
+  }();
+
+  const bool disconnected = watchdog.Finish();
+  {
+    std::lock_guard<std::mutex> lock(conn->exec_mu);
+    conn->active_exec = nullptr;
+  }
+  obs::RecordUs(options_.metrics, "serve.request_us",
+                watch.ElapsedMillis() * 1e3);
+
+  if (disconnected || send_failed) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.cancelled_disconnects;
+    }
+    Count("serve.cancelled_disconnects", 1);
+    return false;  // peer is gone; nothing to answer
+  }
+  if (!ingested.ok()) {
+    return SendError(conn, ingested.status().WithContext("serve.parse"));
+  }
+
+  const uint8_t response_flags = want_quarantine ? kFlagQuarantine : 0;
+  if (stream) {
+    std::string end_payload;
+    AppendU64Le(parts, &end_payload);
+    if (!SendFrame(conn, Opcode::kEnd, response_flags, end_payload)) {
+      return false;
+    }
+  } else {
+    const Result<std::string> ipc = SerializeTable(ingested->table);
+    if (!ipc.ok()) {
+      return SendError(conn, ipc.status().WithContext("serve.serialize"));
+    }
+    if (!SendFrame(conn, Opcode::kOkTable, response_flags, *ipc)) {
+      return false;
+    }
+  }
+  if (want_quarantine) {
+    const Result<std::string> ppqr =
+        SerializeQuarantine(ingested->quarantine);
+    if (!ppqr.ok()) {
+      return SendError(conn, ppqr.status().WithContext("serve.serialize"));
+    }
+    if (!SendFrame(conn, Opcode::kQuarantine, 0, *ppqr)) return false;
+  }
+  return true;
+}
+
+bool Server::HandleQuery(Connection* conn, const FrameHeader& header,
+                         std::string_view payload) {
+  const auto config = ResolveRequest(payload, options_);
+  Result<PredicateBlock> block =
+      config.ok() ? DecodePredicateBlock(config->rest)
+                  : Result<PredicateBlock>(config.status());
+  if (!block.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    Count("serve.protocol_errors", 1);
+    (void)SendError(conn, block.status());
+    return false;
+  }
+  if (request_slots_.TryAcquire(options_.max_inflight_requests) < 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.busy_shed;
+    }
+    Count("serve.busy", 1);
+    return SendFrame(conn, Opcode::kBusy, 0, {});
+  }
+  SlotReturn slot(&request_slots_, options_.metrics);
+  obs::SetGauge(options_.metrics, "serve.inflight_requests",
+                request_slots_.inflight());
+  Stopwatch watch;
+
+  const std::string_view rest = config->rest.substr(block->encoded_size);
+  std::string file_bytes;
+  std::string_view data = rest;
+  if (header.opcode == Opcode::kQueryFile) {
+    Result<std::string> read = ReadFileToString(std::string(rest));
+    if (!read.ok()) {
+      return SendError(conn, read.status().WithContext("serve.open"));
+    }
+    file_bytes = std::move(*read);
+    data = file_bytes;
+  }
+
+  // Pushdown needs a schema: resolve one from the head (types inferred)
+  // with the same machinery as the parse path, then parse only the
+  // predicate column in phase 1 (query/pushdown.h).
+  LoadResult resolution;
+  Result<ParseOptions> base = BulkLoader::ResolveBaseOptions(
+      data, /*sample_truncated=*/false, config->load, &resolution);
+  if (!base.ok()) {
+    return SendError(conn, base.status().WithContext("serve.resolve"));
+  }
+  base->column_count_policy = ColumnCountPolicy::kRobust;
+  if (block->predicate.column < 0 ||
+      block->predicate.column >= base->schema.num_fields()) {
+    return SendError(conn, Status::Invalid(
+                               "predicate column " +
+                               std::to_string(block->predicate.column) +
+                               " out of range for " +
+                               std::to_string(base->schema.num_fields()) +
+                               " resolved columns"));
+  }
+
+  PushdownStats stats;
+  Result<ParseOutput> output =
+      ParseWithPushdown(data, *base, block->predicate, &stats);
+  obs::RecordUs(options_.metrics, "serve.request_us",
+                watch.ElapsedMillis() * 1e3);
+  if (!output.ok()) {
+    return SendError(conn, output.status().WithContext("serve.query"));
+  }
+  const Result<std::string> ipc = SerializeTable(output->table);
+  if (!ipc.ok()) {
+    return SendError(conn, ipc.status().WithContext("serve.serialize"));
+  }
+  std::string response;
+  AppendU64Le(static_cast<uint64_t>(stats.records_scanned), &response);
+  AppendU64Le(static_cast<uint64_t>(stats.records_selected), &response);
+  response.append(*ipc);
+  return SendFrame(conn, Opcode::kOkQuery, 0, response);
+}
+
+}  // namespace serve
+}  // namespace parparaw

@@ -1,0 +1,168 @@
+#ifndef PARPARAW_SERVE_SERVER_H_
+#define PARPARAW_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/admission.h"
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+#include "util/result.h"
+
+namespace parparaw {
+namespace serve {
+
+/// Configuration of a parparawd instance.
+struct ServeOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (tests, benches).
+  uint16_t port = 0;
+  int backlog = 64;
+
+  /// Concurrent connections; a connection beyond the cap is answered
+  /// kBusy and closed.
+  int max_connections = 64;
+
+  /// Parse/query requests admitted at once across all connections — the
+  /// daemon's queue depth. A request arriving at the limit is shed with
+  /// kBusy instead of queueing (the client decides whether to retry), so
+  /// a saturated daemon degrades by refusing work, never by growing an
+  /// unbounded backlog.
+  int max_inflight_requests = 8;
+
+  /// Global parse working-set budget in bytes, 0 = unlimited. Split two
+  /// ways, both derived from ParseOptions::memory_budget semantics:
+  /// every admitted request parses under a per-connection slice
+  /// (budget / max_inflight_requests, so partitions shrink to fit), and
+  /// the *sum* of resident partitions across all requests is capped by a
+  /// single exec::AdmissionController shared by every request's
+  /// PipelineExecutor.
+  int64_t memory_budget = 0;
+
+  /// Hard cap on a single frame payload; larger declared lengths are
+  /// protocol errors (never allocated).
+  uint64_t max_payload = kDefaultMaxPayload;
+
+  /// Default partition size for request parses (a request may override).
+  size_t partition_size = 8 * 1024 * 1024;
+
+  /// Worker pool shared by request parses; nullptr = ThreadPool::Default.
+  ThreadPool* pool = nullptr;
+
+  /// Metrics sink (serve.* taxonomy); nullptr = none.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Cancel-on-disconnect poll interval for in-flight requests.
+  int watchdog_interval_ms = 2;
+};
+
+/// Occupancy counters for tests and the stats endpoint.
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t requests = 0;
+  int64_t busy_shed = 0;
+  int64_t protocol_errors = 0;
+  int64_t cancelled_disconnects = 0;
+};
+
+/// \brief parparawd — the parse-serving TCP daemon.
+///
+/// A memcached-style loop: one acceptor thread, one thread per
+/// connection, length-prefixed binary frames (serve/protocol.h). Clients
+/// upload delimiter-separated bytes (or name a server-local file) and
+/// get back columnar results over the existing IPC framing, pushdown
+/// query answers, or a stream of per-partition tables.
+///
+/// Multi-tenancy is real, not per-connection: every request runs a
+/// PipelineExecutor bound to ONE shared exec::AdmissionController, so
+/// the global number of resident partitions — and with it the working
+/// set — respects `memory_budget` no matter how many clients push at
+/// once. Above that sits queue-depth shedding (kBusy at
+/// max_inflight_requests) and per-connection budget slices. A client
+/// that disconnects mid-request is detected by a watchdog poll; the
+/// request's executor is cancelled and its admission slots return to the
+/// pool (tests/serve_concurrency_test.cc asserts the gauge drains to
+/// zero).
+class Server {
+ public:
+  // Out-of-line: Connection is incomplete here and the members need it.
+  explicit Server(ServeOptions options);
+  ~Server();  // stops the daemon
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the acceptor. Returns the bound port.
+  Result<uint16_t> Start();
+
+  /// Stops accepting, cancels in-flight requests, closes every
+  /// connection and joins all threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The shared partition-admission controller (tests assert its
+  /// inflight count returns to zero after disconnect storms).
+  exec::AdmissionController* exec_admission() { return &exec_admission_; }
+
+  /// The queue-depth semaphore. Tests occupy slots through it to make
+  /// BUSY shedding deterministic.
+  exec::AdmissionController* request_admission() { return &request_slots_; }
+
+  /// In-flight parse/query requests right now.
+  int inflight_requests() const { return request_slots_.inflight(); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  /// Handles one decoded request frame; returns false when the
+  /// connection must close (protocol error or peer gone).
+  bool Dispatch(Connection* conn, const FrameHeader& header,
+                std::string_view payload);
+  bool HandleParse(Connection* conn, const FrameHeader& header,
+                   std::string_view payload);
+  bool HandleQuery(Connection* conn, const FrameHeader& header,
+                   std::string_view payload);
+  bool SendFrame(Connection* conn, Opcode opcode, uint8_t flags,
+                 std::string_view payload);
+  bool SendError(Connection* conn, const Status& status);
+  void Count(const char* name, int64_t delta);
+
+  ServeOptions options_;
+  uint16_t port_ = 0;
+  /// Written by Stop() while AcceptLoop() reads it for accept().
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  /// Partition admission shared by every request's executor.
+  exec::AdmissionController exec_admission_;
+  /// Per-request admission limit fed to every ExecOptions (derived from
+  /// memory_budget at Start).
+  int exec_partition_limit_ = 0;
+  /// Queue-depth semaphore for whole requests.
+  mutable exec::AdmissionController request_slots_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<int> open_conns_{0};
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace serve
+}  // namespace parparaw
+
+#endif  // PARPARAW_SERVE_SERVER_H_

@@ -1,0 +1,71 @@
+#include "workload/request_stream.h"
+
+#include <cmath>
+
+namespace parparaw {
+
+double ZipfPick::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+ZipfPick::ZipfPick(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n),
+      theta_(theta),
+      alpha_(1.0 / (1.0 - theta)),
+      zetan_(Zeta(n_, theta)),
+      eta_((1.0 - std::pow(2.0 / n_, 1.0 - theta)) /
+           (1.0 - Zeta(2, theta) / zetan_)),
+      rng_(seed) {}
+
+uint64_t ZipfPick::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+RequestStream::RequestStream(const Options& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.num_datasets, options.zipf_theta,
+            options.seed ^ 0xD1B54A32D192ED03ULL),
+      uniform_(options.num_datasets, options.seed ^ 0x8CB92BA72F3D8DD7ULL),
+      mix_total_(options.mix.parse + options.mix.stream_parse +
+                 options.mix.query + options.mix.ping) {
+  if (mix_total_ <= 0) mix_total_ = 1.0;
+}
+
+Request RequestStream::Next() {
+  Request request;
+  request.sequence = sequence_++;
+  request.dataset = options_.zipf ? zipf_.Next() : uniform_.Next();
+
+  const double pick = rng_.NextDouble() * mix_total_;
+  const RequestMix& mix = options_.mix;
+  if (pick < mix.parse) {
+    request.kind = RequestKind::kParse;
+  } else if (pick < mix.parse + mix.stream_parse) {
+    request.kind = RequestKind::kStreamParse;
+  } else if (pick < mix.parse + mix.stream_parse + mix.query) {
+    request.kind = RequestKind::kQuery;
+  } else {
+    request.kind = RequestKind::kPing;
+  }
+
+  if (options_.arrivals_per_sec > 0) {
+    // Poisson arrivals: exponential inter-arrival times. Clamp u away
+    // from 0 so the log stays finite.
+    double u = rng_.NextDouble();
+    if (u < 1e-12) u = 1e-12;
+    request.inter_arrival_us = static_cast<int64_t>(
+        -std::log(u) * 1e6 / options_.arrivals_per_sec);
+  }
+  return request;
+}
+
+}  // namespace parparaw

@@ -1,0 +1,133 @@
+#ifndef PARPARAW_WORKLOAD_REQUEST_STREAM_H_
+#define PARPARAW_WORKLOAD_REQUEST_STREAM_H_
+
+#include <cstdint>
+
+namespace parparaw {
+
+/// \brief Seeded client-workload generators for driving parparawd.
+///
+/// The dataset generators in workload/generators.h synthesise the bytes;
+/// this module synthesises the *request arrivals*: which dataset a client
+/// asks for (uniform or Zipf-skewed popularity, the standard key-value
+/// store workload idiom), what kind of request it issues, and — for
+/// open-loop harnesses — how long to wait before the next send. Every
+/// generator is seeded and reproducible so a soak run or a benchmark can
+/// be replayed bit-for-bit.
+
+/// xorshift64* — the same tiny deterministic PRNG the chaos tests use.
+class StreamRng {
+ public:
+  explicit StreamRng(uint64_t seed) : state_(seed != 0 ? seed : 0x9E3779B9u) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [0, n).
+  uint64_t NextRange(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Uniform item popularity over [0, n).
+class UniformPick {
+ public:
+  UniformPick(uint64_t n, uint64_t seed) : n_(n), rng_(seed) {}
+  uint64_t Next() { return rng_.NextRange(n_); }
+
+ private:
+  uint64_t n_;
+  StreamRng rng_;
+};
+
+/// Zipf-skewed item popularity over [0, n) (Gray et al.'s rejection-free
+/// method with precomputed zeta constants — the YCSB generator). With
+/// theta ~0.99 a handful of head items absorb most requests, which is
+/// what makes shared admission interesting: hot datasets collide.
+class ZipfPick {
+ public:
+  ZipfPick(uint64_t n, double theta, uint64_t seed);
+  uint64_t Next();
+
+  /// The distribution's support size.
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  StreamRng rng_;
+};
+
+/// What a generated request asks the daemon to do.
+enum class RequestKind : uint8_t {
+  kParse = 0,        // upload bytes, whole-table response
+  kStreamParse = 1,  // upload bytes, per-partition stream
+  kQuery = 2,        // pushdown predicate over uploaded bytes
+  kPing = 3,         // liveness no-op
+};
+
+/// Request-kind mix as cumulative-free weights (normalised internally).
+struct RequestMix {
+  double parse = 0.6;
+  double stream_parse = 0.15;
+  double query = 0.2;
+  double ping = 0.05;
+};
+
+/// One generated request.
+struct Request {
+  uint64_t sequence = 0;
+  RequestKind kind = RequestKind::kParse;
+  /// Which preloaded dataset the harness should send.
+  uint64_t dataset = 0;
+  /// Open-loop spacing before this request is sent; 0 in closed loop.
+  int64_t inter_arrival_us = 0;
+};
+
+/// Deterministic stream of requests for a closed- or open-loop client.
+class RequestStream {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    /// Size of the dataset pool the harness preloaded.
+    uint64_t num_datasets = 16;
+    /// Zipf-skew dataset popularity (false = uniform).
+    bool zipf = true;
+    double zipf_theta = 0.99;
+    RequestMix mix;
+    /// Open-loop Poisson arrival rate in requests/second; 0 = closed
+    /// loop (inter_arrival_us stays 0, the client sends back-to-back).
+    double arrivals_per_sec = 0;
+  };
+
+  explicit RequestStream(const Options& options);
+
+  Request Next();
+
+ private:
+  Options options_;
+  StreamRng rng_;
+  ZipfPick zipf_;
+  UniformPick uniform_;
+  double mix_total_;
+  uint64_t sequence_ = 0;
+};
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_WORKLOAD_REQUEST_STREAM_H_

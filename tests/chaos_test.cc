@@ -15,6 +15,8 @@
 #include "loader/bulk_loader.h"
 #include "robust/failpoint.h"
 #include "robust/reparse.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "stream/streaming_parser.h"
 
 namespace parparaw {
@@ -56,7 +58,10 @@ int64_t EnvInt(const char* name, int64_t fallback) {
 }
 
 // Faultable sites covering every layer the chaos sweep exercises,
-// including every queue hand-off of the pipelined executor.
+// including every queue hand-off of the pipelined executor and every
+// socket operation of the serving daemon (the serve.* sites fire on
+// both sides of the loopback connection — the registry is
+// process-wide).
 const char* const kFailpoints[] = {
     "pool.task",       "alloc.context", "alloc.bitmap", "alloc.tag",
     "alloc.partition", "alloc.gather",  "alloc.convert", "stream.chunk",
@@ -67,6 +72,8 @@ const char* const kFailpoints[] = {
     "exec.queue.sort.push",    "exec.queue.sort.pop",
     "exec.queue.convert.push", "exec.queue.convert.pop",
     "dialect.compile", "dialect.minimise",
+    "serve.accept",    "serve.read",    "serve.write",
+    "serve.read.short", "serve.write.short",
 };
 
 // A small input with every interesting shape: quoted fields, quoted
@@ -104,7 +111,7 @@ Schema ChaosSchema() {
   return schema;
 }
 
-enum class Entry { kParse, kStreaming, kLoader, kExec };
+enum class Entry { kParse, kStreaming, kLoader, kExec, kServe };
 
 struct Config {
   Entry entry;
@@ -176,6 +183,29 @@ Result<Table> RunEntry(const Config& config, const std::string& input) {
                                 executor.IngestBuffer(input, options));
       return std::move(out.table);
     }
+    case Entry::kServe: {
+      // Round-trip through a loopback parparawd: serialise, serve,
+      // deserialise. Started lazily on the first (fault-free) serve
+      // schedule and shared by the rest of the sweep — its acceptor must
+      // survive every injected serve.* fault. The wire protocol has no
+      // schema/dialect/kernel channel, so those knobs only vary the
+      // reference key; the daemon resolves types by inference.
+      static serve::Server* server = new serve::Server(serve::ServeOptions{});
+      static uint16_t port = [] {
+        auto started = server->Start();
+        return started.ok() ? *started : uint16_t{0};
+      }();
+      if (port == 0) return Status::Internal("chaos daemon failed to start");
+      PARPARAW_ASSIGN_OR_RETURN(serve::Client client,
+                                serve::Client::Connect(port));
+      serve::RequestOptions request;
+      request.error_policy = static_cast<uint8_t>(config.policy);
+      request.header = 0;
+      PARPARAW_ASSIGN_OR_RETURN(serve::ParseReply reply,
+                                client.Parse(input, request));
+      if (reply.busy) return Status::ResourceExhausted("daemon busy");
+      return std::move(reply.table);
+    }
   }
   return Status::Internal("unreachable");
 }
@@ -207,7 +237,7 @@ TEST(ChaosTest, EveryScheduleFailsCleanOrMatchesFaultFree) {
     rng.Next();
 
     Config config;
-    config.entry = static_cast<Entry>(rng.Uniform(4));
+    config.entry = static_cast<Entry>(rng.Uniform(5));
     config.scalar_kernel = rng.Uniform(2) == 0;
     config.policy = std::array<ErrorPolicy, 3>{
         ErrorPolicy::kNull, ErrorPolicy::kSkip,

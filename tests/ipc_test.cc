@@ -67,6 +67,22 @@ TEST(IpcTest, ParsedTableRoundTrips) {
   EXPECT_TRUE(restored->Equals(parsed->table));
 }
 
+TEST(IpcTest, ConcatenatedTableRoundTrips) {
+  // Column::Concat grows validity bitmaps with amortised doubling, so a
+  // multi-partition table's buffers are larger than its row count needs.
+  // Serialization must still emit exactly what the reader expects —
+  // regression for the daemon serving multi-partition parses.
+  const Table part = MakeTable();
+  const Table merged = ConcatTables({part, part, part});
+  ASSERT_EQ(merged.num_rows, 6);
+  auto bytes = SerializeTable(merged);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto restored = DeserializeTable(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->Equals(merged));
+  EXPECT_EQ(restored->rejected, merged.rejected);
+}
+
 TEST(IpcTest, RejectsGarbage) {
   EXPECT_FALSE(DeserializeTable("").ok());
   EXPECT_FALSE(DeserializeTable("NOPE").ok());

@@ -1,0 +1,653 @@
+// Protocol conformance and fuzz suite for parparawd (src/serve).
+//
+// Conformance: every encoder/decoder round-trips; every malformed input
+// class (truncated header, bad magic, unknown opcode, nonzero reserved
+// bytes, oversized/"negative" declared lengths, garbage payloads,
+// mid-frame disconnects, byte-at-a-time and pipelined writes) yields a
+// clean protocol error or a closed connection — never a crash, hang, or
+// wrong answer. The fuzz section drives 10k+ seeded malformed frames at
+// a live daemon and then proves it still serves bit-identical parses.
+// scripts/check.sh serve runs this file under ASan and UBSan.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/reader.h"
+#include "query/pushdown.h"
+#include "robust/failpoint.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket_io.h"
+#include "workload/generators.h"
+
+namespace parparaw {
+namespace serve {
+namespace {
+
+std::string SmallCsv() {
+  return "id,name,score\n1,alpha,3.5\n2,beta,4.0\n3,gamma,1.25\n";
+}
+
+// --- encoder/decoder conformance ---
+
+TEST(ServeProtocolTest, FrameHeaderRoundTrip) {
+  std::string frame;
+  AppendFrame(Opcode::kParseBuffer, kFlagStream, "payload", &frame);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 7);
+  auto header = DecodeFrameHeader(frame, kDefaultMaxPayload);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->opcode, Opcode::kParseBuffer);
+  EXPECT_EQ(header->flags, kFlagStream);
+  EXPECT_EQ(header->payload_size, 7u);
+}
+
+TEST(ServeProtocolTest, FrameHeaderRejectsMalformed) {
+  std::string frame;
+  AppendFrame(Opcode::kPing, 0, "x", &frame);
+  // Truncated header.
+  EXPECT_FALSE(DecodeFrameHeader(frame.substr(0, 15), kDefaultMaxPayload).ok());
+  EXPECT_FALSE(DecodeFrameHeader("", kDefaultMaxPayload).ok());
+  // Bad magic.
+  std::string bad = frame;
+  bad[0] = 'X';
+  EXPECT_FALSE(DecodeFrameHeader(bad, kDefaultMaxPayload).ok());
+  // Unknown opcode.
+  bad = frame;
+  bad[4] = '\x7F';
+  EXPECT_FALSE(DecodeFrameHeader(bad, kDefaultMaxPayload).ok());
+  // Nonzero reserved bytes.
+  bad = frame;
+  bad[6] = 1;
+  EXPECT_FALSE(DecodeFrameHeader(bad, kDefaultMaxPayload).ok());
+  // Oversized declared payload.
+  bad = frame;
+  bad[14] = '\x7F';  // huge length in the upper bytes
+  EXPECT_FALSE(DecodeFrameHeader(bad, kDefaultMaxPayload).ok());
+  // A "negative" length from a signed writer: all-ones u64.
+  bad = frame;
+  for (int i = 8; i < 16; ++i) bad[i] = '\xFF';
+  EXPECT_FALSE(DecodeFrameHeader(bad, kDefaultMaxPayload).ok());
+}
+
+TEST(ServeProtocolTest, RequestHeaderRoundTrip) {
+  RequestHeader header;
+  header.error_policy = 3;  // kQuarantine
+  header.header = 1;
+  header.memory_budget = 1 << 20;
+  header.partition_size = 4096;
+  const std::string encoded = EncodeRequestHeader(header);
+  ASSERT_EQ(encoded.size(), kRequestHeaderSize);
+  auto decoded = DecodeRequestHeader(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->error_policy, 3);
+  EXPECT_EQ(decoded->header, 1);
+  EXPECT_EQ(decoded->memory_budget, 1 << 20);
+  EXPECT_EQ(decoded->partition_size, 4096u);
+}
+
+TEST(ServeProtocolTest, RequestHeaderRejectsMalformed) {
+  const std::string good = EncodeRequestHeader(RequestHeader{});
+  EXPECT_FALSE(DecodeRequestHeader(good.substr(0, 5)).ok());  // truncated
+  std::string bad = good;
+  bad[0] = 9;  // unsupported version
+  EXPECT_FALSE(DecodeRequestHeader(bad).ok());
+  bad = good;
+  bad[1] = 77;  // unknown error policy
+  EXPECT_FALSE(DecodeRequestHeader(bad).ok());
+  bad = good;
+  bad[2] = 3;  // header byte out of range
+  EXPECT_FALSE(DecodeRequestHeader(bad).ok());
+  bad = good;
+  bad[3] = 1;  // reserved byte
+  EXPECT_FALSE(DecodeRequestHeader(bad).ok());
+  bad = good;
+  bad[11] = '\xFF';  // negative memory budget (sign bit set)
+  EXPECT_FALSE(DecodeRequestHeader(bad).ok());
+}
+
+TEST(ServeProtocolTest, PredicateBlockRoundTrip) {
+  Predicate predicate(2, CompareOp::kContains, "needle");
+  const std::string encoded = EncodePredicateBlock(predicate);
+  auto decoded = DecodePredicateBlock(encoded + "trailing-body");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->predicate.column, 2);
+  EXPECT_EQ(decoded->predicate.op, CompareOp::kContains);
+  EXPECT_EQ(decoded->predicate.literal, "needle");
+  EXPECT_EQ(decoded->encoded_size, encoded.size());
+}
+
+TEST(ServeProtocolTest, PredicateBlockRejectsMalformed) {
+  const std::string good = EncodePredicateBlock(Predicate(0, CompareOp::kEq));
+  EXPECT_FALSE(DecodePredicateBlock(good.substr(0, 3)).ok());  // truncated
+  std::string bad = good;
+  bad[4] = 99;  // unknown operator
+  EXPECT_FALSE(DecodePredicateBlock(bad).ok());
+  bad = good;
+  bad[5] = 1;  // reserved byte
+  EXPECT_FALSE(DecodePredicateBlock(bad).ok());
+  bad = good;
+  bad[8] = '\xFF';  // literal length overruns the payload
+  EXPECT_FALSE(DecodePredicateBlock(bad).ok());
+}
+
+TEST(ServeProtocolTest, ErrorPayloadRoundTrip) {
+  const Status original = Status::ParseError("ragged record at byte 17");
+  const Status decoded = DecodeErrorPayload(EncodeErrorPayload(original));
+  EXPECT_EQ(decoded.code(), original.code());
+  EXPECT_EQ(decoded.message(), original.message());
+  // Malformed payloads decode to a *local* InvalidArgument.
+  EXPECT_EQ(DecodeErrorPayload("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeErrorPayload("\x00\x00\x00\x00\x00").code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- live-daemon conformance ---
+
+class ServeConformanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServeOptions options;
+    options.max_payload = 4 * 1024 * 1024;
+    server_ = std::make_unique<Server>(options);
+    auto port = server_->Start();
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = *port;
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  Client MustConnect() {
+    auto client = Client::Connect(port_);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  std::unique_ptr<Server> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(ServeConformanceTest, PingEchoes) {
+  Client client = MustConnect();
+  EXPECT_TRUE(client.Ping("hello-daemon").ok());
+  EXPECT_TRUE(client.Ping("").ok());
+}
+
+TEST_F(ServeConformanceTest, ParseMatchesLocalReader) {
+  const std::string csv = GenerateYelpLike(7, 64 * 1024);
+  auto expected = Reader::FromBuffer(csv).Read();
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  Client client = MustConnect();
+  auto reply = client.Parse(csv);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_FALSE(reply->busy);
+  EXPECT_TRUE(reply->table.Equals(*expected));
+}
+
+TEST_F(ServeConformanceTest, StreamedPartsReassembleToWholeTable) {
+  const std::string csv = GenerateTaxiLike(11, 96 * 1024);
+  auto expected = Reader::FromBuffer(csv).Read();
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  Client client = MustConnect();
+  RequestOptions options;
+  options.stream = true;
+  options.partition_size = 8 * 1024;  // force several partitions
+  auto reply = client.Parse(csv, options);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GT(reply->parts.size(), 1u);
+  EXPECT_EQ(reply->parts_declared, reply->parts.size());
+  int64_t rows = 0;
+  for (const Table& part : reply->parts) rows += part.num_rows;
+  EXPECT_EQ(rows, expected->num_rows);
+}
+
+TEST_F(ServeConformanceTest, QuarantineTravelsWithTheTable) {
+  // Quarantine captures type-conversion failures, and the daemon (like
+  // Reader) resolves types from the first 256 KiB of the input. Keep the
+  // probe window all clean Int64 rows so the schema commits to integers,
+  // then plant two malformed values beyond the window: their conversions
+  // fail at parse time and must come back in the kQuarantine frame.
+  std::string csv = "a,b\n";
+  int64_t rows = 0;
+  while (csv.size() < 300 * 1024) {
+    csv += std::to_string(rows);
+    csv += ',';
+    csv += std::to_string(rows * 2);
+    csv += '\n';
+    ++rows;
+  }
+  csv += "oops,1\n";
+  ++rows;
+  csv += "2,not-a-number\n";
+  ++rows;
+  csv += "3,4\n";
+  ++rows;
+
+  Client client = MustConnect();
+  RequestOptions options;
+  options.error_policy = 3;  // kQuarantine
+  options.header = 1;
+  options.want_quarantine = true;
+  auto reply = client.Parse(csv, options);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->has_quarantine);
+  ASSERT_EQ(reply->quarantine.size(), 2);
+  // Quarantined records stay in the table (the bad cell becomes NULL);
+  // the quarantine carries their raw bytes for later repair.
+  EXPECT_EQ(reply->table.num_rows, rows);
+  EXPECT_EQ(reply->quarantine.entries()[0].raw, "oops,1");
+  EXPECT_EQ(reply->quarantine.entries()[1].raw, "2,not-a-number");
+}
+
+TEST_F(ServeConformanceTest, QueryMatchesLocalPushdown) {
+  const std::string csv = GenerateTaxiLike(3, 48 * 1024);
+  Client client = MustConnect();
+  const Predicate predicate(0, CompareOp::kGt, "1");
+  auto reply = client.Query(csv, predicate);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_FALSE(reply->busy);
+
+  // Local reference: same resolution recipe as the daemon.
+  LoadOptions load;
+  load.collect_statistics = false;
+  LoadResult resolution;
+  auto base = BulkLoader::ResolveBaseOptions(csv, false, load, &resolution);
+  ASSERT_TRUE(base.ok());
+  base->column_count_policy = ColumnCountPolicy::kRobust;
+  PushdownStats stats;
+  auto local = ParseWithPushdown(csv, *base, predicate, &stats);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  EXPECT_EQ(reply->records_scanned, stats.records_scanned);
+  EXPECT_EQ(reply->records_selected, stats.records_selected);
+  EXPECT_TRUE(reply->table.Equals(local->table));
+  EXPECT_GT(reply->records_scanned, reply->records_selected);
+}
+
+TEST_F(ServeConformanceTest, RequestErrorKeepsConnectionUsable) {
+  Client client = MustConnect();
+  // Nonexistent server-local file: a request-level error, not a
+  // protocol error — the connection must survive.
+  auto reply = client.ParseFile("/nonexistent/parparaw.csv");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(client.Ping().ok());
+  // Out-of-range predicate column: same story.
+  auto query = client.Query(SmallCsv(), Predicate(999, CompareOp::kEq, "1"));
+  ASSERT_FALSE(query.ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServeConformanceTest, StatsEndpointAnswers) {
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Ping().ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats->empty());
+}
+
+TEST_F(ServeConformanceTest, GarbageBytesGetErrorThenClose) {
+  auto sock = ConnectLoopback(port_);
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(SendAll(sock->fd(), "GET / HTTP/1.1\r\n\r\n").ok());
+  // The daemon answers one kError frame, then closes.
+  std::string header_bytes;
+  ASSERT_TRUE(RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok());
+  auto header = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->opcode, Opcode::kError);
+  std::string payload;
+  ASSERT_TRUE(RecvExact(sock->fd(), header->payload_size, &payload).ok());
+  EXPECT_EQ(DecodeErrorPayload(payload).code(), StatusCode::kInvalidArgument);
+  std::string rest;
+  bool eof = false;
+  ASSERT_TRUE(RecvExact(sock->fd(), 1, &rest, &eof).ok());
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(ServeConformanceTest, ResponseOpcodeAsRequestIsRejected) {
+  auto sock = ConnectLoopback(port_);
+  ASSERT_TRUE(sock.ok());
+  std::string frame;
+  AppendFrame(Opcode::kOkTable, 0, "", &frame);
+  ASSERT_TRUE(SendAll(sock->fd(), frame).ok());
+  std::string header_bytes;
+  ASSERT_TRUE(RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok());
+  auto header = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->opcode, Opcode::kError);
+}
+
+TEST_F(ServeConformanceTest, OversizedDeclaredLengthIsNeverAllocated) {
+  auto sock = ConnectLoopback(port_);
+  ASSERT_TRUE(sock.ok());
+  // Declares a 1 TiB payload; the server must refuse at the header.
+  std::string frame;
+  AppendFrame(Opcode::kParseBuffer, 0, "", &frame);
+  frame[13] = '\x01';  // payload_size byte 5 => 2^40
+  ASSERT_TRUE(SendAll(sock->fd(), frame).ok());
+  std::string header_bytes;
+  ASSERT_TRUE(RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok());
+  auto header = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->opcode, Opcode::kError);
+  // And the daemon still accepts new work.
+  Client client = MustConnect();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServeConformanceTest, ByteAtATimeRequestStillParses) {
+  const std::string csv = SmallCsv();
+  std::string payload = EncodeRequestHeader(RequestHeader{});
+  payload.append(csv);
+  std::string frame;
+  AppendFrame(Opcode::kParseBuffer, 0, payload, &frame);
+
+  auto sock = ConnectLoopback(port_);
+  ASSERT_TRUE(sock.ok());
+  for (char byte : frame) {
+    ASSERT_TRUE(SendAll(sock->fd(), std::string_view(&byte, 1)).ok());
+  }
+  std::string header_bytes;
+  ASSERT_TRUE(RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok());
+  auto header = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->opcode, Opcode::kOkTable);
+}
+
+TEST_F(ServeConformanceTest, PipelinedRequestsAnswerInOrder) {
+  const std::string csv = SmallCsv();
+  std::string payload = EncodeRequestHeader(RequestHeader{});
+  payload.append(csv);
+  std::string two_frames;
+  AppendFrame(Opcode::kPing, 0, "first", &two_frames);
+  AppendFrame(Opcode::kParseBuffer, 0, payload, &two_frames);
+
+  auto sock = ConnectLoopback(port_);
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(SendAll(sock->fd(), two_frames).ok());
+
+  std::string header_bytes, body;
+  ASSERT_TRUE(RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok());
+  auto first = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->opcode, Opcode::kPong);
+  ASSERT_TRUE(RecvExact(sock->fd(), first->payload_size, &body).ok());
+  EXPECT_EQ(body, "first");
+
+  ASSERT_TRUE(RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok());
+  auto second = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->opcode, Opcode::kOkTable);
+}
+
+TEST_F(ServeConformanceTest, MidFrameDisconnectLeavesDaemonHealthy) {
+  for (int i = 0; i < 8; ++i) {
+    auto sock = ConnectLoopback(port_);
+    ASSERT_TRUE(sock.ok());
+    std::string frame;
+    AppendFrame(Opcode::kParseBuffer, 0, std::string(1000, 'x'), &frame);
+    // Send the header plus a sliver of the payload, then vanish.
+    ASSERT_TRUE(
+        SendAll(sock->fd(), std::string_view(frame).substr(0, 20)).ok());
+    sock->Close();
+  }
+  Client client = MustConnect();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// --- short-write regression (satellite: robust partial I/O) ---
+
+class ServeFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    robust::FailpointRegistry::Instance().DisarmAll();
+  }
+};
+
+TEST_F(ServeFailpointTest, IpcFramesSurviveOneByteWrites) {
+  ServeOptions options;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  const std::string csv = GenerateYelpLike(23, 16 * 1024);
+  auto expected = Reader::FromBuffer(csv).Read();
+  ASSERT_TRUE(expected.ok());
+
+  auto client = Client::Connect(*port);
+  ASSERT_TRUE(client.ok());
+
+  // Every send (both sides — the registry is process-wide) moves one
+  // byte at a time: response IPC frames dribble through the kernel.
+  robust::FailpointRegistry::Instance().Arm(
+      "serve.write.short", robust::EveryNthTrigger(1));
+  auto reply = client->Parse(csv);
+  // DisarmAll erases registry entries (and their hit counters), so read
+  // the count first.
+  const int64_t short_writes =
+      robust::FailpointRegistry::Instance().hits("serve.write.short");
+  robust::FailpointRegistry::Instance().DisarmAll();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->table.Equals(*expected));
+  EXPECT_GT(short_writes, 1000);
+  server.Stop();
+}
+
+TEST_F(ServeFailpointTest, ShortReadsReassembleRequests) {
+  ServeOptions options;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  const std::string csv = SmallCsv();
+  auto expected = Reader::FromBuffer(csv).Read();
+  ASSERT_TRUE(expected.ok());
+
+  auto client = Client::Connect(*port);
+  ASSERT_TRUE(client.ok());
+  robust::FailpointRegistry::Instance().Arm(
+      "serve.read.short", robust::EveryNthTrigger(1));
+  auto reply = client->Parse(csv);
+  robust::FailpointRegistry::Instance().DisarmAll();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->table.Equals(*expected));
+  server.Stop();
+}
+
+TEST_F(ServeFailpointTest, UndeliverableErrorFrameClosesTheConnection) {
+  // Regression (found by the chaos sweep): a request-level error whose
+  // kError frame cannot be written must CLOSE the connection. Swallowing
+  // the failed send left both sides blocked in read — the client
+  // awaiting a reply that never came, the daemon awaiting the next
+  // request.
+  ServeOptions options;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = Client::Connect(*port);
+  ASSERT_TRUE(client.ok());
+  // exec.read fails the ingest server-side; write hit 1 is the client's
+  // request send, so EveryNth(2) lands on the daemon's kError frame.
+  robust::FailpointRegistry::Instance().Arm("exec.read",
+                                            robust::CountTrigger(1));
+  robust::FailpointRegistry::Instance().Arm("serve.write",
+                                            robust::EveryNthTrigger(2));
+  auto reply = client->Parse(SmallCsv());
+  robust::FailpointRegistry::Instance().DisarmAll();
+  // The client sees the close (an I/O error), never a hang.
+  ASSERT_FALSE(reply.ok());
+  // And the daemon remains healthy for new connections.
+  auto probe = Client::Connect(*port);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->Ping().ok());
+  server.Stop();
+}
+
+TEST_F(ServeFailpointTest, TransientReadFaultsAreRetried) {
+  ServeOptions options;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = Client::Connect(*port);
+  ASSERT_TRUE(client.ok());
+  robust::FailpointRegistry::Instance().Arm(
+      "serve.read", robust::CountTrigger(2, /*transient=*/true));
+  EXPECT_TRUE(client->Ping().ok());
+  robust::FailpointRegistry::Instance().DisarmAll();
+  server.Stop();
+}
+
+// --- fuzz: 10k+ seeded malformed frames ---
+
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : state_(seed ? seed : 1) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+TEST(ServeFuzzTest, TenThousandMalformedFramesNeverKillTheDaemon) {
+  ServeOptions options;
+  options.max_payload = 64 * 1024;  // fuzz-declared lengths stay small
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  const std::string csv = SmallCsv();
+  auto expected = Reader::FromBuffer(csv).Read();
+  ASSERT_TRUE(expected.ok());
+
+  std::string valid_request = EncodeRequestHeader(RequestHeader{});
+  valid_request.append(csv);
+  std::string valid_frame;
+  AppendFrame(Opcode::kParseBuffer, 0, valid_request, &valid_frame);
+
+  constexpr int kIterations = 10000;
+  FuzzRng rng(0xF00DFACE);
+  for (int i = 0; i < kIterations; ++i) {
+    auto sock = ConnectLoopback(*port);
+    ASSERT_TRUE(sock.ok()) << "iteration " << i << ": "
+                           << sock.status().ToString();
+    std::string bytes;
+    const int strategy = static_cast<int>(rng.Next() % 6);
+    switch (strategy) {
+      case 0: {  // pure garbage
+        const size_t n = rng.Next() % 64;
+        for (size_t b = 0; b < n; ++b)
+          bytes.push_back(static_cast<char>(rng.Next()));
+        break;
+      }
+      case 1: {  // valid header, truncated payload, disconnect
+        AppendFrame(Opcode::kParseBuffer, 0,
+                    std::string(1 + rng.Next() % 512, 'y'), &bytes);
+        bytes.resize(kFrameHeaderSize + rng.Next() % 16);
+        break;
+      }
+      case 2: {  // one mutated byte in an otherwise valid frame
+        bytes = valid_frame;
+        bytes[rng.Next() % bytes.size()] =
+            static_cast<char>(rng.Next());
+        break;
+      }
+      case 3: {  // random opcode/flags/reserved/length fields
+        AppendFrame(Opcode::kPing, 0, "", &bytes);
+        bytes[4] = static_cast<char>(rng.Next());
+        bytes[5] = static_cast<char>(rng.Next());
+        bytes[6] = static_cast<char>(rng.Next() % 2);
+        bytes[8 + rng.Next() % 8] = static_cast<char>(rng.Next());
+        break;
+      }
+      case 4: {  // valid frame with garbage *request payload*
+        std::string payload;
+        const size_t n = rng.Next() % 48;
+        for (size_t b = 0; b < n; ++b)
+          payload.push_back(static_cast<char>(rng.Next()));
+        AppendFrame(static_cast<Opcode>(
+                        (rng.Next() % 2) ? 0x02 : 0x04),  // parse / query
+                    0, payload, &bytes);
+        break;
+      }
+      default: {  // two frames glued together, second one damaged
+        bytes = valid_frame;
+        std::string second = valid_frame;
+        second[rng.Next() % second.size()] =
+            static_cast<char>(rng.Next());
+        bytes.append(second);
+        break;
+      }
+    }
+    if (rng.Next() % 4 == 0) {
+      // Byte-at-a-time (dribbled) delivery.
+      bool sent = true;
+      for (char byte : bytes) {
+        if (!SendAll(sock->fd(), std::string_view(&byte, 1)).ok()) {
+          sent = false;  // server already closed on us: acceptable
+          break;
+        }
+      }
+      (void)sent;
+    } else {
+      (void)SendAll(sock->fd(), bytes);
+    }
+    // Half the time vanish immediately (mid-frame disconnects); the rest
+    // of the time say goodbye (shutdown of our write side, so the drain
+    // below always terminates) and drain whatever the server answers
+    // until it closes.
+    if (rng.Next() % 2 == 0) {
+      ::shutdown(sock->fd(), SHUT_WR);
+      std::string sink;
+      bool eof = false;
+      while (RecvExact(sock->fd(), 512, &sink, &eof).ok() && !eof) {
+      }
+    }
+    sock->Close();
+
+    if (i % 1000 == 999) {
+      // Liveness probe: the daemon still answers real work.
+      auto probe = Client::Connect(*port);
+      ASSERT_TRUE(probe.ok()) << "iteration " << i;
+      ASSERT_TRUE(probe->Ping().ok()) << "iteration " << i;
+    }
+  }
+
+  // After the storm: still serving bit-identical parses, and every
+  // request slot returned.
+  auto client = Client::Connect(*port);
+  ASSERT_TRUE(client.ok());
+  auto reply = client->Parse(csv);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->table.Equals(*expected));
+  // A mutated frame can land as a *valid* parse whose client vanished;
+  // its slot returns once the disconnect watchdog cancels it, so poll
+  // briefly instead of asserting the instant count.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((server.inflight_requests() != 0 ||
+          server.exec_admission()->inflight() != 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(server.inflight_requests(), 0);
+  EXPECT_EQ(server.exec_admission()->inflight(), 0);
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.protocol_errors, 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace parparaw

@@ -1,0 +1,124 @@
+// Seeded-determinism regression suite for the client-workload request
+// generators (src/workload/request_stream.h): identical seeds must
+// replay identical request streams, and the Zipf popularity pick must
+// actually be head-heavy (that skew is what makes the serving soak and
+// bench workloads collide on hot datasets).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "workload/request_stream.h"
+
+namespace parparaw {
+namespace {
+
+TEST(RequestStreamTest, SameSeedReplaysBitForBit) {
+  RequestStream::Options options;
+  options.seed = 7;
+  options.arrivals_per_sec = 500;  // exercise inter-arrival draws too
+  RequestStream a(options);
+  RequestStream b(options);
+  for (int i = 0; i < 5000; ++i) {
+    const Request ra = a.Next();
+    const Request rb = b.Next();
+    ASSERT_EQ(ra.sequence, rb.sequence) << "draw " << i;
+    ASSERT_EQ(ra.kind, rb.kind) << "draw " << i;
+    ASSERT_EQ(ra.dataset, rb.dataset) << "draw " << i;
+    ASSERT_EQ(ra.inter_arrival_us, rb.inter_arrival_us) << "draw " << i;
+  }
+}
+
+TEST(RequestStreamTest, DifferentSeedsDiverge) {
+  RequestStream::Options options;
+  options.seed = 7;
+  RequestStream a(options);
+  options.seed = 8;
+  RequestStream b(options);
+  int diverged = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Request ra = a.Next();
+    const Request rb = b.Next();
+    if (ra.dataset != rb.dataset || ra.kind != rb.kind) ++diverged;
+  }
+  EXPECT_GT(diverged, 50);
+}
+
+TEST(RequestStreamTest, ZipfHeadDominates) {
+  ZipfPick zipf(100, 0.99, 42);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+
+  // Every draw is in range.
+  for (const auto& [item, count] : counts) {
+    EXPECT_LT(item, 100u);
+    EXPECT_GT(count, 0);
+  }
+  // The head item is by far the most popular...
+  EXPECT_GT(counts[0], kDraws / 10);
+  // ...and the top-10 items absorb well over half the draws, which a
+  // uniform distribution (10%) never would.
+  int head = 0;
+  for (uint64_t item = 0; item < 10; ++item) head += counts[item];
+  EXPECT_GT(head, kDraws / 2);
+  // Monotone-ish decay: the head beats a mid-rank item by an order of
+  // magnitude.
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(RequestStreamTest, UniformPickCoversAllDatasetsEvenly) {
+  UniformPick uniform(8, 13);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[uniform.Next()];
+  for (int item = 0; item < 8; ++item) {
+    EXPECT_GT(counts[item], kDraws / 8 / 2) << "item " << item;
+    EXPECT_LT(counts[item], kDraws / 8 * 2) << "item " << item;
+  }
+}
+
+TEST(RequestStreamTest, MixProportionsApproximatelyHold) {
+  RequestStream::Options options;
+  options.seed = 99;
+  options.mix.parse = 0.5;
+  options.mix.stream_parse = 0.2;
+  options.mix.query = 0.2;
+  options.mix.ping = 0.1;
+  RequestStream stream(options);
+  std::map<RequestKind, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[stream.Next().kind];
+  EXPECT_NEAR(counts[RequestKind::kParse] / double(kDraws), 0.5, 0.05);
+  EXPECT_NEAR(counts[RequestKind::kStreamParse] / double(kDraws), 0.2, 0.05);
+  EXPECT_NEAR(counts[RequestKind::kQuery] / double(kDraws), 0.2, 0.05);
+  EXPECT_NEAR(counts[RequestKind::kPing] / double(kDraws), 0.1, 0.05);
+}
+
+TEST(RequestStreamTest, OpenLoopArrivalsAreExponential) {
+  RequestStream::Options options;
+  options.seed = 21;
+  options.arrivals_per_sec = 1000;  // mean inter-arrival 1000us
+  RequestStream stream(options);
+  int64_t total_us = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Request request = stream.Next();
+    ASSERT_GE(request.inter_arrival_us, 0);
+    total_us += request.inter_arrival_us;
+  }
+  const double mean = total_us / double(kDraws);
+  EXPECT_GT(mean, 500.0);
+  EXPECT_LT(mean, 2000.0);
+
+  // Closed loop: no pacing at all.
+  options.arrivals_per_sec = 0;
+  RequestStream closed(options);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(closed.Next().inter_arrival_us, 0);
+  }
+}
+
+}  // namespace
+}  // namespace parparaw
