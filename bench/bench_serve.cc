@@ -24,6 +24,7 @@
 #include "obs/obs.h"
 #include "query/predicate.h"
 #include "serve/client.h"
+#include "serve/retry.h"
 #include "serve/server.h"
 #include "util/stopwatch.h"
 #include "workload/generators.h"
@@ -58,9 +59,15 @@ std::vector<Dataset> MakeDatasets(size_t count, size_t bytes_each) {
 struct RunResult {
   std::vector<double> latencies_us;  // one entry per completed request
   double wall_seconds = 0;
-  int64_t requests = 0;
-  int64_t busy = 0;
+  int64_t requests = 0;  // logical requests that completed (counted ONCE,
+                         // however many times they were shed and retried)
+  int64_t failed = 0;    // logical requests that exhausted their retries
   int64_t payload_bytes = 0;
+  // Wire-level accounting from RetryingClient, so shed work is visible
+  // without double-counting it as throughput.
+  int64_t attempts = 0;
+  int64_t busy_sheds = 0;
+  int64_t transport_retries = 0;
 };
 
 double Percentile(std::vector<double>* sorted_inout, double p) {
@@ -71,10 +78,11 @@ double Percentile(std::vector<double>* sorted_inout, double p) {
   return (*sorted_inout)[idx];
 }
 
-/// Issues one request from the stream against `client`; returns the
-/// request's payload bytes, or -1 on busy (not retried here — shed work
-/// is part of the daemon's contract under saturation).
-int64_t IssueOne(serve::Client* client, const Request& request,
+/// Issues one logical request from the stream through the retrying
+/// client; kBusy sheds are retried with jittered backoff inside, so a
+/// shed-then-completed request is counted exactly once by the caller.
+/// Returns the request's payload bytes, or -1 when retries exhausted.
+int64_t IssueOne(serve::RetryingClient* client, const Request& request,
                  const std::vector<Dataset>& datasets) {
   const Dataset& dataset = datasets[request.dataset % datasets.size()];
   switch (request.kind) {
@@ -102,6 +110,21 @@ int64_t IssueOne(serve::Client* client, const Request& request,
   }
 }
 
+serve::RetryPolicy BenchRetryPolicy(uint64_t seed) {
+  serve::RetryPolicy policy;
+  policy.seed = seed;
+  policy.max_attempts = 8;
+  policy.base_delay_us = 200;
+  policy.max_delay_us = 20'000;
+  return policy;
+}
+
+void MergeClientStats(const serve::RetryStats& stats, RunResult* mine) {
+  mine->attempts += stats.attempts;
+  mine->busy_sheds += stats.busy_sheds;
+  mine->transport_retries += stats.transport_retries;
+}
+
 /// Closed loop: `threads` clients, `per_thread` requests each,
 /// back-to-back.
 RunResult RunClosedLoop(uint16_t port, const std::vector<Dataset>& datasets,
@@ -112,8 +135,8 @@ RunResult RunClosedLoop(uint16_t port, const std::vector<Dataset>& datasets,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       RunResult& mine = partial[static_cast<size_t>(t)];
-      auto client = serve::Client::Connect(port);
-      if (!client.ok()) return;
+      serve::RetryingClient client(
+          port, BenchRetryPolicy(7000 + static_cast<uint64_t>(t)));
       RequestStream::Options stream_options;
       stream_options.seed = 7000 + static_cast<uint64_t>(t);
       stream_options.num_datasets = datasets.size();
@@ -122,15 +145,17 @@ RunResult RunClosedLoop(uint16_t port, const std::vector<Dataset>& datasets,
       for (int i = 0; i < per_thread; ++i) {
         const Request request = stream.Next();
         Stopwatch timer;
-        const int64_t bytes = IssueOne(&*client, request, datasets);
+        const int64_t bytes = IssueOne(&client, request, datasets);
         if (bytes < 0) {
-          ++mine.busy;
+          ++mine.failed;
           continue;
         }
+        // Latency covers the whole logical request, backoff included.
         mine.latencies_us.push_back(timer.ElapsedSeconds() * 1e6);
         ++mine.requests;
         mine.payload_bytes += bytes;
       }
+      MergeClientStats(client.stats(), &mine);
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -138,8 +163,11 @@ RunResult RunClosedLoop(uint16_t port, const std::vector<Dataset>& datasets,
   merged.wall_seconds = wall.ElapsedSeconds();
   for (RunResult& p : partial) {
     merged.requests += p.requests;
-    merged.busy += p.busy;
+    merged.failed += p.failed;
     merged.payload_bytes += p.payload_bytes;
+    merged.attempts += p.attempts;
+    merged.busy_sheds += p.busy_sheds;
+    merged.transport_retries += p.transport_retries;
     merged.latencies_us.insert(merged.latencies_us.end(),
                                p.latencies_us.begin(), p.latencies_us.end());
   }
@@ -158,8 +186,8 @@ RunResult RunOpenLoop(uint16_t port, const std::vector<Dataset>& datasets,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       RunResult& mine = partial[static_cast<size_t>(t)];
-      auto client = serve::Client::Connect(port);
-      if (!client.ok()) return;
+      serve::RetryingClient client(
+          port, BenchRetryPolicy(9000 + static_cast<uint64_t>(t)));
       RequestStream::Options stream_options;
       stream_options.seed = 9000 + static_cast<uint64_t>(t);
       stream_options.num_datasets = datasets.size();
@@ -177,9 +205,9 @@ RunResult RunOpenLoop(uint16_t port, const std::vector<Dataset>& datasets,
         }
         // Latency is measured from the *scheduled* arrival, so falling
         // behind the offered rate shows up as queueing delay.
-        const int64_t bytes = IssueOne(&*client, request, datasets);
+        const int64_t bytes = IssueOne(&client, request, datasets);
         if (bytes < 0) {
-          ++mine.busy;
+          ++mine.failed;
           continue;
         }
         mine.latencies_us.push_back(clock.ElapsedSeconds() * 1e6 -
@@ -187,6 +215,7 @@ RunResult RunOpenLoop(uint16_t port, const std::vector<Dataset>& datasets,
         ++mine.requests;
         mine.payload_bytes += bytes;
       }
+      MergeClientStats(client.stats(), &mine);
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -194,8 +223,11 @@ RunResult RunOpenLoop(uint16_t port, const std::vector<Dataset>& datasets,
   merged.wall_seconds = wall.ElapsedSeconds();
   for (RunResult& p : partial) {
     merged.requests += p.requests;
-    merged.busy += p.busy;
+    merged.failed += p.failed;
     merged.payload_bytes += p.payload_bytes;
+    merged.attempts += p.attempts;
+    merged.busy_sheds += p.busy_sheds;
+    merged.transport_retries += p.transport_retries;
     merged.latencies_us.insert(merged.latencies_us.end(),
                                p.latencies_us.begin(), p.latencies_us.end());
   }
@@ -212,13 +244,21 @@ void Report(const char* mode, const char* axis, int value,
       run.wall_seconds > 0 ? run.requests / run.wall_seconds : 0;
   const double gbps = Gbps(static_cast<size_t>(run.payload_bytes),
                            run.wall_seconds);
-  std::printf("%-12s %4d %10lld %8lld %10.0f %9.0f %9.0f %9.0f %7.2f\n",
-              mode, value, static_cast<long long>(run.requests),
-              static_cast<long long>(run.busy), rps, p50, p99, p999, gbps);
+  std::printf(
+      "%-12s %4d %10lld %8lld %8lld %10.0f %9.0f %9.0f %9.0f %7.2f\n",
+      mode, value, static_cast<long long>(run.requests),
+      static_cast<long long>(run.busy_sheds),
+      static_cast<long long>(run.failed), rps, p50, p99, p999, gbps);
   char name[64];
   std::snprintf(name, sizeof(name), "serve/%s/%s=%d", mode, axis, value);
+  // `requests` counts each logical request once, no matter how many
+  // kBusy sheds its retries absorbed; `attempts` is the wire total.
   json->Add(name, {{"requests", static_cast<double>(run.requests)},
-                   {"busy", static_cast<double>(run.busy)},
+                   {"attempts", static_cast<double>(run.attempts)},
+                   {"busy_sheds", static_cast<double>(run.busy_sheds)},
+                   {"transport_retries",
+                    static_cast<double>(run.transport_retries)},
+                   {"failed", static_cast<double>(run.failed)},
                    {"requests_per_sec", rps},
                    {"p50_us", p50},
                    {"p99_us", p99},
@@ -247,9 +287,9 @@ int Main(int argc, char** argv) {
   }
 
   PrintHeader("parparawd serving: closed-loop concurrency sweep");
-  std::printf("%-12s %4s %10s %8s %10s %9s %9s %9s %7s\n", "mode", "conc",
-              "requests", "busy", "req/s", "p50us", "p99us", "p999us",
-              "GB/s");
+  std::printf("%-12s %4s %10s %8s %8s %10s %9s %9s %9s %7s\n", "mode",
+              "conc", "requests", "sheds", "failed", "req/s", "p50us",
+              "p99us", "p999us", "GB/s");
   const int per_thread = 60;
   double saturation_rps = 0;
   for (int threads : {1, 2, 4, 8}) {
@@ -266,9 +306,9 @@ int Main(int argc, char** argv) {
   std::printf("saturation throughput: %.0f req/s\n", saturation_rps);
 
   PrintHeader("parparawd serving: open loop (Poisson arrivals)");
-  std::printf("%-12s %4s %10s %8s %10s %9s %9s %9s %7s\n", "mode", "rate%",
-              "requests", "busy", "req/s", "p50us", "p99us", "p999us",
-              "GB/s");
+  std::printf("%-12s %4s %10s %8s %8s %10s %9s %9s %9s %7s\n", "mode",
+              "rate%", "requests", "sheds", "failed", "req/s", "p50us",
+              "p99us", "p999us", "GB/s");
   // Offered load at 30% / 60% / 90% of saturation: queueing delay climbs
   // as the daemon approaches its admission limit.
   for (int pct : {30, 60, 90}) {
@@ -276,6 +316,37 @@ int Main(int argc, char** argv) {
     if (rate <= 0) break;
     const RunResult run = RunOpenLoop(*port, datasets, 4, rate, 240);
     Report("open", "pct", pct, run, &json);
+  }
+
+  // Drain latency: kick off a few in-flight parses, then measure how
+  // long Drain() takes to let them finish (SIGTERM's grace path).
+  PrintHeader("parparawd serving: graceful drain");
+  {
+    std::vector<std::thread> stragglers;
+    for (int t = 0; t < 3; ++t) {
+      stragglers.emplace_back([&, t] {
+        serve::RetryingClient client(
+            *port, BenchRetryPolicy(11000 + static_cast<uint64_t>(t)));
+        (void)client.Parse(datasets[static_cast<size_t>(t) %
+                                    datasets.size()].bytes);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Stopwatch drain_watch;
+    const bool clean = server.Drain(/*deadline_ms=*/10000);
+    const double drain_ms = drain_watch.ElapsedMillis();
+    for (std::thread& straggler : stragglers) straggler.join();
+    const auto stats = server.stats();
+    std::printf("drain: %.1fms, clean=%d, drained=%lld, cancelled=%lld\n",
+                drain_ms, clean ? 1 : 0,
+                static_cast<long long>(stats.drained),
+                static_cast<long long>(stats.drain_cancelled));
+    json.Add("serve/drain",
+             {{"drain_ms", drain_ms},
+              {"clean", clean ? 1.0 : 0.0},
+              {"drained", static_cast<double>(stats.drained)},
+              {"drain_cancelled",
+               static_cast<double>(stats.drain_cancelled)}});
   }
 
   server.Stop();

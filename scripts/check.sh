@@ -22,11 +22,15 @@
 #                               # proofs, minimiser properties, widened
 #                               # generated-dialect differential sweeps,
 #                               # chaos) under ASan+UBSan
-#   scripts/check.sh serve      # parparawd daemon: protocol conformance
-#                               # + 10k-frame fuzz under ASan+UBSan, then
-#                               # the multi-client loopback soak under
-#                               # TSan, plus the chaos sweep with serve.*
-#                               # failpoints in its schedule space
+#   scripts/check.sh serve      # parparawd daemon: protocol conformance,
+#                               # 10k-frame fuzz (malformed + bit-flipped
+#                               # checksummed frames), request-lifecycle
+#                               # suites (deadlines/drain/retry/timeouts)
+#                               # and a SIGTERM drain smoke of the real
+#                               # binary under ASan+UBSan, then the
+#                               # multi-client loopback + restart soak
+#                               # under TSan, plus the chaos sweep with
+#                               # serve.* failpoints in its schedule space
 #
 # Build trees land in build-asan/ and build-tsan/ next to the normal
 # build/ so a sanitizer run never invalidates the regular build cache.
@@ -191,15 +195,38 @@ run_serve() {
   echo "=== serve: build ==="
   cmake --build build-asan -j "${JOBS}"
   # The daemon's memory-safety surface: every protocol encoder/decoder,
-  # the 10k-seeded-malformed-frame fuzz, the robust socket I/O helpers
-  # with their serve.* failpoints, the workload generators, and the chaos
-  # sweep (whose schedule space includes serve.* faults and a loopback
-  # daemon entry point).
-  echo "=== serve: conformance + fuzz under ASan+UBSan ==="
+  # the 10k-seeded-malformed-frame fuzz plus the 10k bit-flipped
+  # checksummed-frame fuzz (CRC-32C wire integrity), the request
+  # lifecycle (deadlines, drain, retry, connect/IO timeouts), the
+  # admission-controller edges, the robust socket I/O helpers with their
+  # serve.* failpoints, the workload generators, and the chaos sweep
+  # (whose schedule space includes serve.deadline/serve.drain/
+  # serve.corrupt faults and a checksummed loopback daemon entry point).
+  echo "=== serve: conformance + fuzz + lifecycle under ASan+UBSan ==="
   ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
   UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
-      -R 'ServeProtocol|ServeConformance|ServeFailpoint|ServeFuzz|RequestStream|Chaos'
+      -R 'ServeProtocol|ServeConformance|ServeFailpoint|ServeFuzz|RequestStream|Chaos|ServeDeadline|ServeDrain|ServeRetry|ServeTimeout|Admission|Crc32c'
+  # Kill-and-restart smoke on the real binary: SIGTERM must drain (let
+  # in-flight requests finish, then exit 0 reporting a clean drain), and
+  # the ASan/LSan runtime must see no leaks on that exit path.
+  echo "=== serve: parparawd SIGTERM drain smoke ==="
+  local log="build-asan/parparawd-drain-smoke.log"
+  ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/src/parparawd --port 0 --drain-deadline-ms 2000 \
+      >"${log}" 2>&1 &
+  local daemon_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q 'listening on 127\.0\.0\.1:' "${log}" && break
+    sleep 0.1
+  done
+  grep -q 'listening on 127\.0\.0\.1:' "${log}" || {
+    echo "parparawd never came up:"; cat "${log}"; return 1; }
+  kill -TERM "${daemon_pid}"
+  wait "${daemon_pid}" || { echo "parparawd exited non-zero:"; cat "${log}"; return 1; }
+  grep -q 'drain clean' "${log}" || {
+    echo "parparawd did not drain cleanly:"; cat "${log}"; return 1; }
+  echo "=== serve: drain smoke clean ==="
   echo "=== serve: configure (TSan) ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -208,12 +235,14 @@ run_serve() {
   cmake --build build-tsan -j "${JOBS}"
   # The daemon's schedule-sensitive surface: N concurrent clients mixing
   # ingest/query/disconnect against one shared admission controller, the
-  # BUSY shedding paths, cancel-on-disconnect slot return, and clean
-  # shutdown with requests in flight.
+  # BUSY shedding paths, cancel-on-disconnect slot return, graceful drain
+  # racing in-flight requests, deadline expiry racing completion, the
+  # retrying client's kill-and-restart soak, and clean shutdown with
+  # requests in flight.
   echo "=== serve: concurrency soak under TSan ==="
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-      -R 'ServeConcurrency|ServeConformance'
+      -R 'ServeConcurrency|ServeConformance|ServeDeadline|ServeDrain|ServeRetry|Admission'
 }
 
 case "${MODE}" in

@@ -10,6 +10,24 @@ int AdmissionController::Acquire(int limit, const std::function<bool()>& stop) {
   return ++inflight_;
 }
 
+int AdmissionController::AcquireFor(
+    int limit, const std::function<bool()>& stop,
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop()) return kStopped;
+    if (inflight_ < limit) return ++inflight_;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look under the mutex: a release (or stop) that raced
+      // the timeout still wins, so a free slot is never refused just
+      // because the clock ticked first.
+      if (stop()) return kStopped;
+      if (inflight_ < limit) return ++inflight_;
+      return kTimedOut;
+    }
+  }
+}
+
 int AdmissionController::TryAcquire(int limit) {
   std::lock_guard<std::mutex> lock(mu_);
   if (inflight_ >= limit) return -1;

@@ -1,6 +1,7 @@
 #ifndef PARPARAW_EXEC_ADMISSION_H_
 #define PARPARAW_EXEC_ADMISSION_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -40,6 +41,18 @@ class AdmissionController {
   /// shedding primitive (the daemon answers BUSY instead of waiting).
   /// Returns the post-acquisition count, or -1 when saturated.
   int TryAcquire(int limit);
+
+  /// Deadline-aware Acquire: waits until a slot frees under `limit`,
+  /// `stop()` turns true, or `deadline` passes — the primitive behind
+  /// request deadlines (a request with time left waits for admission
+  /// instead of being shed, but never waits past its budget). Returns
+  /// the post-acquisition count, kStopped, or kTimedOut. The stop flag
+  /// wins over the deadline when both hold at wakeup, matching
+  /// Acquire's contract that a stopped waiter never takes a slot.
+  static constexpr int kStopped = -1;
+  static constexpr int kTimedOut = -2;
+  int AcquireFor(int limit, const std::function<bool()>& stop,
+                 std::chrono::steady_clock::time_point deadline);
 
   /// Returns `n` slots and wakes all waiters. Returns the new count.
   int Release(int n = 1);

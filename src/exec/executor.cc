@@ -259,11 +259,43 @@ class PipelineRun {
 
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
+  bool has_deadline() const {
+    return options_.deadline != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// The cooperative deadline check, run at every partition hand-off
+  /// (plus the exec.deadline failpoint for deterministic expiry in the
+  /// chaos sweep). True = the ingest is out of time; the pipeline aborts
+  /// through the same seam as Cancel(), with kDeadlineExceeded recorded
+  /// as the first error.
+  bool DeadlineExpired(const char* site) {
+    const bool forced = !robust::CheckFailpoint("exec.deadline").ok();
+    if (!forced) {
+      if (!has_deadline()) return false;
+      if (std::chrono::steady_clock::now() < options_.deadline) return false;
+    }
+    Fail(Status::DeadlineExceeded(std::string(site) +
+                                  ": ingest deadline expired"));
+    return true;
+  }
+
   /// Blocks until a partition may become resident (the backpressure that
   /// keeps the working set inside the memory budget). False on abort.
   bool AcquireSlot() {
-    const int now = executor_->admission()->Acquire(
-        admission_limit_, [this] { return aborted(); });
+    int now;
+    if (has_deadline()) {
+      now = executor_->admission()->AcquireFor(
+          admission_limit_, [this] { return aborted(); }, options_.deadline);
+      if (now == AdmissionController::kTimedOut) {
+        Fail(Status::DeadlineExceeded(
+            "exec.admission: ingest deadline expired waiting for a "
+            "partition slot"));
+        return false;
+      }
+    } else {
+      now = executor_->admission()->Acquire(
+          admission_limit_, [this] { return aborted(); });
+    }
     if (now < 0) return false;
     slots_held_.fetch_add(1, std::memory_order_relaxed);
     // Only this run's reader thread acquires, so the stat update is
@@ -291,6 +323,7 @@ class PipelineRun {
     bool eof = false;
     while (!eof) {
       if (aborted()) break;
+      if (DeadlineExpired("exec.read")) break;
       if (!AcquireSlot()) break;
       Hook(0, index);
       const Status injected = robust::CheckFailpoint("exec.read");
@@ -338,6 +371,7 @@ class PipelineRun {
         break;
       }
       if (!chunk.has_value()) break;  // end of stream or abort
+      if (DeadlineExpired("exec.scan")) break;
       Hook(1, (*chunk)->index);
       Stopwatch watch;
       auto task = std::make_unique<PartitionTask>();
@@ -410,6 +444,7 @@ class PipelineRun {
         break;
       }
       if (!task.has_value()) break;
+      if (DeadlineExpired("exec.sort")) break;
       Hook(2, (*task)->index);
       Stopwatch watch;
       if (!(*task)->parse.finished()) {
@@ -447,6 +482,7 @@ class PipelineRun {
         break;
       }
       if (!task.has_value()) break;
+      if (DeadlineExpired("exec.convert")) break;
       Hook(3, (*task)->index);
       Stopwatch watch;
       if (!(*task)->parse.finished()) {

@@ -2,6 +2,7 @@
 #define PARPARAW_EXEC_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -41,6 +42,15 @@ struct ExecOptions {
   /// suite to throttle a stage (backpressure) or trigger cancellation at
   /// a deterministic point. Must be thread-safe; null = no hook.
   std::function<void(int stage, int64_t partition)> stage_hook;
+
+  /// Cooperative wall-clock deadline for the whole ingest; time_point::max()
+  /// = none. Checked at every partition hand-off (each stage's entry) and
+  /// honoured by admission waits, so an expired ingest stops at the next
+  /// boundary with StatusCode::kDeadlineExceeded through the same abort
+  /// seam as Cancel() — partial output discarded, admission slots drained.
+  /// The serving daemon sets this from the request's deadline_ms.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Occupancy/scheduling facts of one ingest, for tests and reporting.

@@ -28,14 +28,31 @@ RequestHeader ToHeader(const RequestOptions& options) {
   header.header = options.header;
   header.memory_budget = options.memory_budget;
   header.partition_size = options.partition_size;
+  header.deadline_ms = options.deadline_ms;
   return header;
 }
 
 }  // namespace
 
-Result<Client> Client::Connect(uint16_t port) {
-  PARPARAW_ASSIGN_OR_RETURN(Socket sock, ConnectLoopback(port));
+Result<Client> Client::Connect(uint16_t port, int connect_timeout_ms) {
+  PARPARAW_ASSIGN_OR_RETURN(Socket sock,
+                            ConnectLoopback(port, connect_timeout_ms));
   return Client(std::move(sock));
+}
+
+Status Client::Transport(Status status) {
+  if (!status.ok()) last_error_was_transport_ = true;
+  return status;
+}
+
+Status Client::SendFrame(Opcode opcode, uint8_t flags,
+                         std::string_view payload) {
+  last_error_was_transport_ = false;
+  if (checksums_) flags |= kFlagChecksum;
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size() + kFrameChecksumSize);
+  AppendFrame(opcode, flags, payload, &frame);
+  return Transport(SendAll(sock_.fd(), frame, io_timeout_ms_));
 }
 
 Status Client::SendRequest(Opcode opcode, uint8_t flags,
@@ -43,31 +60,40 @@ Status Client::SendRequest(Opcode opcode, uint8_t flags,
                            const RequestOptions& options) {
   std::string payload = EncodeRequestHeader(ToHeader(options));
   payload.append(body);
-  std::string frame;
-  frame.reserve(kFrameHeaderSize + payload.size());
-  AppendFrame(opcode, flags, payload, &frame);
-  return SendAll(sock_.fd(), frame);
+  return SendFrame(opcode, flags, payload);
 }
 
 Result<Client::Frame> Client::ReadFrame() {
   std::string header_bytes;
-  PARPARAW_RETURN_NOT_OK(
-      RecvExact(sock_.fd(), kFrameHeaderSize, &header_bytes));
+  PARPARAW_RETURN_NOT_OK(Transport(RecvExact(
+      sock_.fd(), kFrameHeaderSize, &header_bytes, nullptr, io_timeout_ms_)));
   Frame frame;
-  PARPARAW_ASSIGN_OR_RETURN(
-      frame.header, DecodeFrameHeader(header_bytes, kDefaultMaxPayload));
+  {
+    Result<FrameHeader> decoded =
+        DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+    if (!decoded.ok()) return Transport(decoded.status());
+    frame.header = *decoded;
+  }
   if (frame.header.payload_size > 0) {
-    PARPARAW_RETURN_NOT_OK(RecvExact(
+    PARPARAW_RETURN_NOT_OK(Transport(RecvExact(
         sock_.fd(), static_cast<size_t>(frame.header.payload_size),
-        &frame.payload));
+        &frame.payload, nullptr, io_timeout_ms_)));
+  }
+  if ((frame.header.flags & kFlagChecksum) != 0) {
+    std::string trailer;
+    PARPARAW_RETURN_NOT_OK(Transport(RecvExact(
+        sock_.fd(), kFrameChecksumSize, &trailer, nullptr, io_timeout_ms_)));
+    // A mismatch means the stream carried a flipped bit: nothing after
+    // this frame can be trusted, so it is a transport error (the caller
+    // must reconnect), never a silently different table.
+    PARPARAW_RETURN_NOT_OK(Transport(
+        VerifyFrameChecksum(frame.payload, trailer)));
   }
   return frame;
 }
 
 Status Client::Ping(std::string_view token) {
-  std::string frame;
-  AppendFrame(Opcode::kPing, 0, token, &frame);
-  PARPARAW_RETURN_NOT_OK(SendAll(sock_.fd(), frame));
+  PARPARAW_RETURN_NOT_OK(SendFrame(Opcode::kPing, 0, token));
   PARPARAW_ASSIGN_OR_RETURN(const Frame reply, ReadFrame());
   if (reply.header.opcode != Opcode::kPong) {
     return Status::IoError("expected kPong, got opcode " +
@@ -196,9 +222,7 @@ Result<QueryReply> Client::DoQuery(Opcode opcode, std::string_view body,
 }
 
 Result<std::string> Client::Stats() {
-  std::string frame;
-  AppendFrame(Opcode::kStats, 0, {}, &frame);
-  PARPARAW_RETURN_NOT_OK(SendAll(sock_.fd(), frame));
+  PARPARAW_RETURN_NOT_OK(SendFrame(Opcode::kStats, 0, {}));
   PARPARAW_ASSIGN_OR_RETURN(const Frame reply, ReadFrame());
   if (reply.header.opcode == Opcode::kError) {
     return DecodeErrorPayload(reply.payload);

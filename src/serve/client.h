@@ -31,6 +31,13 @@ struct RequestOptions {
   bool stream = false;
   /// Append the quarantine table (kQuarantine frame) to the response.
   bool want_quarantine = false;
+  /// v2: wall-clock budget for the whole request in milliseconds; 0 = no
+  /// deadline. An expired request comes back as kDeadlineExceeded.
+  uint32_t deadline_ms = 0;
+  /// Whether the request may be safely re-issued (parses and queries are
+  /// read-only, so the default is true). RetryingClient refuses to retry
+  /// a non-idempotent request past its first transport failure.
+  bool idempotent = true;
 };
 
 /// A parse response. `busy` means the daemon shed the request at its
@@ -64,12 +71,33 @@ class Client {
  public:
   Client() = default;
 
-  /// Connects to a parparawd on 127.0.0.1:`port`.
-  static Result<Client> Connect(uint16_t port);
+  /// Connects to a parparawd on 127.0.0.1:`port`. `connect_timeout_ms`
+  /// >= 0 bounds the handshake (kDeadlineExceeded on expiry) so an
+  /// unresponsive address cannot block the caller in SYN retries; -1 =
+  /// classic blocking connect.
+  static Result<Client> Connect(uint16_t port, int connect_timeout_ms = -1);
 
   bool connected() const { return sock_.valid(); }
   int fd() const { return sock_.fd(); }
   void Close() { sock_.Close(); }
+
+  /// Per-attempt I/O timeout for every send/recv on this client; a hung
+  /// daemon then costs kDeadlineExceeded instead of blocking forever.
+  /// -1 (default) = block indefinitely.
+  void set_io_timeout_ms(int timeout_ms) { io_timeout_ms_ = timeout_ms; }
+
+  /// Enables v2 frame checksums: every request frame carries a CRC-32C
+  /// trailer (kFlagChecksum), the daemon mirrors the flag on responses,
+  /// and a response failing verification is a transport error that
+  /// closes the connection.
+  void set_checksums(bool on) { checksums_ = on; }
+
+  /// True when the most recent failed call died at the transport layer
+  /// (send/recv/frame decode/checksum) rather than as a server-reported
+  /// request error. After a transport error the stream cannot be
+  /// resynchronised — RetryPolicy reconnects before retrying; a request
+  /// error leaves the connection usable and is NOT retryable.
+  bool last_error_was_transport() const { return last_error_was_transport_; }
 
   /// Round-trips a kPing; the payload must echo back verbatim.
   Status Ping(std::string_view token = "ping");
@@ -110,8 +138,14 @@ class Client {
   Result<QueryReply> DoQuery(Opcode opcode, std::string_view body,
                              const Predicate& predicate,
                              const RequestOptions& options);
+  /// Marks (and passes through) a transport-layer failure.
+  Status Transport(Status status);
+  Status SendFrame(Opcode opcode, uint8_t flags, std::string_view payload);
 
   Socket sock_;
+  int io_timeout_ms_ = -1;
+  bool checksums_ = false;
+  bool last_error_was_transport_ = false;
 };
 
 }  // namespace serve

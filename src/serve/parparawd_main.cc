@@ -17,9 +17,11 @@
 
 namespace {
 
+// 1 = drain (SIGTERM: finish in-flight requests), 2 = hard stop (SIGINT).
 volatile std::sig_atomic_t g_stop = 0;
 
-void HandleSignal(int) { g_stop = 1; }
+void HandleDrainSignal(int) { g_stop = 1; }
+void HandleStopSignal(int) { g_stop = 2; }
 
 int64_t ParseBytes(const char* text) {
   char* end = nullptr;
@@ -46,6 +48,9 @@ void Usage(const char* argv0) {
       "  --memory-budget B    global parse working-set budget, e.g. 512M\n"
       "                       (default 0 = unlimited)\n"
       "  --partition-size B   default parse partition size (default 8M)\n"
+      "  --drain-deadline-ms N  SIGTERM grace: in-flight requests get N ms\n"
+      "                       to finish before being cancelled\n"
+      "                       (default 5000; SIGINT stops immediately)\n"
       "  --no-metrics         disable the serve.*/exec.* metrics registry\n",
       argv0);
 }
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   parparaw::serve::ServeOptions options;
   options.port = 7070;
   bool metrics_enabled = true;
+  int drain_deadline_ms = 5000;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -92,6 +98,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.partition_size = static_cast<size_t>(parsed);
+    } else if (std::strcmp(arg, "--drain-deadline-ms") == 0) {
+      drain_deadline_ms = std::atoi(value);
+      if (drain_deadline_ms < 0) {
+        std::fprintf(stderr, "bad --drain-deadline-ms '%s'\n", value);
+        return 2;
+      }
     } else {
       Usage(argv[0]);
       return 2;
@@ -110,16 +122,28 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "parparawd listening on 127.0.0.1:%u\n", *port);
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
   sigset_t empty;
   sigemptyset(&empty);
   while (g_stop == 0) {
     sigsuspend(&empty);  // wake only on a signal
   }
 
-  std::fprintf(stderr, "parparawd: shutting down\n");
-  server.Stop();
+  if (g_stop == 1) {
+    std::fprintf(stderr, "parparawd: draining (deadline %dms)\n",
+                 drain_deadline_ms);
+    const bool clean = server.Drain(drain_deadline_ms);
+    const auto stats = server.stats();
+    std::fprintf(stderr,
+                 "parparawd: drain %s (%lld completed, %lld cancelled)\n",
+                 clean ? "clean" : "cancelled stragglers",
+                 static_cast<long long>(stats.drained),
+                 static_cast<long long>(stats.drain_cancelled));
+  } else {
+    std::fprintf(stderr, "parparawd: shutting down\n");
+    server.Stop();
+  }
   if (metrics_enabled) {
     std::fputs(metrics.SummaryText().c_str(), stderr);
   }

@@ -1,6 +1,10 @@
 #include "serve/protocol.h"
 
+#include <cstdio>
 #include <cstring>
+
+#include "robust/failpoint.h"
+#include "util/crc32c.h"
 
 namespace parparaw {
 namespace serve {
@@ -58,7 +62,7 @@ bool KnownCompareOp(uint8_t raw) {
 }
 
 bool KnownStatusCode(uint8_t raw) {
-  return raw <= static_cast<uint8_t>(StatusCode::kCancelled);
+  return raw <= static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace
@@ -71,7 +75,20 @@ void AppendFrame(Opcode opcode, uint8_t flags, std::string_view payload,
   out->push_back(0);  // reserved
   out->push_back(0);
   AppendU64(payload.size(), out);
+  const size_t payload_at = out->size();
   out->append(payload);
+  if ((flags & kFlagChecksum) != 0) {
+    const uint32_t crc = Crc32c(payload);
+    // serve.corrupt simulates a flipped bit on the wire: the CRC above is
+    // honest, the payload underneath it is not, so the receiver MUST
+    // reject the frame. Only armed for checksummed frames — corrupting
+    // an unchecksummed frame would be silent, which is the very failure
+    // mode this flag exists to rule out.
+    if (!robust::CheckFailpoint("serve.corrupt").ok() && !payload.empty()) {
+      (*out)[payload_at + payload.size() / 2] ^= 0x01;
+    }
+    AppendU32(crc, out);
+  }
 }
 
 std::string EncodeRequestHeader(const RequestHeader& header) {
@@ -83,6 +100,9 @@ std::string EncodeRequestHeader(const RequestHeader& header) {
   out.push_back(0);  // reserved
   AppendU64(static_cast<uint64_t>(header.memory_budget), &out);
   AppendU64(header.partition_size, &out);
+  if (header.version >= kProtocolVersion) {
+    AppendU32(header.deadline_ms, &out);
+  }
   return out;
 }
 
@@ -152,15 +172,22 @@ bool IsRequestOpcode(Opcode opcode) {
 }
 
 Result<RequestHeader> DecodeRequestHeader(std::string_view payload) {
-  if (payload.size() < kRequestHeaderSize) {
+  if (payload.empty()) {
     return Status::Invalid("request header truncated");
   }
   const char* p = payload.data();
   RequestHeader header;
   header.version = static_cast<uint8_t>(p[0]);
-  if (header.version != kProtocolVersion) {
+  if (header.version != kProtocolVersionV1 &&
+      header.version != kProtocolVersion) {
     return Status::Invalid("unsupported protocol version " +
                            std::to_string(header.version));
+  }
+  header.encoded_size = header.version == kProtocolVersionV1
+                            ? kRequestHeaderSizeV1
+                            : kRequestHeaderSize;
+  if (payload.size() < header.encoded_size) {
+    return Status::Invalid("request header truncated");
   }
   header.error_policy = static_cast<uint8_t>(p[1]);
   if (header.error_policy >
@@ -180,7 +207,26 @@ Result<RequestHeader> DecodeRequestHeader(std::string_view payload) {
     return Status::Invalid("negative memory budget");
   }
   header.partition_size = ReadU64(p + 12);
+  if (header.version >= kProtocolVersion) {
+    header.deadline_ms = ReadU32(p + 20);
+  }
   return header;
+}
+
+Status VerifyFrameChecksum(std::string_view payload,
+                           std::string_view trailer) {
+  if (trailer.size() != kFrameChecksumSize) {
+    return Status::Invalid("frame checksum trailer truncated");
+  }
+  const uint32_t declared = ReadU32(trailer.data());
+  const uint32_t actual = Crc32c(payload);
+  if (declared != actual) {
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%08x, computed %08x", declared, actual);
+    return Status::Invalid(std::string("frame checksum mismatch: declared ") +
+                           hex);
+  }
+  return Status::OK();
 }
 
 Result<PredicateBlock> DecodePredicateBlock(std::string_view after_header) {

@@ -35,8 +35,11 @@ inline constexpr uint32_t kFrameMagic = 0x31445050u;
 /// Fixed frame header size on the wire.
 inline constexpr size_t kFrameHeaderSize = 16;
 
-/// Protocol version carried inside request payloads.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// Protocol version carried inside request payloads. v2 appends a
+/// 4-byte deadline_ms to the RequestHeader and defines the kFlagChecksum
+/// frame flag; the daemon still accepts v1 requests (deadline = none).
+inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersionV1 = 1;
 
 /// Default cap on a single frame payload (requests and responses). The
 /// server rejects larger declared lengths *before* allocating.
@@ -82,6 +85,16 @@ enum class Opcode : uint8_t {
 /// Request flags (frame header `flags` byte).
 inline constexpr uint8_t kFlagStream = 0x01;
 inline constexpr uint8_t kFlagQuarantine = 0x02;
+/// v2: a 4-byte CRC-32C of the payload (util/crc32c.h) follows the
+/// payload on the wire; `payload_size` does NOT count the trailer. The
+/// daemon mirrors the flag on every response frame of a checksummed
+/// request, and a mismatch on either side is a protocol error that
+/// closes the connection (a corrupted length-prefixed stream cannot be
+/// resynchronised, and a corrupted payload must never become a parse).
+inline constexpr uint8_t kFlagChecksum = 0x04;
+
+/// Wire size of the CRC-32C trailer appended to checksummed frames.
+inline constexpr size_t kFrameChecksumSize = 4;
 
 /// Decoded frame header.
 struct FrameHeader {
@@ -105,10 +118,19 @@ struct RequestHeader {
   int64_t memory_budget = 0;
   /// Partition size; 0 = server default.
   uint64_t partition_size = 0;
+  /// v2 only: wall-clock budget for the whole request, measured from the
+  /// moment the daemon decodes the header; 0 = no deadline. An expired
+  /// deadline — waiting for an admission slot or mid-ingest — answers
+  /// kError{kDeadlineExceeded} with every admission slot returned.
+  uint32_t deadline_ms = 0;
+  /// Bytes the header occupied on the wire (set by the decoder; v1 = 20,
+  /// v2 = 24), so the caller can find the data that follows.
+  size_t encoded_size = 0;
 };
 
-/// Wire size of RequestHeader.
-inline constexpr size_t kRequestHeaderSize = 1 + 1 + 1 + 1 + 8 + 8;
+/// Wire sizes of RequestHeader by version.
+inline constexpr size_t kRequestHeaderSizeV1 = 1 + 1 + 1 + 1 + 8 + 8;
+inline constexpr size_t kRequestHeaderSize = kRequestHeaderSizeV1 + 4;
 
 /// Predicate block of kQueryBuffer/kQueryFile:
 /// u32 column | u8 op | u8[3] zero | u32 literal length | literal.
@@ -120,7 +142,10 @@ struct PredicateBlock {
 
 // --- encoding (infallible: writers control their inputs) ---
 
-/// Appends a frame (header + payload) to `out`.
+/// Appends a frame (header + payload) to `out`. When `flags` carries
+/// kFlagChecksum the CRC-32C trailer is appended after the payload (and
+/// the `serve.corrupt` failpoint, if armed, flips one payload bit *after*
+/// the CRC is computed — the receiver must detect the mismatch).
 void AppendFrame(Opcode opcode, uint8_t flags, std::string_view payload,
                  std::string* out);
 
@@ -141,8 +166,15 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
 /// True when `opcode` is one a *client* may send.
 bool IsRequestOpcode(Opcode opcode);
 
-/// Decodes a RequestHeader from the front of a request payload.
+/// Decodes a RequestHeader from the front of a request payload. Accepts
+/// v1 (20 bytes, deadline_ms = 0) and v2 (24 bytes); the decoded
+/// `encoded_size` tells the caller where the data starts.
 Result<RequestHeader> DecodeRequestHeader(std::string_view payload);
+
+/// Verifies a checksummed frame: `trailer` is the 4-byte CRC read off the
+/// wire after `payload`. A mismatch is an InvalidArgument whose message
+/// starts with "frame checksum mismatch" — by contract a protocol error.
+Status VerifyFrameChecksum(std::string_view payload, std::string_view trailer);
 
 /// Decodes the predicate block that follows the RequestHeader.
 Result<PredicateBlock> DecodePredicateBlock(std::string_view after_header);

@@ -1,0 +1,150 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace parparaw {
+namespace serve {
+
+namespace {
+
+void CountRetryMetric(const char* name) {
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  if (global.enabled()) global.AddCounter(name, 1);
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(uint16_t port, RetryPolicy policy)
+    : port_(port), policy_(policy), rng_(policy.seed) {}
+
+void RetryingClient::Close() {
+  if (client_.has_value()) client_->Close();
+  client_.reset();
+}
+
+Status RetryingClient::EnsureConnected() {
+  if (client_.has_value() && client_->connected()) return Status::OK();
+  client_.reset();
+  Result<Client> connected = Client::Connect(port_, policy_.connect_timeout_ms);
+  if (!connected.ok()) return connected.status();
+  client_.emplace(std::move(connected).ValueOrDie());
+  client_->set_io_timeout_ms(policy_.io_timeout_ms);
+  client_->set_checksums(policy_.checksums);
+  if (connected_once_) {
+    ++stats_.reconnects;
+    CountRetryMetric("serve.client.reconnects");
+  }
+  connected_once_ = true;
+  return Status::OK();
+}
+
+bool RetryingClient::Backoff(int attempt) {
+  // Full jitter: uniform in [0, min(base * 2^k, max)]. The shift is
+  // clamped so a large max_attempts cannot overflow the cap.
+  const int shift = std::min(attempt - 1, 20);
+  const int64_t cap = std::min(policy_.max_delay_us,
+                               policy_.base_delay_us << shift);
+  const int64_t delay = static_cast<int64_t>(
+      rng_.NextRange(static_cast<uint64_t>(std::max<int64_t>(cap, 0)) + 1));
+  if (slept_us_ + delay > policy_.budget_us) return false;
+  slept_us_ += delay;
+  stats_.backoff_us += delay;
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+  return true;
+}
+
+template <typename Reply, typename Op>
+Result<Reply> RetryingClient::Run(bool idempotent, const Op& op) {
+  ++stats_.requests;
+  slept_us_ = 0;
+  Result<Reply> last = Status::Internal("retry loop never ran");
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    {
+      const Status conn = EnsureConnected();
+      if (!conn.ok()) {
+        // A failed (re)connect executed nothing server-side, so it is
+        // retryable regardless of idempotence.
+        last = conn;
+        ++stats_.transport_retries;
+        CountRetryMetric("serve.client.transport_retries");
+        if (attempt == policy_.max_attempts || !Backoff(attempt)) break;
+        continue;
+      }
+    }
+    ++stats_.attempts;
+    Result<Reply> result = op(*client_);
+    if (result.ok() && !result->busy) return result;
+    if (result.ok()) {
+      // kBusy shed: the daemon refused before doing any work, so the
+      // retry is safe even for non-idempotent requests.
+      ++stats_.busy_sheds;
+      CountRetryMetric("serve.client.busy_retries");
+      last = std::move(result);
+    } else if (client_->last_error_was_transport()) {
+      // Broken stream: nothing after the failure can be trusted. Drop
+      // the connection; retry only when the request may be re-executed.
+      last = result.status();
+      Close();
+      if (!policy_.retry_transport || !idempotent) return last;
+      ++stats_.transport_retries;
+      CountRetryMetric("serve.client.transport_retries");
+    } else {
+      // Server-reported request error: the connection is usable and a
+      // retry would just fail the same way.
+      return result;
+    }
+    if (attempt == policy_.max_attempts || !Backoff(attempt)) break;
+  }
+  ++stats_.exhausted;
+  return last;
+}
+
+namespace {
+/// Adapter so Status-returning Ping flows through the same retry loop.
+struct PingReply {
+  bool busy = false;
+};
+}  // namespace
+
+Status RetryingClient::Ping(std::string_view token) {
+  Result<PingReply> result =
+      Run<PingReply>(/*idempotent=*/true, [&](Client& client) {
+        Result<PingReply> out = PingReply{};
+        const Status st = client.Ping(token);
+        if (!st.ok()) out = st;
+        return out;
+      });
+  return result.status();
+}
+
+Result<ParseReply> RetryingClient::Parse(std::string_view data,
+                                         const RequestOptions& options) {
+  return Run<ParseReply>(options.idempotent, [&](Client& client) {
+    return client.Parse(data, options);
+  });
+}
+
+Result<ParseReply> RetryingClient::ParseFile(const std::string& path,
+                                             const RequestOptions& options) {
+  return Run<ParseReply>(options.idempotent, [&](Client& client) {
+    return client.ParseFile(path, options);
+  });
+}
+
+Result<QueryReply> RetryingClient::Query(std::string_view data,
+                                         const Predicate& predicate,
+                                         const RequestOptions& options) {
+  return Run<QueryReply>(options.idempotent, [&](Client& client) {
+    return client.Query(data, predicate, options);
+  });
+}
+
+}  // namespace serve
+}  // namespace parparaw

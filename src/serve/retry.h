@@ -1,0 +1,117 @@
+#ifndef PARPARAW_SERVE_RETRY_H_
+#define PARPARAW_SERVE_RETRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/client.h"
+#include "workload/request_stream.h"
+
+namespace parparaw {
+namespace serve {
+
+/// \brief Seeded, deterministic retry discipline for parparawd clients.
+///
+/// The daemon sheds load with kBusy instead of queueing (docs/serving.md)
+/// — which only works if clients retry with discipline instead of
+/// hammering. This policy is the discipline: exponential backoff with
+/// *full jitter* (each delay is uniform in [0, min(base·2^k, max)], the
+/// AWS-architecture result that de-synchronises retry storms), a total
+/// sleep budget per logical request, and reconnect-on-transport-error.
+/// The jitter PRNG is the workload generator's seeded xorshift64*, so a
+/// soak run replays its exact retry schedule.
+///
+/// Retry decisions by failure class:
+///   kBusy shed            retried always — the server did nothing, so
+///                         the retry is safe even for non-idempotent ops
+///   transport error       (send/recv/frame decode/checksum — the stream
+///                         is broken) reconnect + retry, but only for
+///                         idempotent requests: a request that reached
+///                         the server may have executed
+///   server request error  never retried (kParseError, kIoError from a
+///                         bad path, kDeadlineExceeded, ...) — the
+///                         connection is fine, the request is just wrong
+struct RetryPolicy {
+  /// Total wire attempts per logical request (first try included).
+  int max_attempts = 6;
+  /// Backoff cap sequence: delay k is uniform in [0, min(base·2^k, max)].
+  int64_t base_delay_us = 500;
+  int64_t max_delay_us = 50'000;
+  /// Total backoff sleep allowed per logical request; once the next
+  /// delay would overspend it, the client gives up with the last error.
+  int64_t budget_us = 2'000'000;
+  /// Seed of the full-jitter PRNG (deterministic replay).
+  uint64_t seed = 42;
+  /// Retry transport errors at all (reconnecting first)? Idempotence is
+  /// still required per request (RequestOptions::idempotent).
+  bool retry_transport = true;
+
+  // Connection knobs applied to every Client this policy drives.
+  int connect_timeout_ms = 1000;
+  /// Per-attempt I/O timeout; -1 = block (no hung-daemon protection).
+  int io_timeout_ms = -1;
+  /// Enable v2 frame checksums on every connection.
+  bool checksums = false;
+};
+
+/// Counters for one RetryingClient, split so that a bench can report
+/// logical requests once while still accounting every shed and retry.
+struct RetryStats {
+  int64_t requests = 0;        ///< logical requests issued
+  int64_t attempts = 0;        ///< wire attempts (>= requests)
+  int64_t busy_sheds = 0;      ///< kBusy frames received
+  int64_t transport_retries = 0;
+  int64_t reconnects = 0;      ///< successful connects after the first
+  int64_t exhausted = 0;       ///< gave up: attempts or budget spent
+  int64_t backoff_us = 0;      ///< total jittered sleep
+};
+
+/// \brief serve::Client wrapped in RetryPolicy: connects lazily,
+/// re-issues shed/transport-failed requests with jittered backoff, and
+/// reconnects when the stream breaks — so a daemon restart (drain +
+/// relaunch) is invisible to the caller. Blocking, single-threaded, like
+/// the Client it owns.
+class RetryingClient {
+ public:
+  explicit RetryingClient(uint16_t port, RetryPolicy policy = {});
+
+  /// Round-trips a ping (retrying per policy).
+  Status Ping(std::string_view token = "ping");
+
+  Result<ParseReply> Parse(std::string_view data,
+                           const RequestOptions& options = {});
+  Result<ParseReply> ParseFile(const std::string& path,
+                               const RequestOptions& options = {});
+  Result<QueryReply> Query(std::string_view data, const Predicate& predicate,
+                           const RequestOptions& options = {});
+
+  const RetryStats& stats() const { return stats_; }
+  void Close();
+
+ private:
+  template <typename Reply, typename Op>
+  Result<Reply> Run(bool idempotent, const Op& op);
+
+  /// Connects (or reconnects) the underlying client; applies the
+  /// policy's timeouts and checksum setting.
+  Status EnsureConnected();
+
+  /// Sleeps the jittered delay for retry `attempt` (1-based). False when
+  /// the budget is spent — the caller returns the last error instead.
+  bool Backoff(int attempt);
+
+  uint16_t port_;
+  RetryPolicy policy_;
+  StreamRng rng_;
+  std::optional<Client> client_;
+  bool connected_once_ = false;
+  int64_t slept_us_ = 0;
+  RetryStats stats_;
+};
+
+}  // namespace serve
+}  // namespace parparaw
+
+#endif  // PARPARAW_SERVE_RETRY_H_

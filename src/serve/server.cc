@@ -12,6 +12,7 @@
 #include "loader/bulk_loader.h"
 #include "obs/obs.h"
 #include "query/pushdown.h"
+#include "robust/failpoint.h"
 #include "robust/resource_guard.h"
 #include "util/stopwatch.h"
 
@@ -45,30 +46,49 @@ class SlotReturn {
   obs::MetricsRegistry* metrics_;
 };
 
-/// Polls the connection for a peer disconnect while a request is in
-/// flight; fires the request executor's cooperative Cancel() so the
-/// ingest aborts at its next stage boundary and its admission slots
-/// return to the shared controller.
-class DisconnectWatchdog {
+/// Polls the connection for a peer disconnect — and the request deadline
+/// for expiry — while a request is in flight; either event fires the
+/// request executor's cooperative Cancel() so the ingest aborts at its
+/// next stage boundary and its admission slots return to the shared
+/// controller. A disconnect closes the connection; an expired deadline
+/// is answered kError{kDeadlineExceeded} and the connection stays
+/// usable. (The executor also checks the deadline itself at partition
+/// hand-offs; the watchdog covers the stretches between them — a slow
+/// sink, serialization, a stuck file read.)
+class RequestWatchdog {
  public:
-  DisconnectWatchdog(int fd, exec::PipelineExecutor* executor,
-                     int interval_ms)
-      : fd_(fd), executor_(executor), interval_ms_(interval_ms) {
+  RequestWatchdog(int fd, exec::PipelineExecutor* executor, int interval_ms,
+                  std::chrono::steady_clock::time_point deadline)
+      : fd_(fd),
+        executor_(executor),
+        interval_ms_(interval_ms),
+        deadline_(deadline) {
     thread_ = std::thread([this] { Loop(); });
   }
 
-  /// Joins the poll thread; returns true when the peer vanished.
-  bool Finish() {
+  /// Joins the poll thread; poll the accessors afterwards.
+  void Finish() {
     done_.store(true, std::memory_order_release);
     thread_.join();
-    return fired_.load(std::memory_order_acquire);
+  }
+
+  bool disconnected() const {
+    return disconnected_.load(std::memory_order_acquire);
+  }
+  bool deadline_fired() const {
+    return deadline_fired_.load(std::memory_order_acquire);
   }
 
  private:
   void Loop() {
     while (!done_.load(std::memory_order_acquire)) {
       if (PeerClosed(fd_)) {
-        fired_.store(true, std::memory_order_release);
+        disconnected_.store(true, std::memory_order_release);
+        executor_->Cancel();
+        return;
+      }
+      if (std::chrono::steady_clock::now() >= deadline_) {
+        deadline_fired_.store(true, std::memory_order_release);
         executor_->Cancel();
         return;
       }
@@ -79,8 +99,10 @@ class DisconnectWatchdog {
   int fd_;
   exec::PipelineExecutor* executor_;
   int interval_ms_;
+  std::chrono::steady_clock::time_point deadline_;
   std::atomic<bool> done_{false};
-  std::atomic<bool> fired_{false};
+  std::atomic<bool> disconnected_{false};
+  std::atomic<bool> deadline_fired_{false};
   std::thread thread_;
 };
 
@@ -92,6 +114,12 @@ struct Server::Connection {
   Socket sock;
   std::thread thread;
   std::atomic<bool> done{false};
+  /// True while a request frame is being served; Drain() closes only
+  /// idle connections and lets these finish their response.
+  std::atomic<bool> in_request{false};
+  /// The in-flight request declared kFlagChecksum, so every response
+  /// frame mirrors it (connection thread only).
+  bool checksum = false;
   std::mutex exec_mu;
   exec::PipelineExecutor* active_exec = nullptr;  // guarded by exec_mu
 };
@@ -136,6 +164,7 @@ Result<uint16_t> Server::Start() {
   }
 
   stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
   PARPARAW_ASSIGN_OR_RETURN(
       int listen_fd, ListenLoopback(options_.port, options_.backlog, &port_));
   listen_fd_.store(listen_fd, std::memory_order_release);
@@ -144,9 +173,7 @@ Result<uint16_t> Server::Start() {
   return port_;
 }
 
-void Server::Stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stopping_.store(true, std::memory_order_release);
+void Server::StopAccepting() {
   // Shutting down the listener kicks the acceptor out of accept();
   // the fd is only closed once the acceptor has been joined so the
   // close cannot race an in-flight accept (fd reuse).
@@ -157,6 +184,15 @@ void Server::Stop() {
   if (acceptor_.joinable()) acceptor_.join();
   const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   if (listen_fd >= 0) Socket(listen_fd).Close();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Requests parked in a deadline-aware admission wait must observe
+  // stopping_ now, not at their deadline.
+  request_slots_.Wake();
+  StopAccepting();
   // Cancel in-flight requests, then unblock and join every connection.
   std::vector<std::unique_ptr<Connection>> conns;
   {
@@ -177,6 +213,41 @@ void Server::Stop() {
   }
 }
 
+bool Server::Drain(int deadline_ms) {
+  if (!running_.load(std::memory_order_acquire)) return true;
+  if (!draining_.exchange(true, std::memory_order_acq_rel)) {
+    Count("serve.drain", 1);
+    StopAccepting();
+    // Deadline-waiters parked in AcquireFor shed now instead of burning
+    // their remaining deadline against a server that will not admit.
+    request_slots_.Wake();
+    // Nudge idle connections out of their header recv; a connection
+    // serving a request closes itself right after its response.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (!conn->in_request.load(std::memory_order_acquire)) {
+        conn->sock.Shutdown();
+      }
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (inflight_requests() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const int remaining = inflight_requests();
+  if (remaining > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.drain_cancelled += remaining;
+    }
+    Count("serve.drain_cancelled", remaining);
+  }
+  Stop();
+  return remaining == 0;
+}
+
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
@@ -187,7 +258,8 @@ void Server::Count(const char* name, int64_t delta) {
 }
 
 void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
     Result<Socket> accepted =
         AcceptConnection(listen_fd_.load(std::memory_order_acquire));
     // Reap finished connections so a churny client (the fuzz suite's
@@ -209,7 +281,10 @@ void Server::AcceptLoop() {
           conns_.end());
     }
     if (!accepted.ok()) {
-      if (stopping_.load(std::memory_order_acquire)) return;
+      if (stopping_.load(std::memory_order_acquire) ||
+          draining_.load(std::memory_order_acquire)) {
+        return;
+      }
       Count("serve.accept_errors", 1);
       // An injected serve.accept fault or a transient accept error must
       // not kill the daemon; keep listening.
@@ -276,6 +351,7 @@ void Server::ConnectionLoop(Connection* conn) {
       (void)SendError(conn, header.status());  // best-effort
       break;
     }
+    conn->in_request.store(true, std::memory_order_release);
     std::string payload;
     if (header->payload_size > 0) {
       const Status body = RecvExact(
@@ -284,10 +360,46 @@ void Server::ConnectionLoop(Connection* conn) {
       if (!body.ok()) {
         // Mid-frame disconnect or injected fault: nothing to answer.
         Count("serve.read_errors", 1);
+        conn->in_request.store(false, std::memory_order_release);
         break;
       }
     }
-    if (!Dispatch(conn, *header, payload)) break;
+    // v2 integrity: a checksummed request carries a CRC-32C trailer; the
+    // response frames mirror the flag. A mismatch means the stream is
+    // corrupt — there is nothing trustworthy left to parse, so it is a
+    // protocol error and the connection closes.
+    conn->checksum = (header->flags & kFlagChecksum) != 0;
+    if (conn->checksum) {
+      std::string trailer;
+      const Status got =
+          RecvExact(conn->sock.fd(), kFrameChecksumSize, &trailer);
+      if (!got.ok()) {
+        Count("serve.read_errors", 1);
+        conn->in_request.store(false, std::memory_order_release);
+        break;
+      }
+      const Status verified = VerifyFrameChecksum(payload, trailer);
+      if (!verified.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.protocol_errors;
+          ++stats_.checksum_errors;
+        }
+        Count("serve.protocol_errors", 1);
+        Count("serve.checksum_errors", 1);
+        (void)SendError(conn, verified);  // best-effort
+        conn->in_request.store(false, std::memory_order_release);
+        break;
+      }
+    }
+    const bool keep = Dispatch(conn, *header, payload);
+    conn->in_request.store(false, std::memory_order_release);
+    if (!keep) break;
+    // A drain lets the in-flight response finish, then closes; the
+    // serve.drain failpoint forces the same post-response close to let
+    // the chaos suite rehearse clients racing a drain.
+    if (draining_.load(std::memory_order_acquire)) break;
+    if (!robust::CheckFailpoint("serve.drain").ok()) break;
   }
   conn->sock.Close();
   open_conns_.fetch_sub(1, std::memory_order_acq_rel);
@@ -298,8 +410,9 @@ void Server::ConnectionLoop(Connection* conn) {
 
 bool Server::SendFrame(Connection* conn, Opcode opcode, uint8_t flags,
                        std::string_view payload) {
+  if (conn->checksum) flags |= kFlagChecksum;
   std::string frame;
-  frame.reserve(kFrameHeaderSize + payload.size());
+  frame.reserve(kFrameHeaderSize + payload.size() + kFrameChecksumSize);
   AppendFrame(opcode, flags, payload, &frame);
   const Status sent = SendAll(conn->sock.fd(), frame);
   if (!sent.ok()) {
@@ -311,6 +424,24 @@ bool Server::SendFrame(Connection* conn, Opcode opcode, uint8_t flags,
 
 bool Server::SendError(Connection* conn, const Status& status) {
   return SendFrame(conn, Opcode::kError, 0, EncodeErrorPayload(status));
+}
+
+bool Server::SendDeadlineExceeded(Connection* conn, const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deadline_exceeded;
+  }
+  Count("serve.deadline_exceeded", 1);
+  return SendError(conn, Status::DeadlineExceeded(what));
+}
+
+void Server::CountDrained() {
+  if (!draining_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.drained;
+  }
+  Count("serve.drained", 1);
 }
 
 bool Server::Dispatch(Connection* conn, const FrameHeader& header,
@@ -331,10 +462,25 @@ bool Server::Dispatch(Connection* conn, const FrameHeader& header,
     }
     case Opcode::kParseBuffer:
     case Opcode::kParseFile:
-      return HandleParse(conn, header, payload);
     case Opcode::kQueryBuffer:
-    case Opcode::kQueryFile:
+    case Opcode::kQueryFile: {
+      if (draining_.load(std::memory_order_acquire)) {
+        // Raced the drain: shed like a queue-full BUSY (the client's
+        // retry lands on the restarted daemon) and close.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.busy_shed;
+        }
+        Count("serve.busy", 1);
+        (void)SendFrame(conn, Opcode::kBusy, 0, {});
+        return false;
+      }
+      if (header.opcode == Opcode::kParseBuffer ||
+          header.opcode == Opcode::kParseFile) {
+        return HandleParse(conn, header, payload);
+      }
       return HandleQuery(conn, header, payload);
+    }
     default:
       // Unreachable: Dispatch is gated on IsRequestOpcode.
       return SendError(conn, Status::Internal("unhandled opcode"));
@@ -348,6 +494,15 @@ namespace {
 struct RequestConfig {
   LoadOptions load;
   std::string_view rest;  // payload after the request header
+  /// v2 deadline: resolved to an absolute steady_clock point at decode
+  /// time so admission waits, the executor and the watchdog all race the
+  /// same instant. max() = no deadline (v1 requests, deadline_ms == 0).
+  uint32_t deadline_ms = 0;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 Result<RequestConfig> ResolveRequest(std::string_view payload,
@@ -376,8 +531,20 @@ Result<RequestConfig> ResolveRequest(std::string_view payload,
             ? std::min(config.load.memory_budget, slice)
             : slice;
   }
-  config.rest = payload.substr(kRequestHeaderSize);
+  config.deadline_ms = header.deadline_ms;
+  if (header.deadline_ms > 0) {
+    config.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(header.deadline_ms);
+  }
+  // The header is version-sized: v1 frames carry 20 bytes, v2 24.
+  config.rest = payload.substr(header.encoded_size);
   return config;
+}
+
+/// The serve.deadline failpoint makes a request behave as if its
+/// deadline had already expired at admission, deterministically.
+bool DeadlineForced() {
+  return !robust::CheckFailpoint("serve.deadline").ok();
 }
 
 }  // namespace
@@ -394,9 +561,39 @@ bool Server::HandleParse(Connection* conn, const FrameHeader& header,
     (void)SendError(conn, config.status());
     return false;  // malformed request payload: close
   }
-  // Queue-depth shedding: at the admission limit the daemon answers
-  // BUSY immediately instead of queueing unbounded work.
-  if (request_slots_.TryAcquire(options_.max_inflight_requests) < 0) {
+  if (DeadlineForced()) {
+    return SendDeadlineExceeded(
+        conn, "serve.admission: deadline expired before admission");
+  }
+  if (config->has_deadline()) {
+    // Deadlined requests may wait for a slot — but only until their
+    // deadline, which they then report as kDeadlineExceeded.
+    const int acquired = request_slots_.AcquireFor(
+        options_.max_inflight_requests,
+        [this] {
+          return stopping_.load(std::memory_order_acquire) ||
+                 draining_.load(std::memory_order_acquire);
+        },
+        config->deadline);
+    if (acquired == exec::AdmissionController::kStopped) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.busy_shed;
+      }
+      Count("serve.busy", 1);
+      (void)SendFrame(conn, Opcode::kBusy, 0, {});
+      return false;  // shutting down or draining
+    }
+    if (acquired == exec::AdmissionController::kTimedOut) {
+      return SendDeadlineExceeded(
+          conn,
+          "serve.admission: deadline expired after waiting " +
+              std::to_string(config->deadline_ms) +
+              "ms for a request slot");
+    }
+  } else if (request_slots_.TryAcquire(options_.max_inflight_requests) < 0) {
+    // Queue-depth shedding: without a deadline the daemon answers BUSY
+    // immediately instead of queueing unbounded work.
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.busy_shed;
@@ -450,14 +647,18 @@ bool Server::HandleParse(Connection* conn, const FrameHeader& header,
   // All requests draw from ONE admission controller; this limit caps the
   // daemon-wide resident partitions, not this request's.
   exec_options.max_inflight_partitions = exec_partition_limit_;
+  // The executor races the same absolute deadline: expiry at any
+  // partition hand-off or admission wait fails the ingest with
+  // kDeadlineExceeded and returns the request's slots.
+  exec_options.deadline = config->deadline;
 
   exec::PipelineExecutor executor(&exec_admission_);
   {
     std::lock_guard<std::mutex> lock(conn->exec_mu);
     conn->active_exec = &executor;
   }
-  DisconnectWatchdog watchdog(conn->sock.fd(), &executor,
-                              options_.watchdog_interval_ms);
+  RequestWatchdog watchdog(conn->sock.fd(), &executor,
+                           options_.watchdog_interval_ms, config->deadline);
 
   bool send_failed = false;
   uint64_t parts = 0;
@@ -480,7 +681,7 @@ bool Server::HandleParse(Connection* conn, const FrameHeader& header,
                      : executor.StreamBuffer(config->rest, exec_options, sink);
   }();
 
-  const bool disconnected = watchdog.Finish();
+  watchdog.Finish();
   {
     std::lock_guard<std::mutex> lock(conn->exec_mu);
     conn->active_exec = nullptr;
@@ -488,7 +689,7 @@ bool Server::HandleParse(Connection* conn, const FrameHeader& header,
   obs::RecordUs(options_.metrics, "serve.request_us",
                 watch.ElapsedMillis() * 1e3);
 
-  if (disconnected || send_failed) {
+  if (watchdog.disconnected() || send_failed) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.cancelled_disconnects;
@@ -497,6 +698,16 @@ bool Server::HandleParse(Connection* conn, const FrameHeader& header,
     return false;  // peer is gone; nothing to answer
   }
   if (!ingested.ok()) {
+    // Deadline expiry surfaces two ways: typed from the executor's own
+    // checks, or as kCancelled when the watchdog fired Cancel(). Both
+    // are the same event and answer the same typed error; the
+    // connection stays usable.
+    const StatusCode code = ingested.status().code();
+    if (code == StatusCode::kDeadlineExceeded ||
+        (watchdog.deadline_fired() && code == StatusCode::kCancelled)) {
+      return SendDeadlineExceeded(
+          conn, "serve.parse: " + std::string(ingested.status().message()));
+    }
     return SendError(conn, ingested.status().WithContext("serve.parse"));
   }
 
@@ -524,6 +735,7 @@ bool Server::HandleParse(Connection* conn, const FrameHeader& header,
     }
     if (!SendFrame(conn, Opcode::kQuarantine, 0, *ppqr)) return false;
   }
+  CountDrained();
   return true;
 }
 
@@ -542,7 +754,35 @@ bool Server::HandleQuery(Connection* conn, const FrameHeader& header,
     (void)SendError(conn, block.status());
     return false;
   }
-  if (request_slots_.TryAcquire(options_.max_inflight_requests) < 0) {
+  if (DeadlineForced()) {
+    return SendDeadlineExceeded(
+        conn, "serve.admission: deadline expired before admission");
+  }
+  if (config->has_deadline()) {
+    const int acquired = request_slots_.AcquireFor(
+        options_.max_inflight_requests,
+        [this] {
+          return stopping_.load(std::memory_order_acquire) ||
+                 draining_.load(std::memory_order_acquire);
+        },
+        config->deadline);
+    if (acquired == exec::AdmissionController::kStopped) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.busy_shed;
+      }
+      Count("serve.busy", 1);
+      (void)SendFrame(conn, Opcode::kBusy, 0, {});
+      return false;
+    }
+    if (acquired == exec::AdmissionController::kTimedOut) {
+      return SendDeadlineExceeded(
+          conn,
+          "serve.admission: deadline expired after waiting " +
+              std::to_string(config->deadline_ms) +
+              "ms for a request slot");
+    }
+  } else if (request_slots_.TryAcquire(options_.max_inflight_requests) < 0) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.busy_shed;
@@ -595,6 +835,14 @@ bool Server::HandleQuery(Connection* conn, const FrameHeader& header,
   if (!output.ok()) {
     return SendError(conn, output.status().WithContext("serve.query"));
   }
+  // Queries run on the pushdown path (no executor), so the deadline is
+  // enforced at completion: a result computed past its deadline is
+  // answered as expired, never returned late as success.
+  if (config->has_deadline() &&
+      std::chrono::steady_clock::now() >= config->deadline) {
+    return SendDeadlineExceeded(
+        conn, "serve.query: deadline expired during pushdown");
+  }
   const Result<std::string> ipc = SerializeTable(output->table);
   if (!ipc.ok()) {
     return SendError(conn, ipc.status().WithContext("serve.serialize"));
@@ -603,7 +851,9 @@ bool Server::HandleQuery(Connection* conn, const FrameHeader& header,
   AppendU64Le(static_cast<uint64_t>(stats.records_scanned), &response);
   AppendU64Le(static_cast<uint64_t>(stats.records_selected), &response);
   response.append(*ipc);
-  return SendFrame(conn, Opcode::kOkQuery, 0, response);
+  if (!SendFrame(conn, Opcode::kOkQuery, 0, response)) return false;
+  CountDrained();
+  return true;
 }
 
 }  // namespace serve

@@ -68,6 +68,17 @@ struct ServerStats {
   int64_t busy_shed = 0;
   int64_t protocol_errors = 0;
   int64_t cancelled_disconnects = 0;
+  /// Requests answered kError{kDeadlineExceeded}: shed waiting for a
+  /// slot past their deadline, or cancelled mid-ingest by an expired one.
+  int64_t deadline_exceeded = 0;
+  /// Checksummed frames (kFlagChecksum) whose CRC-32C did not match —
+  /// each one is also a protocol error and closes its connection.
+  int64_t checksum_errors = 0;
+  /// Requests that completed (response delivered) while draining.
+  int64_t drained = 0;
+  /// Requests still in flight when the drain deadline expired; they were
+  /// cancelled by the final Stop().
+  int64_t drain_cancelled = 0;
 };
 
 /// \brief parparawd — the parse-serving TCP daemon.
@@ -104,6 +115,19 @@ class Server {
   /// connection and joins all threads. Idempotent.
   void Stop();
 
+  /// Graceful shutdown: stops accepting immediately, lets in-flight
+  /// requests run to completion for up to `deadline_ms`, then cancels
+  /// whatever is left and Stop()s. Idle connections are closed right
+  /// away; a connection finishing a request closes after its response.
+  /// Returns true when every in-flight request completed (none
+  /// cancelled); counts land in ServerStats::drained / drain_cancelled.
+  /// This is what SIGTERM does in parparawd_main (SIGINT = hard Stop).
+  bool Drain(int deadline_ms);
+
+  /// True once Drain() has begun (new parse/query requests are answered
+  /// kBusy and their connections closed).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -137,6 +161,14 @@ class Server {
                  std::string_view payload);
   bool SendError(Connection* conn, const Status& status);
   void Count(const char* name, int64_t delta);
+  /// Answers kError{kDeadlineExceeded} and bumps the stat. Returns
+  /// whether the connection is still usable (a deadline is a request
+  /// error, not a protocol error).
+  bool SendDeadlineExceeded(Connection* conn, const std::string& what);
+  /// Stops the listener and joins the acceptor (shared by Stop/Drain).
+  void StopAccepting();
+  /// Records one drained request when a response lands during a drain.
+  void CountDrained();
 
   ServeOptions options_;
   uint16_t port_ = 0;
@@ -144,6 +176,7 @@ class Server {
   std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::thread acceptor_;
 
   /// Partition admission shared by every request's executor.

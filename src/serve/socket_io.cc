@@ -1,8 +1,10 @@
 #include "serve/socket_io.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -59,6 +61,29 @@ size_t MaybeClampShort(const char* site, size_t want) {
   return want;
 }
 
+/// Per-attempt readiness wait: blocks until `fd` is ready for `events`
+/// (POLLIN/POLLOUT) or `timeout_ms` elapses. timeout_ms < 0 = no wait
+/// (the subsequent blocking syscall waits instead). A timeout is
+/// kDeadlineExceeded — the caller's transfer loop propagates it, so a
+/// hung peer costs one timeout, not an eternity.
+Status WaitReady(int fd, short events, int timeout_ms, const char* what) {
+  if (timeout_ms < 0) return Status::OK();
+  TransientRetry retry;
+  while (true) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return Status::OK();
+    if (n == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    if (errno == EINTR && retry.Next()) continue;
+    return Status::IoError(ErrnoMessage("poll failed"));
+  }
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
@@ -86,7 +111,7 @@ void Socket::Close() {
   }
 }
 
-Status SendAll(int fd, std::string_view data) {
+Status SendAll(int fd, std::string_view data, int timeout_ms) {
   size_t sent = 0;
   TransientRetry retry;
   while (sent < data.size()) {
@@ -96,6 +121,7 @@ Status SendAll(int fd, std::string_view data) {
       if (transient && retry.Next()) continue;
       return injected;
     }
+    PARPARAW_RETURN_NOT_OK(WaitReady(fd, POLLOUT, timeout_ms, "send"));
     const size_t want =
         MaybeClampShort("serve.write.short", data.size() - sent);
     // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
@@ -113,7 +139,8 @@ Status SendAll(int fd, std::string_view data) {
   return Status::OK();
 }
 
-Status RecvExact(int fd, size_t n, std::string* out, bool* eof) {
+Status RecvExact(int fd, size_t n, std::string* out, bool* eof,
+                 int timeout_ms) {
   if (eof != nullptr) *eof = false;
   out->clear();
   out->resize(n);
@@ -125,6 +152,13 @@ Status RecvExact(int fd, size_t n, std::string* out, bool* eof) {
     if (!injected.ok()) {
       if (transient && retry.Next()) continue;
       return injected;
+    }
+    {
+      const Status ready = WaitReady(fd, POLLIN, timeout_ms, "recv");
+      if (!ready.ok()) {
+        out->resize(received);
+        return ready;
+      }
     }
     const size_t want = MaybeClampShort("serve.read.short", n - received);
     const ssize_t got = ::recv(fd, out->data() + received, want, 0);
@@ -208,7 +242,7 @@ Result<Socket> AcceptConnection(int listen_fd) {
   }
 }
 
-Result<Socket> ConnectLoopback(uint16_t port) {
+Result<Socket> ConnectLoopback(uint16_t port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError(ErrnoMessage("socket failed"));
   Socket socket(fd);
@@ -216,6 +250,38 @@ Result<Socket> ConnectLoopback(uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  if (timeout_ms >= 0) {
+    // Non-blocking connect bounded by poll: an address that never
+    // completes the handshake (full accept queue, dropped SYNs) costs
+    // one timeout instead of the kernel's minutes of SYN retries.
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) {
+      return Status::IoError(ErrnoMessage("fcntl failed"));
+    }
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr));
+    if (rc != 0) {
+      if (errno != EINPROGRESS && errno != EINTR) {
+        return Status::IoError(ErrnoMessage("connect failed"));
+      }
+      PARPARAW_RETURN_NOT_OK(WaitReady(fd, POLLOUT, timeout_ms, "connect"));
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        return Status::IoError(ErrnoMessage("getsockopt failed"));
+      }
+      if (err != 0) {
+        return Status::IoError(std::string("connect failed: ") +
+                               std::strerror(err));
+      }
+    }
+    if (::fcntl(fd, F_SETFL, fl) < 0) {
+      return Status::IoError(ErrnoMessage("fcntl failed"));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return socket;
+  }
   TransientRetry retry;
   while (true) {
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),

@@ -70,12 +70,21 @@ class Socket {
 
 /// Writes all of `data`, resuming partial writes and retrying EINTR with
 /// bounded backoff. A peer reset surfaces as kIoError.
-Status SendAll(int fd, std::string_view data);
+///
+/// `timeout_ms` >= 0 bounds each *attempt* with a poll(2) wait: if the
+/// socket stays unwritable that long the call fails with
+/// kDeadlineExceeded instead of blocking forever on a hung peer. -1 =
+/// block indefinitely (the daemon side, which has the disconnect
+/// watchdog instead).
+Status SendAll(int fd, std::string_view data, int timeout_ms = -1);
 
 /// Reads exactly `n` bytes into `out` (resized). EOF before `n` bytes is
 /// kIoError ("connection closed"); clean EOF at byte 0 sets `*eof` when
-/// provided and returns OK with an empty `out`.
-Status RecvExact(int fd, size_t n, std::string* out, bool* eof = nullptr);
+/// provided and returns OK with an empty `out`. `timeout_ms` bounds each
+/// attempt as for SendAll — a stalled daemon can never block a client
+/// forever.
+Status RecvExact(int fd, size_t n, std::string* out, bool* eof = nullptr,
+                 int timeout_ms = -1);
 
 /// True when the peer has closed: a non-blocking MSG_PEEK sees EOF. Used
 /// by the server's cancel-on-disconnect watchdog while a request is in
@@ -90,8 +99,12 @@ Result<int> ListenLoopback(uint16_t port, int backlog, uint16_t* bound_port);
 /// failpoint first.
 Result<Socket> AcceptConnection(int listen_fd);
 
-/// Connects to 127.0.0.1:`port`.
-Result<Socket> ConnectLoopback(uint16_t port);
+/// Connects to 127.0.0.1:`port`. `timeout_ms` >= 0 performs a
+/// non-blocking connect bounded by poll(2) — an unresponsive address
+/// (e.g. a listener whose accept queue is full and never drained) fails
+/// with kDeadlineExceeded instead of blocking in the kernel's SYN
+/// retries. -1 = classic blocking connect.
+Result<Socket> ConnectLoopback(uint16_t port, int timeout_ms = -1);
 
 }  // namespace serve
 }  // namespace parparaw

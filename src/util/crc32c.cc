@@ -1,0 +1,143 @@
+#include "util/crc32c.h"
+
+#include <cstring>
+
+#include "simd/dispatch.h"
+
+namespace parparaw {
+
+namespace {
+
+constexpr uint32_t kCrc32cPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+/// Slice-by-8 lookup tables, built once on first use. Table 0 is the
+/// classic byte-at-a-time table; tables 1..7 fold eight input bytes per
+/// iteration (Intel's slicing-by-8 scheme).
+struct Crc32cTables {
+  uint32_t table[8][256];
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kCrc32cPoly : 0);
+      }
+      table[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = table[0][i];
+      for (int slice = 1; slice < 8; ++slice) {
+        crc = table[0][crc & 0xFF] ^ (crc >> 8);
+        table[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+uint32_t LoadU32Le(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // the build targets are little-endian (x86-64 / aarch64)
+}
+
+#if defined(__x86_64__) && defined(PARPARAW_HAVE_SSE42_KERNEL)
+#define PARPARAW_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t ExtendCrc32cHardware(
+    uint32_t crc, const uint8_t* p, size_t size) {
+  crc = ~crc;
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --size;
+  }
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (size > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --size;
+  }
+  return ~crc;
+}
+#endif  // __x86_64__
+
+/// Hardware is used only when the CPU has SSE4.2 *and* the resolved
+/// kernel level is a vector one — so PARPARAW_FORCE_KERNEL=scalar (or the
+/// SetForcedKernelLevel test hook) steers checksums onto the software
+/// path, exactly like the parse kernels.
+bool UseHardware() {
+#ifdef PARPARAW_CRC32C_HW
+  if (!Crc32cHardwareAvailable()) return false;
+  const simd::KernelLevel level =
+      simd::ResolveKernelLevel(simd::KernelKind::kAuto);
+  return level == simd::KernelLevel::kSse42 ||
+         level == simd::KernelLevel::kAvx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+namespace internal {
+
+uint32_t ExtendCrc32cSoftware(uint32_t crc, const void* data, size_t size) {
+  const Crc32cTables& t = Tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = t.table[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --size;
+  }
+  while (size >= 8) {
+    const uint32_t lo = LoadU32Le(p) ^ crc;
+    const uint32_t hi = LoadU32Le(p + 4);
+    crc = t.table[7][lo & 0xFF] ^ t.table[6][(lo >> 8) & 0xFF] ^
+          t.table[5][(lo >> 16) & 0xFF] ^ t.table[4][lo >> 24] ^
+          t.table[3][hi & 0xFF] ^ t.table[2][(hi >> 8) & 0xFF] ^
+          t.table[1][(hi >> 16) & 0xFF] ^ t.table[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = t.table[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace internal
+
+bool Crc32cHardwareAvailable() {
+#ifdef PARPARAW_CRC32C_HW
+  return __builtin_cpu_supports("sse4.2");
+#else
+  return false;
+#endif
+}
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t size) {
+#ifdef PARPARAW_CRC32C_HW
+  if (UseHardware()) {
+    return ExtendCrc32cHardware(crc, static_cast<const uint8_t*>(data), size);
+  }
+#endif
+  return internal::ExtendCrc32cSoftware(crc, data, size);
+}
+
+uint32_t Crc32c(std::string_view data) {
+  return ExtendCrc32c(0, data.data(), data.size());
+}
+
+}  // namespace parparaw

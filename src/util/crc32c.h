@@ -1,0 +1,45 @@
+#ifndef PARPARAW_UTIL_CRC32C_H_
+#define PARPARAW_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace parparaw {
+
+/// \brief CRC-32C (Castagnoli, polynomial 0x1EDC6F41) over byte ranges.
+///
+/// This is the wire-integrity checksum of the serving protocol
+/// (serve/protocol.h, frame flag kFlagChecksum): every checksummed frame
+/// carries the CRC of its payload so a flipped bit on the wire is a
+/// detected protocol error instead of a silently different parse.
+///
+/// Two implementations sit behind one entry point: the SSE4.2 `crc32`
+/// instruction when the CPU has it (the same runtime detection as the
+/// simd kernel dispatch, so PARPARAW_FORCE_KERNEL=scalar also forces the
+/// software path — the differential test relies on that), and a
+/// slice-by-8 table walk everywhere else. Both produce identical values;
+/// tests/crc32c_test.cc proves it on seeded inputs plus the RFC 3720
+/// check value Crc32c("123456789") == 0xE3069283.
+
+/// CRC-32C of `data`.
+uint32_t Crc32c(std::string_view data);
+
+/// Extends a running CRC: Extend(Extend(0, a), b) == Crc32c(a + b), so
+/// streaming writers can checksum without concatenating.
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t size);
+
+/// True when the SSE4.2 hardware path is compiled in and the CPU supports
+/// it (ignores the forced-kernel test hook; that hook only steers which
+/// path Crc32c takes).
+bool Crc32cHardwareAvailable();
+
+namespace internal {
+/// The software slice-by-8 implementation, exposed for the differential
+/// test (hardware vs software must agree bit-for-bit).
+uint32_t ExtendCrc32cSoftware(uint32_t crc, const void* data, size_t size);
+}  // namespace internal
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_UTIL_CRC32C_H_

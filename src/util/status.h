@@ -29,6 +29,11 @@ enum class StatusCode {
   /// Cancel(), or a caller-provided cancellation token). Partial output is
   /// discarded; the input is untouched, so the operation can be re-run.
   kCancelled,
+  /// A caller-supplied deadline expired before the operation finished
+  /// (request deadline_ms in the serving protocol, I/O timeouts in
+  /// serve/socket_io). Like kCancelled the input is untouched, so the
+  /// caller may retry with a fresh deadline.
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -75,6 +80,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

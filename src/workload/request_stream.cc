@@ -57,6 +57,15 @@ Request RequestStream::Next() {
     request.kind = RequestKind::kPing;
   }
 
+  if (options_.deadline_fraction > 0 &&
+      rng_.NextDouble() < options_.deadline_fraction) {
+    const uint32_t lo = options_.deadline_min_ms;
+    const uint32_t hi =
+        options_.deadline_max_ms < lo ? lo : options_.deadline_max_ms;
+    request.deadline_ms =
+        lo + static_cast<uint32_t>(rng_.NextRange(hi - lo + 1));
+  }
+
   if (options_.arrivals_per_sec > 0) {
     // Poisson arrivals: exponential inter-arrival times. Clamp u away
     // from 0 so the log stays finite.

@@ -97,6 +97,9 @@ struct Request {
   uint64_t dataset = 0;
   /// Open-loop spacing before this request is sent; 0 in closed loop.
   int64_t inter_arrival_us = 0;
+  /// Wire deadline (RequestOptions::deadline_ms); 0 = none. Sampled
+  /// deterministically for the fraction of requests the options ask for.
+  uint32_t deadline_ms = 0;
 };
 
 /// Deterministic stream of requests for a closed- or open-loop client.
@@ -113,6 +116,11 @@ class RequestStream {
     /// Open-loop Poisson arrival rate in requests/second; 0 = closed
     /// loop (inter_arrival_us stays 0, the client sends back-to-back).
     double arrivals_per_sec = 0;
+    /// Fraction of requests (0..1) stamped with a wire deadline, drawn
+    /// uniformly from [deadline_min_ms, deadline_max_ms]. 0 = never.
+    double deadline_fraction = 0;
+    uint32_t deadline_min_ms = 50;
+    uint32_t deadline_max_ms = 500;
   };
 
   explicit RequestStream(const Options& options);

@@ -74,6 +74,12 @@ const char* const kFailpoints[] = {
     "dialect.compile", "dialect.minimise",
     "serve.accept",    "serve.read",    "serve.write",
     "serve.read.short", "serve.write.short",
+    // Request-lifecycle sites: forced admission-deadline expiry, a
+    // drain-style close after the response, a single bit flipped in a
+    // checksummed frame (either direction — the registry is
+    // process-wide), and a deadline firing at an executor hand-off.
+    "serve.deadline",  "serve.drain",   "serve.corrupt",
+    "exec.deadline",
 };
 
 // A small input with every interesting shape: quoted fields, quoted
@@ -198,6 +204,10 @@ Result<Table> RunEntry(const Config& config, const std::string& input) {
       if (port == 0) return Status::Internal("chaos daemon failed to start");
       PARPARAW_ASSIGN_OR_RETURN(serve::Client client,
                                 serve::Client::Connect(port));
+      // v2 checksummed frames: serve.corrupt only bites checksummed
+      // traffic, and every other serve.* fault must stay clean under
+      // the CRC trailer too.
+      client.set_checksums(true);
       serve::RequestOptions request;
       request.error_policy = static_cast<uint8_t>(config.policy);
       request.header = 0;

@@ -80,6 +80,7 @@ TEST(ServeProtocolTest, RequestHeaderRoundTrip) {
   header.header = 1;
   header.memory_budget = 1 << 20;
   header.partition_size = 4096;
+  header.deadline_ms = 1500;
   const std::string encoded = EncodeRequestHeader(header);
   ASSERT_EQ(encoded.size(), kRequestHeaderSize);
   auto decoded = DecodeRequestHeader(encoded);
@@ -88,6 +89,63 @@ TEST(ServeProtocolTest, RequestHeaderRoundTrip) {
   EXPECT_EQ(decoded->header, 1);
   EXPECT_EQ(decoded->memory_budget, 1 << 20);
   EXPECT_EQ(decoded->partition_size, 4096u);
+  EXPECT_EQ(decoded->deadline_ms, 1500u);
+  EXPECT_EQ(decoded->encoded_size, kRequestHeaderSize);
+}
+
+TEST(ServeProtocolTest, V1RequestHeaderStillDecodes) {
+  // A v1 client's 20-byte header (no deadline field) must keep working
+  // against a v2 daemon: deadline absent, encoded_size telling the
+  // caller where the data starts.
+  RequestHeader header;
+  header.version = kProtocolVersionV1;
+  header.header = 0;
+  header.partition_size = 8192;
+  const std::string encoded = EncodeRequestHeader(header);
+  ASSERT_EQ(encoded.size(), kRequestHeaderSizeV1);
+  auto decoded = DecodeRequestHeader(encoded + "trailing-data");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, kProtocolVersionV1);
+  EXPECT_EQ(decoded->partition_size, 8192u);
+  EXPECT_EQ(decoded->deadline_ms, 0u);
+  EXPECT_EQ(decoded->encoded_size, kRequestHeaderSizeV1);
+  // A v1-sized payload claiming v2 is truncated, not silently misread.
+  std::string lying = encoded;
+  lying[0] = kProtocolVersion;
+  EXPECT_FALSE(DecodeRequestHeader(lying).ok());
+}
+
+TEST(ServeProtocolTest, ChecksummedFrameRoundTrips) {
+  std::string frame;
+  AppendFrame(Opcode::kParseBuffer, kFlagChecksum, "payload", &frame);
+  // Trailer follows the payload and is excluded from payload_size.
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 7 + kFrameChecksumSize);
+  auto header = DecodeFrameHeader(frame, kDefaultMaxPayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->payload_size, 7u);
+  EXPECT_NE(header->flags & kFlagChecksum, 0);
+  const std::string_view payload =
+      std::string_view(frame).substr(kFrameHeaderSize, 7);
+  const std::string_view trailer =
+      std::string_view(frame).substr(kFrameHeaderSize + 7);
+  EXPECT_TRUE(VerifyFrameChecksum(payload, trailer).ok());
+}
+
+TEST(ServeProtocolTest, ChecksumDetectsEveryPayloadBitFlip) {
+  std::string frame;
+  AppendFrame(Opcode::kParseBuffer, kFlagChecksum, "sensitive", &frame);
+  const size_t payload_at = kFrameHeaderSize;
+  const size_t payload_size = 9;
+  for (size_t byte = 0; byte < payload_size + kFrameChecksumSize; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame;
+      corrupt[payload_at + byte] ^= static_cast<char>(1 << bit);
+      const Status verdict = VerifyFrameChecksum(
+          std::string_view(corrupt).substr(payload_at, payload_size),
+          std::string_view(corrupt).substr(payload_at + payload_size));
+      EXPECT_FALSE(verdict.ok()) << "byte " << byte << " bit " << bit;
+    }
+  }
 }
 
 TEST(ServeProtocolTest, RequestHeaderRejectsMalformed) {
@@ -504,6 +562,91 @@ TEST_F(ServeFailpointTest, TransientReadFaultsAreRetried) {
   server.Stop();
 }
 
+// --- v2 checksummed frames against a live daemon ---
+
+TEST_F(ServeConformanceTest, ChecksummedParseIsBitIdentical) {
+  const std::string csv = GenerateYelpLike(31, 32 * 1024);
+  auto expected = Reader::FromBuffer(csv).Read();
+  ASSERT_TRUE(expected.ok());
+
+  Client client = MustConnect();
+  client.set_checksums(true);
+  auto reply = client.Parse(csv);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->table.Equals(*expected));
+  // Streaming + quarantine responses mirror the flag on every frame.
+  RequestOptions options;
+  options.stream = true;
+  options.partition_size = 8 * 1024;
+  auto streamed = client.Parse(csv, options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_GT(streamed->parts.size(), 1u);
+  EXPECT_EQ(server_->stats().checksum_errors, 0);
+}
+
+TEST_F(ServeConformanceTest, CorruptChecksummedFrameIsRejectedAndClosed) {
+  const std::string csv = SmallCsv();
+  std::string payload = EncodeRequestHeader(RequestHeader{});
+  payload.append(csv);
+  std::string frame;
+  AppendFrame(Opcode::kParseBuffer, kFlagChecksum, payload, &frame);
+  // Flip one payload bit; the honest CRC trailer now disagrees.
+  frame[kFrameHeaderSize + payload.size() / 2] ^= 0x01;
+
+  auto sock = ConnectLoopback(port_);
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(SendAll(sock->fd(), frame).ok());
+  std::string header_bytes;
+  ASSERT_TRUE(RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok());
+  auto header = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->opcode, Opcode::kError);
+  // The error response mirrors the checksum flag; drain payload+trailer.
+  std::string body;
+  ASSERT_TRUE(RecvExact(sock->fd(), header->payload_size, &body).ok());
+  if ((header->flags & kFlagChecksum) != 0) {
+    std::string trailer;
+    ASSERT_TRUE(RecvExact(sock->fd(), kFrameChecksumSize, &trailer).ok());
+    EXPECT_TRUE(VerifyFrameChecksum(body, trailer).ok());
+  }
+  EXPECT_EQ(DecodeErrorPayload(body).code(), StatusCode::kInvalidArgument);
+  // Then the connection closes (corrupted streams cannot resync).
+  std::string rest;
+  bool eof = false;
+  ASSERT_TRUE(RecvExact(sock->fd(), 1, &rest, &eof).ok());
+  EXPECT_TRUE(eof);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.checksum_errors, 1);
+  EXPECT_GE(stats.protocol_errors, 1);
+}
+
+TEST_F(ServeFailpointTest, ServeCorruptFailpointIsCaughtByTheClient) {
+  ServeOptions options;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = Client::Connect(*port);
+  ASSERT_TRUE(client.ok());
+  client->set_checksums(true);
+  // AppendFrame hit 1 is the client's request (left intact); hit 2 is
+  // the daemon's response, which the failpoint corrupts after its CRC
+  // was computed — the client must detect the mismatch, not decode a
+  // silently different table.
+  robust::FailpointRegistry::Instance().Arm("serve.corrupt",
+                                            robust::EveryNthTrigger(2));
+  auto reply = client->Parse(SmallCsv());
+  robust::FailpointRegistry::Instance().DisarmAll();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(client->last_error_was_transport());
+  // Fresh connection, failpoint gone: the daemon itself is healthy.
+  auto probe = Client::Connect(*port);
+  ASSERT_TRUE(probe.ok());
+  probe->set_checksums(true);
+  EXPECT_TRUE(probe->Ping().ok());
+  server.Stop();
+}
+
 // --- fuzz: 10k+ seeded malformed frames ---
 
 class FuzzRng {
@@ -645,6 +788,86 @@ TEST(ServeFuzzTest, TenThousandMalformedFramesNeverKillTheDaemon) {
   EXPECT_EQ(server.exec_admission()->inflight(), 0);
   const ServerStats stats = server.stats();
   EXPECT_GT(stats.protocol_errors, 0);
+  server.Stop();
+}
+
+TEST(ServeFuzzTest, TenThousandBitFlippedChecksummedFramesAllRejected) {
+  // The bit-flip axis: a well-formed checksummed parse frame with one
+  // seeded bit flipped somewhere in payload-or-trailer. Unlike the
+  // malformed-frame storm above (where a mutation may happen to stay
+  // valid), a single flip under an honest CRC-32C *must* be detected on
+  // every single iteration: kError{kInvalidArgument}, connection closed,
+  // never a silently different parse.
+  ServeOptions options;
+  options.max_payload = 64 * 1024;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  const std::string csv = SmallCsv();
+  std::string request = EncodeRequestHeader(RequestHeader{});
+  request.append(csv);
+  std::string frame;
+  AppendFrame(Opcode::kParseBuffer, kFlagChecksum, request, &frame);
+  const size_t flip_region = request.size() + kFrameChecksumSize;
+
+  constexpr int kIterations = 10000;
+  FuzzRng rng(0xC4C32C);
+  int64_t rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    std::string corrupt = frame;
+    const size_t byte = kFrameHeaderSize + rng.Next() % flip_region;
+    corrupt[byte] ^= static_cast<char>(1 << (rng.Next() % 8));
+
+    auto sock = ConnectLoopback(*port);
+    ASSERT_TRUE(sock.ok()) << "iteration " << i;
+    ASSERT_TRUE(SendAll(sock->fd(), corrupt).ok()) << "iteration " << i;
+    std::string header_bytes;
+    ASSERT_TRUE(
+        RecvExact(sock->fd(), kFrameHeaderSize, &header_bytes).ok())
+        << "iteration " << i;
+    auto header = DecodeFrameHeader(header_bytes, kDefaultMaxPayload);
+    ASSERT_TRUE(header.ok()) << "iteration " << i;
+    ASSERT_EQ(header->opcode, Opcode::kError) << "iteration " << i;
+    std::string body;
+    ASSERT_TRUE(RecvExact(sock->fd(), header->payload_size, &body).ok());
+    EXPECT_EQ(DecodeErrorPayload(body).code(), StatusCode::kInvalidArgument)
+        << "iteration " << i;
+    ++rejected;
+    sock->Close();
+
+    if (i % 1000 == 999) {
+      auto probe = Client::Connect(*port);
+      ASSERT_TRUE(probe.ok()) << "iteration " << i;
+      probe->set_checksums(true);
+      ASSERT_TRUE(probe->Ping().ok()) << "iteration " << i;
+    }
+  }
+  EXPECT_EQ(rejected, kIterations);
+
+  // Still serving bit-identical checksummed parses afterwards, with
+  // every slot back home.
+  auto expected = Reader::FromBuffer(csv).Read();
+  ASSERT_TRUE(expected.ok());
+  auto client = Client::Connect(*port);
+  ASSERT_TRUE(client.ok());
+  client->set_checksums(true);
+  auto reply = client->Parse(csv);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->table.Equals(*expected));
+  // The slot release lands just after the response bytes, so give the
+  // connection thread a moment before asserting the gauges are home.
+  const auto gauges_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((server.inflight_requests() != 0 ||
+          server.exec_admission()->inflight() != 0) &&
+         std::chrono::steady_clock::now() < gauges_by) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.inflight_requests(), 0);
+  EXPECT_EQ(server.exec_admission()->inflight(), 0);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.checksum_errors, kIterations);
   server.Stop();
 }
 

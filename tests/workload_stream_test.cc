@@ -96,6 +96,36 @@ TEST(RequestStreamTest, MixProportionsApproximatelyHold) {
   EXPECT_NEAR(counts[RequestKind::kPing] / double(kDraws), 0.1, 0.05);
 }
 
+TEST(RequestStreamTest, DeadlinesAreSeededAndBounded) {
+  RequestStream::Options options;
+  options.seed = 17;
+  options.deadline_fraction = 0.25;
+  options.deadline_min_ms = 50;
+  options.deadline_max_ms = 500;
+  RequestStream a(options);
+  RequestStream b(options);
+  int with_deadline = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Request ra = a.Next();
+    const Request rb = b.Next();
+    ASSERT_EQ(ra.deadline_ms, rb.deadline_ms) << "draw " << i;
+    if (ra.deadline_ms != 0) {
+      ++with_deadline;
+      EXPECT_GE(ra.deadline_ms, 50u);
+      EXPECT_LE(ra.deadline_ms, 500u);
+    }
+  }
+  // Roughly the requested fraction carries a deadline.
+  EXPECT_NEAR(with_deadline / double(kDraws), 0.25, 0.05);
+
+  // fraction 0 (the default) never stamps one — and never perturbs the
+  // other draws relative to a pre-deadline stream.
+  options.deadline_fraction = 0;
+  RequestStream none(options);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(none.Next().deadline_ms, 0u);
+}
+
 TEST(RequestStreamTest, OpenLoopArrivalsAreExponential) {
   RequestStream::Options options;
   options.seed = 21;
