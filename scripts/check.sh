@@ -22,6 +22,15 @@
 #                               # proofs, minimiser properties, widened
 #                               # generated-dialect differential sweeps,
 #                               # chaos) under ASan+UBSan
+#   scripts/check.sh tuning     # adaptive planner: determinism/decision
+#                               # suites, the Tuning/Validate contradiction
+#                               # matrix, Reader Explain/WithTuning, chaos
+#                               # with plan.* failpoints, and the planner
+#                               # axes of both differential harnesses under
+#                               # ASan+UBSan; per-request planning against
+#                               # the daemon's shared state under TSan;
+#                               # then the --planner ablation bench in the
+#                               # regular build emitting BENCH_autotune.json
 #   scripts/check.sh serve      # parparawd daemon: protocol conformance,
 #                               # 10k-frame fuzz (malformed + bit-flipped
 #                               # checksummed frames), request-lifecycle
@@ -187,6 +196,50 @@ run_dialects() {
       -R 'Dialect|SimdDifferential|TransposeDifferential|Chaos|Sniffer'
 }
 
+run_tuning() {
+  echo "=== tuning: configure (ASan+UBSan) ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=address,undefined
+  echo "=== tuning: build ==="
+  cmake --build build-asan -j "${JOBS}"
+  # The adaptive-planner surface (see docs/tuning.md): plan determinism and
+  # the decision table, static resolution of every kAuto sentinel, the
+  # Tuning env vocabulary, the Validate() contradiction matrix for
+  # PlannerMode::kForce, Reader::WithTuning/Explain, the plan.sample/
+  # plan.decide failpoints inside the chaos schedule space, and the
+  # planner axes of both differential harnesses (planned parses must be
+  # bit-identical to their static equivalents) — all under ASan+UBSan,
+  # since sampling walks raw input prefixes with its own bounds logic.
+  echo "=== tuning: planner suites + differential harnesses ==="
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+      -R 'Planner|Validate|Reader|Tuning|Chaos|SimdDifferential|TransposeDifferential'
+  echo "=== tuning: configure (TSan) ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=thread
+  echo "=== tuning: build (TSan) ==="
+  cmake --build build-tsan -j "${JOBS}"
+  # Planning now runs per request inside the daemon and per parse inside
+  # the pipelined executor, so the planner's reads of the process-wide
+  # kernel dispatch state race-check against concurrent clients here.
+  echo "=== tuning: concurrent per-request planning under TSan ==="
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -R 'Planner|Reader|Exec|ServeConcurrency|ServeConformance'
+  # The ablation bench runs in the regular (unsanitized) tree: kAuto must
+  # land within 5% of the best static row and >=2x the worst somewhere.
+  # The bench itself retries a corpus whose measurement hits a host
+  # throughput dip, so a FAIL exit here is a real planner regression.
+  echo "=== tuning: planner ablation bench (BENCH_autotune.json) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target bench_ablation_primitives
+  ./build/bench/bench_ablation_primitives --planner \
+    --json-out=BENCH_autotune.json
+}
+
 run_serve() {
   echo "=== serve: configure (ASan+UBSan) ==="
   cmake -B build-asan -S . \
@@ -253,6 +306,7 @@ case "${MODE}" in
   pipeline) run_pipeline ;;
   transpose) run_transpose ;;
   dialects) run_dialects ;;
+  tuning) run_tuning ;;
   serve) run_serve ;;
   all)
     run_asan
@@ -262,10 +316,11 @@ case "${MODE}" in
     run_pipeline
     run_transpose
     run_dialects
+    run_tuning
     run_serve
     ;;
   *)
-    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|dialects|serve|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|dialects|tuning|serve|all]" >&2
     exit 2
     ;;
 esac

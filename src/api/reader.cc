@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "dialect/dialect.h"
 #include "io/file.h"
+#include "plan/planner.h"
 
 namespace parparaw {
 
@@ -59,6 +61,11 @@ Reader&& Reader::WithPartitionSize(size_t bytes) && {
 
 Reader&& Reader::WithThreadPool(ThreadPool* pool) && {
   options_.pool = pool;
+  return std::move(*this);
+}
+
+Reader&& Reader::WithTuning(Tuning tuning) && {
+  options_.tuning = tuning;
   return std::move(*this);
 }
 
@@ -122,6 +129,41 @@ Result<exec::IngestStats> Reader::ReadStream(
                  : executor.StreamBuffer(buffer_, exec_options, sink);
   PARPARAW_RETURN_NOT_OK(ingested.status());
   return ingested->stats;
+}
+
+Result<plan::ParsePlan> Reader::Explain() && {
+  LoadResult resolution;
+  std::string file_sample;
+  std::string_view sample = buffer_;
+  bool truncated = false;
+  if (from_file_) {
+    FileChunkReader head;
+    PARPARAW_RETURN_NOT_OK_CTX(head.Open(path_), "reader.open");
+    if (head.file_size() > 0) {
+      bool eof = false;
+      PARPARAW_RETURN_NOT_OK_CTX(
+          head.ReadNext(
+              std::min<size_t>(static_cast<size_t>(head.file_size()),
+                               std::max<size_t>(256 * 1024,
+                                                options_.tuning.sample_budget)),
+              &file_sample, &eof),
+          "reader.sample");
+    }
+    sample = file_sample;
+    truncated = static_cast<int64_t>(file_sample.size()) < head.file_size();
+  }
+  PARPARAW_ASSIGN_OR_RETURN(
+      ParseOptions base,
+      BulkLoader::ResolveBaseOptions(sample, truncated, options_,
+                                     &resolution));
+  PARPARAW_RETURN_NOT_OK(base.Validate());
+  // The planner wants the packed format a real parse would run with; an
+  // over-budget dialect parses on the scalar fallback, which has no
+  // plannable knobs.
+  PARPARAW_ASSIGN_OR_RETURN(std::optional<dialect::CompiledDialect> fallback,
+                            dialect::ResolveParseDialect(&base));
+  if (fallback.has_value()) return plan::StaticPlan(base);
+  return plan::PlanStream(sample, truncated, &base);
 }
 
 }  // namespace parparaw

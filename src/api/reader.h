@@ -62,6 +62,11 @@ class Reader {
   Reader&& WithMemoryBudget(int64_t bytes) &&;
   Reader&& WithPartitionSize(size_t bytes) &&;
   Reader&& WithThreadPool(ThreadPool* pool) &&;
+  /// Assigns the consolidated tuning surface (plan/tuning.h) wholesale:
+  /// kernel, chunk size, tagging/transpose modes, planner engagement.
+  /// The default Tuning leaves every knob at its auto sentinel, so the
+  /// adaptive planner decides them from the input's head sample.
+  Reader&& WithTuning(Tuning tuning) &&;
   /// Collect per-column statistics into LoadResult (Read() ignores them;
   /// off by default — BulkLoader's default is on).
   Reader&& WithStatistics(bool enabled) &&;
@@ -83,6 +88,13 @@ class Reader {
   /// scheduling stats (partitions, stage overlap).
   Result<exec::IngestStats> ReadStream(
       const std::function<Status(Table&&)>& sink) &&;
+
+  /// What *would* this read do? Resolves dialect/schema from the head
+  /// sample and runs the adaptive planner without executing the parse.
+  /// The returned plan's Explain() renders the decision, its evidence and
+  /// the per-knob reasoning; with planning disabled (or a scalar dialect
+  /// fallback) the static resolution is reported instead.
+  Result<plan::ParsePlan> Explain() &&;
 
  private:
   Reader() = default;

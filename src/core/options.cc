@@ -12,12 +12,6 @@ namespace parparaw {
 
 namespace {
 
-// Upper bound on chunk_size: a chunk is the unit of per-logical-thread
-// work (the paper settles on 31 bytes, Fig. 9); anything beyond this
-// defeats the data-parallel decomposition and risks overflowing the
-// per-chunk uint32 delimiter counters on dense inputs.
-constexpr size_t kMaxChunkSize = size_t{1} << 24;
-
 std::string ByteName(uint8_t byte) {
   char buf[16];
   if (byte >= 0x21 && byte <= 0x7E) {
@@ -39,13 +33,9 @@ Status ParseOptions::Validate() const {
     }
     PARPARAW_RETURN_NOT_OK(dialect->Validate());
   }
-  if (chunk_size > kMaxChunkSize) {
-    return Status::Invalid(
-        "chunk_size " + std::to_string(chunk_size) + " exceeds the " +
-        std::to_string(kMaxChunkSize) +
-        "-byte maximum; chunks are per-logical-thread work units "
-        "(the paper uses 31)");
-  }
+  // Chunk bounds and the planner contradiction taxonomy live with the
+  // consolidated tuning surface.
+  PARPARAW_RETURN_NOT_OK(ValidateTuning());
   if (skip_rows < 0) {
     return Status::Invalid("skip_rows must be non-negative, got " +
                            std::to_string(skip_rows));
@@ -155,16 +145,15 @@ TransposeMode EffectiveTransposeMode(const ParseOptions& options) {
   if (options.transpose_mode != TransposeMode::kAuto) {
     return options.transpose_mode;
   }
-  // Read once: the sweep scripts set this for a whole process, and a
-  // per-parse getenv would be a race under TSan anyway.
-  static const TransposeMode kEnvDefault = [] {
-    const char* env = std::getenv("PARPARAW_TRANSPOSE_MODE");
-    if (env != nullptr && std::strcmp(env, "symbol_sort") == 0) {
-      return TransposeMode::kSymbolSort;
-    }
-    return TransposeMode::kFieldGather;
-  }();
-  return kEnvDefault;
+  // Centralized, once-per-process env parsing (plan/tuning.h): the sweep
+  // scripts set this for a whole process, and a per-parse getenv would be
+  // a race under TSan anyway.
+  return plan::EnvTransposeMode().value_or(TransposeMode::kFieldGather);
+}
+
+TaggingMode EffectiveTaggingMode(const ParseOptions& options) {
+  return options.tagging_mode == TaggingMode::kAuto ? TaggingMode::kRecordTags
+                                                    : options.tagging_mode;
 }
 
 int64_t ParseWorkingSetFactor(const ParseOptions& options) {

@@ -11,6 +11,7 @@
 #include "dfa/formats.h"
 #include "dialect/spec.h"
 #include "parallel/thread_pool.h"
+#include "plan/tuning.h"
 #include "robust/quarantine.h"
 #include "simd/dispatch.h"
 #include "text/unicode.h"
@@ -22,45 +23,9 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace obs
 
-/// How per-symbol field boundaries are materialised in the concatenated
-/// symbol strings (§4.1, Fig. 6).
-enum class TaggingMode : uint8_t {
-  /// Robust default: every kept symbol carries a 4-byte record tag; handles
-  /// records with a varying number of field delimiters.
-  kRecordTags,
-  /// Delimiters are replaced by a unique terminator byte inside the CSS;
-  /// smallest memory footprint, requires the terminator to never occur in
-  /// field data and a consistent number of columns per record (or the
-  /// reject policy).
-  kInlineTerminated,
-  /// Field ends are marked in an auxiliary boolean vector; supports data
-  /// containing the terminator byte, same consistency requirement.
-  kVectorDelimited,
-};
-
-/// How tagged symbols are transposed into per-column concatenated symbol
-/// strings (§3.3). The paper radix-sorts every *symbol* by its column tag —
-/// the right shape for a GPU scatter, but on the CPU substrate it
-/// materialises ~16 bytes of sort metadata per input byte. The
-/// field-granularity gather reaches the same CSS layout with O(fields)
-/// metadata and whole-field memcpy moves (the Instant-Loading-style CPU
-/// idiom), and is the default.
-enum class TransposeMode : uint8_t {
-  /// Resolve to kFieldGather, unless the PARPARAW_TRANSPOSE_MODE
-  /// environment variable ("field_gather" / "symbol_sort") overrides the
-  /// default for the process (scripts/check.sh transpose sweeps it). An
-  /// explicit mode request always wins over the environment.
-  kAuto,
-  /// Field-granularity fast path: derive per-field (column, row, offset,
-  /// length) extents from the bitmap indexes, bucket them by column with
-  /// one stable O(fields) partitioning pass, then gather each column's CSS
-  /// with whole-field copies.
-  kFieldGather,
-  /// The paper's faithful symbol-granularity path: every kept symbol
-  /// carries a 4-byte column tag and is moved by a stable LSD radix sort.
-  /// Kept for differential testing and GPU-substrate fidelity.
-  kSymbolSort,
-};
+// TaggingMode, TransposeMode, PlannerMode and the Tuning struct (the
+// consolidated performance-tuning surface ParseOptions inherits) live in
+// plan/tuning.h.
 
 /// How records with an inconsistent number of columns are handled (§4.1,
 /// §4.3 "Inferring or validating number of columns").
@@ -117,7 +82,16 @@ struct WorkCounters {
 };
 
 /// \brief Everything configurable about a parse (§3, §4.1, §4.3).
-struct ParseOptions {
+///
+/// Inherits the consolidated tuning surface (plan/tuning.h): `kernel`,
+/// `chunk_size`, `tagging_mode`, `transpose_mode`, `partition_size`,
+/// `planner` and `sample_budget` are Tuning members, accessed exactly as
+/// before. With every tuning knob at its auto sentinel (the default), the
+/// adaptive planner samples a bounded input prefix at each entry point and
+/// decides them per stream; pin any knob to take it out of the planner's
+/// hands, or set `planner = PlannerMode::kDisabled` for the static
+/// defaults.
+struct ParseOptions : public Tuning {
   /// Parsing rules; defaults to RFC 4180 CSV when left empty (no states).
   Format format;
 
@@ -133,17 +107,6 @@ struct ParseOptions {
   /// Output schema. Empty schema: the number of columns is inferred and
   /// every column is parsed as a string (or inferred, see infer_types).
   Schema schema;
-
-  /// Bytes per chunk / per logical GPU thread. The paper's evaluation
-  /// settles on 31 bytes (Fig. 9).
-  size_t chunk_size = 31;
-
-  TaggingMode tagging_mode = TaggingMode::kRecordTags;
-
-  /// How tagged symbols are moved into per-column CSS buffers; see
-  /// TransposeMode. kAuto resolves to kFieldGather (overridable per process
-  /// via PARPARAW_TRANSPOSE_MODE); both modes produce bit-identical tables.
-  TransposeMode transpose_mode = TransposeMode::kAuto;
 
   /// Upper bound on columns a single record may tag. Adversarial inputs (a
   /// million-delimiter row) would otherwise grow O(columns) lookup/count
@@ -188,13 +151,6 @@ struct ParseOptions {
   size_t block_collaboration_threshold = 256;
   size_t device_collaboration_threshold = 64 * 1024;
 
-  /// Inner-loop kernel for the context and bitmap passes (src/simd):
-  /// kAuto/kSimd pick the best vectorized level detected at startup
-  /// (AVX2/SSE4.2/NEON, portable SWAR otherwise); kScalar forces the
-  /// byte-at-a-time reference pipeline. The PARPARAW_FORCE_KERNEL
-  /// environment variable overrides this per process (see docs/simd.md).
-  simd::KernelKind kernel = simd::KernelKind::kAuto;
-
   /// Worker pool; nullptr uses ThreadPool::Default().
   ThreadPool* pool = nullptr;
 
@@ -233,21 +189,30 @@ struct ParseOptions {
   /// Validates the option *combination* without looking at any input.
   /// Returns an actionable InvalidArgument for conflicts that a parse
   /// would otherwise discover midway (or silently mis-handle): chunk_size
-  /// bounds, inline-terminator collisions with the format's delimiters,
-  /// negative skips/budget, collaboration-threshold ordering, and policy
-  /// pairs that contradict each other. Every entry point (Parser::Parse,
-  /// StreamingParser, BulkLoader, Reader, exec::PipelineExecutor) calls
-  /// this exactly once up front, so deeper layers can assume a coherent
-  /// configuration.
+  /// bounds and the tuning contradiction taxonomy (Tuning::ValidateTuning
+  /// — a forced planner with pinned knobs), inline-terminator collisions
+  /// with the format's delimiters, negative skips/budget,
+  /// collaboration-threshold ordering, and policy pairs that contradict
+  /// each other. Every entry point (Parser::Parse, StreamingParser,
+  /// BulkLoader, Reader, exec::PipelineExecutor) calls this exactly once
+  /// up front, so deeper layers can assume a coherent configuration.
   Status Validate() const;
 };
 
 /// Resolves TransposeMode::kAuto to a concrete mode. kAuto picks
 /// kFieldGather unless the PARPARAW_TRANSPOSE_MODE environment variable
-/// ("field_gather" / "symbol_sort", read once per process) says otherwise;
-/// an explicitly requested mode is returned unchanged so differential
-/// tests can pin both sides regardless of the environment.
+/// ("field_gather" / "symbol_sort", read once per process via
+/// plan::EnvTransposeMode) says otherwise; an explicitly requested mode is
+/// returned unchanged so differential tests can pin both sides regardless
+/// of the environment.
 TransposeMode EffectiveTransposeMode(const ParseOptions& options);
+
+/// Resolves TaggingMode::kAuto to its static default (kRecordTags); an
+/// explicitly requested mode is returned unchanged. The adaptive planner
+/// may instead resolve kAuto to kVectorDelimited when the sampled prefix
+/// proves it safe — this helper is the planless fallback every direct
+/// StagedParse/Parser user gets.
+TaggingMode EffectiveTaggingMode(const ParseOptions& options);
 
 /// Multiplier over input bytes for the parse's peak working set under the
 /// options' effective transpose mode: robust::kParseMemoryFactor (16) for

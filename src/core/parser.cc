@@ -2,6 +2,7 @@
 
 #include "core/staged_parse.h"
 #include "dialect/dialect.h"
+#include "plan/planner.h"
 
 namespace parparaw {
 
@@ -16,6 +17,15 @@ Result<ParseOutput> Parser::Parse(std::string_view input,
   if (fallback.has_value()) {
     return dialect::FallbackParse(input, *fallback, resolved);
   }
+  // Adaptive planning over the input's own prefix: the monolithic parse
+  // holds the whole buffer, so the sample is never I/O.
+  PARPARAW_ASSIGN_OR_RETURN(
+      const plan::ParsePlan parse_plan,
+      plan::PlanStream(input,
+                       /*sample_truncated=*/input.size() >
+                           resolved.sample_budget,
+                       &resolved));
+  (void)parse_plan;
   // The monolithic entry point is the staged pipeline run back to back on
   // the calling thread; src/exec overlaps the same stages across
   // partitions.

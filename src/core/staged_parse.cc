@@ -205,7 +205,11 @@ Status StagedParse::Scan(std::string_view input, const ParseOptions& options) {
     PARPARAW_ASSIGN_OR_RETURN(resolved_.format, Rfc4180Format());
   }
   if (resolved_.pool == nullptr) resolved_.pool = ThreadPool::Default();
+  // Auto sentinels an upstream planner did not fill resolve to the static
+  // defaults here, so direct StagedParse users and planner fallbacks run
+  // the pre-planner configuration.
   if (resolved_.chunk_size == 0) resolved_.chunk_size = 31;
+  resolved_.tagging_mode = EffectiveTaggingMode(resolved_);
 
   // UTF-16 input: data-parallel transcode pre-pass (§4.2), then parse the
   // UTF-8 bytes.

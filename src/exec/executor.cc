@@ -10,6 +10,7 @@
 #include "exec/bounded_queue.h"
 #include "io/file.h"
 #include "obs/obs.h"
+#include "plan/planner.h"
 #include "robust/failpoint.h"
 #include "robust/resource_guard.h"
 #include "simd/dispatch.h"
@@ -56,12 +57,35 @@ class ChunkSource {
   /// Fills `chunk` with up to `max_bytes`; sets *eof on the chunk that
   /// exhausts the stream (so no empty trailing chunk is ever produced).
   virtual Status Next(size_t max_bytes, RawChunk* chunk, bool* eof) = 0;
+  /// Reads up to `max_bytes` from the head of the stream *without*
+  /// consuming it (the planner's sample); *truncated reports whether the
+  /// stream continues past the sample.
+  virtual Status SampleHead(size_t max_bytes, std::string* sample,
+                            bool* truncated) = 0;
 };
 
 class FileSource final : public ChunkSource {
  public:
-  Status Open(const std::string& path) { return reader_.Open(path); }
+  Status Open(const std::string& path) {
+    path_ = path;
+    return reader_.Open(path);
+  }
   int64_t total_bytes() const override { return reader_.file_size(); }
+
+  Status SampleHead(size_t max_bytes, std::string* sample,
+                    bool* truncated) override {
+    // A throwaway reader keeps the streaming reader's position at byte 0.
+    FileChunkReader sampler;
+    PARPARAW_RETURN_NOT_OK(sampler.Open(path_));
+    sample->clear();
+    if (sampler.file_size() > 0) {
+      bool eof = false;
+      PARPARAW_RETURN_NOT_OK(sampler.ReadNext(max_bytes, sample, &eof));
+    }
+    *truncated =
+        static_cast<int64_t>(sample->size()) < sampler.file_size();
+    return Status::OK();
+  }
 
   Status Next(size_t max_bytes, RawChunk* chunk, bool* eof) override {
     bool read_eof = false;
@@ -74,6 +98,7 @@ class FileSource final : public ChunkSource {
   }
 
  private:
+  std::string path_;
   FileChunkReader reader_;
   int64_t consumed_ = 0;
 };
@@ -90,6 +115,13 @@ class BufferSource final : public ChunkSource {
     chunk->view = input_.substr(pos_, take);
     pos_ += take;
     *eof = pos_ >= input_.size();
+    return Status::OK();
+  }
+
+  Status SampleHead(size_t max_bytes, std::string* sample,
+                    bool* truncated) override {
+    sample->assign(input_.substr(0, std::min(max_bytes, input_.size())));
+    *truncated = input_.size() > max_bytes;
     return Status::OK();
   }
 
@@ -144,13 +176,40 @@ class PipelineRun {
       }
     }
 
+    // Plan once for the whole ingest from the stream's head sample; every
+    // partition then parses under the pinned knobs. An I/O failure on the
+    // sample is never fatal under kAuto — the static defaults are always
+    // correct.
+    {
+      std::string sample;
+      bool truncated = false;
+      Status sampled = Status::OK();
+      if (base_.planner != PlannerMode::kDisabled) {
+        sampled = source->SampleHead(base_.sample_budget, &sample, &truncated);
+      }
+      if (sampled.ok()) {
+        PARPARAW_ASSIGN_OR_RETURN(result_.plan,
+                                  plan::PlanStream(sample, truncated, &base_));
+      } else if (base_.planner == PlannerMode::kForce) {
+        return sampled.WithContext("plan.sample");
+      } else {
+        obs::AddCount(metrics_, "plan.fallback", 1);
+        result_.plan = plan::StaticPlan(base_);
+        result_.plan.fallback = true;
+        result_.plan.reason = sampled.ToString();
+        plan::ApplyPlan(result_.plan, &base_);
+      }
+    }
+
     // Degrade instead of refusing, in two independent ways: partitions
     // shrink until one parse fits the budget, and the admission limit
     // clamps how many of them may be resident at once.
-    const int64_t working_set_factor = ParseWorkingSetFactor(options_.base);
+    const int64_t working_set_factor = ParseWorkingSetFactor(base_);
     partition_size_ = static_cast<size_t>(
         robust::ClampPartitionSizeForBudget(
-            static_cast<int64_t>(options_.partition_size),
+            static_cast<int64_t>(result_.plan.partition_size > 0
+                                     ? result_.plan.partition_size
+                                     : options_.partition_size),
             options_.base.memory_budget, /*floor_bytes=*/256,
             working_set_factor));
     admission_limit_ = options_.max_inflight_partitions;
@@ -165,7 +224,7 @@ class PipelineRun {
         admission_limit_ = 4;  // one partition per stage
       }
     }
-    result_.kernel_level = simd::ResolveKernelLevel(options_.base.kernel);
+    result_.kernel_level = simd::ResolveKernelLevel(base_.kernel);
     result_.stats.admission_limit = admission_limit_;
 
     // Register with the executor so Cancel() reaches this run.

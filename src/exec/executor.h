@@ -12,6 +12,7 @@
 
 #include "core/options.h"
 #include "exec/admission.h"
+#include "plan/planner.h"
 #include "util/result.h"
 
 namespace parparaw {
@@ -81,6 +82,10 @@ struct IngestResult {
   robust::QuarantineTable quarantine;
   /// Kernel level every partition's context/bitmap passes ran with.
   simd::KernelLevel kernel_level = simd::KernelLevel::kScalar;
+  /// The per-stream tuning decision every partition ran under: sampled by
+  /// the adaptive planner (plan.planned), the static defaults when planning
+  /// was disabled, or the fallback after an injected sampling fault.
+  plan::ParsePlan plan;
   StepTimings timings;
   WorkCounters work;
   IngestStats stats;

@@ -103,6 +103,7 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
   // inference to fix the column types, then stream with that schema so all
   // partitions agree.
   ParseOptions base;
+  static_cast<Tuning&>(base) = options.tuning;
   if (options.dialect.has_value()) {
     // Left as a dialect: every downstream entry point (Parser, streaming,
     // exec) resolves it, keeping the scalar-fallback decision theirs.
@@ -119,6 +120,9 @@ Result<ParseOptions> ResolveBase(std::string_view sample,
   } else {
     ParseOptions sample_options = base;
     sample_options.infer_types = true;
+    // The probe is a tiny bounded parse; planning it would sample the
+    // sample. The real stream plans downstream.
+    sample_options.planner = PlannerMode::kDisabled;
     const std::string_view probe_input =
         sample.substr(0, std::min<size_t>(sample.size(), 256 * 1024));
     // A probe cut off mid-record would see a garbled last row and could

@@ -27,6 +27,11 @@ struct LoadOptions {
   int header = -1;
   /// Partition size for the streaming parse.
   size_t partition_size = 64 * 1024 * 1024;
+  /// Performance tuning (plan/tuning.h), assigned wholesale onto the
+  /// resolved per-partition ParseOptions. The defaults leave every knob at
+  /// its auto sentinel, so the adaptive planner decides them from the same
+  /// head sample the loader already reads for dialect and type resolution.
+  Tuning tuning;
   /// Compute per-column statistics after the load.
   bool collect_statistics = true;
   /// What to do with malformed records (see robust/quarantine.h).

@@ -1,0 +1,176 @@
+#ifndef PARPARAW_PLAN_TUNING_H_
+#define PARPARAW_PLAN_TUNING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "simd/dispatch.h"
+#include "util/status.h"
+
+namespace parparaw {
+
+/// How per-symbol field boundaries are materialised in the concatenated
+/// symbol strings (§4.1, Fig. 6).
+enum class TaggingMode : uint8_t {
+  /// Robust default: every kept symbol carries a 4-byte record tag; handles
+  /// records with a varying number of field delimiters.
+  kRecordTags,
+  /// Delimiters are replaced by a unique terminator byte inside the CSS;
+  /// smallest memory footprint, requires the terminator to never occur in
+  /// field data and a consistent number of columns per record (or the
+  /// reject policy).
+  kInlineTerminated,
+  /// Field ends are marked in an auxiliary boolean vector; supports data
+  /// containing the terminator byte, same consistency requirement.
+  kVectorDelimited,
+  /// Let the runtime decide: resolves to kRecordTags statically; the
+  /// adaptive planner (src/plan) may pick kVectorDelimited instead when the
+  /// sampled prefix proves uniform column counts under the reject policy.
+  /// Appended last so existing code addressing the concrete modes by value
+  /// (0..2) is unaffected.
+  kAuto,
+};
+
+/// How tagged symbols are transposed into per-column concatenated symbol
+/// strings (§3.3). The paper radix-sorts every *symbol* by its column tag —
+/// the right shape for a GPU scatter, but on the CPU substrate it
+/// materialises ~16 bytes of sort metadata per input byte. The
+/// field-granularity gather reaches the same CSS layout with O(fields)
+/// metadata and whole-field memcpy moves (the Instant-Loading-style CPU
+/// idiom), and is the default.
+enum class TransposeMode : uint8_t {
+  /// Resolve to kFieldGather, unless the PARPARAW_TRANSPOSE_MODE
+  /// environment variable ("field_gather" / "symbol_sort") overrides the
+  /// default for the process (scripts/check.sh transpose sweeps it). An
+  /// explicit mode request always wins over the environment.
+  kAuto,
+  /// Field-granularity fast path: derive per-field (column, row, offset,
+  /// length) extents from the bitmap indexes, bucket them by column with
+  /// one stable O(fields) partitioning pass, then gather each column's CSS
+  /// with whole-field copies.
+  kFieldGather,
+  /// The paper's faithful symbol-granularity path: every kept symbol
+  /// carries a 4-byte column tag and is moved by a stable LSD radix sort.
+  /// Kept for differential testing and GPU-substrate fidelity.
+  kSymbolSort,
+};
+
+/// Whether and how the adaptive runtime planner (src/plan) engages on a
+/// parse. The planner samples a bounded input prefix, measures
+/// DFA-convergence and field-density statistics, and fills in every tuning
+/// knob still at its auto sentinel. Decisions are deterministic for the
+/// same input bytes (on the same machine and environment).
+enum class PlannerMode : uint8_t {
+  /// Default: plan when a prefix is available; knobs the caller pinned are
+  /// respected, auto knobs are decided from the sample. A failed sampling
+  /// pass falls back to the static defaults (counted by "plan.fallback").
+  kAuto,
+  /// Never sample: every auto sentinel resolves to its static default
+  /// (kernel -> best vectorized level, chunk -> 31, tagging ->
+  /// kRecordTags, transpose -> kFieldGather). This is the pre-planner
+  /// behaviour, and what differential tests pin one side to.
+  kDisabled,
+  /// Require planning: every plannable knob must be at its auto sentinel
+  /// (ParseOptions::Validate rejects pins as contradictions) and a failed
+  /// sampling pass is an error instead of a silent fallback.
+  kForce,
+};
+
+/// \brief The one place every performance-tuning knob of a parse lives.
+///
+/// ParseOptions inherits from Tuning, so existing code reading or writing
+/// `options.kernel`, `options.chunk_size`, `options.tagging_mode` or
+/// `options.transpose_mode` compiles unchanged while the storage — and the
+/// planner that fills the auto sentinels — is consolidated here. Callers
+/// that carry tuning separately (Reader::WithTuning, LoadOptions::tuning)
+/// assign the whole struct at once.
+struct Tuning {
+  /// Inner-loop kernel for the context and bitmap passes (src/simd):
+  /// kAuto lets the planner choose between the vectorized path and the
+  /// scalar reference from sampled convergence statistics (resolving to
+  /// the best vectorized level when planning is disabled); kSimd pins the
+  /// best vectorized level, kScalar the byte-at-a-time reference. The
+  /// PARPARAW_FORCE_KERNEL environment variable overrides any of these per
+  /// process (see docs/simd.md and docs/tuning.md).
+  simd::KernelKind kernel = simd::KernelKind::kAuto;
+
+  /// Bytes per chunk / per logical GPU thread. 0 = auto: the planner
+  /// chooses from sampled convergence depth; without planning it resolves
+  /// to the paper's 31 bytes (Fig. 9). Any non-zero value is a pin.
+  size_t chunk_size = 0;
+
+  /// How field boundaries are materialised; kAuto resolves to kRecordTags
+  /// unless the planner proves a cheaper mode safe. See TaggingMode.
+  TaggingMode tagging_mode = TaggingMode::kAuto;
+
+  /// How tagged symbols are moved into per-column CSS buffers; see
+  /// TransposeMode. kAuto resolves to kFieldGather (overridable per
+  /// process via PARPARAW_TRANSPOSE_MODE); both modes produce bit-identical
+  /// tables.
+  TransposeMode transpose_mode = TransposeMode::kAuto;
+
+  /// Bytes per streaming partition. 0 = auto: the streaming parser, bulk
+  /// loader and executor use their documented 64 MB default (budget-
+  /// clamped); the planner records the effective choice in the plan. A
+  /// non-zero value overrides the entry point's partition_size field.
+  size_t partition_size = 0;
+
+  /// Planner engagement; see PlannerMode.
+  PlannerMode planner = PlannerMode::kAuto;
+
+  /// Upper bound on the bytes the planner samples from the input prefix.
+  /// Matches the 256 KB head sample the loader already reads for dialect
+  /// and type resolution, so file-backed planning costs no extra I/O.
+  size_t sample_budget = 256 * 1024;
+
+  /// The process environment's tuning pins, parsed once: PARPARAW_FORCE_KERNEL
+  /// pins `kernel` (scalar -> kScalar, anything else -> kSimd; the exact
+  /// level force stays in simd::ResolveKernelLevel, which outranks any
+  /// plan), PARPARAW_TRANSPOSE_MODE pins `transpose_mode`. Every other
+  /// field keeps its default. PARPARAW_DISABLE_SIMD has no KernelKind
+  /// representation — it caps the detected level at the portable SWAR
+  /// fallback inside the dispatcher (see plan::EnvSimdDisabled).
+  static Tuning FromEnv();
+
+  /// Validates the tuning combination: chunk_size bounds and the
+  /// PlannerMode contradiction taxonomy (kForce with any pinned knob is an
+  /// InvalidArgument — a forced planner has nothing to decide). Called by
+  /// ParseOptions::Validate, so every entry point checks it exactly once.
+  Status ValidateTuning() const;
+};
+
+namespace plan {
+
+/// Centralized environment parsing (read once per process, cached — a
+/// per-parse getenv would be a race under TSan). These are the single
+/// source of truth: simd::ResolveKernelLevel and EffectiveTransposeMode
+/// delegate here.
+
+/// PARPARAW_FORCE_KERNEL=scalar|swar|simd|sse42|avx2|neon, or nullopt when
+/// unset/unrecognised. "simd" resolves to the best detected level.
+std::optional<simd::KernelLevel> EnvForcedKernelLevel();
+
+/// PARPARAW_TRANSPOSE_MODE=field_gather|symbol_sort, or nullopt.
+std::optional<TransposeMode> EnvTransposeMode();
+
+/// PARPARAW_DISABLE_SIMD set to anything but "" or "0": the kernel
+/// dispatcher caps the detected best level at the portable SWAR fallback
+/// (the runtime twin of the -DPARPARAW_DISABLE_SIMD build option).
+bool EnvSimdDisabled();
+
+namespace internal {
+
+/// Pure, uncached parsers for the env grammars above, exposed so tests can
+/// exercise the vocabulary without mutating the process environment.
+std::optional<simd::KernelLevel> ParseKernelEnvValue(const char* value);
+std::optional<TransposeMode> ParseTransposeEnvValue(const char* value);
+bool ParseSimdDisabledValue(const char* value);
+
+}  // namespace internal
+
+}  // namespace plan
+
+}  // namespace parparaw
+
+#endif  // PARPARAW_PLAN_TUNING_H_

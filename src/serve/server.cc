@@ -643,6 +643,11 @@ bool Server::HandleParse(Connection* conn, const FrameHeader& header,
 
   exec::ExecOptions exec_options;
   exec_options.base = std::move(*base);
+  // Per-request adaptive planning happens inside the executor (each
+  // request's stream is sampled and planned independently); pointing the
+  // request's options at the server registry makes the plan.* counters —
+  // alongside parse.*/exec.* — visible through the kStats opcode.
+  exec_options.base.metrics = options_.metrics;
   exec_options.partition_size = config->load.partition_size;
   // All requests draw from ONE admission controller; this limit caps the
   // daemon-wide resident partitions, not this request's.

@@ -1,7 +1,6 @@
 #include "simd/dispatch.h"
 
-#include <cstdlib>
-#include <cstring>
+#include "plan/tuning.h"
 
 namespace parparaw::simd {
 
@@ -41,16 +40,6 @@ bool CpuSupports(KernelLevel level) {
   return false;
 }
 
-std::optional<KernelLevel> ParseLevelName(const char* name) {
-  if (std::strcmp(name, "scalar") == 0) return KernelLevel::kScalar;
-  if (std::strcmp(name, "swar") == 0) return KernelLevel::kSwar;
-  if (std::strcmp(name, "simd") == 0) return DetectBestKernelLevel();
-  if (std::strcmp(name, "sse42") == 0) return KernelLevel::kSse42;
-  if (std::strcmp(name, "avx2") == 0) return KernelLevel::kAvx2;
-  if (std::strcmp(name, "neon") == 0) return KernelLevel::kNeon;
-  return std::nullopt;
-}
-
 }  // namespace
 
 const char* KernelLevelName(KernelLevel level) {
@@ -73,6 +62,10 @@ bool KernelLevelAvailable(KernelLevel level) { return CpuSupports(level); }
 
 KernelLevel DetectBestKernelLevel() {
   static const KernelLevel best = [] {
+    // PARPARAW_DISABLE_SIMD at runtime mirrors the -DPARPARAW_DISABLE_SIMD
+    // build option: vector ISAs stay compiled in but are never detected,
+    // so every kAuto/kSimd request degrades to the portable SWAR fallback.
+    if (plan::EnvSimdDisabled()) return KernelLevel::kSwar;
     if (CpuSupports(KernelLevel::kAvx2)) return KernelLevel::kAvx2;
     if (CpuSupports(KernelLevel::kSse42)) return KernelLevel::kSse42;
     if (CpuSupports(KernelLevel::kNeon)) return KernelLevel::kNeon;
@@ -86,11 +79,10 @@ KernelLevel ResolveKernelLevel(KernelKind requested) {
     const KernelLevel forced = *ForcedLevel();
     return CpuSupports(forced) ? forced : DetectBestKernelLevel();
   }
-  if (const char* env = std::getenv("PARPARAW_FORCE_KERNEL");
-      env != nullptr && env[0] != '\0') {
-    if (std::optional<KernelLevel> level = ParseLevelName(env)) {
-      return CpuSupports(*level) ? *level : DetectBestKernelLevel();
-    }
+  // Centralized env parsing (plan/tuning.h), read once per process:
+  // unavailable arch names degrade to the best available level.
+  if (std::optional<KernelLevel> level = plan::EnvForcedKernelLevel()) {
+    return CpuSupports(*level) ? *level : DetectBestKernelLevel();
   }
   switch (requested) {
     case KernelKind::kScalar:

@@ -8,6 +8,7 @@
 #include "dialect/dialect.h"
 #include "io/file.h"
 #include "obs/obs.h"
+#include "plan/planner.h"
 #include "robust/failpoint.h"
 #include "robust/resource_guard.h"
 #include "util/stopwatch.h"
@@ -178,6 +179,20 @@ Result<StreamingResult> StreamingParser::Parse(
   StreamingOptions resolved = options;
   PARPARAW_ASSIGN_OR_RETURN(std::optional<dialect::CompiledDialect> fallback,
                             dialect::ResolveParseDialect(&resolved.base));
+  // Plan once for the whole stream from the input's prefix (the scalar
+  // dialect fallback has no plannable knobs); per-partition parses see
+  // only the pinned knobs.
+  if (!fallback.has_value()) {
+    PARPARAW_ASSIGN_OR_RETURN(
+        const plan::ParsePlan stream_plan,
+        plan::PlanStream(input,
+                         /*sample_truncated=*/input.size() >
+                             resolved.base.sample_budget,
+                         &resolved.base));
+    if (stream_plan.partition_size > 0) {
+      resolved.partition_size = stream_plan.partition_size;
+    }
+  }
   // Degrade instead of refusing: under a memory budget, shrink partitions
   // until each one's parse working set (mode-dependent envelope) fits.
   const size_t partition_size =
@@ -210,6 +225,29 @@ Result<StreamingResult> StreamingParser::ParseFile(
   StreamingOptions resolved = options;
   PARPARAW_ASSIGN_OR_RETURN(std::optional<dialect::CompiledDialect> fallback,
                             dialect::ResolveParseDialect(&resolved.base));
+  // File-backed planning: read the head sample with a throwaway reader so
+  // the streaming reader below still sees the file from byte 0. Skipped
+  // outright when planning is disabled — no speculative I/O.
+  if (!fallback.has_value() &&
+      resolved.base.planner != PlannerMode::kDisabled) {
+    FileChunkReader sampler;
+    PARPARAW_RETURN_NOT_OK(sampler.Open(path));
+    std::string sample;
+    if (sampler.file_size() > 0) {
+      bool sample_eof = false;
+      PARPARAW_RETURN_NOT_OK(sampler.ReadNext(resolved.base.sample_budget,
+                                              &sample, &sample_eof));
+    }
+    PARPARAW_ASSIGN_OR_RETURN(
+        const plan::ParsePlan stream_plan,
+        plan::PlanStream(sample,
+                         /*sample_truncated=*/static_cast<int64_t>(
+                             sample.size()) < sampler.file_size(),
+                         &resolved.base));
+    if (stream_plan.partition_size > 0) {
+      resolved.partition_size = stream_plan.partition_size;
+    }
+  }
   const size_t partition_size =
       static_cast<size_t>(robust::ClampPartitionSizeForBudget(
           static_cast<int64_t>(resolved.partition_size),

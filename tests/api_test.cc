@@ -157,6 +157,42 @@ TEST(ValidateTest, RejectsInlineTerminatorCollidingWithDelimiter) {
   EXPECT_TRUE(options.Validate().ok());
 }
 
+TEST(ValidateTest, ForcedPlannerContradictionMatrix) {
+  // PlannerMode::kForce means "the sampler decides everything": pinning any
+  // plannable knob alongside it is a contradiction, not a preference.
+  using Pin = void (*)(ParseOptions*);
+  const Pin pins[] = {
+      [](ParseOptions* o) { o->kernel = simd::KernelKind::kScalar; },
+      [](ParseOptions* o) { o->kernel = simd::KernelKind::kSimd; },
+      [](ParseOptions* o) { o->chunk_size = 31; },
+      [](ParseOptions* o) { o->tagging_mode = TaggingMode::kRecordTags; },
+      [](ParseOptions* o) { o->transpose_mode = TransposeMode::kFieldGather; },
+      [](ParseOptions* o) { o->partition_size = 1 << 20; },
+  };
+  int idx = 0;
+  for (const Pin pin : pins) {
+    ParseOptions forced;
+    forced.planner = PlannerMode::kForce;
+    pin(&forced);
+    EXPECT_EQ(forced.Validate().code(), StatusCode::kInvalidArgument)
+        << "pin #" << idx;
+    // The same pin is legal under kAuto (it just shrinks the decision) and
+    // under kDisabled (static resolution).
+    ParseOptions auto_mode;
+    pin(&auto_mode);
+    EXPECT_TRUE(auto_mode.Validate().ok()) << "pin #" << idx;
+    ParseOptions disabled;
+    disabled.planner = PlannerMode::kDisabled;
+    pin(&disabled);
+    EXPECT_TRUE(disabled.Validate().ok()) << "pin #" << idx;
+    ++idx;
+  }
+  // All knobs auto: kForce is coherent.
+  ParseOptions forced;
+  forced.planner = PlannerMode::kForce;
+  EXPECT_TRUE(forced.Validate().ok());
+}
+
 TEST(ValidateTest, RejectsValidatePolicyWithQuarantine) {
   ParseOptions options;
   options.column_count_policy = ColumnCountPolicy::kValidate;
@@ -174,6 +210,64 @@ TEST(ValidateTest, EveryEntryPointRejectsInvalidOptionsUpFront) {
   streaming.base = bad;
   EXPECT_EQ(StreamingParser::Parse("a,b\n", streaming).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(ReaderTest, WithTuningPinsTheParseConfiguration) {
+  Tuning tuning;
+  tuning.kernel = simd::KernelKind::kScalar;
+  tuning.chunk_size = 31;
+  tuning.transpose_mode = TransposeMode::kSymbolSort;
+  auto pinned = Reader::FromBuffer(kCsv).WithTuning(tuning).Read();
+  auto defaults = Reader::FromBuffer(kCsv).Read();
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  ASSERT_TRUE(defaults.ok()) << defaults.status().ToString();
+  EXPECT_TRUE(pinned->Equals(*defaults));
+}
+
+TEST(ReaderTest, WithTuningSurfacesContradictionsBeforeReading) {
+  Tuning contradiction;
+  contradiction.planner = PlannerMode::kForce;
+  contradiction.chunk_size = 31;
+  auto table = Reader::FromBuffer(kCsv).WithTuning(contradiction).Read();
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReaderTest, ExplainReportsThePlanWithoutParsing) {
+  auto plan = Reader::FromBuffer(kCsv).Explain();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->planned);
+  EXPECT_GT(plan->chunk_size, 0u);
+  EXPECT_NE(plan->tagging_mode, TaggingMode::kAuto);
+  EXPECT_NE(plan->transpose_mode, TransposeMode::kAuto);
+  EXPECT_NE(plan->Explain().find("[planned]"), std::string::npos)
+      << plan->Explain();
+  EXPECT_GT(plan->stats.records, 0);
+}
+
+TEST(ReaderTest, ExplainMatchesBetweenFileAndBuffer) {
+  const std::string path = "/tmp/parparaw_api_explain.csv";
+  ASSERT_TRUE(WriteStringToFile(path, kCsv).ok());
+  auto from_file = Reader::FromFile(path).Explain();
+  auto from_buffer = Reader::FromBuffer(kCsv).Explain();
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  ASSERT_TRUE(from_buffer.ok()) << from_buffer.status().ToString();
+  // Same bytes, same plan: the planner must not care where they came from.
+  EXPECT_EQ(from_file->chunk_size, from_buffer->chunk_size);
+  EXPECT_EQ(from_file->kernel, from_buffer->kernel);
+  EXPECT_EQ(from_file->tagging_mode, from_buffer->tagging_mode);
+  EXPECT_EQ(from_file->Explain(), from_buffer->Explain());
+  std::remove(path.c_str());
+}
+
+TEST(ReaderTest, ExplainReportsStaticResolutionWhenPlanningIsDisabled) {
+  Tuning tuning;
+  tuning.planner = PlannerMode::kDisabled;
+  auto plan = Reader::FromBuffer(kCsv).WithTuning(tuning).Explain();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(plan->planned);
+  EXPECT_EQ(plan->chunk_size, 31u);
+  EXPECT_NE(plan->Explain().find("[static]"), std::string::npos)
+      << plan->Explain();
 }
 
 }  // namespace

@@ -80,6 +80,9 @@ const char* const kFailpoints[] = {
     // process-wide), and a deadline firing at an executor hand-off.
     "serve.deadline",  "serve.drain",   "serve.corrupt",
     "exec.deadline",
+    // Adaptive-planner sites: a failed head sample or a fault mid-decision
+    // must degrade to the static plan (plan.fallback), never corrupt output.
+    "plan.sample",     "plan.decide",
 };
 
 // A small input with every interesting shape: quoted fields, quoted

@@ -106,7 +106,7 @@ TEST(GpuSimTest, PipelineBucketsAllPopulated) {
   GpuSimulator sim;
   std::vector<GpuKernelResult> kernels;
   const StepTimings t =
-      sim.SimulatePipeline(parsed->work, options.chunk_size, 6,
+      sim.SimulatePipeline(parsed->work, /*chunk_size=*/31, 6,
                            parsed->table.num_columns(), &kernels);
   EXPECT_GT(t.parse_ms, 0);
   EXPECT_GT(t.scan_ms, 0);

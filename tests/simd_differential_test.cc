@@ -453,6 +453,48 @@ TEST(SimdDifferentialTest, GeneratedDialectsMatchScalarAcrossLevels) {
   EXPECT_GT(swept, static_cast<int>(seeds / 2));
 }
 
+// Planner axis: a planned parse (every knob at its auto sentinel, knobs
+// decided from the input's own prefix) must be bit-identical to the
+// planner-disabled static defaults on every seeded input — the plan is a
+// performance decision, never a semantic one. kForce turns a silent
+// sampling fallback into a hard error, so a planner that stopped engaging
+// would fail here instead of degenerating into static-vs-static.
+TEST(SimdDifferentialTest, PlannedParsesMatchStaticDefaults) {
+  std::vector<NamedFormat> formats;
+  ASSERT_NO_FATAL_FAILURE(formats = RegisteredFormats());
+  for (const NamedFormat& format : formats) {
+    for (uint64_t seed = 0; seed < 256; ++seed) {
+      const std::string input = InputForSeed(format, seed * 7 + 3);
+      ParseOptions options;
+      options.format = format.format;
+      // Alternate the reject policy so the planner's vector_delimited
+      // tagging upgrade engages on the uniform-column seeds.
+      options.column_count_policy = (seed % 2) != 0
+                                        ? ColumnCountPolicy::kReject
+                                        : ColumnCountPolicy::kRobust;
+
+      ParseOptions unplanned = options;
+      unplanned.planner = PlannerMode::kDisabled;
+      ParseOptions planned = options;
+      planned.planner = PlannerMode::kForce;
+
+      const Result<ParseOutput> want = Parser::Parse(input, unplanned);
+      const Result<ParseOutput> got = Parser::Parse(input, planned);
+      const std::string context =
+          format.name + " seed " + std::to_string(seed);
+      ASSERT_EQ(want.ok(), got.ok())
+          << context << ": "
+          << (want.ok() ? got.status() : want.status()).ToString();
+      if (!want.ok()) continue;
+      ASSERT_TRUE(want->table.Equals(got->table)) << context;
+      ASSERT_EQ(want->min_columns, got->min_columns) << context;
+      ASSERT_EQ(want->max_columns, got->max_columns) << context;
+      ASSERT_EQ(want->records_dropped, got->records_dropped) << context;
+      ASSERT_EQ(want->remainder_offset, got->remainder_offset) << context;
+    }
+  }
+}
+
 // The arch levels this build claims must actually resolve to themselves —
 // a level that silently degrades would turn the whole differential suite
 // into swar-vs-swar.

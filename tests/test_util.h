@@ -36,6 +36,10 @@ struct StepHarness {
       h->options.format = *std::move(format);
     }
     if (h->options.pool == nullptr) h->options.pool = ThreadPool::Default();
+    // Step-level tests bypass StagedParse's auto-sentinel resolution, so
+    // resolve chunk/tagging the same way it does.
+    if (h->options.chunk_size == 0) h->options.chunk_size = 31;
+    h->options.tagging_mode = EffectiveTaggingMode(h->options);
     h->state.data = reinterpret_cast<const uint8_t*>(h->input.data());
     h->state.size = h->input.size();
     h->state.options = &h->options;

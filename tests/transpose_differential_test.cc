@@ -299,6 +299,51 @@ TEST(TransposeDifferentialTest, StreamingPartitionsMatchAcrossModes) {
   }
 }
 
+// Planner axis: the adaptive planner decides the per-stream tuning
+// (kernel, chunk size, tagging, transpose) from the stream's head sample;
+// whatever it chooses must be bit-identical to the planner-disabled static
+// defaults — monolithically and across streaming partition seams, where a
+// planned chunk/tagging choice interacts with carry-over splitting.
+TEST(TransposeDifferentialTest, PlannedStreamsMatchStaticDefaults) {
+  std::vector<NamedFormat> formats;
+  ASSERT_NO_FATAL_FAILURE(formats = RegisteredFormats());
+  for (const NamedFormat& format : formats) {
+    if (format.name == "extended_log") continue;  // covered by the sweep
+    for (uint64_t seed = 0; seed < 96; ++seed) {
+      const std::string input = InputForSeed(format, seed * 19 + 11);
+      StreamingOptions streaming;
+      streaming.base.format = format.format;
+      streaming.base.error_policy = static_cast<ErrorPolicy>(seed % 4);
+      streaming.base.column_count_policy = (seed % 2) != 0
+                                               ? ColumnCountPolicy::kReject
+                                               : ColumnCountPolicy::kRobust;
+      streaming.partition_size = (seed % 3 == 0) ? 512 : 4096;
+
+      streaming.base.planner = PlannerMode::kDisabled;
+      const Result<StreamingResult> want =
+          StreamingParser::Parse(input, streaming);
+      streaming.base.planner = PlannerMode::kForce;
+      const Result<StreamingResult> got =
+          StreamingParser::Parse(input, streaming);
+
+      const std::string context =
+          format.name + " seed " + std::to_string(seed);
+      ASSERT_EQ(want.ok(), got.ok())
+          << context << ": "
+          << (want.ok() ? got.status() : want.status()).ToString();
+      if (!want.ok()) {
+        ASSERT_EQ(want.status().ToString(), got.status().ToString())
+            << context;
+        continue;
+      }
+      ASSERT_TRUE(want->table.Equals(got->table)) << context;
+      ASSERT_EQ(want->quarantine.entries().size(),
+                got->quarantine.entries().size())
+          << context;
+    }
+  }
+}
+
 // Generated-dialect axis: seeded random DialectSpecs (src/dialect) ride
 // the same symbol-sort vs field-gather comparison — the gather path's
 // whole-field copies must honour runtime-compiled flag conventions
