@@ -31,6 +31,14 @@
 #                               # the daemon's shared state under TSan;
 #                               # then the --planner ablation bench in the
 #                               # regular build emitting BENCH_autotune.json
+#   scripts/check.sh scaling    # morsel scheduler: forward-progress
+#                               # regressions (nested ParallelFor,
+#                               # concurrent decoupled-lookback scans on
+#                               # an occupied pool), task-group scoping,
+#                               # steal stress, and both differential
+#                               # harnesses under TSan, plus the chaos
+#                               # sweep with sched.submit/sched.steal
+#                               # schedule-perturbation failpoints armed
 #   scripts/check.sh serve      # parparawd daemon: protocol conformance,
 #                               # 10k-frame fuzz (malformed + bit-flipped
 #                               # checksummed frames), request-lifecycle
@@ -76,7 +84,35 @@ run_tsan() {
   echo "=== TSan: concurrency-sensitive tests ==="
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-      -R 'ThreadPool|ParallelFor|Metrics|Tracer|ObsIntegration|Streaming|Exec|Reader'
+      -R 'ThreadPool|ParallelFor|Scheduler|TaskGroup|Metrics|Tracer|ObsIntegration|Streaming|Exec|Reader'
+}
+
+run_scaling() {
+  echo "=== scaling: configure (TSan) ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARPARAW_SANITIZE=thread
+  echo "=== scaling: build ==="
+  cmake --build build-tsan -j "${JOBS}"
+  # The work-stealing scheduler's whole surface under the thread
+  # sanitizer: the forward-progress regressions (nested ParallelFor
+  # deadlock, decoupled-lookback scan livelock on an occupied shared
+  # pool), task-group scoping, the steal/injection stress suites, the
+  # scan/sort primitives that ride on the pool, and both differential
+  # harnesses — morsel output must stay bit-identical to the serial
+  # reference no matter the schedule.
+  echo "=== scaling: scheduler + scan stress + differential under TSan ==="
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -R 'Scheduler|TaskGroup|ThreadPool|ParallelFor|Scan|RadixSort|Exec|Reader|SimdDifferential|TransposeDifferential'
+  # The chaos sweep with the scheduler's schedule-perturbation sites
+  # (sched.submit -> inline execution, sched.steal -> skipped steal) in
+  # the armed matrix: perturbing the schedule must never change output.
+  echo "=== scaling: chaos sweep with sched.* perturbation under TSan ==="
+  PARPARAW_CHAOS_SCHEDULES=400 \
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -R 'Chaos'
 }
 
 run_pipeline() {
@@ -304,6 +340,7 @@ case "${MODE}" in
   kernels) run_kernels ;;
   faults) run_faults ;;
   pipeline) run_pipeline ;;
+  scaling) run_scaling ;;
   transpose) run_transpose ;;
   dialects) run_dialects ;;
   tuning) run_tuning ;;
@@ -314,13 +351,14 @@ case "${MODE}" in
     run_kernels
     run_faults
     run_pipeline
+    run_scaling
     run_transpose
     run_dialects
     run_tuning
     run_serve
     ;;
   *)
-    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|transpose|dialects|tuning|serve|all]" >&2
+    echo "usage: $0 [asan|tsan|kernels|faults|pipeline|scaling|transpose|dialects|tuning|serve|all]" >&2
     exit 2
     ;;
 esac

@@ -61,18 +61,27 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks until there is room (backpressure), then enqueues. Returns
-  /// kCancelled after Abort(), or the injected error when the push
-  /// failpoint fires (the item is then NOT enqueued — the hand-off
-  /// failed).
+  /// kCancelled after Abort(), kInternal after Close() (push-after-close
+  /// is a producer bug: a consumer that already observed closed+empty has
+  /// exited, so the item would be silently lost), or the injected error
+  /// when the push failpoint fires (the item is then NOT enqueued — the
+  /// hand-off failed).
   Status Push(T item) {
     PARPARAW_RETURN_NOT_OK(
         robust::CheckFailpoint(push_failpoint_.c_str()));
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || aborted_; });
+    not_full_.wait(lock, [this] {
+      return items_.size() < capacity_ || aborted_ || closed_;
+    });
     if (aborted_) {
       return Status::Cancelled(std::string(name_) +
                                ": pipeline aborted during push");
+    }
+    if (closed_) {
+      return Status::Internal(
+          std::string(name_) +
+          ": push after close — the producer outlived end-of-stream, and a "
+          "drained consumer would silently lose the item");
     }
     items_.push_back(std::move(item));
     if (depth_gauge_ != nullptr) {
@@ -109,13 +118,15 @@ class BoundedQueue {
   }
 
   /// Normal end of stream: consumers drain what is queued, then see
-  /// nullopt.
+  /// nullopt. Producers blocked on a full queue wake up and get the
+  /// push-after-close error instead of hanging.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
   /// Error/cancellation: unblocks everyone immediately and drops queued

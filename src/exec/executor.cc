@@ -1,15 +1,19 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <deque>
+#include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "core/staged_parse.h"
 #include "dialect/dialect.h"
-#include "exec/bounded_queue.h"
 #include "io/file.h"
 #include "obs/obs.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_pool.h"
 #include "plan/planner.h"
 #include "robust/failpoint.h"
 #include "robust/resource_guard.h"
@@ -22,7 +26,7 @@ namespace exec {
 namespace {
 
 /// One partition's raw bytes on their way from the reader to the scan
-/// stage. `view` points into `owned` (file mode) or into the caller's
+/// morsel. `view` points into `owned` (file mode) or into the caller's
 /// buffer (buffer mode).
 struct RawChunk {
   int64_t index = 0;
@@ -31,12 +35,13 @@ struct RawChunk {
   bool is_last = false;
 };
 
-/// One partition flowing through scan -> sort -> convert. Heap-allocated:
-/// the StagedParse's pipeline state points into `buffer` and into the
-/// task itself, so tasks must not move between stages.
+/// One partition flowing through the scan -> sort -> convert morsel
+/// chain. Heap-allocated and shared_ptr-held (morsel closures must be
+/// copyable): the StagedParse's pipeline state points into `buffer` and
+/// into the task itself, so tasks never move between morsels.
 struct PartitionTask {
   int64_t index = 0;
-  /// Carry-over + partition bytes; what the scan stage parsed.
+  /// Carry-over + partition bytes; what the scan morsel parsed.
   std::string buffer;
   /// Stream offset of buffer[0] (for quarantine-span re-basing).
   int64_t buffer_base = 0;
@@ -47,7 +52,16 @@ struct PartitionTask {
   StagedParse parse;
 };
 
-using TaskPtr = std::unique_ptr<PartitionTask>;
+/// A converted partition parked until every lower-indexed partition has
+/// been delivered (results must reach the sink / the concatenation in
+/// stream order no matter which worker converted them first).
+struct ConvertedPartition {
+  ParseOutput output;
+  /// Stream offset of the partition buffer's first byte (quarantine spans
+  /// are re-based against it at delivery).
+  int64_t buffer_base = 0;
+  int64_t partition_bytes = 0;
+};
 
 /// Sequential partition source, either disk-backed or an in-memory view.
 class ChunkSource {
@@ -132,9 +146,35 @@ class BufferSource final : public ChunkSource {
 
 }  // namespace
 
-/// \brief One ingest's worth of pipeline machinery: the three stage
-/// threads, their queues, error/cancel state, and the accumulator the
-/// convert stage (run on the calling thread) fills.
+/// \brief One ingest's worth of morsel machinery.
+///
+/// The old stage-per-thread SPSC chain (one dedicated thread each for
+/// scan, sort and convert) capped speedup at the stage count and left
+/// workers idle whenever one stage starved. It is replaced by a morsel
+/// graph on the shared work-stealing pool: the calling thread performs
+/// the sequential admission-gated reads, and each partition then flows
+/// through chained scan -> sort -> convert morsels that ANY worker (or
+/// the caller, under caller-runs) may execute. Dependencies are encoded
+/// in the chaining, not in threads:
+///
+///   * Scan is the only sequentially-dependent stage (partition k+1's
+///     carry-over bytes are known only after k's scan, the paper's carry
+///     dependency) — a single "scan token" serialises scan morsels in
+///     stream order while everything downstream overlaps freely.
+///   * Sort and convert morsels for different partitions run wherever a
+///     worker is idle, so partition k's convert overlaps k+1's sort and
+///     k+2's scan without any thread being pinned to a stage.
+///   * Converted partitions park in a reorder window and are delivered
+///     (sink call / table concatenation, quarantine re-basing, stats) in
+///     stream order under a delivery token — the output is bit-identical
+///     to the serial schedule by construction.
+///
+/// Memory stays bounded by the admission controller exactly as before:
+/// the reader acquires one slot per partition and delivery releases it,
+/// so at most admission_limit partitions exist across the whole graph.
+/// The old exec.queue.{scan,sort,convert}.{push,pop} failpoints fire at
+/// the equivalent morsel hand-offs (push = submitting the next morsel,
+/// pop = entering it), keeping the chaos schedule space intact.
 class PipelineRun {
  public:
   PipelineRun(PipelineExecutor* executor, const ExecOptions& options,
@@ -142,13 +182,7 @@ class PipelineRun {
       : executor_(executor),
         options_(options),
         sink_(sink),
-        metrics_(options.base.metrics),
-        scan_queue_("exec.queue.scan", options.queue_capacity,
-                    options.base.metrics),
-        sort_queue_("exec.queue.sort", options.queue_capacity,
-                    options.base.metrics),
-        convert_queue_("exec.queue.convert", options.queue_capacity,
-                       options.base.metrics) {}
+        metrics_(options.base.metrics) {}
 
   Result<IngestResult> Run(ChunkSource* source) {
     PARPARAW_FAILPOINT("exec.ingest");
@@ -221,7 +255,7 @@ class PipelineRun {
             1, options_.base.memory_budget / std::max<int64_t>(
                                                  1, per_partition)));
       } else {
-        admission_limit_ = 4;  // one partition per stage
+        admission_limit_ = 4;  // read + scan + sort + convert in flight
       }
     }
     result_.kernel_level = simd::ResolveKernelLevel(base_.kernel);
@@ -239,17 +273,19 @@ class PipelineRun {
 
     Stopwatch wall;
     if (source->total_bytes() > 0) {
-      std::thread reader([this, source] { ReaderLoop(source); });
-      std::thread scanner([this] { ScanLoop(); });
-      std::thread sorter([this] { SortLoop(); });
-      ConvertLoop();
-      reader.join();
-      scanner.join();
-      sorter.join();
+      ThreadPool* pool =
+          base_.pool != nullptr ? base_.pool : ThreadPool::Default();
+      TaskGroup group(pool->scheduler());
+      group_ = &group;
+      ReaderLoop(source);
+      // Caller-runs: the reading thread joins the workers on whatever
+      // scan/sort/convert morsels remain instead of parking.
+      group.Wait();
+      group_ = nullptr;
     }
     result_.stats.wall_seconds = wall.ElapsedSeconds();
 
-    // Return any admission slots a failed stage still held, so
+    // Return any admission slots a failed morsel still held, so
     // concurrent ingests sharing this executor's controller (other files,
     // other daemon connections) are not starved.
     const int leftover = slots_held_.exchange(0);
@@ -303,14 +339,12 @@ class PipelineRun {
     Abort();
   }
 
-  /// Unblocks every stage: queues return immediately, admission waits
-  /// wake up. Idempotent; called on error and by PipelineExecutor's
-  /// Cancel().
+  /// Unblocks the run: in-flight morsels finish their current partition
+  /// and every queued morsel degrades to an immediate return; admission
+  /// waits wake up. Idempotent; called on error and by
+  /// PipelineExecutor's Cancel().
   void Abort() {
     aborted_.store(true, std::memory_order_release);
-    scan_queue_.Abort();
-    sort_queue_.Abort();
-    convert_queue_.Abort();
     // Wake() takes the controller mutex first, ordering the flag store
     // before the wakeup so an admission wait cannot miss it.
     executor_->admission()->Wake();
@@ -322,9 +356,9 @@ class PipelineRun {
     return options_.deadline != std::chrono::steady_clock::time_point::max();
   }
 
-  /// The cooperative deadline check, run at every partition hand-off
-  /// (plus the exec.deadline failpoint for deterministic expiry in the
-  /// chaos sweep). True = the ingest is out of time; the pipeline aborts
+  /// The cooperative deadline check, run at every morsel entry (plus the
+  /// exec.deadline failpoint for deterministic expiry in the chaos
+  /// sweep). True = the ingest is out of time; the pipeline aborts
   /// through the same seam as Cancel(), with kDeadlineExceeded recorded
   /// as the first error.
   bool DeadlineExpired(const char* site) {
@@ -375,7 +409,7 @@ class PipelineRun {
     }
   }
 
-  // --- stage 0: chunked, admission-gated reads ---
+  // --- reader (calling thread): chunked, admission-gated reads ---
   void ReaderLoop(ChunkSource* source) {
     double busy = 0;
     int64_t index = 0;
@@ -391,7 +425,7 @@ class PipelineRun {
         Fail(injected.WithContext("exec.read"));
         break;
       }
-      auto chunk = std::make_unique<RawChunk>();
+      auto chunk = std::make_shared<RawChunk>();
       chunk->index = index;
       Stopwatch watch;
       const Status read = source->Next(partition_size_, chunk.get(), &eof);
@@ -402,192 +436,263 @@ class PipelineRun {
         break;
       }
       chunk->is_last = eof;
-      const Status pushed = scan_queue_.Push(std::move(chunk));
+      // The reader -> scan hand-off (the old scan queue's push site).
+      const Status pushed =
+          robust::CheckFailpoint("exec.queue.scan.push");
       if (!pushed.ok()) {
         ReleaseSlot();
-        if (pushed.code() != StatusCode::kCancelled) {
-          Fail(pushed.WithContext("exec.queue.scan"));
-        }
+        Fail(pushed.WithContext("exec.queue.scan"));
         break;
       }
+      EnqueueChunk(std::move(chunk));
       ++index;
     }
-    scan_queue_.Close();
     AddStageSeconds(&result_.stats.read_seconds, busy);
   }
 
-  // --- stage 1: carry-over assembly + context/bitmap/offset/tag scan ---
-  void ScanLoop() {
-    double busy = 0;
-    std::string carry;
-    int64_t stream_consumed = 0;
-    bool first = true;
-    while (true) {
-      Status injected;
-      auto chunk = scan_queue_.Pop(&injected);
-      if (!injected.ok()) {
-        Fail(injected.WithContext("exec.queue.scan"));
-        break;
-      }
-      if (!chunk.has_value()) break;  // end of stream or abort
-      if (DeadlineExpired("exec.scan")) break;
-      Hook(1, (*chunk)->index);
-      Stopwatch watch;
-      auto task = std::make_unique<PartitionTask>();
-      task->index = (*chunk)->index;
-      task->is_last = (*chunk)->is_last;
-      task->partition_bytes = static_cast<int64_t>((*chunk)->view.size());
-      // Stream offset of buffer[0]: the carry bytes were already counted
-      // when their partition was consumed, so back them out.
-      task->buffer_base = stream_consumed - static_cast<int64_t>(carry.size());
-      task->buffer.reserve(carry.size() + (*chunk)->view.size());
-      task->buffer.append(carry);
-      task->buffer.append((*chunk)->view);
-      chunk->reset();  // raw bytes copied; release the reader's buffer
-
-      ParseOptions po = base_;
-      po.exclude_trailing_record = !task->is_last;
-      // Leading-row pruning applies to the stream, not to every buffer.
-      if (!first) po.skip_rows = 0;
-      // The executor *is* the degradation path for the memory budget —
-      // partition size and admission are already clamped to fit, so the
-      // per-partition parse must not re-apply the monolithic refusal.
-      po.memory_budget = 0;
-      const Status scanned = task->parse.Scan(task->buffer, po);
-      if (!scanned.ok()) {
-        Fail(scanned.WithContext("exec.scan"));
-        break;
-      }
-      if (!task->is_last) {
-        const int64_t remainder = task->parse.remainder_offset();
-        if (remainder < 0 ||
-            remainder > static_cast<int64_t>(task->buffer.size())) {
-          Fail(Status::Internal("executor remainder out of range"));
-          break;
-        }
-        // A record larger than a partition simply keeps accumulating into
-        // the carry-over until its delimiter arrives (the skewed-input
-        // case of Fig. 11).
-        carry = task->buffer.substr(static_cast<size_t>(remainder));
-      } else {
-        carry.clear();
-      }
-      stream_consumed += task->partition_bytes;
-      first = false;
-      if (metrics_ != nullptr && metrics_->enabled()) {
-        obs::RecordMillis(metrics_, "exec.scan_us", watch.ElapsedMillis());
-        obs::SetGauge(metrics_, "exec.carry_bytes",
-                      static_cast<int64_t>(carry.size()));
-      }
-      busy += watch.ElapsedSeconds();
-      const Status pushed = sort_queue_.Push(std::move(task));
-      if (!pushed.ok()) {
-        if (pushed.code() != StatusCode::kCancelled) {
-          Fail(pushed.WithContext("exec.queue.sort"));
-        }
-        break;
+  /// Parks the chunk behind the scan token. Scans must run one at a time
+  /// and in stream order (the carry-over dependency); the token holder
+  /// chains the next scan morsel itself, so ownership passes without any
+  /// dedicated scan thread.
+  void EnqueueChunk(std::shared_ptr<RawChunk> chunk) {
+    std::shared_ptr<RawChunk> start;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      raw_ready_.push_back(std::move(chunk));
+      if (!scan_token_held_) {
+        scan_token_held_ = true;
+        start = std::move(raw_ready_.front());
+        raw_ready_.pop_front();
       }
     }
-    sort_queue_.Close();
-    AddStageSeconds(&result_.stats.scan_seconds, busy);
+    if (start != nullptr) {
+      group_->Run([this, start] { ScanMorsel(start); });
+    }
   }
 
-  // --- stage 2: radix-sort partition by column tag ---
-  void SortLoop() {
-    double busy = 0;
-    while (true) {
-      Status injected;
-      auto task = sort_queue_.Pop(&injected);
-      if (!injected.ok()) {
-        Fail(injected.WithContext("exec.queue.sort"));
-        break;
+  // --- scan morsel: carry-over assembly + context/bitmap/offset/tag ---
+  void ScanMorsel(const std::shared_ptr<RawChunk>& chunk) {
+    Status injected = robust::CheckFailpoint("exec.queue.scan.pop");
+    if (!injected.ok()) {
+      Fail(injected.WithContext("exec.queue.scan"));
+      return;
+    }
+    if (aborted()) return;
+    if (DeadlineExpired("exec.scan")) return;
+    Hook(1, chunk->index);
+    obs::TraceSpan span(base_.tracer, "morsel.scan", "sched",
+                        static_cast<int64_t>(chunk->view.size()));
+    Stopwatch watch;
+    auto task = std::make_shared<PartitionTask>();
+    task->index = chunk->index;
+    task->is_last = chunk->is_last;
+    task->partition_bytes = static_cast<int64_t>(chunk->view.size());
+    // Stream offset of buffer[0]: the carry bytes were already counted
+    // when their partition was consumed, so back them out.
+    task->buffer_base =
+        stream_consumed_ - static_cast<int64_t>(carry_.size());
+    task->buffer.reserve(carry_.size() + chunk->view.size());
+    task->buffer.append(carry_);
+    task->buffer.append(chunk->view);
+    chunk->owned.clear();  // raw bytes copied; release the reader's buffer
+    chunk->owned.shrink_to_fit();
+
+    ParseOptions po = base_;
+    po.exclude_trailing_record = !task->is_last;
+    // Leading-row pruning applies to the stream, not to every buffer.
+    if (!first_) po.skip_rows = 0;
+    // The executor *is* the degradation path for the memory budget —
+    // partition size and admission are already clamped to fit, so the
+    // per-partition parse must not re-apply the monolithic refusal.
+    po.memory_budget = 0;
+    const Status scanned = task->parse.Scan(task->buffer, po);
+    if (!scanned.ok()) {
+      Fail(scanned.WithContext("exec.scan"));
+      return;
+    }
+    if (!task->is_last) {
+      const int64_t remainder = task->parse.remainder_offset();
+      if (remainder < 0 ||
+          remainder > static_cast<int64_t>(task->buffer.size())) {
+        Fail(Status::Internal("executor remainder out of range"));
+        return;
       }
-      if (!task.has_value()) break;
-      if (DeadlineExpired("exec.sort")) break;
-      Hook(2, (*task)->index);
-      Stopwatch watch;
-      if (!(*task)->parse.finished()) {
-        const Status sorted = (*task)->parse.Partition();
-        if (!sorted.ok()) {
-          Fail(sorted.WithContext("exec.sort"));
-          break;
-        }
-      }
-      if (metrics_ != nullptr && metrics_->enabled()) {
-        obs::RecordMillis(metrics_, "exec.sort_us", watch.ElapsedMillis());
-      }
-      busy += watch.ElapsedSeconds();
-      const Status pushed = convert_queue_.Push(std::move(*task));
-      if (!pushed.ok()) {
-        if (pushed.code() != StatusCode::kCancelled) {
-          Fail(pushed.WithContext("exec.queue.convert"));
-        }
-        break;
+      // A record larger than a partition simply keeps accumulating into
+      // the carry-over until its delimiter arrives (the skewed-input
+      // case of Fig. 11).
+      carry_ = task->buffer.substr(static_cast<size_t>(remainder));
+    } else {
+      carry_.clear();
+    }
+    stream_consumed_ += task->partition_bytes;
+    first_ = false;
+    if (metrics_ != nullptr && metrics_->enabled()) {
+      obs::RecordMillis(metrics_, "exec.scan_us", watch.ElapsedMillis());
+      obs::SetGauge(metrics_, "exec.carry_bytes",
+                    static_cast<int64_t>(carry_.size()));
+    }
+    AddStageSeconds(&result_.stats.scan_seconds, watch.ElapsedSeconds());
+
+    // Hand the partition to the sort morsel (the old sort queue's push).
+    const Status sort_push =
+        robust::CheckFailpoint("exec.queue.sort.push");
+    if (!sort_push.ok()) {
+      Fail(sort_push.WithContext("exec.queue.sort"));
+      return;
+    }
+    group_->Run([this, task] { SortMorsel(task); });
+
+    // Pass the scan token: chain the next waiting chunk, or drop the
+    // token so the reader re-arms the chain on its next partition. The
+    // carry_/stream_consumed_ writes above are published to the next
+    // scan morsel through the scheduler's and state_mu_'s locks.
+    std::shared_ptr<RawChunk> next;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (!raw_ready_.empty()) {
+        next = std::move(raw_ready_.front());
+        raw_ready_.pop_front();
+      } else {
+        scan_token_held_ = false;
       }
     }
-    convert_queue_.Close();
-    AddStageSeconds(&result_.stats.sort_seconds, busy);
+    if (next != nullptr) {
+      group_->Run([this, next] { ScanMorsel(next); });
+    }
   }
 
-  // --- stage 3 (calling thread): value generation + accumulation ---
-  void ConvertLoop() {
-    double busy = 0;
-    int64_t rows_accumulated = 0;
-    while (true) {
-      Status injected;
-      auto task = convert_queue_.Pop(&injected);
-      if (!injected.ok()) {
-        Fail(injected.WithContext("exec.queue.convert"));
-        break;
-      }
-      if (!task.has_value()) break;
-      if (DeadlineExpired("exec.convert")) break;
-      Hook(3, (*task)->index);
-      Stopwatch watch;
-      if (!(*task)->parse.finished()) {
-        const Status converted = (*task)->parse.Convert();
-        if (!converted.ok()) {
-          Fail(converted.WithContext("exec.convert"));
-          break;
-        }
-      }
-      ParseOutput out = (*task)->parse.TakeOutput();
-      // Re-base quarantined records from partition coordinates to stream
-      // coordinates (rows index the concatenated table, spans the logical
-      // byte stream) — identical to the serial streaming path.
-      for (robust::QuarantineEntry& entry : out.quarantine.entries()) {
-        entry.row += rows_accumulated;
-        entry.begin += (*task)->buffer_base;
-        entry.end += (*task)->buffer_base;
-        result_.quarantine.Add(std::move(entry));
-      }
-      result_.timings += out.timings;
-      result_.work += out.work;
-      rows_accumulated += out.table.num_rows;
-      ++result_.stats.num_partitions;
-      result_.stats.bytes += (*task)->partition_bytes;
-      if (metrics_ != nullptr && metrics_->enabled()) {
-        obs::RecordMillis(metrics_, "exec.convert_us",
-                          watch.ElapsedMillis());
-      }
-      busy += watch.ElapsedSeconds();
-      if (sink_ != nullptr) {
-        const Status sunk = (*sink_)(std::move(out.table));
-        if (!sunk.ok()) {
-          Fail(sunk.WithContext("exec.sink"));
-          task->reset();
-          ReleaseSlot();
-          break;
-        }
-      } else {
-        tables_.push_back(std::move(out.table));
-      }
-      // Free the partition's raw bytes before returning its admission
-      // slot: the slot stands for the parse working set.
-      task->reset();
-      ReleaseSlot();
+  // --- sort morsel: radix-sort partition by column tag ---
+  void SortMorsel(const std::shared_ptr<PartitionTask>& task) {
+    Status injected = robust::CheckFailpoint("exec.queue.sort.pop");
+    if (!injected.ok()) {
+      Fail(injected.WithContext("exec.queue.sort"));
+      return;
     }
-    AddStageSeconds(&result_.stats.convert_seconds, busy);
+    if (aborted()) return;
+    if (DeadlineExpired("exec.sort")) return;
+    Hook(2, task->index);
+    obs::TraceSpan span(base_.tracer, "morsel.sort", "sched",
+                        static_cast<int64_t>(task->partition_bytes));
+    Stopwatch watch;
+    if (!task->parse.finished()) {
+      const Status sorted = task->parse.Partition();
+      if (!sorted.ok()) {
+        Fail(sorted.WithContext("exec.sort"));
+        return;
+      }
+    }
+    if (metrics_ != nullptr && metrics_->enabled()) {
+      obs::RecordMillis(metrics_, "exec.sort_us", watch.ElapsedMillis());
+    }
+    AddStageSeconds(&result_.stats.sort_seconds, watch.ElapsedSeconds());
+    const Status pushed =
+        robust::CheckFailpoint("exec.queue.convert.push");
+    if (!pushed.ok()) {
+      Fail(pushed.WithContext("exec.queue.convert"));
+      return;
+    }
+    group_->Run([this, task] { ConvertMorsel(task); });
+  }
+
+  // --- convert morsel: value generation, then in-order delivery ---
+  void ConvertMorsel(const std::shared_ptr<PartitionTask>& task) {
+    Status injected = robust::CheckFailpoint("exec.queue.convert.pop");
+    if (!injected.ok()) {
+      Fail(injected.WithContext("exec.queue.convert"));
+      return;
+    }
+    if (aborted()) return;
+    if (DeadlineExpired("exec.convert")) return;
+    Hook(3, task->index);
+    obs::TraceSpan span(base_.tracer, "morsel.convert", "sched",
+                        static_cast<int64_t>(task->partition_bytes));
+    Stopwatch watch;
+    if (!task->parse.finished()) {
+      const Status converted = task->parse.Convert();
+      if (!converted.ok()) {
+        Fail(converted.WithContext("exec.convert"));
+        return;
+      }
+    }
+    ConvertedPartition done;
+    done.output = task->parse.TakeOutput();
+    done.buffer_base = task->buffer_base;
+    done.partition_bytes = task->partition_bytes;
+    if (metrics_ != nullptr && metrics_->enabled()) {
+      obs::RecordMillis(metrics_, "exec.convert_us",
+                        watch.ElapsedMillis());
+    }
+    AddStageSeconds(&result_.stats.convert_seconds, watch.ElapsedSeconds());
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      completed_.emplace(task->index, std::move(done));
+    }
+    TryDeliver();
+  }
+
+  /// Delivers converted partitions in stream order under the delivery
+  /// token. Whichever morsel completes the next-in-order partition (or
+  /// unparks it) drains the reorder window; concurrent completers see the
+  /// token held and leave — the holder re-checks after every delivery, so
+  /// nothing is stranded.
+  void TryDeliver() {
+    while (true) {
+      std::optional<ConvertedPartition> part;
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (deliver_token_held_) return;
+        auto it = completed_.find(next_deliver_);
+        if (it == completed_.end()) return;
+        deliver_token_held_ = true;
+        part.emplace(std::move(it->second));
+        completed_.erase(it);
+        ++next_deliver_;
+      }
+      const bool proceed = DeliverOne(std::move(*part));
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        deliver_token_held_ = false;
+      }
+      if (!proceed) return;
+    }
+  }
+
+  /// Accumulates one partition's output into the result (or the sink),
+  /// in stream order. Returns false when delivery must stop (abort or
+  /// sink error). Runs only under the delivery token, so the
+  /// accumulator state needs no extra locking and the accumulation order
+  /// — hence the result — is identical to the serial schedule.
+  bool DeliverOne(ConvertedPartition part) {
+    if (aborted()) return false;  // teardown drains the remaining slots
+    ParseOutput& out = part.output;
+    // Re-base quarantined records from partition coordinates to stream
+    // coordinates (rows index the concatenated table, spans the logical
+    // byte stream) — identical to the serial streaming path.
+    for (robust::QuarantineEntry& entry : out.quarantine.entries()) {
+      entry.row += rows_accumulated_;
+      entry.begin += part.buffer_base;
+      entry.end += part.buffer_base;
+      result_.quarantine.Add(std::move(entry));
+    }
+    result_.timings += out.timings;
+    result_.work += out.work;
+    rows_accumulated_ += out.table.num_rows;
+    ++result_.stats.num_partitions;
+    result_.stats.bytes += part.partition_bytes;
+    if (sink_ != nullptr) {
+      const Status sunk = (*sink_)(std::move(out.table));
+      if (!sunk.ok()) {
+        Fail(sunk.WithContext("exec.sink"));
+        ReleaseSlot();
+        return false;
+      }
+    } else {
+      tables_.push_back(std::move(out.table));
+    }
+    // The partition's buffers died with its task; return the admission
+    // slot that stood for its working set.
+    ReleaseSlot();
+    return true;
   }
 
   void AddStageSeconds(double* accumulator, double seconds) {
@@ -604,13 +709,30 @@ class PipelineRun {
 
   size_t partition_size_ = 0;
   int admission_limit_ = 0;
-  /// Slots this run holds; incremented by the reader thread, decremented
-  /// by the convert thread, drained at teardown after every stage joined.
+  /// Slots this run holds; incremented by the reader, decremented at
+  /// delivery, drained at teardown after the morsel group joined.
   std::atomic<int> slots_held_{0};
 
-  BoundedQueue<std::unique_ptr<RawChunk>> scan_queue_;
-  BoundedQueue<TaskPtr> sort_queue_;
-  BoundedQueue<TaskPtr> convert_queue_;
+  /// The morsel group every scan/sort/convert task of this ingest joins;
+  /// points at a stack-local group alive for the whole pipeline section.
+  TaskGroup* group_ = nullptr;
+
+  /// Morsel-graph state (reorder window, scan chain, tokens).
+  std::mutex state_mu_;
+  std::deque<std::shared_ptr<RawChunk>> raw_ready_;
+  bool scan_token_held_ = false;
+  std::map<int64_t, ConvertedPartition> completed_;
+  int64_t next_deliver_ = 0;
+  bool deliver_token_held_ = false;
+
+  /// Scan-chain state: owned by whichever morsel holds the scan token
+  /// (hand-offs synchronise through state_mu_ and the scheduler).
+  std::string carry_;
+  int64_t stream_consumed_ = 0;
+  bool first_ = true;
+
+  /// Delivery-order accumulator: owned by the delivery-token holder.
+  int64_t rows_accumulated_ = 0;
 
   std::atomic<bool> aborted_{false};
   std::mutex error_mu_;
@@ -675,7 +797,9 @@ std::vector<Result<IngestResult>> PipelineExecutor::IngestFiles(
   };
   // The calling thread ingests alongside the spawned workers; every file
   // shares this executor's admission controller, so the memory budget
-  // holds across the whole fleet.
+  // holds across the whole fleet — and all files' morsels share one
+  // work-stealing pool, so an idle worker advances whichever file has
+  // work.
   std::vector<std::thread> threads;
   threads.reserve(workers - 1);
   for (int w = 1; w < workers; ++w) threads.emplace_back(drain);

@@ -33,9 +33,10 @@ struct ExecOptions {
   /// never refuses), otherwise one partition per stage (4).
   int max_inflight_partitions = 0;
 
-  /// Capacity of each inter-stage queue. 2 = the paper's double
-  /// buffering: one partition crossing the hand-off while the next is
-  /// being produced.
+  /// Unused since the morsel-driven scheduler replaced the inter-stage
+  /// queues (kept so existing call sites keep compiling). Backpressure is
+  /// now solely the admission controller's: max_inflight_partitions
+  /// bounds everything resident across scan/sort/convert.
   size_t queue_capacity = 2;
 
   /// Test hook invoked at each stage's entry for each partition:
@@ -99,18 +100,24 @@ using PartitionSink = std::function<Status(Table&&)>;
 /// \brief Pipelined asynchronous ingestion executor — the paper's §5
 /// streaming schedule (Fig. 7, Fig. 12) on the real CPU path.
 ///
-/// Ingestion runs as a staged pipeline over partitions:
+/// Ingestion runs as a morsel graph over partitions:
 ///
-///   read -> [q] -> scan -> [q] -> sort -> [q] -> convert
+///   read -> scan morsel -> sort morsel -> convert morsel -> deliver
 ///
-/// with each stage on its own thread and bounded queues (backpressure)
-/// between them, so partition k's conversion overlaps partition k+1's
-/// radix sort, k+2's scan and k+3's read — the disk is never idle while
-/// the CPU parses, and vice versa. The scan stage is the only
-/// sequentially-dependent one (partition k+1's carry-over is known only
-/// after partition k's scan), exactly like the carry dependency of the
-/// GPU pipeline; everything downstream overlaps freely. Each stage's
-/// data-parallel inner work still fans out over the shared ThreadPool.
+/// The calling thread performs the sequential admission-gated reads;
+/// each partition then flows through chained scan/sort/convert morsels
+/// scheduled on the shared work-stealing ThreadPool (see
+/// docs/architecture.md, "Scheduling"), so partition k's conversion
+/// overlaps partition k+1's radix sort, k+2's scan and k+3's read on
+/// whatever worker is idle — no thread is pinned to a stage, and several
+/// concurrent ingests (multi-file, parparawd) interleave fairly on one
+/// pool. The scan stage is the only sequentially-dependent one
+/// (partition k+1's carry-over is known only after partition k's scan),
+/// exactly like the carry dependency of the GPU pipeline; a scan token
+/// serialises it in stream order while everything downstream overlaps
+/// freely. Converted partitions are re-ordered and delivered in stream
+/// order, so results are bit-identical to the serial schedule. Each
+/// stage's data-parallel inner work still fans out over the same pool.
 ///
 /// An admission controller clamps the number of partitions resident
 /// across all stages so the total working set respects

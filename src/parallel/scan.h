@@ -102,6 +102,20 @@ void ScanTwoPass(ThreadPool* pool, const T* in, T* out, int64_t n, Op op,
 
 /// \brief Inclusive scan, single-pass with decoupled look-back
 /// (Merrill & Garland). Semantics identical to ScanTwoPass.
+///
+/// Forward progress on a *shared* pool: a tile's look-back spin-waits on
+/// its predecessors' descriptors, so a naive static assignment (tile ->
+/// task up front) can livelock — every worker occupied by a tile whose
+/// predecessor is still sitting in a queue behind unrelated work (two
+/// concurrent parparawd parses are enough). Instead, tiles are claimed
+/// dynamically off an atomic cursor from inside the running tasks:
+/// claims are monotonic, a task finishes its tile before claiming the
+/// next, so every predecessor a spin can wait on is already *running* on
+/// some thread (or done), never merely queued. The earliest claimed
+/// unfinished tile therefore always has all predecessors resolved and
+/// completes, and by induction so does everything after it — even when
+/// only one of the submitted tasks ever gets a worker, that task alone
+/// claims and finishes all tiles in order without spinning at all.
 template <typename T, typename Op>
 void ScanDecoupledLookback(ThreadPool* pool, const T* in, T* out, int64_t n,
                            Op op, T identity) {
@@ -109,7 +123,7 @@ void ScanDecoupledLookback(ThreadPool* pool, const T* in, T* out, int64_t n,
   const int num_workers = pool ? pool->num_threads() : 1;
   const int64_t kMinTile = 1024;
   int64_t num_tiles = std::min<int64_t>(num_workers * 4, (n + kMinTile - 1) / kMinTile);
-  if (num_tiles <= 1 || num_workers <= 1) {
+  if (num_tiles <= 1 || pool == nullptr) {
     internal::SequentialInclusiveScan(in, out, n, op, identity, false);
     return;
   }
@@ -122,8 +136,9 @@ void ScanDecoupledLookback(ThreadPool* pool, const T* in, T* out, int64_t n,
     T inclusive_prefix;
   };
   std::vector<TileDescriptor> descriptors(num_tiles);
+  std::atomic<int64_t> next_tile{0};
 
-  ParallelForEach(pool, 0, num_tiles, [&](int64_t t) {
+  const auto process_tile = [&](int64_t t) {
     const int64_t b = t * tile;
     const int64_t e = std::min<int64_t>(b + tile, n);
     TileDescriptor& desc = descriptors[t];
@@ -140,7 +155,9 @@ void ScanDecoupledLookback(ThreadPool* pool, const T* in, T* out, int64_t n,
     desc.status.store(static_cast<int>(TileStatus::kAggregate),
                       std::memory_order_release);
     // Decoupled look-back: walk predecessors, accumulating aggregates until
-    // a tile with a resolved inclusive prefix is found.
+    // a tile with a resolved inclusive prefix is found. The spin below is
+    // safe because the predecessor was claimed before this tile, so a
+    // running task is actively driving it to completion (see above).
     T exclusive = identity;
     bool have_exclusive = false;
     for (int64_t p = t - 1; p >= 0; --p) {
@@ -166,6 +183,18 @@ void ScanDecoupledLookback(ThreadPool* pool, const T* in, T* out, int64_t n,
     desc.inclusive_prefix = out[e - 1];
     desc.status.store(static_cast<int>(TileStatus::kPrefix),
                       std::memory_order_release);
+  };
+
+  // One claim-loop task per potential runner (workers + the caller, which
+  // executes tasks itself under ParallelFor's caller-runs contract).
+  // Any subset of them suffices for completion; extras just steal tiles.
+  const int64_t num_tasks = std::min<int64_t>(num_tiles, num_workers + 1);
+  ParallelForEach(pool, 0, num_tasks, [&](int64_t) {
+    int64_t t;
+    while ((t = next_tile.fetch_add(1, std::memory_order_relaxed)) <
+           num_tiles) {
+      process_tile(t);
+    }
   });
 }
 

@@ -1,0 +1,249 @@
+#include "parallel/scheduler.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "robust/failpoint.h"
+
+namespace parparaw {
+
+namespace {
+
+inline bool SchedObsEnabled() {
+  return obs::MetricsRegistry::Global().enabled();
+}
+
+/// Worker identity of the current thread: which scheduler it belongs to
+/// (nullptr for external threads) and its shard index there. Saved per
+/// thread, checked per scheduler — a worker of pool A helping on pool B
+/// is an external thread from B's point of view.
+struct WorkerTls {
+  Scheduler* scheduler = nullptr;
+  int index = -1;
+};
+
+thread_local WorkerTls tls_worker;
+
+/// Cheap per-thread xorshift for steal-victim selection. Determinism is
+/// not required here (stealing only reorders independent morsels); the
+/// seed just needs to differ between threads.
+inline uint64_t NextRand() {
+  thread_local uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      (reinterpret_cast<uintptr_t>(&state) * 0xbf58476d1ce4e5b9ull);
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(int num_threads) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  submits_ = registry.GetCounter("sched.submits");
+  runs_ = registry.GetCounter("sched.runs");
+  steals_ = registry.GetCounter("sched.steals");
+  waits_ = registry.GetCounter("sched.waits");
+  queue_depth_ = registry.GetGauge("sched.queue_depth");
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  shards_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: orders the shutdown store before the wakeup
+    // so a worker cannot re-check the predicate, miss it, and sleep.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool Scheduler::OnWorkerThread() const {
+  return tls_worker.scheduler == this;
+}
+
+void Scheduler::Submit(std::function<void()> fn) {
+  SubmitTask(Task{std::move(fn), nullptr});
+}
+
+void Scheduler::SubmitTask(Task task) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (SchedObsEnabled()) submits_->Increment();
+  // The sched.submit failpoint degrades the submission to inline
+  // execution on the calling thread — a pure schedule perturbation the
+  // chaos suite uses to prove output never depends on where a morsel ran.
+  if (!robust::CheckFailpoint("sched.submit").ok()) {
+    Execute(std::move(task));
+    return;
+  }
+  // Workers push to their own shard (LIFO locality, stolen FIFO from the
+  // front); external threads go through the injection deque.
+  Shard& shard = (tls_worker.scheduler == this)
+                     ? *shards_[tls_worker.index]
+                     : injected_;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.deque.push_back(std::move(task));
+  }
+  const int64_t queued = queued_.fetch_add(1, std::memory_order_release) + 1;
+  if (SchedObsEnabled()) queue_depth_->Set(queued);
+  {
+    // Empty critical section: pairs with the sleep predicate's re-check of
+    // queued_ under sleep_mu_, so a sleeper cannot miss this task.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool Scheduler::PopLocal(int worker_index, Task* task) {
+  Shard& shard = *shards_[worker_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.deque.empty()) return false;
+  *task = std::move(shard.deque.back());
+  shard.deque.pop_back();
+  return true;
+}
+
+bool Scheduler::PopInjected(Task* task) {
+  std::lock_guard<std::mutex> lock(injected_.mu);
+  if (injected_.deque.empty()) return false;
+  *task = std::move(injected_.deque.front());
+  injected_.deque.pop_front();
+  return true;
+}
+
+bool Scheduler::StealTask(int worker_index, Task* task) {
+  const int n = static_cast<int>(shards_.size());
+  const int start = static_cast<int>(NextRand() % static_cast<uint64_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int victim = (start + i) % n;
+    if (victim == worker_index) continue;
+    // The sched.steal failpoint skips one steal attempt — like the
+    // submit perturbation, it may only change the interleaving.
+    if (!robust::CheckFailpoint("sched.steal").ok()) continue;
+    Shard& shard = *shards_[victim];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.deque.empty()) continue;
+    *task = std::move(shard.deque.front());
+    shard.deque.pop_front();
+    if (SchedObsEnabled()) steals_->Increment();
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::RunOneTask(int worker_index) {
+  Task task;
+  bool found = false;
+  if (worker_index >= 0) {
+    found = PopLocal(worker_index, &task) || PopInjected(&task) ||
+            StealTask(worker_index, &task);
+  } else {
+    found = PopInjected(&task) || StealTask(-1, &task);
+  }
+  if (!found) return false;
+  const int64_t queued = queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (SchedObsEnabled()) queue_depth_->Set(queued);
+  Execute(std::move(task));
+  return true;
+}
+
+void Scheduler::Execute(Task task) {
+  if (SchedObsEnabled()) runs_->Increment();
+  task.fn();
+  TaskGroup* group = task.group;
+  // Destroy the closure before publishing completion: a waiter may tear
+  // down state the closure captures the moment the group drains.
+  task.fn = nullptr;
+  if (group != nullptr) group->OnTaskDone();
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+}
+
+void Scheduler::WorkerLoop(int worker_index) {
+  tls_worker.scheduler = this;
+  tls_worker.index = worker_index;
+  while (true) {
+    if (RunOneTask(worker_index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    if (queued_.load(std::memory_order_acquire) > 0) continue;
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    if (SchedObsEnabled()) waits_->Increment();
+    sleep_cv_.wait(lock, [this] {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             shutdown_.load(std::memory_order_acquire);
+    });
+  }
+  tls_worker.scheduler = nullptr;
+  tls_worker.index = -1;
+}
+
+void Scheduler::HelpWhile(const std::function<bool()>& done) {
+  const int worker_index =
+      tls_worker.scheduler == this ? tls_worker.index : -1;
+  while (true) {
+    if (done()) return;
+    if (RunOneTask(worker_index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    if (done()) return;
+    // Re-check under the lock: a submitter increments queued_ before
+    // taking sleep_mu_, so either we see the task here or the notify
+    // lands after we wait.
+    if (queued_.load(std::memory_order_acquire) > 0) continue;
+    if (SchedObsEnabled()) waits_->Increment();
+    sleep_cv_.wait(lock, [this, &done] {
+      return queued_.load(std::memory_order_acquire) > 0 || done();
+    });
+  }
+}
+
+void Scheduler::WaitIdle() {
+  HelpWhile([this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  scheduler_->SubmitTask(Scheduler::Task{std::move(fn), this});
+}
+
+void TaskGroup::Wait() {
+  if (pending_.load(std::memory_order_acquire) == 0) return;
+  scheduler_->HelpWhile([this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void TaskGroup::OnTaskDone() {
+  // Copy the scheduler pointer out first: the waiter may destroy this
+  // group the instant pending_ reaches zero, so no group member may be
+  // touched after the decrement. The scheduler itself (the pool) outlives
+  // every group.
+  Scheduler* scheduler = scheduler_;
+  // acq_rel + the waiter's acquire load: everything the task wrote
+  // happens-before the waiter observing pending_ == 0.
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(scheduler->sleep_mu_);
+    }
+    scheduler->sleep_cv_.notify_all();
+  }
+}
+
+}  // namespace parparaw

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "robust/failpoint.h"
@@ -17,79 +19,24 @@ inline bool PoolObsEnabled() {
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
-  // Instruments are shared by every pool in the process; creating them is
-  // cheap and valid even while the global registry is disabled.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   tasks_submitted_ = registry.GetCounter("pool.tasks_submitted");
   tasks_executed_ = registry.GetCounter("pool.tasks_executed");
-  worker_waits_ = registry.GetCounter("pool.worker_waits");
-  queue_depth_ = registry.GetGauge("pool.queue_depth");
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 1;
-  }
-  workers_.reserve(num_threads);
-  for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  scheduler_ = std::make_unique<Scheduler>(num_threads);
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  work_available_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
+ThreadPool::~ThreadPool() = default;
 
 void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
-    if (PoolObsEnabled()) {
-      tasks_submitted_->Increment();
-      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
-    }
-  }
-  work_available_.notify_one();
-}
-
-void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-}
-
-void ThreadPool::WorkerLoop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!shutdown_ && queue_.empty() && PoolObsEnabled()) {
-        worker_waits_->Increment();
-      }
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        // shutdown_ with an empty queue: exit.
-        return;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      if (PoolObsEnabled()) {
-        tasks_executed_->Increment();
-        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
-      }
-      ++active_;
-    }
+  if (PoolObsEnabled()) tasks_submitted_->Increment();
+  obs::Counter* executed = tasks_executed_;
+  scheduler_->Submit([executed, task = std::move(task)] {
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
-    }
-  }
+    if (PoolObsEnabled()) executed->Increment();
+  });
 }
+
+void ThreadPool::WaitIdle() { scheduler_->WaitIdle(); }
 
 ThreadPool* ThreadPool::Default() {
   static ThreadPool& pool = *new ThreadPool();
@@ -100,44 +47,51 @@ Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
                    const std::function<void(int64_t, int64_t)>& body) {
   if (begin >= end) return Status::OK();
   const int64_t count = end - begin;
-  const int num_workers =
-      pool == nullptr ? 1
-                      : std::min<int64_t>(pool->num_threads(), count);
-  if (num_workers <= 1) {
+  // Caller-runs makes the calling thread a worker too, so the effective
+  // parallelism is workers + 1. Two morsels per runner lets the stealer
+  // rebalance uneven bodies without shredding cache locality.
+  const int64_t runners =
+      pool == nullptr ? 1 : static_cast<int64_t>(pool->num_threads()) + 1;
+  const int64_t num_morsels = std::min<int64_t>(count, runners * 2);
+  if (pool == nullptr || num_morsels <= 1) {
     const Status injected = robust::CheckFailpoint("pool.task");
-    // The slice body runs even when the failpoint fires: faults must never
-    // change what was computed, only whether an error is reported, so
-    // callers that discard the Status stay bit-identical to fault-free runs.
+    // The morsel body runs even when the failpoint fires: faults must
+    // never change what was computed, only whether an error is reported,
+    // so callers that discard the Status stay bit-identical to fault-free
+    // runs.
     body(begin, end);
     return injected;
   }
-  // One contiguous slice per worker; remainder spread over the first slices.
-  const int64_t base = count / num_workers;
-  const int64_t extra = count % num_workers;
-  std::atomic<int> remaining{num_workers};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  if (PoolObsEnabled()) {
+    obs::MetricsRegistry::Global().AddCounter("pool.tasks_submitted",
+                                              num_morsels);
+    obs::MetricsRegistry::Global().AddCounter("pool.tasks_executed",
+                                              num_morsels);
+  }
+  // One contiguous morsel per slot; remainder spread over the first ones.
+  const int64_t base = count / num_morsels;
+  const int64_t extra = count % num_morsels;
+  std::mutex error_mu;
   Status first_error;
-  int64_t slice_begin = begin;
-  for (int w = 0; w < num_workers; ++w) {
-    const int64_t slice_size = base + (w < extra ? 1 : 0);
-    const int64_t slice_end = slice_begin + slice_size;
-    pool->Submit([&, slice_begin, slice_end] {
+  TaskGroup group(pool->scheduler());
+  int64_t morsel_begin = begin;
+  for (int64_t m = 0; m < num_morsels; ++m) {
+    const int64_t morsel_size = base + (m < extra ? 1 : 0);
+    const int64_t morsel_end = morsel_begin + morsel_size;
+    group.Run([&, morsel_begin, morsel_end] {
       const Status injected = robust::CheckFailpoint("pool.task");
-      body(slice_begin, slice_end);
-      {
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (!injected.ok() && first_error.ok()) first_error = injected;
-      }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
+      body(morsel_begin, morsel_end);
+      if (!injected.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = injected;
       }
     });
-    slice_begin = slice_end;
+    morsel_begin = morsel_end;
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  // Caller-runs: this thread executes morsels (its own first, then any
+  // queued work) until the group drains — it never parks while work is
+  // runnable, which is what makes nested parallel regions safe.
+  group.Wait();
   return first_error;
 }
 

@@ -1,28 +1,30 @@
 #ifndef PARPARAW_PARALLEL_THREAD_POOL_H_
 #define PARPARAW_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
 
+#include "parallel/scheduler.h"
 #include "util/status.h"
 
 namespace parparaw {
 
 namespace obs {
 class Counter;
-class Gauge;
 }  // namespace obs
 
 /// \brief Fixed-size worker pool backing the CPU data-parallel substrate.
 ///
-/// On the GPU, ParPaRaw launches one lightweight thread per input chunk; here
-/// the same per-chunk kernels are executed by pool workers over chunk ranges
-/// (see ParallelFor). The pool is the only place the library creates threads.
+/// On the GPU, ParPaRaw launches one lightweight thread per input chunk;
+/// here the same per-chunk kernels are executed as morsels by a
+/// work-stealing Scheduler (see parallel/scheduler.h): per-worker deques
+/// with LIFO local execution and FIFO stealing, caller-runs waits, and
+/// task-group scoping so nested parallel regions and concurrent ingests
+/// share one pool with guaranteed forward progress. ThreadPool is the
+/// stable facade every call site holds (ParseOptions::pool); the
+/// scheduler is its engine. The pool is the only place the library
+/// creates compute threads.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers. `num_threads == 0` uses
@@ -34,54 +36,51 @@ class ThreadPool {
 
   ~ThreadPool();
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const { return scheduler_->num_threads(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a fire-and-forget task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished executing.
+  /// Blocks until all submitted tasks have finished executing, running
+  /// queued tasks on the calling thread meanwhile (caller-runs).
   void WaitIdle();
 
-  /// Process-wide default pool, created on first use and intentionally never
-  /// destroyed (Google style: function-local static reference).
+  /// The work-stealing engine, for callers that need task groups or
+  /// caller-runs waits directly (the pipelined executor's morsel graph).
+  Scheduler* scheduler() { return scheduler_.get(); }
+
+  /// Process-wide default pool, created on first use and intentionally
+  /// never destroyed (Google style: function-local static reference).
   static ThreadPool* Default();
 
  private:
-  void WorkerLoop();
-
-  // Pool metrics, registered in obs::MetricsRegistry::Global() at
-  // construction ("pool.tasks_submitted" / "pool.tasks_executed" /
-  // "pool.worker_waits" counters, "pool.queue_depth" gauge). Recording is
-  // gated on the global registry's enabled flag, so an un-observed
-  // process pays one relaxed load per submit/execute.
+  // Facade-level metrics, kept for continuity with the original pool
+  // ("pool.tasks_submitted" / "pool.tasks_executed" counters); the
+  // scheduler exports the richer sched.* set.
   obs::Counter* tasks_submitted_;
   obs::Counter* tasks_executed_;
-  obs::Counter* worker_waits_;
-  obs::Gauge* queue_depth_;
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  std::unique_ptr<Scheduler> scheduler_;
 };
 
 /// \brief Runs `body(range_begin, range_end)` over a partition of
 /// [begin, end) across the pool's workers and blocks until done.
 ///
-/// The partition is static and contiguous (one slice per worker, like a GPU
-/// grid where each "thread" owns a contiguous run of chunks). `body` must be
-/// safe to invoke concurrently on disjoint ranges. A null `pool` or a
-/// single-worker pool degrades to a sequential loop.
+/// The range is cut into contiguous morsels (a small multiple of the
+/// worker count, so stealing can rebalance uneven slices) and submitted
+/// as one task group; the calling thread executes morsels itself instead
+/// of blocking (caller-runs), so a nested ParallelFor issued from inside
+/// a pool task — even on a 1-worker pool — always makes forward
+/// progress. `body` must be safe to invoke concurrently on disjoint
+/// ranges; which thread runs which morsel is unspecified and must not
+/// affect the result. A null `pool` degrades to a sequential loop.
 ///
-/// Returns non-OK when the `pool.task` failpoint fires for a slice. Every
-/// slice body still runs — faults never skip work, so callers that ignore
-/// the Status (pure computations whose results feed later steps) stay
-/// bit-identical to a fault-free run; callers that check it observe the
-/// injected error after the barrier. There is exactly one failpoint check
-/// per slice, before the slice body.
+/// Returns non-OK when the `pool.task` failpoint fires for a morsel.
+/// Every morsel body still runs — faults never skip work, so callers
+/// that ignore the Status (pure computations whose results feed later
+/// steps) stay bit-identical to a fault-free run; callers that check it
+/// observe the injected error after the group drains. There is exactly
+/// one failpoint check per morsel, before the morsel body.
 Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
                    const std::function<void(int64_t, int64_t)>& body);
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <iterator>
@@ -83,6 +84,12 @@ const char* const kFailpoints[] = {
     // Adaptive-planner sites: a failed head sample or a fault mid-decision
     // must degrade to the static plan (plan.fallback), never corrupt output.
     "plan.sample",     "plan.decide",
+    // Scheduler schedule-perturbation sites: sched.submit diverts a task
+    // to inline execution on the submitter, sched.steal makes a thief
+    // skip one steal attempt. Neither is an error — arming them must
+    // never change output, only the schedule (the sweep still asserts
+    // clean-error-or-bit-identical, so any divergence is caught).
+    "sched.submit",    "sched.steal",
 };
 
 // A small input with every interesting shape: quoted fields, quoted
@@ -145,6 +152,31 @@ dialect::DialectSpec ChaosTwinSpec() {
   return spec;
 }
 
+// Shared loopback daemon for the kServe schedules. Started lazily on the
+// first serve schedule and reused for the rest of the sweep; the sweep
+// stops it when done so every connection thread is joined (the Server
+// object itself is intentionally leaked — joining matters for TSan's
+// thread-leak check, the few bytes of Server state do not).
+std::atomic<bool> g_chaos_server_started{false};
+
+serve::Server& ChaosServer() {
+  static serve::Server* server = new serve::Server(serve::ServeOptions{});
+  return *server;
+}
+
+uint16_t ChaosServerPort() {
+  static uint16_t port = [] {
+    auto started = ChaosServer().Start();
+    if (started.ok()) g_chaos_server_started.store(true);
+    return started.ok() ? *started : uint16_t{0};
+  }();
+  return port;
+}
+
+void StopChaosServerIfStarted() {
+  if (g_chaos_server_started.exchange(false)) ChaosServer().Stop();
+}
+
 ParseOptions BaseOptions(const Config& config) {
   ParseOptions options;
   options.schema = ChaosSchema();
@@ -199,11 +231,7 @@ Result<Table> RunEntry(const Config& config, const std::string& input) {
       // survive every injected serve.* fault. The wire protocol has no
       // schema/dialect/kernel channel, so those knobs only vary the
       // reference key; the daemon resolves types by inference.
-      static serve::Server* server = new serve::Server(serve::ServeOptions{});
-      static uint16_t port = [] {
-        auto started = server->Start();
-        return started.ok() ? *started : uint16_t{0};
-      }();
+      const uint16_t port = ChaosServerPort();
       if (port == 0) return Status::Internal("chaos daemon failed to start");
       PARPARAW_ASSIGN_OR_RETURN(serve::Client client,
                                 serve::Client::Connect(port));
@@ -316,6 +344,8 @@ TEST(ChaosTest, EveryScheduleFailsCleanOrMatchesFaultFree) {
   // The sweep is only meaningful when both outcomes occur.
   EXPECT_GT(clean_errors, 0);
   EXPECT_GT(identical, 0);
+
+  StopChaosServerIfStarted();
 }
 
 // Quarantine recovery must keep working when the file was parsed under a

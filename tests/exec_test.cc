@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/parser.h"
+#include "exec/bounded_queue.h"
 #include "io/file.h"
 #include "robust/failpoint.h"
 #include "stream/streaming_parser.h"
@@ -328,6 +329,44 @@ TEST(ExecTest, QueueFailpointsFailCleanly) {
     ASSERT_FALSE(result.ok()) << site;
     EXPECT_EQ(result.status().code(), StatusCode::kIoError) << site;
   }
+}
+
+// Regression: Push() used to accept items after Close(). A consumer that
+// had already observed closed+empty has exited, so the item would be
+// silently dropped — a lost partition. It must be a typed internal error,
+// and a producer blocked on a full closed queue must wake into it rather
+// than hang.
+TEST(ExecTest, BoundedQueuePushAfterCloseIsRejected) {
+  exec::BoundedQueue<int> queue("exec.test.queue", 2);
+  ASSERT_TRUE(queue.Push(1).ok());
+  queue.Close();
+  const Status rejected = queue.Push(2);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kInternal);
+  EXPECT_NE(rejected.ToString().find("push after close"), std::string::npos)
+      << rejected.ToString();
+  // The queued item still drains normally; then end-of-stream.
+  auto item = queue.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(ExecTest, BoundedQueueCloseWakesBlockedProducer) {
+  exec::BoundedQueue<int> queue("exec.test.queue", 1);
+  ASSERT_TRUE(queue.Push(1).ok());  // queue now full
+  std::atomic<bool> returned{false};
+  Status blocked_push;
+  std::thread producer([&] {
+    blocked_push = queue.Push(2);  // blocks on the full queue
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  producer.join();
+  ASSERT_TRUE(returned.load());
+  EXPECT_EQ(blocked_push.code(), StatusCode::kInternal);
 }
 
 // A record larger than one partition accumulates through the carry-over
